@@ -1,0 +1,44 @@
+//! B5 (timing face): reachable-state-graph construction and full analysis
+//! cost as the number of sites grows — the "grows exponentially with the
+//! number of sites" observation as wall-clock.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nbc_core::protocols::{central_2pc, central_3pc, decentralized_2pc, decentralized_3pc};
+use nbc_core::{Analysis, ReachGraph};
+use std::hint::black_box;
+
+fn bench_graph_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("reach_graph_build");
+    g.sample_size(20);
+    for n in [2usize, 3, 4, 5] {
+        for (label, p) in [
+            ("central_2pc", central_2pc(n)),
+            ("central_3pc", central_3pc(n)),
+            ("decentralized_2pc", decentralized_2pc(n)),
+            ("decentralized_3pc", decentralized_3pc(n)),
+        ] {
+            g.bench_with_input(BenchmarkId::new(label, n), &p, |b, p| {
+                b.iter(|| ReachGraph::build(black_box(p)).unwrap().node_count())
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_full_analysis(c: &mut Criterion) {
+    let mut g = c.benchmark_group("full_analysis");
+    g.sample_size(20);
+    for n in [3usize, 5] {
+        let p = central_3pc(n);
+        g.bench_with_input(BenchmarkId::new("central_3pc", n), &p, |b, p| {
+            b.iter(|| {
+                let a = Analysis::build(black_box(p)).unwrap();
+                nbc_core::theorem::check_with(p, &a).nonblocking()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_graph_build, bench_full_analysis);
+criterion_main!(benches);

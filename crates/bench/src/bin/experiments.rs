@@ -1,0 +1,44 @@
+//! Regenerate every figure and table of Skeen, "Nonblocking Commit
+//! Protocols" (SIGMOD 1981).
+//!
+//! ```text
+//! cargo run -p nbc-bench --bin experiments            # run everything
+//! cargo run -p nbc-bench --bin experiments -- e4 b1   # run selected ids
+//! cargo run -p nbc-bench --bin experiments -- --list  # list experiments
+//! ```
+
+use nbc_bench::experiments;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+
+    if args.iter().any(|a| a == "--list" || a == "-l") {
+        for e in experiments::all() {
+            println!("{:>4}  {}", e.id, e.title);
+        }
+        return;
+    }
+
+    let selected: Vec<experiments::Experiment> = if args.is_empty() {
+        experiments::all()
+    } else {
+        args.iter()
+            .map(|id| {
+                experiments::by_id(id).unwrap_or_else(|| {
+                    eprintln!("unknown experiment id {id:?}; try --list");
+                    std::process::exit(2);
+                })
+            })
+            .collect()
+    };
+
+    for e in selected {
+        println!("{}", "=".repeat(78));
+        println!("[{}] {}", e.id.to_uppercase(), e.title);
+        println!("{}", "=".repeat(78));
+        let started = std::time::Instant::now();
+        let report = (e.run)();
+        println!("{report}");
+        println!("({} finished in {:.2?})\n", e.id, started.elapsed());
+    }
+}

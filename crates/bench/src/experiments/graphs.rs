@@ -1,0 +1,132 @@
+//! Reachable-state-graph experiments: the 2-site 2PC figure and the
+//! exponential-growth observation.
+
+use nbc_core::protocols::{catalog, central_2pc};
+use nbc_core::{dot, ReachGraph, SiteId};
+
+use crate::table::Table;
+
+/// E2 — "Reachable state graph for the 2-site 2PC protocol": build the
+/// graph, list every global state with its classification, and emit DOT.
+pub fn e2_two_site_2pc_graph() -> String {
+    let p = central_2pc(2);
+    let g = ReachGraph::build(&p).expect("tiny graph");
+    let mut out = String::new();
+    out.push_str(&format!("{}\n{}\n\n", p.name, g.stats()));
+
+    let mut t = Table::new(["node", "coordinator", "slave", "outstanding", "class"]);
+    for id in 0..g.node_count() as u32 {
+        let node = g.node(id);
+        let names: Vec<String> = node
+            .locals
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| p.fsa(SiteId(i as u32)).state(s).name.clone())
+            .collect();
+        let msgs: Vec<String> = node
+            .msgs
+            .iter()
+            .map(|(a, c)| {
+                format!(
+                    "{}→{}:{}{}",
+                    a.src,
+                    a.dst,
+                    p.msg_name(a.kind),
+                    if c > 1 { format!("×{c}") } else { String::new() }
+                )
+            })
+            .collect();
+        let class = if g.is_inconsistent(id) {
+            "INCONSISTENT"
+        } else if g.is_deadlocked(id) {
+            "deadlocked"
+        } else if g.is_final(id) {
+            "final"
+        } else if g.is_terminal(id) {
+            "terminal"
+        } else {
+            ""
+        };
+        t.row([
+            format!("g{id}"),
+            names[0].clone(),
+            names[1].clone(),
+            msgs.join(", "),
+            class.to_string(),
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push_str(
+        "\nPaper property: the graph is acyclic, every terminal state is \
+         final, and no state is inconsistent.\n\nDOT:\n",
+    );
+    out.push_str(&dot::reach_graph_to_dot(&g, &p, true));
+    out
+}
+
+/// B5 — graph growth: "the reachable state graph grows exponentially with
+/// the number of sites".
+pub fn b5_graph_growth() -> String {
+    let mut t = Table::new(["protocol", "n", "global states", "edges", ""]);
+    for n in 2..=6usize {
+        for p in catalog(n) {
+            let g = ReachGraph::build(&p).expect("bounded");
+            t.row([
+                p.name.clone(),
+                n.to_string(),
+                g.node_count().to_string(),
+                g.edge_count().to_string(),
+                String::new(),
+            ]);
+        }
+    }
+    // Per-protocol growth factors (nodes(n)/nodes(n-1)).
+    let mut growth = Table::new(["protocol", "n=3/2", "n=4/3", "n=5/4", "n=6/5"]);
+    for idx in 0..4usize {
+        let sizes: Vec<usize> = (2..=6usize)
+            .map(|n| {
+                let p = &catalog(n)[idx];
+                ReachGraph::build(p).expect("bounded").node_count()
+            })
+            .collect();
+        let name = catalog(2)[idx].name.replace(" (n=2)", "");
+        let ratios: Vec<String> = sizes
+            .windows(2)
+            .map(|w| format!("{:.1}", w[1] as f64 / w[0] as f64))
+            .collect();
+        growth.row([
+            name,
+            ratios[0].clone(),
+            ratios[1].clone(),
+            ratios[2].clone(),
+            ratios[3].clone(),
+        ]);
+    }
+    format!(
+        "{}\nGrowth factor per added site (≈ constant ⇒ exponential growth, \
+         as the paper observes):\n{}",
+        t.render(),
+        growth.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e2_reports_clean_graph() {
+        let s = e2_two_site_2pc_graph();
+        assert!(s.contains("0 deadlocked"));
+        assert!(s.contains("0 inconsistent"));
+        assert!(!s.contains("INCONSISTENT"));
+        assert!(s.contains("digraph"));
+    }
+
+    #[test]
+    fn b5_shows_growth() {
+        let s = b5_graph_growth();
+        assert!(s.contains("Growth factor"));
+        assert!(s.contains("central-site 2PC"));
+    }
+}

@@ -1,0 +1,12 @@
+//! # nbc-bench — experiment harness
+//!
+//! The [`experiments`] module regenerates every figure and table of the
+//! paper (run `cargo run -p nbc-bench --bin experiments`); the Criterion
+//! benches under `benches/` measure the quantitative shape claims
+//! (message complexity, latency in phases, throughput under failures,
+//! reachable-graph growth).
+
+pub mod experiments;
+pub mod table;
+
+pub use table::Table;

@@ -1,0 +1,493 @@
+//! # nbc-cli — the `nbc` command-line tool
+//!
+//! Analyze, verify, synthesize, simulate, and sweep commit protocols from
+//! the command line:
+//!
+//! ```text
+//! nbc list
+//! nbc analyze central-3pc -n 5
+//! nbc verify decentralized-2pc
+//! nbc graph central-2pc -n 2 --dot
+//! nbc synthesize central-2pc
+//! nbc simulate central-3pc --crash 0:3:1 --recover 200
+//! nbc sweep central-2pc --rule cooperative
+//! nbc termination central-3pc
+//! nbc recovery central-3pc
+//! nbc analyze path/to/custom.nbc -n 4      # spec files work everywhere
+//! ```
+//!
+//! The command implementations live here (returning strings) so they are
+//! unit-testable; `main.rs` is a thin shell.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use std::fmt::Write as _;
+
+use nbc_core::kpc::k_phase_central;
+use nbc_core::protocols::{
+    central_2pc, central_3pc, decentralized_2pc, decentralized_3pc, one_pc,
+};
+use nbc_core::{
+    dot, recovery_analysis, resilience, sync_check, synthesis, termination, theorem,
+    verify, Analysis, Protocol, ReachGraph, ReachOptions,
+};
+use nbc_engine::{
+    enumerate_crash_specs, run_with, sweep, CrashPoint, CrashSpec, RunConfig,
+    TerminationRule, TransitionProgress,
+};
+use nbc_simnet::LatencyModel;
+
+/// A CLI failure with a user-facing message.
+#[derive(Debug)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+fn fail<T>(msg: impl Into<String>) -> Result<T, CliError> {
+    Err(CliError(msg.into()))
+}
+
+/// Resolve a protocol argument: a catalog name, `kpc:K`, or a spec file
+/// path (anything containing `/` or ending in `.nbc`).
+pub fn resolve_protocol(arg: &str, n: usize) -> Result<Protocol, CliError> {
+    match arg {
+        "central-2pc" | "2pc" => Ok(central_2pc(n)),
+        "central-3pc" | "3pc" => Ok(central_3pc(n)),
+        "decentralized-2pc" | "d2pc" => Ok(decentralized_2pc(n)),
+        "decentralized-3pc" | "d3pc" => Ok(decentralized_3pc(n)),
+        "1pc" | "central-1pc" => Ok(one_pc(n)),
+        _ if arg.starts_with("kpc:") => {
+            let k: u32 = arg[4..]
+                .parse()
+                .map_err(|_| CliError(format!("bad phase count in {arg:?}")))?;
+            if k < 2 {
+                return fail("kpc:K needs K >= 2");
+            }
+            k_phase_central(n, k).map_err(|e| CliError(e.to_string()))
+        }
+        _ if arg.contains('/') || arg.ends_with(".nbc") => {
+            let text = std::fs::read_to_string(arg)
+                .map_err(|e| CliError(format!("cannot read {arg}: {e}")))?;
+            nbc_spec::parse(&text, n).map_err(|e| CliError(format!("{arg}: {e}")))
+        }
+        _ => fail(format!(
+            "unknown protocol {arg:?}; try `nbc list` or a spec file path"
+        )),
+    }
+}
+
+/// `nbc list`
+pub fn cmd_list() -> String {
+    "catalog protocols (use with -n N, default 3):\n\
+     \x20 central-2pc (alias 2pc)          blocking\n\
+     \x20 central-3pc (alias 3pc)          nonblocking\n\
+     \x20 decentralized-2pc (alias d2pc)   blocking\n\
+     \x20 decentralized-3pc (alias d3pc)   nonblocking\n\
+     \x20 central-1pc (alias 1pc)          no unilateral abort (degenerate)\n\
+     \x20 kpc:K                            2PC with K-2 buffer rounds\n\
+     \x20 <path to .nbc spec file>         your own protocol\n"
+        .to_string()
+}
+
+/// `nbc analyze PROTO`
+pub fn cmd_analyze(protocol: &Protocol) -> Result<String, CliError> {
+    let analysis = Analysis::build(protocol).map_err(|e| CliError(e.to_string()))?;
+    let report = theorem::check_with(protocol, &analysis);
+    let res = resilience::resilience_with(protocol, &report);
+    let sync = sync_check::check_with(protocol, &analysis, ReachOptions::default());
+    let stats = analysis.graph().stats();
+
+    let mut out = String::new();
+    let _ = writeln!(out, "{protocol}");
+    let _ = writeln!(out, "reachable state graph: {stats}");
+    let _ = writeln!(
+        out,
+        "synchronous within one state transition: {}",
+        if sync.synchronous_within_one() { "yes" } else { "NO" }
+    );
+    let _ = writeln!(out, "\n{report}");
+    let _ = writeln!(
+        out,
+        "resiliency: {} clean site(s) of {}; nonblocking w.r.t. {} failure(s)",
+        res.clean_count(),
+        res.n_sites,
+        res.max_tolerated_failures
+    );
+    Ok(out)
+}
+
+/// `nbc verify PROTO`
+pub fn cmd_verify(protocol: &Protocol) -> Result<String, CliError> {
+    let v = verify::verify_termination(protocol).map_err(|e| CliError(e.to_string()))?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{}: model-checked {} (global state x survivor subset) cases",
+        v.protocol, v.cases
+    );
+    let _ = writeln!(
+        out,
+        "safety (no decision contradicts a durable final): {}",
+        if v.safe() { "HOLDS" } else { "VIOLATED" }
+    );
+    for w in v.unsafe_witnesses.iter().take(5) {
+        let _ = writeln!(out, "  ! {w}");
+    }
+    let _ = writeln!(
+        out,
+        "liveness (every survivor subset can decide): {}",
+        if v.stuck_witnesses.is_empty() {
+            "HOLDS — nonblocking".to_string()
+        } else {
+            format!("{} stuck cases — blocking", v.stuck_witnesses.len())
+        }
+    );
+    for w in v.stuck_witnesses.iter().take(3) {
+        let _ = writeln!(out, "  . {w}");
+    }
+    Ok(out)
+}
+
+/// `nbc graph PROTO [--dot]`
+pub fn cmd_graph(protocol: &Protocol, dot_output: bool) -> Result<String, CliError> {
+    let g = ReachGraph::build(protocol).map_err(|e| CliError(e.to_string()))?;
+    if dot_output {
+        Ok(dot::reach_graph_to_dot(&g, protocol, true))
+    } else {
+        Ok(format!("{}\n{}\n", protocol.name, g.stats()))
+    }
+}
+
+/// `nbc synthesize PROTO`
+pub fn cmd_synthesize(protocol: &Protocol) -> Result<String, CliError> {
+    let before = theorem::check(protocol).map_err(|e| CliError(e.to_string()))?;
+    let fixed =
+        synthesis::make_nonblocking(protocol).map_err(|e| CliError(e.to_string()))?;
+    let after = theorem::check(&fixed).map_err(|e| CliError(e.to_string()))?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "before: {} violation(s), {} phase(s)",
+        before.violations.len(),
+        protocol.phase_count()
+    );
+    let _ = writeln!(
+        out,
+        "after:  {} violation(s), {} phase(s)\n",
+        after.violations.len(),
+        fixed.phase_count()
+    );
+    let _ = write!(out, "{fixed}");
+    Ok(out)
+}
+
+/// Options for `nbc simulate` / `nbc sweep`.
+#[derive(Debug, Clone)]
+pub struct SimOpts {
+    /// Crash spec as `site:ordinal:msgs` (msgs = `log` for before-log).
+    pub crash: Option<(usize, u32, Option<u32>)>,
+    /// Recovery time for the crash.
+    pub recover: Option<u64>,
+    /// Sites voting no.
+    pub no_voters: Vec<usize>,
+    /// Termination rule.
+    pub rule: TerminationRule,
+    /// Uniform latency bounds (`lo..hi`), else constant 1.
+    pub latency: Option<(u64, u64)>,
+    /// RNG seed for the latency model.
+    pub seed: u64,
+    /// Record and print the execution trace.
+    pub trace: bool,
+}
+
+impl Default for SimOpts {
+    fn default() -> Self {
+        Self {
+            crash: None,
+            recover: None,
+            no_voters: Vec::new(),
+            rule: TerminationRule::Skeen,
+            latency: None,
+            seed: 0,
+            trace: false,
+        }
+    }
+}
+
+impl SimOpts {
+    fn to_config(&self, n: usize) -> RunConfig {
+        let mut cfg = RunConfig::happy(n);
+        for &v in &self.no_voters {
+            if v < n {
+                cfg.votes[v] = false;
+            }
+        }
+        cfg.rule = self.rule;
+        if let Some((lo, hi)) = self.latency {
+            cfg.latency = LatencyModel::uniform(lo, hi, self.seed);
+        }
+        cfg.record_trace = self.trace;
+        if let Some((site, ordinal, msgs)) = self.crash {
+            cfg.crashes.push(CrashSpec {
+                site,
+                point: CrashPoint::OnTransition {
+                    ordinal,
+                    progress: match msgs {
+                        None => TransitionProgress::BeforeLog,
+                        Some(k) => TransitionProgress::AfterMsgs(k),
+                    },
+                },
+                recover_at: self.recover,
+            });
+        }
+        cfg
+    }
+}
+
+/// `nbc simulate PROTO [opts]`
+pub fn cmd_simulate(protocol: &Protocol, opts: &SimOpts) -> Result<String, CliError> {
+    let analysis = Analysis::build(protocol).map_err(|e| CliError(e.to_string()))?;
+    let report = run_with(protocol, &analysis, opts.to_config(protocol.n_sites()));
+    let mut out = String::new();
+    for line in &report.trace {
+        let _ = writeln!(out, "{line}");
+    }
+    let _ = writeln!(out, "{report}");
+    let _ = writeln!(
+        out,
+        "atomicity: {}   all operational decided: {}",
+        if report.consistent { "preserved" } else { "VIOLATED" },
+        report.all_operational_decided
+    );
+    Ok(out)
+}
+
+/// `nbc sweep PROTO [opts]`
+pub fn cmd_sweep(protocol: &Protocol, opts: &SimOpts) -> Result<String, CliError> {
+    let analysis = Analysis::build(protocol).map_err(|e| CliError(e.to_string()))?;
+    let specs = enumerate_crash_specs(protocol, opts.recover);
+    let base = opts.to_config(protocol.n_sites());
+    let s = sweep(protocol, &analysis, &base, &specs);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{}: {} crash points; consistent {}/{}; blocked {}; all-decided {}",
+        protocol.name, s.total, s.consistent, s.total, s.blocked, s.fully_decided
+    );
+    for bad in s.inconsistent_runs.iter().take(5) {
+        let _ = writeln!(out, "  ! {bad}");
+    }
+    let _ = writeln!(
+        out,
+        "verdict: {}",
+        if !s.all_consistent() {
+            "ATOMICITY VIOLATED"
+        } else if s.nonblocking() {
+            "nonblocking"
+        } else {
+            "blocking window present"
+        }
+    );
+    Ok(out)
+}
+
+/// `nbc termination PROTO`
+pub fn cmd_termination(protocol: &Protocol) -> Result<String, CliError> {
+    let analysis = Analysis::build(protocol).map_err(|e| CliError(e.to_string()))?;
+    let mut out = String::new();
+    let _ = writeln!(out, "{}: backup-coordinator decision table", protocol.name);
+    for row in termination::decision_table(protocol, &analysis) {
+        let _ = writeln!(
+            out,
+            "  {} in {:<4} ({}) -> {}",
+            row.site,
+            row.state_name,
+            row.class.letter(),
+            row.backup
+        );
+    }
+    Ok(out)
+}
+
+/// `nbc recovery PROTO`
+pub fn cmd_recovery(protocol: &Protocol) -> Result<String, CliError> {
+    let analysis = Analysis::build(protocol).map_err(|e| CliError(e.to_string()))?;
+    let mut out = String::new();
+    let _ = writeln!(out, "{}: independent recovery classification", protocol.name);
+    for row in recovery_analysis::classify(protocol, &analysis) {
+        let _ = writeln!(out, "  {} in {:<4} -> {}", row.site, row.state_name, row.class);
+    }
+    Ok(out)
+}
+
+/// Parse `site:ordinal:msgs` (msgs may be `log`).
+pub fn parse_crash_arg(arg: &str) -> Result<(usize, u32, Option<u32>), CliError> {
+    let parts: Vec<&str> = arg.split(':').collect();
+    if parts.len() != 3 {
+        return fail(format!("--crash wants SITE:ORDINAL:MSGS, got {arg:?}"));
+    }
+    let site = parts[0]
+        .parse()
+        .map_err(|_| CliError(format!("bad site {:?}", parts[0])))?;
+    let ordinal = parts[1]
+        .parse()
+        .map_err(|_| CliError(format!("bad ordinal {:?}", parts[1])))?;
+    let msgs = if parts[2] == "log" {
+        None
+    } else {
+        Some(
+            parts[2]
+                .parse()
+                .map_err(|_| CliError(format!("bad msg count {:?}", parts[2])))?,
+        )
+    };
+    Ok((site, ordinal, msgs))
+}
+
+/// Parse a `lo..hi` latency range.
+pub fn parse_latency_arg(arg: &str) -> Result<(u64, u64), CliError> {
+    let (lo, hi) = arg
+        .split_once("..")
+        .ok_or(CliError(format!("--latency wants LO..HI, got {arg:?}")))?;
+    let lo = lo.parse().map_err(|_| CliError(format!("bad latency {lo:?}")))?;
+    let hi = hi.parse().map_err(|_| CliError(format!("bad latency {hi:?}")))?;
+    if lo > hi {
+        return fail("--latency LO..HI needs LO <= HI");
+    }
+    Ok((lo, hi))
+}
+
+/// Parse a termination-rule name.
+pub fn parse_rule_arg(arg: &str) -> Result<TerminationRule, CliError> {
+    match arg {
+        "skeen" => Ok(TerminationRule::Skeen),
+        "cooperative" => Ok(TerminationRule::Cooperative),
+        "naive" => Ok(TerminationRule::NaiveCs),
+        "quorum" => Ok(TerminationRule::QuorumSkeen),
+        _ => fail(format!(
+            "unknown rule {arg:?} (skeen | cooperative | naive | quorum)"
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolve_catalog_names() {
+        assert_eq!(resolve_protocol("3pc", 3).unwrap().phase_count(), 3);
+        assert_eq!(resolve_protocol("d2pc", 4).unwrap().n_sites(), 4);
+        assert_eq!(resolve_protocol("kpc:4", 3).unwrap().phase_count(), 4);
+        assert!(resolve_protocol("nope", 3).is_err());
+        assert!(resolve_protocol("kpc:1", 3).is_err());
+        assert!(resolve_protocol("/does/not/exist.nbc", 3).is_err());
+    }
+
+    #[test]
+    fn analyze_reports_verdicts() {
+        let p = resolve_protocol("2pc", 3).unwrap();
+        let out = cmd_analyze(&p).unwrap();
+        assert!(out.contains("BLOCKING"));
+        assert!(out.contains("1 clean site(s) of 3"));
+        let p = resolve_protocol("3pc", 3).unwrap();
+        let out = cmd_analyze(&p).unwrap();
+        assert!(out.contains("NONBLOCKING"));
+    }
+
+    #[test]
+    fn verify_distinguishes_blocking() {
+        let p = resolve_protocol("3pc", 3).unwrap();
+        assert!(cmd_verify(&p).unwrap().contains("HOLDS — nonblocking"));
+        let p = resolve_protocol("2pc", 3).unwrap();
+        assert!(cmd_verify(&p).unwrap().contains("blocking"));
+    }
+
+    #[test]
+    fn simulate_happy_path() {
+        let p = resolve_protocol("3pc", 3).unwrap();
+        let out = cmd_simulate(&p, &SimOpts::default()).unwrap();
+        assert!(out.contains("committed"));
+        assert!(out.contains("preserved"));
+    }
+
+    #[test]
+    fn simulate_with_crash_and_recovery() {
+        let p = resolve_protocol("3pc", 3).unwrap();
+        let opts = SimOpts {
+            crash: Some((0, 3, Some(1))),
+            recover: Some(300),
+            ..SimOpts::default()
+        };
+        let out = cmd_simulate(&p, &opts).unwrap();
+        assert!(out.contains("preserved"), "{out}");
+    }
+
+    #[test]
+    fn simulate_trace_shows_the_story() {
+        let p = resolve_protocol("3pc", 3).unwrap();
+        // Partial prepare broadcast: the backup must run phase 1
+        // (alignment) before deciding, so the whole termination protocol
+        // shows up in the trace.
+        let opts = SimOpts {
+            crash: Some((0, 2, Some(1))),
+            trace: true,
+            ..SimOpts::default()
+        };
+        let out = cmd_simulate(&p, &opts).unwrap();
+        assert!(out.contains("CRASH"), "{out}");
+        assert!(out.contains("align-to"), "{out}");
+        assert!(out.contains("align-ack"), "{out}");
+        assert!(out.contains("DECIDED COMMIT"), "{out}");
+        assert!(out.contains("q1 -> w1"), "{out}");
+    }
+
+    #[test]
+    fn sweep_verdicts() {
+        let p = resolve_protocol("3pc", 3).unwrap();
+        assert!(cmd_sweep(&p, &SimOpts::default()).unwrap().contains("nonblocking"));
+        let p = resolve_protocol("2pc", 3).unwrap();
+        let opts = SimOpts { rule: TerminationRule::Cooperative, ..SimOpts::default() };
+        assert!(cmd_sweep(&p, &opts).unwrap().contains("blocking window"));
+        let opts = SimOpts {
+            rule: TerminationRule::NaiveCs,
+            no_voters: vec![0],
+            ..SimOpts::default()
+        };
+        assert!(cmd_sweep(&p, &opts).unwrap().contains("ATOMICITY VIOLATED"));
+    }
+
+    #[test]
+    fn synthesize_2pc() {
+        let p = resolve_protocol("2pc", 3).unwrap();
+        let out = cmd_synthesize(&p).unwrap();
+        assert!(out.contains("after:  0 violation(s), 3 phase(s)"), "{out}");
+    }
+
+    #[test]
+    fn tables_render() {
+        let p = resolve_protocol("3pc", 3).unwrap();
+        assert!(cmd_termination(&p).unwrap().contains("commit"));
+        assert!(cmd_recovery(&p).unwrap().contains("must ask"));
+        assert!(cmd_graph(&p, false).unwrap().contains("global states"));
+        assert!(cmd_graph(&p, true).unwrap().contains("digraph"));
+    }
+
+    #[test]
+    fn arg_parsers() {
+        assert_eq!(parse_crash_arg("0:3:1").unwrap(), (0, 3, Some(1)));
+        assert_eq!(parse_crash_arg("2:1:log").unwrap(), (2, 1, None));
+        assert!(parse_crash_arg("1:2").is_err());
+        assert_eq!(parse_latency_arg("1..20").unwrap(), (1, 20));
+        assert!(parse_latency_arg("9..2").is_err());
+        assert!(parse_rule_arg("cooperative").is_ok());
+        assert!(parse_rule_arg("yolo").is_err());
+    }
+}

@@ -1,0 +1,116 @@
+//! The `nbc` command-line entry point. All real work lives in the library
+//! (`nbc_cli`) so it is unit-tested; this file only parses `argv`.
+
+use nbc_cli::*;
+
+const USAGE: &str = "\
+nbc — nonblocking commit protocols (Skeen, SIGMOD 1981)
+
+USAGE:
+  nbc list
+  nbc analyze     PROTO [-n N]
+  nbc verify      PROTO [-n N]
+  nbc graph       PROTO [-n N] [--dot]
+  nbc synthesize  PROTO [-n N]
+  nbc simulate    PROTO [-n N] [--crash SITE:ORDINAL:MSGS] [--recover T]
+                  [--no-voter K]... [--rule skeen|cooperative|naive|quorum]
+                  [--latency LO..HI] [--seed S] [--trace]
+  nbc sweep       PROTO [-n N] [--recover T] [--rule ...]
+  nbc termination PROTO [-n N]
+  nbc recovery    PROTO [-n N]
+
+PROTO: central-2pc | central-3pc | decentralized-2pc | decentralized-3pc |
+       1pc | kpc:K | a .nbc spec file (see the nbc-spec crate docs)
+
+MSGS in --crash: a number (messages sent before dying) or `log`
+(crash before the write-ahead record).
+";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(output) => print!("{output}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("\n{USAGE}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<String, CliError> {
+    let Some(cmd) = args.first() else {
+        return Ok(USAGE.to_string());
+    };
+    if cmd == "list" {
+        return Ok(cmd_list());
+    }
+    if cmd == "help" || cmd == "--help" || cmd == "-h" {
+        return Ok(USAGE.to_string());
+    }
+
+    let Some(proto_arg) = args.get(1) else {
+        return Err(CliError(format!("{cmd}: missing protocol argument")));
+    };
+
+    // Flag parsing.
+    let mut n = 3usize;
+    let mut dot = false;
+    let mut opts = SimOpts::default();
+    let mut i = 2;
+    while i < args.len() {
+        match args[i].as_str() {
+            "-n" => {
+                n = next_val(args, &mut i)?
+                    .parse()
+                    .map_err(|_| CliError("bad -n value".into()))?;
+            }
+            "--dot" => dot = true,
+            "--trace" => opts.trace = true,
+            "--crash" => opts.crash = Some(parse_crash_arg(&next_val(args, &mut i)?)?),
+            "--recover" => {
+                opts.recover = Some(
+                    next_val(args, &mut i)?
+                        .parse()
+                        .map_err(|_| CliError("bad --recover value".into()))?,
+                )
+            }
+            "--no-voter" => opts.no_voters.push(
+                next_val(args, &mut i)?
+                    .parse()
+                    .map_err(|_| CliError("bad --no-voter value".into()))?,
+            ),
+            "--rule" => opts.rule = parse_rule_arg(&next_val(args, &mut i)?)?,
+            "--latency" => {
+                opts.latency = Some(parse_latency_arg(&next_val(args, &mut i)?)?)
+            }
+            "--seed" => {
+                opts.seed = next_val(args, &mut i)?
+                    .parse()
+                    .map_err(|_| CliError("bad --seed value".into()))?
+            }
+            other => return Err(CliError(format!("unknown flag {other:?}"))),
+        }
+        i += 1;
+    }
+
+    let protocol = resolve_protocol(proto_arg, n)?;
+    match cmd.as_str() {
+        "analyze" => cmd_analyze(&protocol),
+        "verify" => cmd_verify(&protocol),
+        "graph" => cmd_graph(&protocol, dot),
+        "synthesize" => cmd_synthesize(&protocol),
+        "simulate" => cmd_simulate(&protocol, &opts),
+        "sweep" => cmd_sweep(&protocol, &opts),
+        "termination" => cmd_termination(&protocol),
+        "recovery" => cmd_recovery(&protocol),
+        other => Err(CliError(format!("unknown command {other:?}"))),
+    }
+}
+
+fn next_val(args: &[String], i: &mut usize) -> Result<String, CliError> {
+    *i += 1;
+    args.get(*i)
+        .cloned()
+        .ok_or_else(|| CliError(format!("{} needs a value", args[*i - 1])))
+}

@@ -1,0 +1,377 @@
+//! Per-local-state analysis derived from the reachable state graph:
+//! occupancy, concurrency sets, and committable states.
+//!
+//! * The **concurrency set** of local state `s` of site `i` is the set of
+//!   local states that *other* sites may occupy concurrently with `i` being
+//!   in `s` — i.e. all `(j, t)` with `j ≠ i` such that some reachable
+//!   global state has site `i` in `s` and site `j` in `t` (paper
+//!   §"Comments on reachable state graphs").
+//!
+//! * A local state is **committable** if occupancy of that state by any
+//!   site implies that all sites have voted yes on committing the
+//!   transaction; a state that is not committable is *noncommittable*
+//!   (paper §"Committable States"). "To call noncommittable states
+//!   abortable would be misleading": a transaction not yet in a final
+//!   commit state at any site can still be aborted.
+//!
+//! Whether a site "has voted yes" in a global state is derived from the
+//! [`Vote`] tags on transitions: a local state `t` is *yes-voted* iff every
+//! FSA path from the initial state to `t` passes a `Vote::Yes` transition.
+//! This is a per-state (path-insensitive) approximation: a site that voted
+//! yes and later aborted is treated as not-yes-voted in its abort state.
+//! The approximation is conservative for the nonblocking theorem — it can
+//! only shrink the committable set, never grow it — and it is exact for
+//! every protocol in the catalog.
+//!
+//! [`Vote`]: crate::fsa::Vote
+
+use std::collections::BTreeSet;
+
+use crate::error::ProtocolError;
+use crate::fsa::{Fsa, StateClass, Vote};
+use crate::ids::{SiteId, StateId};
+use crate::protocol::Protocol;
+use crate::reach::{NodeId, ReachGraph, ReachOptions};
+
+/// All per-state facts the theorem and termination rules need, computed in
+/// one pass over the reachable state graph.
+pub struct Analysis {
+    n_sites: usize,
+    /// `cs[i][s]` = concurrency set of state `s` of site `i`.
+    cs: Vec<Vec<BTreeSet<(SiteId, StateId)>>>,
+    /// `occupied[i][s]` = `s` appears in some reachable global state.
+    occupied: Vec<Vec<bool>>,
+    /// `yes_voted[i][s]` = every path to `s` casts a yes vote.
+    yes_voted: Vec<Vec<bool>>,
+    /// `committable[i][s]` per the paper's definition (occupied states only;
+    /// unoccupied states are vacuously committable but also irrelevant).
+    committable: Vec<Vec<bool>>,
+    /// `classes[i][s]` = state class, for commit/abort queries.
+    classes: Vec<Vec<StateClass>>,
+    graph: ReachGraph,
+}
+
+impl Analysis {
+    /// Build the reachable state graph and run the full analysis.
+    pub fn build(protocol: &Protocol) -> Result<Self, ProtocolError> {
+        Self::build_with(protocol, ReachOptions::default())
+    }
+
+    /// As [`Analysis::build`] with explicit graph options.
+    pub fn build_with(
+        protocol: &Protocol,
+        opts: ReachOptions,
+    ) -> Result<Self, ProtocolError> {
+        let graph = ReachGraph::build_with(protocol, opts)?;
+        Ok(Self::from_graph(protocol, graph))
+    }
+
+    /// Run the analysis over an already-built graph.
+    pub fn from_graph(protocol: &Protocol, graph: ReachGraph) -> Self {
+        let n = protocol.n_sites();
+        let state_counts: Vec<usize> =
+            protocol.fsas().iter().map(Fsa::state_count).collect();
+
+        let yes_voted: Vec<Vec<bool>> =
+            protocol.fsas().iter().map(yes_voted_states).collect();
+
+        let mut cs: Vec<Vec<BTreeSet<(SiteId, StateId)>>> = state_counts
+            .iter()
+            .map(|&c| vec![BTreeSet::new(); c])
+            .collect();
+        let mut occupied: Vec<Vec<bool>> =
+            state_counts.iter().map(|&c| vec![false; c]).collect();
+        // Start from "all committable", knock out states seen in a
+        // not-all-yes global state.
+        let mut committable: Vec<Vec<bool>> =
+            state_counts.iter().map(|&c| vec![true; c]).collect();
+
+        for id in 0..graph.node_count() as NodeId {
+            let g = graph.node(id);
+            let all_yes = g
+                .locals
+                .iter()
+                .enumerate()
+                .all(|(j, &t)| yes_voted[j][t.index()]);
+            for (i, &s) in g.locals.iter().enumerate() {
+                occupied[i][s.index()] = true;
+                if !all_yes {
+                    committable[i][s.index()] = false;
+                }
+                for (j, &t) in g.locals.iter().enumerate() {
+                    if i != j {
+                        cs[i][s.index()].insert((SiteId(j as u32), t));
+                    }
+                }
+            }
+        }
+
+        let classes = protocol
+            .fsas()
+            .iter()
+            .map(|f| f.states().iter().map(|s| s.class).collect())
+            .collect();
+
+        Self { n_sites: n, cs, occupied, yes_voted, committable, classes, graph }
+    }
+
+    /// The underlying reachable state graph.
+    pub fn graph(&self) -> &ReachGraph {
+        &self.graph
+    }
+
+    /// Number of sites of the analyzed protocol.
+    pub fn n_sites(&self) -> usize {
+        self.n_sites
+    }
+
+    /// The concurrency set of `(site, state)` as `(other_site, state)` pairs.
+    pub fn concurrency_set(&self, site: SiteId, s: StateId) -> &BTreeSet<(SiteId, StateId)> {
+        &self.cs[site.index()][s.index()]
+    }
+
+    /// True if the state occurs in some reachable global state.
+    pub fn occupied(&self, site: SiteId, s: StateId) -> bool {
+        self.occupied[site.index()][s.index()]
+    }
+
+    /// True if every path to this state casts a yes vote.
+    pub fn yes_voted(&self, site: SiteId, s: StateId) -> bool {
+        self.yes_voted[site.index()][s.index()]
+    }
+
+    /// True if occupancy of this state implies all sites voted yes.
+    ///
+    /// Meaningful only for occupied states (unoccupied states return their
+    /// vacuous default of `true`).
+    pub fn committable(&self, site: SiteId, s: StateId) -> bool {
+        self.committable[site.index()][s.index()]
+    }
+
+    /// Class of a local state.
+    pub fn class_of(&self, site: SiteId, s: StateId) -> StateClass {
+        self.classes[site.index()][s.index()]
+    }
+
+    /// Does the concurrency set of `(site, s)` contain a commit state?
+    pub fn cs_has_commit(&self, site: SiteId, s: StateId) -> bool {
+        self.concurrency_set(site, s)
+            .iter()
+            .any(|&(j, t)| self.class_of(j, t) == StateClass::Committed)
+    }
+
+    /// Does the concurrency set of `(site, s)` contain an abort state?
+    pub fn cs_has_abort(&self, site: SiteId, s: StateId) -> bool {
+        self.concurrency_set(site, s)
+            .iter()
+            .any(|&(j, t)| self.class_of(j, t) == StateClass::Aborted)
+    }
+
+    /// The concurrency set projected to state *classes* — the form the
+    /// paper's tables use (e.g. `CS(w) = {q, w, a, c}`).
+    pub fn concurrency_classes(&self, site: SiteId, s: StateId) -> BTreeSet<StateClass> {
+        self.concurrency_set(site, s)
+            .iter()
+            .map(|&(j, t)| self.class_of(j, t))
+            .collect()
+    }
+}
+
+/// Compute, for one FSA, which states are yes-voted: state `t` is yes-voted
+/// iff `t` is unreachable from the initial state using only transitions that
+/// do not cast a yes vote.
+fn yes_voted_states(fsa: &Fsa) -> Vec<bool> {
+    let mut yes_free_reachable = vec![false; fsa.state_count()];
+    let mut stack = vec![fsa.initial()];
+    yes_free_reachable[fsa.initial().index()] = true;
+    while let Some(s) = stack.pop() {
+        for (_, t) in fsa.outgoing(s) {
+            if t.vote != Some(Vote::Yes) && !yes_free_reachable[t.to.index()] {
+                yes_free_reachable[t.to.index()] = true;
+                stack.push(t.to);
+            }
+        }
+    }
+    yes_free_reachable.iter().map(|&r| !r).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocols::{central_2pc, central_3pc, decentralized_2pc, decentralized_3pc};
+
+    fn classes_of(a: &Analysis, site: u32, name_to_id: &dyn Fn(&str) -> StateId, name: &str) -> BTreeSet<StateClass> {
+        a.concurrency_classes(SiteId(site), name_to_id(name))
+    }
+
+    #[test]
+    fn decentralized_2pc_concurrency_sets_match_paper_table() {
+        // Paper: CS(q)={q,w,a}, CS(w)={q,w,a,c}, CS(a)={q,w,a}, CS(c)={w,c}.
+        let p = decentralized_2pc(2);
+        let a = Analysis::build(&p).unwrap();
+        let fsa = p.fsa(SiteId(0));
+        let id = |n: &str| fsa.state_by_name(n).unwrap();
+        use StateClass::*;
+        assert_eq!(
+            classes_of(&a, 0, &id, "q"),
+            BTreeSet::from([Initial, Wait, Aborted])
+        );
+        assert_eq!(
+            classes_of(&a, 0, &id, "w"),
+            BTreeSet::from([Initial, Wait, Aborted, Committed])
+        );
+        assert_eq!(
+            classes_of(&a, 0, &id, "a"),
+            BTreeSet::from([Initial, Wait, Aborted])
+        );
+        assert_eq!(classes_of(&a, 0, &id, "c"), BTreeSet::from([Wait, Committed]));
+    }
+
+    #[test]
+    fn central_2pc_slave_wait_sees_both_outcomes() {
+        let p = central_2pc(2);
+        let a = Analysis::build(&p).unwrap();
+        let slave = SiteId(1);
+        let w = p.fsa(slave).state_by_name("w").unwrap();
+        assert!(a.cs_has_commit(slave, w));
+        assert!(a.cs_has_abort(slave, w));
+        assert!(!a.committable(slave, w));
+    }
+
+    #[test]
+    fn central_2pc_coordinator_wait_is_safe() {
+        // The coordinator's wait state never co-exists with a slave commit:
+        // slaves commit only after the coordinator has left w1.
+        let p = central_2pc(3);
+        let a = Analysis::build(&p).unwrap();
+        let w1 = p.fsa(SiteId(0)).state_by_name("w1").unwrap();
+        assert!(!a.cs_has_commit(SiteId(0), w1));
+        assert!(a.cs_has_abort(SiteId(0), w1), "slaves can unilaterally abort");
+    }
+
+    #[test]
+    fn committable_states_2pc_vs_3pc() {
+        // "A blocking protocol usually has only one committable state,
+        // while nonblocking protocols always have more than one."
+        let p2 = central_2pc(3);
+        let a2 = Analysis::build(&p2).unwrap();
+        for site in p2.sites() {
+            let fsa = p2.fsa(site);
+            let committable: Vec<_> = (0..fsa.state_count())
+                .map(|i| StateId(i as u32))
+                .filter(|&s| a2.occupied(site, s) && a2.committable(site, s))
+                .collect();
+            assert_eq!(committable.len(), 1, "2PC {site}: only c is committable");
+            assert_eq!(fsa.state(committable[0]).class, StateClass::Committed);
+        }
+
+        let p3 = central_3pc(3);
+        let a3 = Analysis::build(&p3).unwrap();
+        for site in p3.sites() {
+            let fsa = p3.fsa(site);
+            let committable: BTreeSet<_> = (0..fsa.state_count())
+                .map(|i| StateId(i as u32))
+                .filter(|&s| a3.occupied(site, s) && a3.committable(site, s))
+                .map(|s| fsa.state(s).class)
+                .collect();
+            assert_eq!(
+                committable,
+                BTreeSet::from([StateClass::Prepared, StateClass::Committed]),
+                "3PC {site}: p and c are committable"
+            );
+        }
+    }
+
+    #[test]
+    fn three_pc_prepared_never_concurrent_with_abort() {
+        for p in [central_3pc(3), decentralized_3pc(3)] {
+            let a = Analysis::build(&p).unwrap();
+            for site in p.sites() {
+                if let Some(ps) = p.fsa(site).state_of_class(StateClass::Prepared) {
+                    assert!(
+                        !a.cs_has_abort(site, ps),
+                        "{}: CS(p) must not contain an abort state",
+                        p.name
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn three_pc_prepared_commit_concurrency_depends_on_role() {
+        // A decentralized peer in p can co-exist with a committed peer
+        // (the other peer may have collected all prepares first), and so
+        // can a central-site *slave* in p (the coordinator may have
+        // committed). The central-site *coordinator* in p1 cannot: slaves
+        // commit only after the coordinator has entered c1.
+        let pd = decentralized_3pc(3);
+        let ad = Analysis::build(&pd).unwrap();
+        let pd0 = pd.fsa(SiteId(0)).state_of_class(StateClass::Prepared).unwrap();
+        assert!(ad.cs_has_commit(SiteId(0), pd0));
+
+        let pc = central_3pc(3);
+        let ac = Analysis::build(&pc).unwrap();
+        let slave_p = pc.fsa(SiteId(1)).state_of_class(StateClass::Prepared).unwrap();
+        assert!(ac.cs_has_commit(SiteId(1), slave_p));
+        let coord_p = pc.fsa(SiteId(0)).state_of_class(StateClass::Prepared).unwrap();
+        assert!(!ac.cs_has_commit(SiteId(0), coord_p));
+    }
+
+    #[test]
+    fn three_pc_wait_never_concurrent_with_commit() {
+        for p in [central_3pc(3), decentralized_3pc(3)] {
+            let a = Analysis::build(&p).unwrap();
+            for site in p.sites() {
+                let ws = p.fsa(site).state_of_class(StateClass::Wait).unwrap();
+                assert!(
+                    !a.cs_has_commit(site, ws),
+                    "{}: CS(w) must not contain a commit state",
+                    p.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn yes_voted_analysis() {
+        let p = central_2pc(2);
+        let a = Analysis::build(&p).unwrap();
+        let slave = SiteId(1);
+        let fsa = p.fsa(slave);
+        let id = |n: &str| fsa.state_by_name(n).unwrap();
+        assert!(!a.yes_voted(slave, id("q")));
+        assert!(a.yes_voted(slave, id("w")));
+        assert!(a.yes_voted(slave, id("c")));
+        // a is reachable via the no-vote, so it is not yes-voted.
+        assert!(!a.yes_voted(slave, id("a")));
+    }
+
+    #[test]
+    fn all_states_occupied_in_catalog() {
+        for p in crate::protocols::catalog(3) {
+            let a = Analysis::build(&p).unwrap();
+            for site in p.sites() {
+                for i in 0..p.fsa(site).state_count() {
+                    assert!(
+                        a.occupied(site, StateId(i as u32)),
+                        "{} {site} state {i} unoccupied",
+                        p.name
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn concurrency_set_excludes_own_site() {
+        let p = decentralized_2pc(3);
+        let a = Analysis::build(&p).unwrap();
+        let s0 = SiteId(0);
+        for i in 0..p.fsa(s0).state_count() {
+            for &(j, _) in a.concurrency_set(s0, StateId(i as u32)) {
+                assert_ne!(j, s0);
+            }
+        }
+    }
+}

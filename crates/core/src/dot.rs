@@ -1,0 +1,191 @@
+//! Graphviz DOT rendering of site FSAs and reachable state graphs — the
+//! machine-readable form of the paper's figures.
+
+use std::fmt::Write as _;
+
+use crate::fsa::Fsa;
+use crate::ids::SiteId;
+use crate::protocol::Protocol;
+use crate::reach::{NodeId, ReachGraph};
+
+/// Render one site FSA as a DOT digraph.
+///
+/// Commit states are drawn as double circles, abort states as double
+/// octagons, matching the visual convention of distinguishing the two
+/// final-state partitions.
+pub fn fsa_to_dot(fsa: &Fsa, graph_name: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", sanitize(graph_name));
+    let _ = writeln!(out, "  rankdir=TB;");
+    let _ = writeln!(out, "  label=\"{}\";", sanitize(&fsa.role));
+    for (i, info) in fsa.states().iter().enumerate() {
+        let shape = match info.class {
+            crate::fsa::StateClass::Committed => "doublecircle",
+            crate::fsa::StateClass::Aborted => "doubleoctagon",
+            _ => "circle",
+        };
+        let style = if i as u32 == fsa.initial().0 { ", style=bold" } else { "" };
+        let _ = writeln!(
+            out,
+            "  s{} [label=\"{}\", shape={}{}];",
+            i,
+            sanitize(&info.name),
+            shape,
+            style
+        );
+    }
+    for t in fsa.transitions() {
+        let _ = writeln!(
+            out,
+            "  s{} -> s{} [label=\"{}\"];",
+            t.from.0,
+            t.to.0,
+            sanitize(&t.label)
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Render every FSA of a protocol as one DOT file with a cluster per site.
+pub fn protocol_to_dot(protocol: &Protocol) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", sanitize(&protocol.name));
+    let _ = writeln!(out, "  rankdir=TB; compound=true;");
+    for site in protocol.sites() {
+        let fsa = protocol.fsa(site);
+        let _ = writeln!(out, "  subgraph cluster_{} {{", site.0);
+        let _ = writeln!(out, "    label=\"{} ({})\";", site, sanitize(&fsa.role));
+        for (i, info) in fsa.states().iter().enumerate() {
+            let shape = match info.class {
+                crate::fsa::StateClass::Committed => "doublecircle",
+                crate::fsa::StateClass::Aborted => "doubleoctagon",
+                _ => "circle",
+            };
+            let _ = writeln!(
+                out,
+                "    n{}_{} [label=\"{}\", shape={}];",
+                site.0,
+                i,
+                sanitize(&info.name),
+                shape
+            );
+        }
+        for t in fsa.transitions() {
+            let _ = writeln!(
+                out,
+                "    n{}_{} -> n{}_{} [label=\"{}\"];",
+                site.0,
+                t.from.0,
+                site.0,
+                t.to.0,
+                sanitize(&t.label)
+            );
+        }
+        let _ = writeln!(out, "  }}");
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Render a reachable state graph as DOT; nodes are labeled with the
+/// local-state vector (paper figure "Reachable state graph for the 2-site
+/// 2PC protocol").
+///
+/// `with_msgs` additionally prints the outstanding messages in each node.
+pub fn reach_graph_to_dot(
+    graph: &ReachGraph,
+    protocol: &Protocol,
+    with_msgs: bool,
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"reachable: {}\" {{", sanitize(&protocol.name));
+    let _ = writeln!(out, "  rankdir=TB;");
+    for id in 0..graph.node_count() as NodeId {
+        let g = graph.node(id);
+        let mut label = g
+            .locals
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| protocol.fsa(SiteId(i as u32)).state(s).name.clone())
+            .collect::<Vec<_>>()
+            .join(" ");
+        if with_msgs && !g.msgs.is_empty() {
+            label.push_str("\\n");
+            let mut parts = Vec::new();
+            for (addr, count) in g.msgs.iter() {
+                let rendered = format!(
+                    "{}→{}:{}{}",
+                    addr.src,
+                    addr.dst,
+                    protocol.msg_name(addr.kind),
+                    if count > 1 { format!("×{count}") } else { String::new() }
+                );
+                parts.push(rendered);
+            }
+            label.push_str(&sanitize(&parts.join(", ")));
+        }
+        let shape = if graph.is_inconsistent(id) {
+            "tripleoctagon"
+        } else if graph.is_final(id) {
+            "doublecircle"
+        } else if graph.is_deadlocked(id) {
+            "octagon"
+        } else {
+            "box"
+        };
+        let _ = writeln!(out, "  g{id} [label=\"{label}\", shape={shape}];");
+    }
+    for id in 0..graph.node_count() as NodeId {
+        for e in graph.edges(id) {
+            let _ = writeln!(out, "  g{} -> g{} [label=\"{}\"];", id, e.to, e.site);
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn sanitize(s: &str) -> String {
+    s.replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocols::central_2pc;
+
+    #[test]
+    fn fsa_dot_is_well_formed() {
+        let p = central_2pc(2);
+        let dot = fsa_to_dot(p.fsa(SiteId(0)), "coordinator");
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.ends_with("}\n"));
+        assert!(dot.contains("doublecircle"), "commit state rendered");
+        assert!(dot.contains("doubleoctagon"), "abort state rendered");
+        assert!(dot.contains("->"));
+    }
+
+    #[test]
+    fn protocol_dot_has_cluster_per_site() {
+        let p = central_2pc(3);
+        let dot = protocol_to_dot(&p);
+        assert_eq!(dot.matches("subgraph cluster_").count(), 3);
+    }
+
+    #[test]
+    fn reach_dot_renders_every_node() {
+        let p = central_2pc(2);
+        let g = ReachGraph::build(&p).unwrap();
+        let dot = reach_graph_to_dot(&g, &p, true);
+        for id in 0..g.node_count() {
+            assert!(dot.contains(&format!("g{id} [label=")), "node {id} missing");
+        }
+        // Message annotations present somewhere.
+        assert!(dot.contains("xact") || dot.contains("request"));
+    }
+
+    #[test]
+    fn quotes_are_escaped() {
+        assert_eq!(sanitize("a\"b"), "a\\\"b");
+    }
+}

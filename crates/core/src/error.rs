@@ -1,0 +1,112 @@
+//! Error types for protocol construction and analysis.
+
+use std::fmt;
+
+use crate::ids::{SiteId, StateId};
+
+/// Errors raised while validating or analyzing a protocol.
+///
+/// Variant fields name the offending site/state; they are self-describing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum ProtocolError {
+    /// A transition references a state id outside the FSA's state table.
+    BadStateRef { site: SiteId, state: StateId },
+    /// A message names a destination site outside the protocol instance.
+    BadSiteRef { site: SiteId, referenced: SiteId },
+    /// The state diagram contains a cycle; the paper requires commit
+    /// protocol FSAs to be acyclic.
+    Cyclic { site: SiteId },
+    /// A final (commit or abort) state has an outgoing transition; commit
+    /// and abort are irreversible.
+    FinalStateHasExit { site: SiteId, state: StateId },
+    /// A reachable non-final local state has no outgoing transition, so the
+    /// site could get stuck even without failures.
+    StrandedState { site: SiteId, state: StateId },
+    /// The protocol has fewer than two phases; the paper observes that
+    /// every (unilateral-abort) commit protocol has at least two.
+    TooFewPhases { phases: u32 },
+    /// An FSA has no states or no initial state.
+    EmptyFsa { site: SiteId },
+    /// A protocol must have at least one participating site.
+    NoSites,
+    /// A `Consume::All`/`Consume::Any` trigger lists no messages; the paper
+    /// requires each transition to read a nonempty string of messages
+    /// (spontaneous internal decisions use `Consume::Spontaneous`).
+    EmptyTrigger { site: SiteId, state: StateId },
+    /// Reachable-state-graph construction exceeded the configured bound.
+    GraphTooLarge { limit: usize },
+    /// The FSA is not leveled (two paths from the initial state to the same
+    /// state differ in length), so phase-synchronicity analysis by state
+    /// depth is not defined for it.
+    NotLeveled { site: SiteId, state: StateId },
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::BadStateRef { site, state } => {
+                write!(f, "{site}: transition references unknown state {state:?}")
+            }
+            Self::BadSiteRef { site, referenced } => {
+                write!(f, "{site}: message references unknown site {referenced}")
+            }
+            Self::Cyclic { site } => {
+                write!(f, "{site}: state diagram is cyclic (must be acyclic)")
+            }
+            Self::FinalStateHasExit { site, state } => {
+                write!(
+                    f,
+                    "{site}: final state {state:?} has an outgoing transition \
+                     (commit/abort are irreversible)"
+                )
+            }
+            Self::StrandedState { site, state } => {
+                write!(
+                    f,
+                    "{site}: reachable non-final state {state:?} has no outgoing transition"
+                )
+            }
+            Self::TooFewPhases { phases } => {
+                write!(f, "protocol has {phases} phase(s); at least 2 required")
+            }
+            Self::EmptyFsa { site } => write!(f, "{site}: FSA has no states"),
+            Self::NoSites => write!(f, "protocol has no participating sites"),
+            Self::EmptyTrigger { site, state } => {
+                write!(
+                    f,
+                    "{site}: transition out of {state:?} consumes an empty message string"
+                )
+            }
+            Self::GraphTooLarge { limit } => {
+                write!(f, "reachable state graph exceeds limit of {limit} global states")
+            }
+            Self::NotLeveled { site, state } => {
+                write!(
+                    f,
+                    "{site}: state {state:?} is reachable along paths of different lengths"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ProtocolError::Cyclic { site: SiteId(1) };
+        assert!(e.to_string().contains("site1"));
+        assert!(e.to_string().contains("cyclic"));
+
+        let e = ProtocolError::GraphTooLarge { limit: 10 };
+        assert!(e.to_string().contains("10"));
+
+        let e = ProtocolError::TooFewPhases { phases: 1 };
+        assert!(e.to_string().contains("at least 2"));
+    }
+}

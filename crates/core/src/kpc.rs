@@ -1,0 +1,110 @@
+//! The k-phase commit family — an extension ablating the paper's design
+//! choice.
+//!
+//! The paper inserts *one* buffer state to make 2PC nonblocking. A natural
+//! question is whether further buffer rounds buy anything. This module
+//! generates the whole family — `k_phase_central(n, k)` is 2PC with `k−2`
+//! buffer rounds (so `k = 2` is 2PC, `k = 3` is 3PC, `k = 4` is "4PC"…) —
+//! and the ablation answer, verified by tests and the `x1` experiment, is
+//! the paper's: **one buffer state suffices**. Every `k ≥ 3` member
+//! satisfies the fundamental nonblocking theorem and tolerates `n−1`
+//! failures, exactly like 3PC, while paying `2(n−1)` additional messages
+//! (central) or `n²` (decentralized) per extra phase.
+
+use crate::protocol::Protocol;
+use crate::protocols::{central_2pc, decentralized_2pc};
+use crate::synthesis::{buffer_once, SynthesisError};
+
+/// Central-site k-phase commit: `k = 2` is 2PC, each further phase is a
+/// buffer round.
+///
+/// # Panics
+/// Panics if `k < 2` or `n < 2`.
+pub fn k_phase_central(n: usize, k: u32) -> Result<Protocol, SynthesisError> {
+    assert!(k >= 2, "commit protocols start at two phases");
+    let mut p = central_2pc(n);
+    for _ in 2..k {
+        p = buffer_once(&p)?;
+    }
+    p.name = format!("central-site {k}PC (n={n})");
+    Ok(p)
+}
+
+/// Decentralized k-phase commit.
+///
+/// # Panics
+/// Panics if `k < 2` or `n < 2`.
+pub fn k_phase_decentralized(n: usize, k: u32) -> Result<Protocol, SynthesisError> {
+    assert!(k >= 2, "commit protocols start at two phases");
+    let mut p = decentralized_2pc(n);
+    for _ in 2..k {
+        p = buffer_once(&p)?;
+    }
+    p.name = format!("decentralized {k}PC (n={n})");
+    Ok(p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocols::{central_3pc, decentralized_3pc};
+    use crate::{resilience, theorem};
+
+    #[test]
+    fn k2_is_2pc_and_k3_matches_3pc_shape() {
+        let p2 = k_phase_central(3, 2).unwrap();
+        assert_eq!(p2.phase_count(), 2);
+        assert!(!theorem::check(&p2).unwrap().nonblocking());
+
+        let p3 = k_phase_central(3, 3).unwrap();
+        let hand = central_3pc(3);
+        assert_eq!(p3.phase_count(), 3);
+        for site in p3.sites() {
+            assert_eq!(p3.fsa(site).state_count(), hand.fsa(site).state_count());
+        }
+        let p3d = k_phase_decentralized(3, 3).unwrap();
+        let handd = decentralized_3pc(3);
+        for site in p3d.sites() {
+            assert_eq!(p3d.fsa(site).state_count(), handd.fsa(site).state_count());
+        }
+    }
+
+    #[test]
+    fn every_k_at_least_3_is_nonblocking() {
+        for k in 3..=5u32 {
+            for p in [
+                k_phase_central(3, k).unwrap(),
+                k_phase_decentralized(3, k).unwrap(),
+            ] {
+                p.validate_strict().unwrap_or_else(|e| panic!("{}: {e}", p.name));
+                assert_eq!(p.phase_count(), k, "{}", p.name);
+                let r = theorem::check(&p).unwrap();
+                assert!(r.nonblocking(), "{}: {r}", p.name);
+            }
+        }
+    }
+
+    #[test]
+    fn extra_phases_add_no_resilience() {
+        // The ablation: 4PC and 5PC tolerate exactly what 3PC tolerates.
+        for k in 3..=5u32 {
+            let p = k_phase_central(4, k).unwrap();
+            let r = resilience::resilience(&p).unwrap();
+            assert_eq!(r.max_tolerated_failures, 3, "{}", p.name);
+        }
+    }
+
+    #[test]
+    fn buffer_states_are_distinctly_named() {
+        let p4 = k_phase_central(2, 4).unwrap();
+        let coord = p4.fsa(crate::SiteId(0));
+        let names: Vec<&str> = coord
+            .states()
+            .iter()
+            .filter(|s| s.class == crate::StateClass::Prepared)
+            .map(|s| s.name.as_str())
+            .collect();
+        assert_eq!(names.len(), 2);
+        assert_ne!(names[0], names[1]);
+    }
+}

@@ -1,0 +1,181 @@
+//! The central-site two-phase commit protocol (paper figure "The FSAs for
+//! the 2PC protocol").
+//!
+//! Site 0 is the coordinator; sites `1..n` are slaves. In phase one the
+//! coordinator distributes the transaction and each slave votes; in phase
+//! two the coordinator collects the votes and informs each site of the
+//! outcome. 2PC is the simplest commit protocol that allows unilateral
+//! abort — and it is *blocking*: a slave in its wait state cannot decide
+//! alone if the coordinator fails.
+
+use crate::fsa::{Consume, Envelope, FsaBuilder, StateClass, Vote};
+use crate::ids::{MsgKind, SiteId};
+use crate::protocol::{InitialMsg, Paradigm, Protocol};
+
+/// Build central-site 2PC for `n >= 2` sites (1 coordinator + `n-1` slaves).
+///
+/// # Panics
+/// Panics if `n < 2`.
+pub fn central_2pc(n: usize) -> Protocol {
+    assert!(n >= 2, "central-site protocols need a coordinator and >=1 slave");
+    let slaves: Vec<SiteId> = (1..n as u32).map(SiteId).collect();
+
+    // Coordinator (site 0).
+    let mut cb = FsaBuilder::new("coordinator");
+    let q1 = cb.state("q1", StateClass::Initial);
+    let w1 = cb.state("w1", StateClass::Wait);
+    let a1 = cb.state("a1", StateClass::Aborted);
+    let c1 = cb.state("c1", StateClass::Committed);
+
+    cb.transition(
+        q1,
+        w1,
+        Consume::one(SiteId::CLIENT, MsgKind::REQUEST),
+        slaves.iter().map(|&s| Envelope::new(s, MsgKind::XACT)).collect(),
+        None,
+        "request / xact_2..xact_n",
+    );
+    // All slaves voted yes and the coordinator itself agrees (its own yes
+    // vote "(yes_1)" is internal, tagged on this transition).
+    cb.transition(
+        w1,
+        c1,
+        Consume::All(slaves.iter().map(|&s| (s, MsgKind::YES)).collect()),
+        slaves.iter().map(|&s| Envelope::new(s, MsgKind::COMMIT)).collect(),
+        Some(Vote::Yes),
+        "(yes_1) yes_2..yes_n / commit_2..commit_n",
+    );
+    // Any slave voted no.
+    cb.transition(
+        w1,
+        a1,
+        Consume::Any(slaves.iter().map(|&s| (s, MsgKind::NO)).collect()),
+        slaves.iter().map(|&s| Envelope::new(s, MsgKind::ABORT)).collect(),
+        None,
+        "no_i / abort_2..abort_n",
+    );
+    // The coordinator unilaterally votes no: "(no_1)".
+    cb.transition(
+        w1,
+        a1,
+        Consume::Spontaneous,
+        slaves.iter().map(|&s| Envelope::new(s, MsgKind::ABORT)).collect(),
+        Some(Vote::No),
+        "(no_1) / abort_2..abort_n",
+    );
+
+    let mut fsas = vec![cb.build()];
+
+    // Slaves (sites 1..n).
+    let coord = SiteId(0);
+    for _ in &slaves {
+        let mut sb = FsaBuilder::new("slave");
+        let qi = sb.state("q", StateClass::Initial);
+        let wi = sb.state("w", StateClass::Wait);
+        let ai = sb.state("a", StateClass::Aborted);
+        let ci = sb.state("c", StateClass::Committed);
+        sb.transition(
+            qi,
+            wi,
+            Consume::one(coord, MsgKind::XACT),
+            vec![Envelope::new(coord, MsgKind::YES)],
+            Some(Vote::Yes),
+            "xact / yes",
+        );
+        sb.transition(
+            qi,
+            ai,
+            Consume::one(coord, MsgKind::XACT),
+            vec![Envelope::new(coord, MsgKind::NO)],
+            Some(Vote::No),
+            "xact / no",
+        );
+        sb.transition(wi, ci, Consume::one(coord, MsgKind::COMMIT), vec![], None, "commit /");
+        sb.transition(wi, ai, Consume::one(coord, MsgKind::ABORT), vec![], None, "abort /");
+        fsas.push(sb.build());
+    }
+
+    Protocol::new(
+        format!("central-site 2PC (n={n})"),
+        Paradigm::CentralSite,
+        fsas,
+        vec![InitialMsg { src: SiteId::CLIENT, dst: coord, kind: MsgKind::REQUEST }],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fsa::StateClass;
+
+    #[test]
+    fn shape_matches_paper_figure() {
+        let p = central_2pc(3);
+        p.validate_strict().unwrap();
+        let coord = p.fsa(SiteId(0));
+        assert_eq!(coord.state_count(), 4);
+        assert_eq!(coord.transitions().len(), 4);
+        let slave = p.fsa(SiteId(1));
+        assert_eq!(slave.state_count(), 4);
+        assert_eq!(slave.transitions().len(), 4);
+    }
+
+    #[test]
+    fn coordinator_broadcasts_to_every_slave() {
+        let p = central_2pc(4);
+        let coord = p.fsa(SiteId(0));
+        let q1 = coord.initial();
+        let (_, start) = coord.outgoing(q1).next().unwrap();
+        assert_eq!(start.emit.len(), 3, "xact to each of the 3 slaves");
+    }
+
+    #[test]
+    fn slave_votes_are_tagged() {
+        let p = central_2pc(2);
+        let slave = p.fsa(SiteId(1));
+        let votes: Vec<_> = slave.transitions().iter().filter_map(|t| t.vote).collect();
+        assert_eq!(votes.len(), 2);
+    }
+
+    #[test]
+    fn coordinator_can_unilaterally_abort() {
+        let p = central_2pc(3);
+        let coord = p.fsa(SiteId(0));
+        let spont = coord
+            .transitions()
+            .iter()
+            .filter(|t| matches!(t.consume, Consume::Spontaneous))
+            .count();
+        assert_eq!(spont, 1);
+    }
+
+    #[test]
+    fn two_phases() {
+        assert_eq!(central_2pc(5).phase_count(), 2);
+    }
+
+    #[test]
+    fn final_states_partitioned() {
+        let p = central_2pc(3);
+        for site in p.sites() {
+            let fsa = p.fsa(site);
+            let commits = fsa
+                .states()
+                .iter()
+                .filter(|s| s.class == StateClass::Committed)
+                .count();
+            let aborts = fsa
+                .states()
+                .iter()
+                .filter(|s| s.class == StateClass::Aborted)
+                .count();
+            assert_eq!((commits, aborts), (1, 1));
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_single_site() {
+        let _ = central_2pc(1);
+    }
+}

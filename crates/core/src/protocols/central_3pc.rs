@@ -1,0 +1,177 @@
+//! The nonblocking central-site three-phase commit protocol (paper figure
+//! "A nonblocking central site 3PC protocol").
+//!
+//! 3PC is 2PC with a *buffer state* `p` ("prepare to commit") inserted
+//! between the wait state and the commit state, which is exactly what the
+//! paper's design method prescribes: after collecting unanimous yes votes
+//! the coordinator broadcasts `prepare`, waits for acknowledgements, and
+//! only then broadcasts `commit`. The buffer state ensures no local state
+//! is adjacent to both a commit and an abort state, and no noncommittable
+//! state is adjacent to a commit state — the two conditions of the
+//! fundamental nonblocking theorem.
+
+use crate::fsa::{Consume, Envelope, FsaBuilder, StateClass, Vote};
+use crate::ids::{MsgKind, SiteId};
+use crate::protocol::{InitialMsg, Paradigm, Protocol};
+
+/// Build central-site 3PC for `n >= 2` sites (1 coordinator + `n-1` slaves).
+///
+/// # Panics
+/// Panics if `n < 2`.
+pub fn central_3pc(n: usize) -> Protocol {
+    assert!(n >= 2, "central-site protocols need a coordinator and >=1 slave");
+    let slaves: Vec<SiteId> = (1..n as u32).map(SiteId).collect();
+
+    // Coordinator (site 0).
+    let mut cb = FsaBuilder::new("coordinator");
+    let q1 = cb.state("q1", StateClass::Initial);
+    let w1 = cb.state("w1", StateClass::Wait);
+    let a1 = cb.state("a1", StateClass::Aborted);
+    let p1 = cb.state("p1", StateClass::Prepared);
+    let c1 = cb.state("c1", StateClass::Committed);
+
+    cb.transition(
+        q1,
+        w1,
+        Consume::one(SiteId::CLIENT, MsgKind::REQUEST),
+        slaves.iter().map(|&s| Envelope::new(s, MsgKind::XACT)).collect(),
+        None,
+        "request / xact_2..xact_n",
+    );
+    cb.transition(
+        w1,
+        p1,
+        Consume::All(slaves.iter().map(|&s| (s, MsgKind::YES)).collect()),
+        slaves.iter().map(|&s| Envelope::new(s, MsgKind::PREPARE)).collect(),
+        Some(Vote::Yes),
+        "(yes_1) yes_2..yes_n / prepare_2..prepare_n",
+    );
+    cb.transition(
+        w1,
+        a1,
+        Consume::Any(slaves.iter().map(|&s| (s, MsgKind::NO)).collect()),
+        slaves.iter().map(|&s| Envelope::new(s, MsgKind::ABORT)).collect(),
+        None,
+        "no_i / abort_2..abort_n",
+    );
+    cb.transition(
+        w1,
+        a1,
+        Consume::Spontaneous,
+        slaves.iter().map(|&s| Envelope::new(s, MsgKind::ABORT)).collect(),
+        Some(Vote::No),
+        "(no_1) / abort_2..abort_n",
+    );
+    cb.transition(
+        p1,
+        c1,
+        Consume::All(slaves.iter().map(|&s| (s, MsgKind::ACK)).collect()),
+        slaves.iter().map(|&s| Envelope::new(s, MsgKind::COMMIT)).collect(),
+        None,
+        "ack_2..ack_n / commit_2..commit_n",
+    );
+
+    let mut fsas = vec![cb.build()];
+
+    // Slaves (sites 1..n).
+    let coord = SiteId(0);
+    for _ in &slaves {
+        let mut sb = FsaBuilder::new("slave");
+        let qi = sb.state("q", StateClass::Initial);
+        let wi = sb.state("w", StateClass::Wait);
+        let ai = sb.state("a", StateClass::Aborted);
+        let pi = sb.state("p", StateClass::Prepared);
+        let ci = sb.state("c", StateClass::Committed);
+        sb.transition(
+            qi,
+            wi,
+            Consume::one(coord, MsgKind::XACT),
+            vec![Envelope::new(coord, MsgKind::YES)],
+            Some(Vote::Yes),
+            "xact / yes",
+        );
+        sb.transition(
+            qi,
+            ai,
+            Consume::one(coord, MsgKind::XACT),
+            vec![Envelope::new(coord, MsgKind::NO)],
+            Some(Vote::No),
+            "xact / no",
+        );
+        sb.transition(
+            wi,
+            pi,
+            Consume::one(coord, MsgKind::PREPARE),
+            vec![Envelope::new(coord, MsgKind::ACK)],
+            None,
+            "prepare / ack",
+        );
+        sb.transition(wi, ai, Consume::one(coord, MsgKind::ABORT), vec![], None, "abort /");
+        sb.transition(pi, ci, Consume::one(coord, MsgKind::COMMIT), vec![], None, "commit /");
+        fsas.push(sb.build());
+    }
+
+    Protocol::new(
+        format!("central-site 3PC (n={n})"),
+        Paradigm::CentralSite,
+        fsas,
+        vec![InitialMsg { src: SiteId::CLIENT, dst: coord, kind: MsgKind::REQUEST }],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_matches_paper_figure() {
+        let p = central_3pc(3);
+        p.validate_strict().unwrap();
+        let coord = p.fsa(SiteId(0));
+        assert_eq!(coord.state_count(), 5);
+        assert_eq!(coord.transitions().len(), 5);
+        let slave = p.fsa(SiteId(1));
+        assert_eq!(slave.state_count(), 5);
+        assert_eq!(slave.transitions().len(), 5);
+    }
+
+    #[test]
+    fn three_phases() {
+        assert_eq!(central_3pc(4).phase_count(), 3);
+    }
+
+    #[test]
+    fn buffer_state_sits_between_wait_and_commit() {
+        let p = central_3pc(2);
+        for site in p.sites() {
+            let fsa = p.fsa(site);
+            let pi = fsa.state_of_class(StateClass::Prepared).unwrap();
+            let ci = fsa.state_of_class(StateClass::Committed).unwrap();
+            let wi = fsa.state_of_class(StateClass::Wait).unwrap();
+            // p's only successor is c, and its only predecessor is w.
+            let succ: Vec<_> = fsa.outgoing(pi).map(|(_, t)| t.to).collect();
+            assert_eq!(succ, vec![ci]);
+            let preds: Vec<_> = fsa
+                .transitions()
+                .iter()
+                .filter(|t| t.to == pi)
+                .map(|t| t.from)
+                .collect();
+            assert_eq!(preds, vec![wi]);
+        }
+    }
+
+    #[test]
+    fn no_abort_exit_from_prepared() {
+        // In the paper's 3PC figure the prepared state has no abort edge;
+        // aborting from p is only done by the termination protocol.
+        let p = central_3pc(3);
+        for site in p.sites() {
+            let fsa = p.fsa(site);
+            let pi = fsa.state_of_class(StateClass::Prepared).unwrap();
+            for (_, t) in fsa.outgoing(pi) {
+                assert!(fsa.is_commit(t.to));
+            }
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! The fully decentralized two-phase commit protocol (paper figure "The
+//! decentralized 2PC protocol").
+//!
+//! All sites run the same automaton. In the first phase each site receives
+//! the `xact` message, decides whether to unilaterally abort, and sends its
+//! vote to every peer (including itself, per the paper's simplifying
+//! convention). In the second phase each site collects all the votes and
+//! moves to a final state.
+
+use crate::fsa::{Consume, Envelope, FsaBuilder, StateClass, Vote};
+use crate::ids::{MsgKind, SiteId};
+use crate::protocol::{InitialMsg, Paradigm, Protocol};
+
+/// Build decentralized 2PC for `n >= 2` peer sites.
+///
+/// # Panics
+/// Panics if `n < 2`.
+pub fn decentralized_2pc(n: usize) -> Protocol {
+    assert!(n >= 2, "a distributed commit protocol needs at least 2 sites");
+    let everyone: Vec<SiteId> = (0..n as u32).map(SiteId).collect();
+
+    let fsas = everyone
+        .iter()
+        .map(|_| {
+            let mut b = FsaBuilder::new("peer");
+            let qi = b.state("q", StateClass::Initial);
+            let wi = b.state("w", StateClass::Wait);
+            let ai = b.state("a", StateClass::Aborted);
+            let ci = b.state("c", StateClass::Committed);
+            b.transition(
+                qi,
+                wi,
+                Consume::one(SiteId::CLIENT, MsgKind::XACT),
+                everyone.iter().map(|&s| Envelope::new(s, MsgKind::YES)).collect(),
+                Some(Vote::Yes),
+                "xact / yes_i1..yes_in",
+            );
+            b.transition(
+                qi,
+                ai,
+                Consume::one(SiteId::CLIENT, MsgKind::XACT),
+                everyone.iter().map(|&s| Envelope::new(s, MsgKind::NO)).collect(),
+                Some(Vote::No),
+                "xact / no_i1..no_in",
+            );
+            b.transition(
+                wi,
+                ci,
+                Consume::All(everyone.iter().map(|&s| (s, MsgKind::YES)).collect()),
+                vec![],
+                None,
+                "yes_1i..yes_ni /",
+            );
+            b.transition(
+                wi,
+                ai,
+                Consume::Any(everyone.iter().map(|&s| (s, MsgKind::NO)).collect()),
+                vec![],
+                None,
+                "no_ji /",
+            );
+            b.build()
+        })
+        .collect();
+
+    Protocol::new(
+        format!("decentralized 2PC (n={n})"),
+        Paradigm::Decentralized,
+        fsas,
+        everyone
+            .iter()
+            .map(|&s| InitialMsg { src: SiteId::CLIENT, dst: s, kind: MsgKind::XACT })
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_sites_run_the_same_protocol() {
+        let p = decentralized_2pc(4);
+        p.validate_strict().unwrap();
+        for site in p.sites() {
+            let fsa = p.fsa(site);
+            assert_eq!(fsa.role, "peer");
+            assert_eq!(fsa.state_count(), 4);
+            assert_eq!(fsa.transitions().len(), 4);
+        }
+    }
+
+    #[test]
+    fn votes_are_broadcast_including_self() {
+        let p = decentralized_2pc(3);
+        let fsa = p.fsa(SiteId(1));
+        let q = fsa.initial();
+        for (_, t) in fsa.outgoing(q) {
+            assert_eq!(t.emit.len(), 3, "vote to every site including self");
+            assert!(t.emit.iter().any(|e| e.dst == SiteId(1)), "self-send");
+        }
+    }
+
+    #[test]
+    fn every_site_gets_the_xact_stimulus() {
+        let p = decentralized_2pc(5);
+        assert_eq!(p.initial_msgs().len(), 5);
+        for m in p.initial_msgs() {
+            assert_eq!(m.src, SiteId::CLIENT);
+            assert_eq!(m.kind, MsgKind::XACT);
+        }
+    }
+
+    #[test]
+    fn commit_requires_unanimity() {
+        let p = decentralized_2pc(4);
+        let fsa = p.fsa(SiteId(0));
+        let w = fsa.state_of_class(StateClass::Wait).unwrap();
+        let commit_t = fsa
+            .outgoing(w)
+            .map(|(_, t)| t)
+            .find(|t| fsa.is_commit(t.to))
+            .unwrap();
+        match &commit_t.consume {
+            Consume::All(v) => assert_eq!(v.len(), 4),
+            other => panic!("expected All, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn two_phases() {
+        assert_eq!(decentralized_2pc(3).phase_count(), 2);
+    }
+}

@@ -1,0 +1,136 @@
+//! The nonblocking fully decentralized three-phase commit protocol (paper
+//! figure "A nonblocking decentralized 3PC protocol").
+//!
+//! Decentralized 2PC with a buffer round: after a site has collected a yes
+//! vote from every peer it broadcasts `prepare` and enters the buffer state
+//! `p`; it commits once it has received `prepare` from every peer. Each
+//! round is a full message interchange, so the protocol remains synchronous
+//! within one state transition.
+
+use crate::fsa::{Consume, Envelope, FsaBuilder, StateClass, Vote};
+use crate::ids::{MsgKind, SiteId};
+use crate::protocol::{InitialMsg, Paradigm, Protocol};
+
+/// Build decentralized 3PC for `n >= 2` peer sites.
+///
+/// # Panics
+/// Panics if `n < 2`.
+pub fn decentralized_3pc(n: usize) -> Protocol {
+    assert!(n >= 2, "a distributed commit protocol needs at least 2 sites");
+    let everyone: Vec<SiteId> = (0..n as u32).map(SiteId).collect();
+
+    let fsas = everyone
+        .iter()
+        .map(|_| {
+            let mut b = FsaBuilder::new("peer");
+            let qi = b.state("q", StateClass::Initial);
+            let wi = b.state("w", StateClass::Wait);
+            let ai = b.state("a", StateClass::Aborted);
+            let pi = b.state("p", StateClass::Prepared);
+            let ci = b.state("c", StateClass::Committed);
+            b.transition(
+                qi,
+                wi,
+                Consume::one(SiteId::CLIENT, MsgKind::XACT),
+                everyone.iter().map(|&s| Envelope::new(s, MsgKind::YES)).collect(),
+                Some(Vote::Yes),
+                "xact / yes_i1..yes_in",
+            );
+            b.transition(
+                qi,
+                ai,
+                Consume::one(SiteId::CLIENT, MsgKind::XACT),
+                everyone.iter().map(|&s| Envelope::new(s, MsgKind::NO)).collect(),
+                Some(Vote::No),
+                "xact / no_i1..no_in",
+            );
+            b.transition(
+                wi,
+                pi,
+                Consume::All(everyone.iter().map(|&s| (s, MsgKind::YES)).collect()),
+                everyone.iter().map(|&s| Envelope::new(s, MsgKind::PREPARE)).collect(),
+                None,
+                "yes_1i..yes_ni / prepare_i1..prepare_in",
+            );
+            b.transition(
+                wi,
+                ai,
+                Consume::Any(everyone.iter().map(|&s| (s, MsgKind::NO)).collect()),
+                vec![],
+                None,
+                "no_ji /",
+            );
+            b.transition(
+                pi,
+                ci,
+                Consume::All(everyone.iter().map(|&s| (s, MsgKind::PREPARE)).collect()),
+                vec![],
+                None,
+                "prepare_1i..prepare_ni /",
+            );
+            b.build()
+        })
+        .collect();
+
+    Protocol::new(
+        format!("decentralized 3PC (n={n})"),
+        Paradigm::Decentralized,
+        fsas,
+        everyone
+            .iter()
+            .map(|&s| InitialMsg { src: SiteId::CLIENT, dst: s, kind: MsgKind::XACT })
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_matches_paper_figure() {
+        let p = decentralized_3pc(3);
+        p.validate_strict().unwrap();
+        for site in p.sites() {
+            let fsa = p.fsa(site);
+            assert_eq!(fsa.state_count(), 5);
+            assert_eq!(fsa.transitions().len(), 5);
+        }
+    }
+
+    #[test]
+    fn three_phases() {
+        assert_eq!(decentralized_3pc(4).phase_count(), 3);
+    }
+
+    #[test]
+    fn prepare_round_is_a_full_interchange() {
+        let p = decentralized_3pc(3);
+        let fsa = p.fsa(SiteId(2));
+        let w = fsa.state_of_class(StateClass::Wait).unwrap();
+        let prep_t = fsa
+            .outgoing(w)
+            .map(|(_, t)| t)
+            .find(|t| fsa.state(t.to).class == StateClass::Prepared)
+            .unwrap();
+        assert_eq!(prep_t.emit.len(), 3, "prepare broadcast to all");
+        let pi = fsa.state_of_class(StateClass::Prepared).unwrap();
+        let (_, commit_t) = fsa.outgoing(pi).next().unwrap();
+        match &commit_t.consume {
+            Consume::All(v) => assert_eq!(v.len(), 3, "prepare from all"),
+            other => panic!("expected All, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn no_exit_from_prepared_except_commit() {
+        let p = decentralized_3pc(4);
+        for site in p.sites() {
+            let fsa = p.fsa(site);
+            let pi = fsa.state_of_class(StateClass::Prepared).unwrap();
+            let exits: Vec<_> = fsa.outgoing(pi).collect();
+            assert_eq!(exits.len(), 1);
+            assert!(fsa.is_commit(exits[0].1.to));
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! The protocol catalog: every protocol the paper draws, as a constructor
+//! parameterized by the number of participating sites.
+//!
+//! | Constructor | Paper figure |
+//! |---|---|
+//! | [`one_pc`] | §"1-Phase Commit Protocol" (prose; inadequate — no unilateral abort) |
+//! | [`central_2pc`] | "The FSAs for the 2PC protocol" |
+//! | [`decentralized_2pc`] | "The decentralized 2PC protocol" |
+//! | [`central_3pc`] | "A nonblocking central site 3PC protocol" |
+//! | [`decentralized_3pc`] | "A nonblocking decentralized 3PC protocol" |
+//!
+//! The *canonical* single-automaton forms used in the paper's concurrency
+//! set discussion live in [`crate::canonical`].
+
+mod central_2pc;
+mod central_3pc;
+mod decentralized_2pc;
+mod decentralized_3pc;
+mod one_pc;
+
+pub use central_2pc::central_2pc;
+pub use central_3pc::central_3pc;
+pub use decentralized_2pc::decentralized_2pc;
+pub use decentralized_3pc::decentralized_3pc;
+pub use one_pc::one_pc;
+
+use crate::protocol::Protocol;
+
+/// Every catalog protocol instantiated for `n` sites, for sweep-style
+/// experiments. 1PC is excluded (it fails strict validation by design).
+pub fn catalog(n: usize) -> Vec<Protocol> {
+    vec![
+        central_2pc(n),
+        decentralized_2pc(n),
+        central_3pc(n),
+        decentralized_3pc(n),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn whole_catalog_validates_strictly() {
+        for n in 2..=5 {
+            for p in catalog(n) {
+                p.validate_strict()
+                    .unwrap_or_else(|e| panic!("{} failed: {e}", p.name));
+            }
+        }
+    }
+
+    #[test]
+    fn phase_counts_match_names() {
+        let cat = catalog(3);
+        assert_eq!(cat[0].phase_count(), 2, "central 2PC");
+        assert_eq!(cat[1].phase_count(), 2, "decentralized 2PC");
+        assert_eq!(cat[2].phase_count(), 3, "central 3PC");
+        assert_eq!(cat[3].phase_count(), 3, "decentralized 3PC");
+    }
+
+    #[test]
+    fn one_pc_fails_strict_validation() {
+        let p = one_pc(3);
+        p.validate().unwrap();
+        assert!(p.validate_strict().is_err(), "1PC has a single phase");
+    }
+}

@@ -1,0 +1,92 @@
+//! The one-phase commit protocol (paper §"1-Phase Commit Protocol").
+//!
+//! The coordinator simply communicates the client's decision to all
+//! participants. 1PC is the simplest commit protocol, but it is inadequate:
+//! it does not allow a unilateral abort by a participant (e.g. when local
+//! concurrency control — deadlock resolution under locking, or validation
+//! failure under optimistic control — forces a site to back out). It is in
+//! the catalog as the degenerate baseline; [`Protocol::validate_strict`]
+//! rejects it because it has a single phase.
+//!
+//! [`Protocol::validate_strict`]: crate::protocol::Protocol::validate_strict
+
+use crate::fsa::{Consume, Envelope, FsaBuilder, StateClass};
+use crate::ids::{MsgKind, SiteId};
+use crate::protocol::{InitialMsg, Paradigm, Protocol};
+
+/// Build central-site 1PC for `n >= 2` sites.
+///
+/// The client's decision is modeled as coordinator nondeterminism: on the
+/// request it either broadcasts `commit` or broadcasts `abort`.
+///
+/// # Panics
+/// Panics if `n < 2`.
+pub fn one_pc(n: usize) -> Protocol {
+    assert!(n >= 2, "central-site protocols need a coordinator and >=1 slave");
+    let slaves: Vec<SiteId> = (1..n as u32).map(SiteId).collect();
+
+    let mut cb = FsaBuilder::new("coordinator");
+    let q1 = cb.state("q1", StateClass::Initial);
+    let a1 = cb.state("a1", StateClass::Aborted);
+    let c1 = cb.state("c1", StateClass::Committed);
+    cb.transition(
+        q1,
+        c1,
+        Consume::one(SiteId::CLIENT, MsgKind::REQUEST),
+        slaves.iter().map(|&s| Envelope::new(s, MsgKind::COMMIT)).collect(),
+        None,
+        "request(commit) / commit_2..commit_n",
+    );
+    cb.transition(
+        q1,
+        a1,
+        Consume::one(SiteId::CLIENT, MsgKind::REQUEST),
+        slaves.iter().map(|&s| Envelope::new(s, MsgKind::ABORT)).collect(),
+        None,
+        "request(abort) / abort_2..abort_n",
+    );
+
+    let mut fsas = vec![cb.build()];
+    let coord = SiteId(0);
+    for _ in &slaves {
+        let mut sb = FsaBuilder::new("slave");
+        let qi = sb.state("q", StateClass::Initial);
+        let ai = sb.state("a", StateClass::Aborted);
+        let ci = sb.state("c", StateClass::Committed);
+        // Note the absence of any vote: the slave cannot refuse.
+        sb.transition(qi, ci, Consume::one(coord, MsgKind::COMMIT), vec![], None, "commit /");
+        sb.transition(qi, ai, Consume::one(coord, MsgKind::ABORT), vec![], None, "abort /");
+        fsas.push(sb.build());
+    }
+
+    Protocol::new(
+        format!("central-site 1PC (n={n})"),
+        Paradigm::CentralSite,
+        fsas,
+        vec![InitialMsg { src: SiteId::CLIENT, dst: coord, kind: MsgKind::REQUEST }],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fsa::Vote;
+
+    #[test]
+    fn slaves_cannot_vote() {
+        let p = one_pc(3);
+        p.validate().unwrap();
+        for site in p.sites().skip(1) {
+            let fsa = p.fsa(site);
+            assert!(fsa
+                .transitions()
+                .iter()
+                .all(|t| !matches!(t.vote, Some(Vote::No))));
+        }
+    }
+
+    #[test]
+    fn single_phase() {
+        assert_eq!(one_pc(4).phase_count(), 1);
+    }
+}

@@ -1,0 +1,574 @@
+//! Global transaction states and the reachable state graph.
+//!
+//! The paper defines the *global state* of a distributed transaction as a
+//! vector containing the local states of all FSAs plus the outstanding
+//! messages in the network; it "defines the complete processing state of a
+//! transaction". The graph of all global states reachable from the initial
+//! global state is the *reachable state graph*, from which concurrency
+//! sets, committability, and the fundamental nonblocking theorem are all
+//! computed.
+//!
+//! Classification of global states (paper §"Comments on reachable state
+//! graphs"):
+//! * **final** — every local state in the vector is final;
+//! * **terminal** — no immediately reachable successors;
+//! * **deadlocked** — terminal but not final;
+//! * **inconsistent** — contains both a local commit and a local abort
+//!   state. A protocol that preserves transaction atomicity can have *no*
+//!   reachable inconsistent state.
+//!
+//! The graph "grows exponentially with the number of sites, but, in
+//! practice, we seldom need to actually build it" — we do build it (that is
+//! the point of the reproduction), with a configurable node bound.
+
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+
+use crate::error::ProtocolError;
+use crate::fsa::{Consume, StateClass};
+use crate::ids::{MsgKind, SiteId, StateId};
+use crate::protocol::Protocol;
+
+/// Index of a node in the reachable state graph.
+pub type NodeId = u32;
+
+/// Address of an outstanding message: who sent it, to whom, what kind.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct MsgAddr {
+    /// Sender.
+    pub src: SiteId,
+    /// Receiver.
+    pub dst: SiteId,
+    /// Message kind.
+    pub kind: MsgKind,
+}
+
+/// The multiset of outstanding messages, kept as a sorted vector of
+/// `(address, count)` pairs with strictly positive counts so that equal
+/// multisets are structurally equal (and hash equal).
+#[derive(Clone, PartialEq, Eq, Hash, Default, Debug)]
+pub struct Msgs(Vec<(MsgAddr, u16)>);
+
+impl Msgs {
+    /// Empty multiset.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build from addresses (duplicates accumulate).
+    pub fn from_addrs(iter: impl IntoIterator<Item = MsgAddr>) -> Self {
+        let mut m = Self::new();
+        for a in iter {
+            m.add(a);
+        }
+        m
+    }
+
+    /// Number of outstanding messages (with multiplicity).
+    pub fn len(&self) -> usize {
+        self.0.iter().map(|&(_, c)| c as usize).sum()
+    }
+
+    /// True if no messages are outstanding.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Multiplicity of `addr`.
+    pub fn count(&self, addr: MsgAddr) -> u16 {
+        match self.0.binary_search_by_key(&addr, |&(a, _)| a) {
+            Ok(i) => self.0[i].1,
+            Err(_) => 0,
+        }
+    }
+
+    /// True if at least one message with this address is outstanding.
+    pub fn contains(&self, addr: MsgAddr) -> bool {
+        self.count(addr) > 0
+    }
+
+    /// Add one message.
+    pub fn add(&mut self, addr: MsgAddr) {
+        match self.0.binary_search_by_key(&addr, |&(a, _)| a) {
+            Ok(i) => self.0[i].1 += 1,
+            Err(i) => self.0.insert(i, (addr, 1)),
+        }
+    }
+
+    /// Remove one message; panics if absent (callers check first).
+    pub fn remove(&mut self, addr: MsgAddr) {
+        match self.0.binary_search_by_key(&addr, |&(a, _)| a) {
+            Ok(i) => {
+                if self.0[i].1 == 1 {
+                    self.0.remove(i);
+                } else {
+                    self.0[i].1 -= 1;
+                }
+            }
+            Err(_) => panic!("removing absent message {addr:?}"),
+        }
+    }
+
+    /// Iterate over `(address, count)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (MsgAddr, u16)> + '_ {
+        self.0.iter().copied()
+    }
+}
+
+/// One global transaction state.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct GlobalState {
+    /// `locals[i]` = local state of site `i`.
+    pub locals: Box<[StateId]>,
+    /// Outstanding messages on the network tape.
+    pub msgs: Msgs,
+}
+
+/// An edge of the reachable state graph: site `site` fired transition
+/// `transition` (an index into its FSA's transition table). For `Any`
+/// triggers, `any_choice` records which source's message was consumed.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct Edge {
+    /// Successor global state.
+    pub to: NodeId,
+    /// Site whose transition fired.
+    pub site: SiteId,
+    /// Index into the firing site's transition table.
+    pub transition: u32,
+    /// For `Any` triggers, the source whose message was consumed.
+    pub any_choice: Option<SiteId>,
+}
+
+/// Options for graph construction.
+#[derive(Copy, Clone, Debug)]
+pub struct ReachOptions {
+    /// Abort with [`ProtocolError::GraphTooLarge`] beyond this many nodes.
+    pub max_states: usize,
+}
+
+impl Default for ReachOptions {
+    fn default() -> Self {
+        Self { max_states: 1 << 22 }
+    }
+}
+
+/// The reachable state graph of a protocol (in the absence of failures).
+pub struct ReachGraph {
+    nodes: Vec<GlobalState>,
+    out_edges: Vec<Vec<Edge>>,
+    initial: NodeId,
+    /// `classes[i][s]` = class of state `s` of site `i` (copied from the
+    /// protocol so the graph is self-contained for classification).
+    classes: Vec<Vec<StateClass>>,
+}
+
+impl ReachGraph {
+    /// Build the reachable state graph with default options.
+    pub fn build(protocol: &Protocol) -> Result<Self, ProtocolError> {
+        Self::build_with(protocol, ReachOptions::default())
+    }
+
+    /// Build with explicit options.
+    pub fn build_with(
+        protocol: &Protocol,
+        opts: ReachOptions,
+    ) -> Result<Self, ProtocolError> {
+        let n = protocol.n_sites();
+        let initial_state = GlobalState {
+            locals: protocol.fsas().iter().map(|f| f.initial()).collect(),
+            msgs: Msgs::from_addrs(
+                protocol
+                    .initial_msgs()
+                    .iter()
+                    .map(|m| MsgAddr { src: m.src, dst: m.dst, kind: m.kind }),
+            ),
+        };
+
+        let mut nodes: Vec<GlobalState> = vec![initial_state.clone()];
+        let mut index: HashMap<GlobalState, NodeId> = HashMap::new();
+        index.insert(initial_state, 0);
+        let mut out_edges: Vec<Vec<Edge>> = vec![Vec::new()];
+        let mut queue: VecDeque<NodeId> = VecDeque::from([0]);
+
+        while let Some(id) = queue.pop_front() {
+            let state = nodes[id as usize].clone();
+            let mut edges = Vec::new();
+            for i in 0..n {
+                let site = SiteId(i as u32);
+                let fsa = protocol.fsa(site);
+                let local = state.locals[i];
+                for (ti, t) in fsa.outgoing(local) {
+                    match &t.consume {
+                        Consume::Spontaneous => {
+                            let succ = apply(&state, i, t.to, &[], &t.emit, site);
+                            push_succ(
+                                succ,
+                                Edge { to: 0, site, transition: ti, any_choice: None },
+                                &mut nodes,
+                                &mut index,
+                                &mut out_edges,
+                                &mut queue,
+                                &mut edges,
+                                opts.max_states,
+                            )?;
+                        }
+                        Consume::All(v) => {
+                            let needed: Vec<MsgAddr> = v
+                                .iter()
+                                .map(|&(src, kind)| MsgAddr { src, dst: site, kind })
+                                .collect();
+                            if needed.iter().all(|&a| state.msgs.contains(a)) {
+                                let succ = apply(&state, i, t.to, &needed, &t.emit, site);
+                                push_succ(
+                                    succ,
+                                    Edge { to: 0, site, transition: ti, any_choice: None },
+                                    &mut nodes,
+                                    &mut index,
+                                    &mut out_edges,
+                                    &mut queue,
+                                    &mut edges,
+                                    opts.max_states,
+                                )?;
+                            }
+                        }
+                        Consume::Any(v) => {
+                            for &(src, kind) in v {
+                                let addr = MsgAddr { src, dst: site, kind };
+                                if state.msgs.contains(addr) {
+                                    let succ =
+                                        apply(&state, i, t.to, &[addr], &t.emit, site);
+                                    push_succ(
+                                        succ,
+                                        Edge {
+                                            to: 0,
+                                            site,
+                                            transition: ti,
+                                            any_choice: Some(src),
+                                        },
+                                        &mut nodes,
+                                        &mut index,
+                                        &mut out_edges,
+                                        &mut queue,
+                                        &mut edges,
+                                        opts.max_states,
+                                    )?;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            out_edges[id as usize] = edges;
+        }
+
+        let classes = protocol
+            .fsas()
+            .iter()
+            .map(|f| f.states().iter().map(|s| s.class).collect())
+            .collect();
+
+        Ok(Self { nodes, out_edges, initial: 0, classes })
+    }
+
+    /// Number of reachable global states.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Total number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.out_edges.iter().map(Vec::len).sum()
+    }
+
+    /// The initial global state's node id.
+    pub fn initial(&self) -> NodeId {
+        self.initial
+    }
+
+    /// The global state at `id`.
+    pub fn node(&self, id: NodeId) -> &GlobalState {
+        &self.nodes[id as usize]
+    }
+
+    /// All nodes.
+    pub fn nodes(&self) -> &[GlobalState] {
+        &self.nodes
+    }
+
+    /// Out-edges of `id`.
+    pub fn edges(&self, id: NodeId) -> &[Edge] {
+        &self.out_edges[id as usize]
+    }
+
+    /// Class of local state `s` of site `i`.
+    pub fn class_of(&self, site: SiteId, s: StateId) -> StateClass {
+        self.classes[site.index()][s.index()]
+    }
+
+    /// A global state is *final* if all local states are final.
+    pub fn is_final(&self, id: NodeId) -> bool {
+        let g = self.node(id);
+        g.locals
+            .iter()
+            .enumerate()
+            .all(|(i, &s)| self.class_of(SiteId(i as u32), s).is_final())
+    }
+
+    /// A global state is *terminal* if it has no immediately reachable
+    /// successors.
+    pub fn is_terminal(&self, id: NodeId) -> bool {
+        self.out_edges[id as usize].is_empty()
+    }
+
+    /// A terminal state that is not final is *deadlocked*.
+    pub fn is_deadlocked(&self, id: NodeId) -> bool {
+        self.is_terminal(id) && !self.is_final(id)
+    }
+
+    /// A global state is *inconsistent* if it contains both a local commit
+    /// and a local abort state.
+    pub fn is_inconsistent(&self, id: NodeId) -> bool {
+        let g = self.node(id);
+        let mut commit = false;
+        let mut abort = false;
+        for (i, &s) in g.locals.iter().enumerate() {
+            match self.class_of(SiteId(i as u32), s) {
+                StateClass::Committed => commit = true,
+                StateClass::Aborted => abort = true,
+                _ => {}
+            }
+        }
+        commit && abort
+    }
+
+    /// Summary statistics over the whole graph.
+    pub fn stats(&self) -> GraphStats {
+        let mut st = GraphStats {
+            nodes: self.node_count(),
+            edges: self.edge_count(),
+            ..GraphStats::default()
+        };
+        for id in 0..self.node_count() as NodeId {
+            if self.is_final(id) {
+                st.final_states += 1;
+            }
+            if self.is_terminal(id) {
+                st.terminal_states += 1;
+            }
+            if self.is_deadlocked(id) {
+                st.deadlocked_states += 1;
+            }
+            if self.is_inconsistent(id) {
+                st.inconsistent_states += 1;
+            }
+        }
+        st
+    }
+}
+
+/// Aggregate classification counts for a reachable state graph.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GraphStats {
+    /// Reachable global states.
+    pub nodes: usize,
+    /// Transitions between them.
+    pub edges: usize,
+    /// States where every local state is final.
+    pub final_states: usize,
+    /// States with no successors.
+    pub terminal_states: usize,
+    /// Terminal but not final.
+    pub deadlocked_states: usize,
+    /// States containing both a local commit and a local abort.
+    pub inconsistent_states: usize,
+}
+
+impl fmt::Display for GraphStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} global states, {} edges; {} final, {} terminal, {} deadlocked, {} inconsistent",
+            self.nodes,
+            self.edges,
+            self.final_states,
+            self.terminal_states,
+            self.deadlocked_states,
+            self.inconsistent_states
+        )
+    }
+}
+
+fn apply(
+    state: &GlobalState,
+    site_ix: usize,
+    to: StateId,
+    consumed: &[MsgAddr],
+    emit: &[crate::fsa::Envelope],
+    site: SiteId,
+) -> GlobalState {
+    let mut locals = state.locals.clone();
+    locals[site_ix] = to;
+    let mut msgs = state.msgs.clone();
+    for &a in consumed {
+        msgs.remove(a);
+    }
+    for e in emit {
+        msgs.add(MsgAddr { src: site, dst: e.dst, kind: e.kind });
+    }
+    GlobalState { locals, msgs }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn push_succ(
+    succ: GlobalState,
+    mut edge: Edge,
+    nodes: &mut Vec<GlobalState>,
+    index: &mut HashMap<GlobalState, NodeId>,
+    out_edges: &mut Vec<Vec<Edge>>,
+    queue: &mut VecDeque<NodeId>,
+    edges: &mut Vec<Edge>,
+    max_states: usize,
+) -> Result<(), ProtocolError> {
+    let to = match index.get(&succ) {
+        Some(&id) => id,
+        None => {
+            if nodes.len() >= max_states {
+                return Err(ProtocolError::GraphTooLarge { limit: max_states });
+            }
+            let id = nodes.len() as NodeId;
+            nodes.push(succ.clone());
+            index.insert(succ, id);
+            out_edges.push(Vec::new());
+            queue.push_back(id);
+            id
+        }
+    };
+    edge.to = to;
+    edges.push(edge);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocols::{central_2pc, central_3pc, decentralized_2pc, decentralized_3pc};
+
+    #[test]
+    fn msgs_multiset_semantics() {
+        let a = MsgAddr { src: SiteId(0), dst: SiteId(1), kind: MsgKind::YES };
+        let b = MsgAddr { src: SiteId(1), dst: SiteId(0), kind: MsgKind::NO };
+        let mut m = Msgs::new();
+        assert!(m.is_empty());
+        m.add(a);
+        m.add(a);
+        m.add(b);
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.count(a), 2);
+        assert!(m.contains(b));
+        m.remove(a);
+        assert_eq!(m.count(a), 1);
+        m.remove(a);
+        assert!(!m.contains(a));
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn msgs_equality_is_order_independent() {
+        let a = MsgAddr { src: SiteId(0), dst: SiteId(1), kind: MsgKind::YES };
+        let b = MsgAddr { src: SiteId(1), dst: SiteId(0), kind: MsgKind::NO };
+        let m1 = Msgs::from_addrs([a, b]);
+        let m2 = Msgs::from_addrs([b, a]);
+        assert_eq!(m1, m2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn removing_absent_message_panics() {
+        let a = MsgAddr { src: SiteId(0), dst: SiteId(1), kind: MsgKind::YES };
+        Msgs::new().remove(a);
+    }
+
+    #[test]
+    fn two_site_2pc_graph_is_consistent_and_live() {
+        // Paper figure: "Reachable state graph for the 2-site 2PC protocol".
+        let p = central_2pc(2);
+        let g = ReachGraph::build(&p).unwrap();
+        let st = g.stats();
+        assert!(st.nodes > 5, "nontrivial graph, got {}", st.nodes);
+        assert_eq!(st.inconsistent_states, 0, "2PC preserves atomicity without failures");
+        assert_eq!(st.deadlocked_states, 0, "no deadlock without failures");
+        assert!(st.final_states >= 2, "both outcomes reachable");
+    }
+
+    #[test]
+    fn all_catalog_graphs_are_consistent() {
+        for n in 2..=3 {
+            for p in crate::protocols::catalog(n) {
+                let g = ReachGraph::build(&p).unwrap();
+                let st = g.stats();
+                assert_eq!(st.inconsistent_states, 0, "{}", p.name);
+                assert_eq!(st.deadlocked_states, 0, "{}", p.name);
+            }
+        }
+    }
+
+    #[test]
+    fn both_outcomes_reachable_everywhere() {
+        for p in [central_2pc(3), central_3pc(3), decentralized_2pc(3), decentralized_3pc(3)] {
+            let g = ReachGraph::build(&p).unwrap();
+            let mut commit_reachable = false;
+            let mut abort_reachable = false;
+            for id in 0..g.node_count() as NodeId {
+                if g.is_final(id) {
+                    let all_commit = g.node(id).locals.iter().enumerate().all(|(i, &s)| {
+                        g.class_of(SiteId(i as u32), s) == StateClass::Committed
+                    });
+                    if all_commit {
+                        commit_reachable = true;
+                    } else {
+                        abort_reachable = true;
+                    }
+                }
+            }
+            assert!(commit_reachable && abort_reachable, "{}", p.name);
+        }
+    }
+
+    #[test]
+    fn terminal_states_have_all_final_locals() {
+        for p in crate::protocols::catalog(3) {
+            let g = ReachGraph::build(&p).unwrap();
+            for id in 0..g.node_count() as NodeId {
+                if g.is_terminal(id) {
+                    assert!(g.is_final(id), "{}: node {id} terminal but not final", p.name);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn graph_limit_enforced() {
+        let p = central_3pc(3);
+        let err = ReachGraph::build_with(&p, ReachOptions { max_states: 4 });
+        assert!(matches!(err, Err(ProtocolError::GraphTooLarge { limit: 4 })));
+    }
+
+    #[test]
+    fn three_pc_graph_larger_than_two_pc() {
+        // The buffer state adds a phase, so the graph must grow.
+        let g2 = ReachGraph::build(&central_2pc(3)).unwrap();
+        let g3 = ReachGraph::build(&central_3pc(3)).unwrap();
+        assert!(g3.node_count() > g2.node_count());
+    }
+
+    #[test]
+    fn edges_record_firing_site() {
+        let p = central_2pc(2);
+        let g = ReachGraph::build(&p).unwrap();
+        // The initial state's only enabled transition is the coordinator's
+        // request consumption... plus nothing else (slaves have no input yet).
+        let init_edges = g.edges(g.initial());
+        assert_eq!(init_edges.len(), 1);
+        assert_eq!(init_edges[0].site, SiteId(0));
+    }
+}

@@ -1,0 +1,180 @@
+//! Structural properties of reachable state graphs, checked across the
+//! catalog and the synthesized/k-phase families.
+
+use nbc_core::kpc::k_phase_central;
+use nbc_core::protocols::catalog;
+use nbc_core::{Analysis, ReachGraph, SiteId, StateClass, StateId};
+
+/// Every catalog graph is a DAG: commit protocols are acyclic, so a global
+/// state can never recur.
+#[test]
+fn reachable_graphs_are_acyclic() {
+    for n in 2..=4 {
+        for p in catalog(n) {
+            let g = ReachGraph::build(&p).unwrap();
+            // Kahn's algorithm must consume every node.
+            let mut indeg = vec![0usize; g.node_count()];
+            for u in 0..g.node_count() as u32 {
+                for e in g.edges(u) {
+                    indeg[e.to as usize] += 1;
+                }
+            }
+            let mut queue: Vec<u32> = (0..g.node_count() as u32)
+                .filter(|&i| indeg[i as usize] == 0)
+                .collect();
+            let mut removed = 0;
+            while let Some(u) = queue.pop() {
+                removed += 1;
+                for e in g.edges(u) {
+                    indeg[e.to as usize] -= 1;
+                    if indeg[e.to as usize] == 0 {
+                        queue.push(e.to);
+                    }
+                }
+            }
+            assert_eq!(removed, g.node_count(), "{}: cycle in reachable graph", p.name);
+        }
+    }
+}
+
+/// Edges advance exactly one site, and never out of a final local state.
+#[test]
+fn edges_advance_one_site_monotonically() {
+    for p in catalog(3) {
+        let g = ReachGraph::build(&p).unwrap();
+        for u in 0..g.node_count() as u32 {
+            let from = g.node(u);
+            for e in g.edges(u) {
+                let to = g.node(e.to);
+                let mut changed = 0;
+                for i in 0..from.locals.len() {
+                    if from.locals[i] != to.locals[i] {
+                        changed += 1;
+                        assert_eq!(i, e.site.index(), "{}: edge site mismatch", p.name);
+                        assert!(
+                            !g.class_of(e.site, from.locals[i]).is_final(),
+                            "{}: transition out of a final state",
+                            p.name
+                        );
+                    }
+                }
+                assert_eq!(changed, 1, "{}: edge changed {changed} sites", p.name);
+            }
+        }
+    }
+}
+
+/// Every state the analysis calls occupied is reachable in the local FSA,
+/// and every locally reachable state is occupied (the catalog has no dead
+/// states).
+#[test]
+fn occupied_equals_locally_reachable_for_catalog() {
+    for p in catalog(3) {
+        let a = Analysis::build(&p).unwrap();
+        for site in p.sites() {
+            let local = p.fsa(site).reachable_states();
+            for (i, &local_reach) in local.iter().enumerate() {
+                assert_eq!(
+                    a.occupied(site, StateId(i as u32)),
+                    local_reach,
+                    "{} {site} state {i}",
+                    p.name
+                );
+            }
+        }
+    }
+}
+
+/// Decentralized protocols are site-symmetric: every site sees identical
+/// concurrency-class sets and committability for same-named states.
+#[test]
+fn decentralized_analyses_are_site_symmetric() {
+    for p in catalog(3)
+        .into_iter()
+        .filter(|p| p.paradigm == nbc_core::Paradigm::Decentralized)
+    {
+        let a = Analysis::build(&p).unwrap();
+        let reference = SiteId(0);
+        for site in p.sites().skip(1) {
+            for idx in 0..p.fsa(site).state_count() {
+                let s = StateId(idx as u32);
+                assert_eq!(
+                    a.concurrency_classes(reference, s),
+                    a.concurrency_classes(site, s),
+                    "{}: CS asymmetry at state {idx}",
+                    p.name
+                );
+                assert_eq!(
+                    a.committable(reference, s),
+                    a.committable(site, s),
+                    "{}: committability asymmetry at state {idx}",
+                    p.name
+                );
+            }
+        }
+    }
+}
+
+/// The committable set is upward-closed along the commit path: every
+/// successor of a committable state on the way to commit is committable.
+#[test]
+fn committable_closed_toward_commit() {
+    for p in catalog(3).into_iter().chain([k_phase_central(3, 4).unwrap()]) {
+        let a = Analysis::build(&p).unwrap();
+        for site in p.sites() {
+            let fsa = p.fsa(site);
+            for t in fsa.transitions() {
+                let from_committable =
+                    a.occupied(site, t.from) && a.committable(site, t.from);
+                let to_abort = fsa.state(t.to).class == StateClass::Aborted;
+                if from_committable && !to_abort && a.occupied(site, t.to) {
+                    assert!(
+                        a.committable(site, t.to),
+                        "{} {site}: committable {:?} leads to noncommittable {:?}",
+                        p.name,
+                        fsa.state(t.from).name,
+                        fsa.state(t.to).name
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Graph construction is deterministic: two builds give identical node and
+/// edge sequences.
+#[test]
+fn graph_build_is_deterministic() {
+    for p in catalog(3) {
+        let g1 = ReachGraph::build(&p).unwrap();
+        let g2 = ReachGraph::build(&p).unwrap();
+        assert_eq!(g1.node_count(), g2.node_count());
+        assert_eq!(g1.edge_count(), g2.edge_count());
+        for u in 0..g1.node_count() as u32 {
+            assert_eq!(g1.node(u), g2.node(u), "{}: node {u}", p.name);
+            assert_eq!(g1.edges(u), g2.edges(u), "{}: edges of {u}", p.name);
+        }
+    }
+}
+
+/// In every reachable global state the number of outstanding messages is
+/// bounded by what the protocol could ever have emitted.
+#[test]
+fn outstanding_messages_bounded() {
+    for p in catalog(3) {
+        let g = ReachGraph::build(&p).unwrap();
+        let max_emit: usize = p
+            .fsas()
+            .iter()
+            .map(|f| f.transitions().iter().map(|t| t.emit.len()).sum::<usize>())
+            .sum();
+        let initial = p.initial_msgs().len();
+        for u in 0..g.node_count() as u32 {
+            assert!(
+                g.node(u).msgs.len() <= max_emit + initial,
+                "{}: node {u} holds impossible message count",
+                p.name
+            );
+        }
+    }
+}

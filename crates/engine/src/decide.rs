@@ -1,0 +1,112 @@
+//! Termination decisions over state *classes* — the engine-facing wrapper
+//! around [`nbc_core::termination::class_decisions`], keyed by the `u8`
+//! class codes that travel in WAL records and wire messages.
+
+use std::collections::BTreeMap;
+
+use nbc_core::{Analysis, Decision, Protocol};
+
+/// Precomputed class → decision table for one protocol.
+#[derive(Debug, Clone)]
+pub struct ClassDecisions {
+    table: BTreeMap<u8, Decision>,
+}
+
+impl ClassDecisions {
+    /// Build the table from an analysis (delegates to
+    /// `nbc_core::termination::class_decisions`).
+    pub fn build(protocol: &Protocol, analysis: &Analysis) -> Self {
+        let table = nbc_core::termination::class_decisions(protocol, analysis)
+            .into_iter()
+            .map(|(class, d)| (crate::class_map::encode_class(class), d))
+            .collect();
+        Self { table }
+    }
+
+    /// Decision for one class code.
+    ///
+    /// Unknown codes (possible when a custom protocol aligns to a class
+    /// the analysis never saw) conservatively block.
+    pub fn decide(&self, class_code: u8) -> Decision {
+        self.table.get(&class_code).copied().unwrap_or(Decision::Blocked)
+    }
+
+    /// Cooperative decision over a set of class codes: any committed →
+    /// commit; any aborted → abort; any abort-deciding class → abort; any
+    /// commit-deciding class → commit; otherwise blocked.
+    pub fn decide_cooperative(&self, codes: impl IntoIterator<Item = u8>) -> Decision {
+        use nbc_storage::recovery::class_codes;
+        let codes: Vec<u8> = codes.into_iter().collect();
+        assert!(!codes.is_empty(), "cooperative decision needs at least one state");
+        if codes.contains(&class_codes::COMMITTED) {
+            return Decision::Commit;
+        }
+        if codes.contains(&class_codes::ABORTED) {
+            return Decision::Abort;
+        }
+        if codes.iter().any(|&c| self.decide(c) == Decision::Abort) {
+            return Decision::Abort;
+        }
+        if codes.iter().any(|&c| self.decide(c) == Decision::Commit) {
+            return Decision::Commit;
+        }
+        Decision::Blocked
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nbc_core::protocols::{central_2pc, central_3pc, decentralized_3pc};
+    use nbc_storage::recovery::class_codes::*;
+
+    #[test]
+    fn three_pc_table_matches_paper() {
+        for p in [central_3pc(3), decentralized_3pc(3)] {
+            let a = Analysis::build(&p).unwrap();
+            let t = ClassDecisions::build(&p, &a);
+            assert_eq!(t.decide(INITIAL), Decision::Abort, "{}", p.name);
+            assert_eq!(t.decide(WAIT), Decision::Abort, "{}", p.name);
+            assert_eq!(t.decide(PREPARED), Decision::Commit, "{}", p.name);
+            assert_eq!(t.decide(ABORTED), Decision::Abort, "{}", p.name);
+            assert_eq!(t.decide(COMMITTED), Decision::Commit, "{}", p.name);
+        }
+    }
+
+    #[test]
+    fn two_pc_wait_blocks() {
+        let p = central_2pc(3);
+        let a = Analysis::build(&p).unwrap();
+        let t = ClassDecisions::build(&p, &a);
+        assert_eq!(t.decide(WAIT), Decision::Blocked);
+        assert_eq!(t.decide(INITIAL), Decision::Abort);
+    }
+
+    #[test]
+    fn cooperative_unblocks_with_knowledge() {
+        let p = central_2pc(3);
+        let a = Analysis::build(&p).unwrap();
+        let t = ClassDecisions::build(&p, &a);
+        assert_eq!(t.decide_cooperative([WAIT, WAIT]), Decision::Blocked);
+        assert_eq!(t.decide_cooperative([WAIT, COMMITTED]), Decision::Commit);
+        assert_eq!(t.decide_cooperative([WAIT, ABORTED]), Decision::Abort);
+        assert_eq!(t.decide_cooperative([WAIT, INITIAL]), Decision::Abort);
+    }
+
+    #[test]
+    fn unknown_class_blocks() {
+        let p = central_3pc(2);
+        let a = Analysis::build(&p).unwrap();
+        let t = ClassDecisions::build(&p, &a);
+        assert_eq!(t.decide(200), Decision::Blocked);
+    }
+
+    #[test]
+    #[should_panic]
+    fn cooperative_needs_input() {
+        let p = central_3pc(2);
+        let a = Analysis::build(&p).unwrap();
+        let t = ClassDecisions::build(&p, &a);
+        let _ = t.decide_cooperative([]);
+    }
+}

@@ -1,0 +1,233 @@
+//! Run outcomes and the invariant auditor.
+
+use std::fmt;
+
+use nbc_simnet::Time;
+
+/// The fate of one site at the end of a run.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum SiteOutcome {
+    /// Operational and committed.
+    Committed,
+    /// Operational and aborted.
+    Aborted,
+    /// Operational but blocked by the termination protocol.
+    Blocked,
+    /// Operational, neither decided nor blocked (should not happen in a
+    /// quiescent run; indicates a truncated run).
+    InProgress,
+    /// Crashed with a durable commit in its log.
+    DownCommitted,
+    /// Crashed with a durable abort in its log.
+    DownAborted,
+    /// Crashed without a durable decision.
+    DownUndecided,
+}
+
+impl SiteOutcome {
+    /// The decision this outcome implies, if any.
+    pub fn decision(self) -> Option<bool> {
+        match self {
+            Self::Committed | Self::DownCommitted => Some(true),
+            Self::Aborted | Self::DownAborted => Some(false),
+            _ => None,
+        }
+    }
+
+    /// True if the site is up (not crashed) at the end of the run.
+    pub fn operational(self) -> bool {
+        matches!(self, Self::Committed | Self::Aborted | Self::Blocked | Self::InProgress)
+    }
+}
+
+impl fmt::Display for SiteOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Self::Committed => "committed",
+            Self::Aborted => "aborted",
+            Self::Blocked => "blocked",
+            Self::InProgress => "in-progress",
+            Self::DownCommitted => "down(committed)",
+            Self::DownAborted => "down(aborted)",
+            Self::DownUndecided => "down(undecided)",
+        })
+    }
+}
+
+/// The audited result of one run.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// Per-site outcomes.
+    pub outcomes: Vec<SiteOutcome>,
+    /// **Atomicity invariant**: no two sites (operational or crashed with a
+    /// durable log) decided differently. This must hold for every run of a
+    /// correct protocol+termination-rule combination; the `NaiveCs` rule on
+    /// 2PC deliberately violates it.
+    pub consistent: bool,
+    /// True if any operational site ended blocked.
+    pub any_blocked: bool,
+    /// **Nonblocking verdict**: every operational site reached a decision
+    /// (none blocked, none stuck in progress).
+    pub all_operational_decided: bool,
+    /// Total messages sent on the network.
+    pub msgs_sent: u64,
+    /// Simulation time of the last processed event.
+    pub finished_at: Time,
+    /// Events processed.
+    pub events: usize,
+    /// True if the run hit the event limit (results incomplete).
+    pub truncated: bool,
+    /// Execution trace (populated when `RunConfig::record_trace` is set).
+    pub trace: Vec<String>,
+}
+
+impl RunReport {
+    /// Audit the outcomes and assemble the report.
+    pub fn assemble(
+        outcomes: Vec<SiteOutcome>,
+        msgs_sent: u64,
+        finished_at: Time,
+        events: usize,
+        truncated: bool,
+    ) -> Self {
+        Self::assemble_with_trace(outcomes, msgs_sent, finished_at, events, truncated, Vec::new())
+    }
+
+    /// As [`RunReport::assemble`], attaching a recorded trace.
+    #[allow(clippy::too_many_arguments)]
+    pub fn assemble_with_trace(
+        outcomes: Vec<SiteOutcome>,
+        msgs_sent: u64,
+        finished_at: Time,
+        events: usize,
+        truncated: bool,
+        trace: Vec<String>,
+    ) -> Self {
+        let mut commit_seen = false;
+        let mut abort_seen = false;
+        let mut any_blocked = false;
+        let mut all_operational_decided = true;
+        for o in &outcomes {
+            match o.decision() {
+                Some(true) => commit_seen = true,
+                Some(false) => abort_seen = true,
+                None => {}
+            }
+            if *o == SiteOutcome::Blocked {
+                any_blocked = true;
+            }
+            if o.operational() && o.decision().is_none() {
+                all_operational_decided = false;
+            }
+        }
+        Self {
+            outcomes,
+            consistent: !(commit_seen && abort_seen),
+            any_blocked,
+            all_operational_decided,
+            msgs_sent,
+            finished_at,
+            events,
+            truncated,
+            trace,
+        }
+    }
+
+    /// The unanimous decision, if one exists.
+    pub fn decision(&self) -> Option<bool> {
+        if !self.consistent {
+            return None;
+        }
+        self.outcomes.iter().find_map(|o| o.decision())
+    }
+
+    /// Count of sites that committed (operational or down).
+    pub fn committed_count(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.decision() == Some(true)).count()
+    }
+}
+
+impl fmt::Display for RunReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, o) in self.outcomes.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "site{i}={o}")?;
+        }
+        write!(
+            f,
+            "] consistent={} blocked={} msgs={} t={}",
+            self.consistent, self.any_blocked, self.msgs_sent, self.finished_at
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn audit_flags_inconsistency() {
+        let r = RunReport::assemble(
+            vec![SiteOutcome::Committed, SiteOutcome::Aborted],
+            10,
+            5,
+            3,
+            false,
+        );
+        assert!(!r.consistent);
+        assert_eq!(r.decision(), None);
+    }
+
+    #[test]
+    fn down_durable_decisions_count_for_atomicity() {
+        let r = RunReport::assemble(
+            vec![SiteOutcome::DownCommitted, SiteOutcome::Aborted],
+            0,
+            0,
+            0,
+            false,
+        );
+        assert!(!r.consistent);
+    }
+
+    #[test]
+    fn blocked_is_not_inconsistent() {
+        let r = RunReport::assemble(
+            vec![SiteOutcome::Blocked, SiteOutcome::Blocked, SiteOutcome::DownUndecided],
+            0,
+            0,
+            0,
+            false,
+        );
+        assert!(r.consistent);
+        assert!(r.any_blocked);
+        assert!(!r.all_operational_decided);
+        assert_eq!(r.decision(), None);
+    }
+
+    #[test]
+    fn unanimous_commit_reported() {
+        let r = RunReport::assemble(
+            vec![SiteOutcome::Committed, SiteOutcome::Committed, SiteOutcome::DownUndecided],
+            7,
+            9,
+            4,
+            false,
+        );
+        assert!(r.consistent);
+        assert_eq!(r.decision(), Some(true));
+        assert_eq!(r.committed_count(), 2);
+        assert!(r.all_operational_decided);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let r = RunReport::assemble(vec![SiteOutcome::Committed], 1, 2, 3, false);
+        let s = r.to_string();
+        assert!(s.contains("site0=committed"));
+        assert!(s.contains("consistent=true"));
+    }
+}

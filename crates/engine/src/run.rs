@@ -1,0 +1,803 @@
+//! The discrete-event run loop: executes one distributed transaction under
+//! a protocol, a vote plan, and a crash schedule, with the paper's
+//! termination and recovery protocols.
+//!
+//! ## Execution discipline
+//!
+//! * **Write-ahead**: a site logs (and syncs) its `Progress` record before
+//!   sending any of the transition's messages. A crash mid-transition
+//!   therefore leaves either no trace (`TransitionProgress::BeforeLog`) or
+//!   a durable state plus a *prefix* of the outgoing messages — the
+//!   paper's non-atomic transition failure.
+//! * **Freeze on failure**: when the failure detector reports a crash to a
+//!   site that has not finished, the site abandons the commit protocol and
+//!   enters the termination protocol (paper §"Termination Protocols").
+//! * **Election**: the backup coordinator is the lowest-id site in the
+//!   operational view ("any distributed election mechanism can be used");
+//!   views are consistent because the perfect failure detector reports a
+//!   crash to everyone with the same delay.
+//! * **Two-phase backup protocol**: the backup (unless already in a final
+//!   state, where phase 1 "can be omitted") directs every operational site
+//!   to make a transition to its local state and awaits acknowledgements;
+//!   only then does it decide and broadcast. Cascading backup failures
+//!   stay consistent because alignment is durable and the decision is a
+//!   function of the aligned class.
+//! * **Recovery**: a restarted site resumes from its log: decided → done;
+//!   crashed before voting → abort unilaterally; otherwise ask the other
+//!   sites, with cooperative total-failure recovery once every site is
+//!   back and none holds a decision.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use nbc_core::recovery_analysis::{classify, RecoveryClass};
+use nbc_core::{Analysis, Protocol, StateClass, StateId};
+use nbc_simnet::{NetEvent, Network, Time};
+use nbc_storage::recovery::{summarize, TxnOutcome};
+use nbc_storage::LogRecord;
+
+use crate::config::{CrashPoint, RunConfig, TerminationRule, TransitionProgress};
+use crate::decide::ClassDecisions;
+use crate::report::{RunReport, SiteOutcome};
+use crate::site::{Mode, SiteRt, CLIENT_SRC};
+use crate::wire::Wire;
+
+/// Transaction id used for single-transaction runs.
+pub const TXN: u64 = 1;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Timer {
+    Crash(usize),
+    Recover(usize),
+    Partition,
+}
+
+/// One in-flight simulation.
+pub struct Runner<'a> {
+    protocol: &'a Protocol,
+    analysis: &'a Analysis,
+    decisions: ClassDecisions,
+    /// `recovery_classes[site][state]`: what a recovered site may conclude
+    /// from its durable state alone (see `nbc_core::recovery_analysis`).
+    recovery_classes: Vec<Vec<RecoveryClass>>,
+    config: RunConfig,
+    net: Network<Wire>,
+    sites: Vec<SiteRt>,
+    timers: BinaryHeap<Reverse<(Time, Timer)>>,
+    /// Pending `OnTransition` crash points, per site.
+    transition_crashes: Vec<Option<(u32, TransitionProgress, Option<Time>)>>,
+    /// Recovery times for timed crashes, per site.
+    now: Time,
+    events: usize,
+    truncated: bool,
+    trace: Vec<String>,
+}
+
+impl<'a> Runner<'a> {
+    /// Set up a run.
+    ///
+    /// # Panics
+    /// Panics if `config.votes.len()` differs from the protocol's site
+    /// count.
+    pub fn new(protocol: &'a Protocol, analysis: &'a Analysis, config: RunConfig) -> Self {
+        let n = protocol.n_sites();
+        assert_eq!(config.votes.len(), n, "one vote per site required");
+        let net = Network::new(n, config.latency.clone(), config.detect_delay);
+        let sites = (0..n)
+            .map(|i| SiteRt::new(i, protocol.fsa(nbc_core::SiteId(i as u32)), n))
+            .collect();
+        let mut timers = BinaryHeap::new();
+        let mut transition_crashes = vec![None; n];
+        for spec in &config.crashes {
+            match spec.point {
+                CrashPoint::AtTime(t) => {
+                    timers.push(Reverse((t, Timer::Crash(spec.site))));
+                    if let Some(rt) = spec.recover_at {
+                        timers.push(Reverse((rt, Timer::Recover(spec.site))));
+                    }
+                }
+                CrashPoint::OnTransition { ordinal, progress } => {
+                    transition_crashes[spec.site] =
+                        Some((ordinal, progress, spec.recover_at));
+                }
+            }
+        }
+        if let Some(p) = &config.partition {
+            timers.push(Reverse((p.at, Timer::Partition)));
+        }
+        let decisions = ClassDecisions::build(protocol, analysis);
+        let mut recovery_classes: Vec<Vec<RecoveryClass>> = protocol
+            .fsas()
+            .iter()
+            .map(|f| vec![RecoveryClass::MustAsk; f.state_count()])
+            .collect();
+        for row in classify(protocol, analysis) {
+            recovery_classes[row.site.index()][row.state.index()] = row.class;
+        }
+        Self {
+            protocol,
+            analysis,
+            decisions,
+            recovery_classes,
+            config,
+            net,
+            sites,
+            timers,
+            transition_crashes,
+            now: 0,
+            events: 0,
+            truncated: false,
+            trace: Vec::new(),
+        }
+    }
+
+    /// Execute to quiescence and report.
+    pub fn run(mut self) -> RunReport {
+        // Seed the client stimuli and let every site take its first steps.
+        for m in self.protocol.initial_msgs() {
+            let dst = m.dst.index();
+            self.sites[dst].inbox.push((CLIENT_SRC, m.kind));
+        }
+        for i in 0..self.sites.len() {
+            self.pump(i);
+        }
+
+        loop {
+            if self.events >= self.config.max_events {
+                self.truncated = true;
+                break;
+            }
+            let net_t = self.net.peek_time();
+            let timer_t = self.timers.peek().map(|Reverse((t, _))| *t);
+            match (net_t, timer_t) {
+                (None, None) => break,
+                (Some(nt), tt) if tt.is_none() || nt <= tt.unwrap() => {
+                    let (t, ev) = self.net.next_event().expect("peeked");
+                    self.now = t;
+                    self.events += 1;
+                    self.handle_net(ev);
+                }
+                _ => {
+                    let Reverse((t, timer)) = self.timers.pop().expect("peeked");
+                    self.now = t;
+                    self.events += 1;
+                    match timer {
+                        Timer::Crash(site) => self.crash_site(site),
+                        Timer::Recover(site) => self.recover_site(site),
+                        Timer::Partition => {
+                            let spec = self
+                                .config
+                                .partition
+                                .clone()
+                                .expect("partition timer implies a spec");
+                            self.note(|| format!("PARTITION {:?}", spec.groups));
+                            self.net.partition(self.now, spec.groups);
+                        }
+                    }
+                }
+            }
+        }
+
+        self.report()
+    }
+
+    // ------------------------------------------------------------------
+    // Tracing
+    // ------------------------------------------------------------------
+
+    fn note(&mut self, text: impl FnOnce() -> String) {
+        if self.config.record_trace {
+            let line = format!("t={:<4} {}", self.now, text());
+            self.trace.push(line);
+        }
+    }
+
+    /// Send with tracing.
+    fn send(&mut self, src: usize, dst: usize, wire: Wire) {
+        if self.config.record_trace {
+            let line = format!("t={:<4} site{src} -> site{dst} : {wire}", self.now);
+            self.trace.push(line);
+        }
+        self.net.send(self.now, src, dst, wire);
+    }
+
+    // ------------------------------------------------------------------
+    // Normal protocol execution
+    // ------------------------------------------------------------------
+
+    /// Fire enabled transitions at `ix` until quiescent (or crash).
+    fn pump(&mut self, ix: usize) {
+        while self.sites[ix].mode == Mode::Normal {
+            let fsa = self.protocol.fsa(nbc_core::SiteId(ix as u32));
+            let vote = self.config.votes[ix];
+            let Some((ti, consumed)) = self.sites[ix].choose_transition(fsa, vote) else {
+                return;
+            };
+            let t = &fsa.transitions()[ti as usize];
+            let (to, emits) = (t.to, t.emit.clone());
+            let to_class = fsa.state(to).class;
+
+            // Crash-point check: is this the transition we die in?
+            self.sites[ix].transitions_attempted += 1;
+            let attempted = self.sites[ix].transitions_attempted;
+            if let Some((ordinal, progress, recover_at)) = self.transition_crashes[ix] {
+                if ordinal == attempted {
+                    self.transition_crashes[ix] = None;
+                    match progress {
+                        TransitionProgress::BeforeLog => {
+                            // Nothing durable, nothing sent.
+                        }
+                        TransitionProgress::AfterMsgs(k) => {
+                            self.apply_transition_state(ix, to, to_class, &consumed);
+                            for e in emits.iter().take(k as usize) {
+                                self.send(ix, e.dst.index(), Wire::Proto(e.kind));
+                            }
+                        }
+                    }
+                    if let Some(rt) = recover_at {
+                        self.timers.push(Reverse((rt.max(self.now + 1), Timer::Recover(ix))));
+                    }
+                    self.crash_site(ix);
+                    return;
+                }
+            }
+
+            self.apply_transition_state(ix, to, to_class, &consumed);
+            for e in &emits {
+                self.send(ix, e.dst.index(), Wire::Proto(e.kind));
+            }
+            if to_class.is_final() {
+                self.finish(ix, to_class == StateClass::Committed);
+                return;
+            }
+        }
+    }
+
+    /// Consume messages, log progress, move the local state.
+    fn apply_transition_state(
+        &mut self,
+        ix: usize,
+        to: StateId,
+        to_class: StateClass,
+        consumed: &[(usize, nbc_core::MsgKind)],
+    ) {
+        for &(src, kind) in consumed {
+            let taken = self.sites[ix].take_msg(src, kind);
+            debug_assert!(taken, "chosen transition must be satisfiable");
+        }
+        if self.config.record_trace {
+            let from = self.sites[ix].state;
+            let fsa = self.protocol.fsa(nbc_core::SiteId(ix as u32));
+            let line = format!(
+                "t={:<4} site{ix}: {} -> {} (logged)",
+                self.now,
+                fsa.state(from).name,
+                fsa.state(to).name
+            );
+            self.trace.push(line);
+        }
+        self.sites[ix].log_progress(TXN, to, to_class);
+        self.sites[ix].state = to;
+    }
+
+    /// Reach a final outcome at `ix` (via the protocol or a decision).
+    fn finish(&mut self, ix: usize, commit: bool) {
+        if self.sites[ix].outcome.is_none() {
+            self.sites[ix].log_decision(TXN, commit);
+            self.note(|| {
+                format!("site{ix}: DECIDED {}", if commit { "COMMIT" } else { "ABORT" })
+            });
+        }
+        self.sites[ix].mode = Mode::Done;
+        self.answer_pending_queries(ix);
+    }
+
+    // ------------------------------------------------------------------
+    // Event handling
+    // ------------------------------------------------------------------
+
+    fn handle_net(&mut self, ev: NetEvent<Wire>) {
+        match ev {
+            NetEvent::Deliver { src, dst, msg } => {
+                if self.sites[dst].mode == Mode::Down {
+                    return; // lost with the site
+                }
+                self.deliver(src, dst, msg);
+            }
+            NetEvent::FailureNotice { observer, crashed } => {
+                if self.sites[observer].mode == Mode::Down {
+                    return;
+                }
+                self.on_failure_notice(observer, crashed);
+            }
+            NetEvent::RecoveryNotice { observer, recovered } => {
+                if self.sites[observer].mode == Mode::Down {
+                    return;
+                }
+                self.sites[observer].recovered_peers.insert(recovered);
+                // Blocked and recovering sites probe recovered peers.
+                if matches!(self.sites[observer].mode, Mode::Blocked | Mode::Recovering) {
+                    self.send(observer, recovered, Wire::WhatHappened);
+                }
+            }
+        }
+    }
+
+    fn deliver(&mut self, src: usize, dst: usize, msg: Wire) {
+        match msg {
+            Wire::Proto(kind) => {
+                if self.sites[dst].mode == Mode::Normal {
+                    self.sites[dst].inbox.push((src, kind));
+                    self.pump(dst);
+                }
+                // Frozen (terminating/blocked/recovering/done) sites ignore
+                // protocol traffic; the termination or recovery protocol
+                // owns the outcome now.
+            }
+            Wire::AlignTo { backup, class } => self.on_align_to(dst, backup, class),
+            Wire::AlignAck { backup, reported_class } => {
+                if backup == dst {
+                    self.on_align_ack(dst, src, reported_class);
+                }
+            }
+            Wire::TermDecision { commit, .. } => {
+                if self.sites[dst].outcome.is_none()
+                    && self.sites[dst].mode != Mode::Down
+                {
+                    self.finish(dst, commit);
+                }
+            }
+            Wire::TermBlocked { backup } => {
+                if matches!(self.sites[dst].mode, Mode::Terminating { .. })
+                    && self.sites[dst].elected_backup() == backup
+                {
+                    self.sites[dst].mode = Mode::Blocked;
+                    // A blocked site will not decide on its own: give any
+                    // waiting recoverers a settled answer.
+                    self.answer_pending_queries(dst);
+                }
+            }
+            Wire::WhatHappened => self.on_what_happened(dst, src),
+            Wire::OutcomeIs { outcome, class, settled } => {
+                self.on_outcome_is(dst, src, outcome, class, settled)
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Termination protocol
+    // ------------------------------------------------------------------
+
+    /// The class a site reports to the termination and recovery protocols:
+    /// a decided site reports its outcome's final class even if its FSA
+    /// never reached a final state (it may have adopted a `TermDecision`
+    /// while frozen mid-protocol); otherwise the aligned class or the
+    /// current state's class.
+    fn reported_class_of(&self, ix: usize) -> u8 {
+        use nbc_storage::recovery::class_codes;
+        match self.sites[ix].outcome {
+            Some(true) => class_codes::COMMITTED,
+            Some(false) => class_codes::ABORTED,
+            None => {
+                let fsa = self.protocol.fsa(nbc_core::SiteId(ix as u32));
+                self.sites[ix].reported_class(fsa)
+            }
+        }
+    }
+
+    fn on_failure_notice(&mut self, observer: usize, crashed: usize) {
+        self.sites[observer].view[crashed] = false;
+        self.sites[observer].recovered_peers.remove(&crashed);
+        match self.sites[observer].mode {
+            Mode::Down | Mode::Recovering => {}
+            Mode::Done => {
+                // A finished site elected backup propagates its outcome:
+                // the paper's degenerate case where phase 1 is omitted
+                // because the backup is already in a commit or abort state.
+                if self.sites[observer].elected_backup() == observer {
+                    let commit =
+                        self.sites[observer].outcome.expect("Done implies an outcome");
+                    self.broadcast_decision(observer, commit);
+                }
+            }
+            Mode::Normal | Mode::Terminating { .. } | Mode::Blocked => {
+                self.enter_termination(observer);
+            }
+        }
+    }
+
+    /// (Re)enter the termination protocol after a view change.
+    fn enter_termination(&mut self, ix: usize) {
+        let backup = self.sites[ix].elected_backup();
+        self.sites[ix].mode = Mode::Terminating { backup };
+        if backup == ix {
+            self.start_backup(ix);
+        } else if self.sites[ix].backup_state.phase1_sent {
+            // This site was the backup of an earlier round; drop that role.
+            self.sites[ix].backup_state = Default::default();
+        }
+    }
+
+    /// Begin (or refresh) the backup role at `ix`.
+    fn start_backup(&mut self, ix: usize) {
+        // A backup already in a final state skips phase 1 (paper: "it can
+        // be omitted if the backup coordinator is initially in a commit or
+        // abort state") and simply propagates its outcome.
+        if let Some(commit) = self.sites[ix].outcome {
+            self.broadcast_decision(ix, commit);
+            return;
+        }
+        let fsa = self.protocol.fsa(nbc_core::SiteId(ix as u32));
+        if fsa.state(self.sites[ix].state).class.is_final() {
+            let commit = fsa.state(self.sites[ix].state).class == StateClass::Committed;
+            self.finish(ix, commit);
+            self.broadcast_decision(ix, commit);
+            return;
+        }
+
+        let peers: Vec<usize> = (0..self.sites.len())
+            .filter(|&j| j != ix && self.sites[ix].view[j])
+            .collect();
+        let my_class = self.reported_class_of(ix);
+        self.sites[ix].backup_state.pending_acks = peers.iter().copied().collect();
+        self.sites[ix].backup_state.collected.clear();
+        self.sites[ix].backup_state.phase1_sent = true;
+        if peers.is_empty() {
+            self.backup_decide(ix);
+            return;
+        }
+        for j in peers {
+            self.send(ix, j, Wire::AlignTo { backup: ix, class: my_class });
+        }
+    }
+
+    fn on_align_to(&mut self, ix: usize, backup: usize, class: u8) {
+        match self.sites[ix].mode {
+            Mode::Down | Mode::Recovering => return,
+            Mode::Done => {
+                let reported = self.reported_class_of(ix);
+                self.send(ix, backup, Wire::AlignAck { backup, reported_class: reported });
+                return;
+            }
+            Mode::Normal | Mode::Terminating { .. } | Mode::Blocked => {}
+        }
+        // Only obey the currently elected backup; stale directives from a
+        // previous (now crashed) backup are ignored.
+        if self.sites[ix].elected_backup() != backup {
+            return;
+        }
+        self.sites[ix].mode = Mode::Terminating { backup };
+        let reported = self.reported_class_of(ix);
+        let fsa = self.protocol.fsa(nbc_core::SiteId(ix as u32));
+        if !fsa.state(self.sites[ix].state).class.is_final() {
+            // Make the transition to the backup's state: durable first.
+            self.sites[ix]
+                .wal
+                .append_sync(&LogRecord::AlignedTo { txn: TXN, class });
+            self.sites[ix].aligned_class = Some(class);
+        }
+        self.send(ix, backup, Wire::AlignAck { backup, reported_class: reported });
+    }
+
+    fn on_align_ack(&mut self, ix: usize, from: usize, reported_class: u8) {
+        if !matches!(self.sites[ix].mode, Mode::Terminating { backup } if backup == ix) {
+            return;
+        }
+        let bs = &mut self.sites[ix].backup_state;
+        if bs.pending_acks.remove(&from) {
+            bs.collected.push((from, reported_class));
+        }
+        if bs.pending_acks.is_empty() {
+            self.backup_decide(ix);
+        }
+    }
+
+    fn backup_decide(&mut self, ix: usize) {
+        use nbc_core::Decision;
+        let fsa = self.protocol.fsa(nbc_core::SiteId(ix as u32));
+        let my_class = self.reported_class_of(ix);
+        let decision = match self.config.rule {
+            TerminationRule::NaiveCs => {
+                // Paper rule verbatim on the backup's own local state —
+                // deliberately unsafe for blocking protocols.
+                let me = self.sites[ix].core_id();
+                let st = self.sites[ix].state;
+                match fsa.state(st).class {
+                    StateClass::Committed => Decision::Commit,
+                    StateClass::Aborted => Decision::Abort,
+                    _ => {
+                        if self.analysis.cs_has_commit(me, st) {
+                            Decision::Commit
+                        } else {
+                            Decision::Abort
+                        }
+                    }
+                }
+            }
+            TerminationRule::Skeen => self.decisions.decide(my_class),
+            TerminationRule::QuorumSkeen => {
+                // Count sites this backup believes operational (itself
+                // included); without a strict majority of all n sites the
+                // backup must not decide — the other side of a potential
+                // partition might.
+                let operational =
+                    self.sites[ix].view.iter().filter(|&&up| up).count();
+                if 2 * operational > self.sites.len() {
+                    self.decisions.decide(my_class)
+                } else {
+                    Decision::Blocked
+                }
+            }
+            TerminationRule::Cooperative => {
+                let base = self.decisions.decide(my_class);
+                if base == Decision::Blocked {
+                    let mut classes: Vec<u8> = self.sites[ix]
+                        .backup_state
+                        .collected
+                        .iter()
+                        .map(|&(_, c)| c)
+                        .collect();
+                    classes.push(my_class);
+                    self.decisions.decide_cooperative(classes)
+                } else {
+                    base
+                }
+            }
+        };
+        match decision {
+            Decision::Commit => {
+                self.finish(ix, true);
+                self.broadcast_decision(ix, true);
+            }
+            Decision::Abort => {
+                self.finish(ix, false);
+                self.broadcast_decision(ix, false);
+            }
+            Decision::Blocked => {
+                self.sites[ix].mode = Mode::Blocked;
+                let peers: Vec<usize> = (0..self.sites.len())
+                    .filter(|&j| j != ix && self.sites[ix].view[j])
+                    .collect();
+                for j in peers {
+                    self.send(ix, j, Wire::TermBlocked { backup: ix });
+                }
+                self.answer_pending_queries(ix);
+            }
+        }
+    }
+
+    fn broadcast_decision(&mut self, ix: usize, commit: bool) {
+        let peers: Vec<usize> = (0..self.sites.len())
+            .filter(|&j| j != ix && self.sites[ix].view[j])
+            .collect();
+        for j in peers {
+            self.send(ix, j, Wire::TermDecision { backup: ix, commit });
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Crash and recovery
+    // ------------------------------------------------------------------
+
+    fn crash_site(&mut self, ix: usize) {
+        if self.sites[ix].mode == Mode::Down {
+            return;
+        }
+        // Volatile state is lost: only the synced WAL prefix survives.
+        let image = self.sites[ix].wal.crash_image();
+        let (wal, _) = nbc_storage::Wal::from_image(&image)
+            .expect("own crash image is well-formed");
+        self.sites[ix].wal = wal;
+        self.sites[ix].inbox.clear();
+        self.sites[ix].backup_state = Default::default();
+        self.sites[ix].pending_queries.clear();
+        self.sites[ix].recovery_replies.clear();
+        self.sites[ix].mode = Mode::Down;
+        self.note(|| format!("site{ix}: CRASH"));
+        self.net.crash(self.now, ix);
+    }
+
+    fn recover_site(&mut self, ix: usize) {
+        if self.sites[ix].mode != Mode::Down {
+            return;
+        }
+        let records =
+            nbc_storage::Wal::recover(&self.sites[ix].wal.full_image()).expect("own log");
+        let summaries = summarize(&records);
+        let summary = summaries.iter().find(|t| t.txn == TXN);
+        // Fresh view: the recovering site interacts via the recovery
+        // protocol only, so an optimistic view is harmless.
+        let n = self.sites.len();
+        self.sites[ix].view = vec![true; n];
+        self.sites[ix].recovery_replies.clear();
+        self.note(|| format!("site{ix}: RECOVER"));
+        self.net.recover(self.now, ix);
+
+        match summary.map(|s| &s.outcome) {
+            None | Some(TxnOutcome::AbortOnRecovery) => {
+                // Crashed before voting (or before the transaction reached
+                // it): abort unilaterally upon recovering.
+                self.sites[ix].mode = Mode::Recovering;
+                self.finish(ix, false);
+            }
+            Some(TxnOutcome::Committed) => {
+                self.sites[ix].outcome = Some(true);
+                self.sites[ix].mode = Mode::Done;
+            }
+            Some(TxnOutcome::Aborted) => {
+                self.sites[ix].outcome = Some(false);
+                self.sites[ix].mode = Mode::Done;
+            }
+            Some(TxnOutcome::MustAsk { state, aligned_class, .. }) => {
+                self.sites[ix].state = StateId(*state);
+                self.sites[ix].aligned_class = *aligned_class;
+                self.sites[ix].mode = Mode::Recovering;
+                // Independent recovery (nbc-core::recovery_analysis): a
+                // durable state that provably never cast a yes vote lets
+                // the site abort unilaterally — no commit can exist or
+                // ever arise, because committable states require every
+                // site's vote. Only applicable when no termination-phase
+                // alignment intervened (alignment may carry another
+                // site's progress).
+                let rc = self.recovery_classes[ix][*state as usize];
+                if aligned_class.is_none() && rc == RecoveryClass::IndependentAbort {
+                    self.finish(ix, false);
+                    return;
+                }
+                for j in 0..n {
+                    if j != ix {
+                        self.send(ix, j, Wire::WhatHappened);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Is this site settled — guaranteed not to reach a decision on its
+    /// own? True once it has decided, blocked, or is itself recovering.
+    fn is_settled(&self, ix: usize) -> bool {
+        self.sites[ix].outcome.is_some()
+            || matches!(self.sites[ix].mode, Mode::Blocked | Mode::Recovering | Mode::Done)
+    }
+
+    fn on_what_happened(&mut self, ix: usize, from: usize) {
+        let class = self.reported_class_of(ix);
+        let outcome = self.sites[ix].outcome;
+        let settled = self.is_settled(ix);
+        self.send(ix, from, Wire::OutcomeIs { outcome, class, settled });
+        if outcome.is_none() {
+            // Remember the asker; answer again on deciding or blocking.
+            if !self.sites[ix].pending_queries.contains(&from) {
+                self.sites[ix].pending_queries.push(from);
+            }
+        }
+    }
+
+    fn answer_pending_queries(&mut self, ix: usize) {
+        let outcome = self.sites[ix].outcome;
+        let class = self.reported_class_of(ix);
+        let settled = self.is_settled(ix);
+        let pending = std::mem::take(&mut self.sites[ix].pending_queries);
+        for q in pending {
+            if self.sites[q].mode != Mode::Down {
+                self.send(ix, q, Wire::OutcomeIs { outcome, class, settled });
+            }
+        }
+    }
+
+    fn on_outcome_is(
+        &mut self,
+        ix: usize,
+        from: usize,
+        outcome: Option<bool>,
+        class: u8,
+        settled: bool,
+    ) {
+        if self.sites[ix].mode != Mode::Recovering && self.sites[ix].mode != Mode::Blocked {
+            return;
+        }
+        if let Some(commit) = outcome {
+            self.finish(ix, commit);
+            return;
+        }
+        if !settled {
+            // The responder is still executing or terminating: it
+            // registered us as a pending query and will answer again with
+            // a settled reply. Counting an unsettled `None` toward the
+            // everyone-undecided rule would race the in-flight
+            // termination protocol.
+            return;
+        }
+        self.sites[ix].recovery_replies.retain(|&(s, _, _)| s != from);
+        self.sites[ix].recovery_replies.push((from, None, class));
+        self.try_total_failure_recovery(ix);
+    }
+
+    /// Everyone-undecided recovery (total failure being the canonical
+    /// case): once every other site has given a *settled* inconclusive
+    /// answer — it decided nothing, and it will not decide on its own —
+    /// no commit exists or ever will, so the lowest-id recovering site
+    /// decides for everyone: commit iff someone durably reached a commit
+    /// state (impossible here by construction, but kept for symmetry),
+    /// else abort.
+    fn try_total_failure_recovery(&mut self, ix: usize) {
+        if !self.config.total_failure_recovery {
+            return;
+        }
+        if self.sites[ix].mode != Mode::Recovering {
+            return;
+        }
+        let n = self.sites.len();
+        // Require an inconclusive answer from every other site.
+        if self.sites[ix].recovery_replies.len() < n - 1 {
+            return;
+        }
+        // Only the lowest-id recovering site drives the decision to avoid
+        // duplicate (though identical) broadcasts.
+        let lowest_recovering = (0..n).find(|&j| self.sites[j].mode == Mode::Recovering);
+        if lowest_recovering != Some(ix) {
+            return;
+        }
+        use nbc_storage::recovery::class_codes;
+        let mut classes: Vec<u8> = self.sites[ix]
+            .recovery_replies
+            .iter()
+            .map(|&(_, _, c)| c)
+            .collect();
+        classes.push(self.reported_class_of(ix));
+        let commit = classes.contains(&class_codes::COMMITTED);
+        self.finish(ix, commit);
+        for j in 0..n {
+            if j != ix && self.sites[j].mode != Mode::Down {
+                self.send(ix, j, Wire::TermDecision { backup: ix, commit });
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Reporting
+    // ------------------------------------------------------------------
+
+    fn report(&self) -> RunReport {
+        let mut outcomes = Vec::with_capacity(self.sites.len());
+        for s in &self.sites {
+            let o = if s.mode == Mode::Down {
+                // Inspect the durable log of the dead site.
+                let recs = nbc_storage::Wal::recover(&s.wal.full_image())
+                    .expect("own log well-formed");
+                match summarize(&recs).iter().find(|t| t.txn == TXN).map(|t| &t.outcome) {
+                    Some(TxnOutcome::Committed) => SiteOutcome::DownCommitted,
+                    Some(TxnOutcome::Aborted) => SiteOutcome::DownAborted,
+                    _ => SiteOutcome::DownUndecided,
+                }
+            } else {
+                match (s.outcome, &s.mode) {
+                    (Some(true), _) => SiteOutcome::Committed,
+                    (Some(false), _) => SiteOutcome::Aborted,
+                    (None, Mode::Blocked) => SiteOutcome::Blocked,
+                    (None, _) => SiteOutcome::InProgress,
+                }
+            };
+            outcomes.push(o);
+        }
+        RunReport::assemble_with_trace(
+            outcomes,
+            self.net.stats().sent(),
+            self.now,
+            self.events,
+            self.truncated,
+            self.trace.clone(),
+        )
+    }
+}
+
+/// Convenience: build the analysis and run one configuration.
+pub fn run_one(protocol: &Protocol, config: RunConfig) -> RunReport {
+    let analysis = Analysis::build(protocol).expect("protocol analyzable");
+    Runner::new(protocol, &analysis, config).run()
+}
+
+/// As [`run_one`] with a shared analysis (for sweeps).
+pub fn run_with(protocol: &Protocol, analysis: &Analysis, config: RunConfig) -> RunReport {
+    Runner::new(protocol, analysis, config).run()
+}

@@ -1,0 +1,330 @@
+//! Per-site runtime state: the FSA interpreter, inbox, WAL, and the mode
+//! machine (normal execution / termination / blocked / recovering).
+
+use std::collections::BTreeSet;
+
+use nbc_core::{Consume, Fsa, MsgKind, SiteId, StateId, Vote};
+use nbc_storage::{LogRecord, Wal};
+
+use crate::class_map::encode_class;
+
+/// What a site is currently doing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Mode {
+    /// Executing the commit protocol normally.
+    Normal,
+    /// Running the termination protocol.
+    Terminating {
+        /// The backup coordinator this site currently recognizes.
+        backup: usize,
+    },
+    /// Termination blocked: waiting for a crashed site to recover.
+    Blocked,
+    /// Crashed (not running).
+    Down,
+    /// Restarted, running the recovery protocol (asking around).
+    Recovering,
+    /// Finished: reached a final state or adopted a decision.
+    Done,
+}
+
+/// Backup-coordinator bookkeeping (only meaningful on the backup itself).
+#[derive(Debug, Clone, Default)]
+pub struct BackupState {
+    /// Sites whose phase-1 ack is still pending.
+    pub pending_acks: BTreeSet<usize>,
+    /// Collected `(site, pre-alignment class)` pairs from acks.
+    pub collected: Vec<(usize, u8)>,
+    /// True once phase 1 has been broadcast.
+    pub phase1_sent: bool,
+}
+
+/// One simulated site.
+#[derive(Debug, Clone)]
+pub struct SiteRt {
+    /// This site's index.
+    pub id: usize,
+    /// Current local FSA state.
+    pub state: StateId,
+    /// Unconsumed protocol messages: multiset of `(src, kind)`.
+    pub inbox: Vec<(usize, MsgKind)>,
+    /// The write-ahead log.
+    pub wal: Wal,
+    /// Current mode.
+    pub mode: Mode,
+    /// Which sites this site believes operational (updated by the failure
+    /// detector). Recovered sites are *not* re-added here for the purposes
+    /// of backup election; they interact through the recovery protocol.
+    pub view: Vec<bool>,
+    /// Class aligned to by termination phase 1, if any.
+    pub aligned_class: Option<u8>,
+    /// Backup bookkeeping (when acting as backup).
+    pub backup_state: BackupState,
+    /// Adopted outcome, if decided (`true` = commit).
+    pub outcome: Option<bool>,
+    /// Number of transition attempts made (for crash-point matching).
+    pub transitions_attempted: u32,
+    /// Recovery protocol: queries from recovering sites awaiting an answer.
+    pub pending_queries: Vec<usize>,
+    /// Recovery protocol (asker side): replies collected, `(site, outcome,
+    /// class)`.
+    pub recovery_replies: Vec<(usize, Option<bool>, u8)>,
+    /// Sites known (via recovery notices) to be up again.
+    pub recovered_peers: BTreeSet<usize>,
+}
+
+impl SiteRt {
+    /// Fresh site at the FSA's initial state.
+    pub fn new(id: usize, fsa: &Fsa, n: usize) -> Self {
+        Self {
+            id,
+            state: fsa.initial(),
+            inbox: Vec::new(),
+            wal: Wal::new(),
+            mode: Mode::Normal,
+            view: vec![true; n],
+            aligned_class: None,
+            backup_state: BackupState::default(),
+            outcome: None,
+            transitions_attempted: 0,
+            pending_queries: Vec::new(),
+            recovery_replies: Vec::new(),
+            recovered_peers: BTreeSet::new(),
+        }
+    }
+
+    /// The site id as a core [`SiteId`].
+    pub fn core_id(&self) -> SiteId {
+        SiteId(self.id as u32)
+    }
+
+    /// True if the site is up (any mode but `Down`).
+    pub fn is_up(&self) -> bool {
+        self.mode != Mode::Down
+    }
+
+    /// The class this site reports to the termination protocol: its
+    /// aligned class if phase 1 aligned it, else its current state's class.
+    pub fn reported_class(&self, fsa: &Fsa) -> u8 {
+        if fsa.state(self.state).class.is_final() {
+            // Final states never align; they report themselves.
+            return encode_class(fsa.state(self.state).class);
+        }
+        self.aligned_class
+            .unwrap_or_else(|| encode_class(fsa.state(self.state).class))
+    }
+
+    /// The backup this site elects: the lowest-id site in its operational
+    /// view (itself included).
+    pub fn elected_backup(&self) -> usize {
+        self.view
+            .iter()
+            .position(|&up| up)
+            .expect("at least this site is operational")
+    }
+
+    /// Remove one `(src, kind)` message from the inbox; true if present.
+    pub fn take_msg(&mut self, src: usize, kind: MsgKind) -> bool {
+        if let Some(pos) = self.inbox.iter().position(|&m| m == (src, kind)) {
+            self.inbox.swap_remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Does the inbox satisfy a trigger? Returns the concrete messages to
+    /// consume (`None` if not satisfiable). For `Any`, the first matching
+    /// source in list order is chosen.
+    pub fn satisfy(&self, consume: &Consume) -> Option<Vec<(usize, MsgKind)>> {
+        match consume {
+            Consume::Spontaneous => Some(Vec::new()),
+            Consume::All(v) => {
+                let mut need: Vec<(usize, MsgKind)> = v
+                    .iter()
+                    .map(|&(src, kind)| (src_index(src), kind))
+                    .collect();
+                // Every needed (src, kind) must be present; sources are
+                // distinct in well-formed protocols so counting is simple.
+                for item in &need {
+                    if !self.inbox.contains(item) {
+                        return None;
+                    }
+                }
+                need.dedup();
+                Some(need)
+            }
+            Consume::Any(v) => v
+                .iter()
+                .map(|&(src, kind)| (src_index(src), kind))
+                .find(|item| self.inbox.contains(item))
+                .map(|item| vec![item]),
+        }
+    }
+
+    /// Pick the transition to fire under the vote plan: the first
+    /// transition (in declaration order) that is vote-compatible and whose
+    /// trigger the inbox satisfies.
+    pub fn choose_transition(
+        &self,
+        fsa: &Fsa,
+        vote_yes: bool,
+    ) -> Option<(u32, Vec<(usize, MsgKind)>)> {
+        for (ti, t) in fsa.outgoing(self.state) {
+            let compatible = match t.vote {
+                Some(Vote::Yes) => vote_yes,
+                Some(Vote::No) => !vote_yes,
+                None => true,
+            };
+            if !compatible {
+                continue;
+            }
+            // Untagged spontaneous transitions never self-fire: spontaneity
+            // in the catalog always represents a vote.
+            if matches!(t.consume, Consume::Spontaneous) && t.vote.is_none() {
+                continue;
+            }
+            if let Some(consumed) = self.satisfy(&t.consume) {
+                return Some((ti, consumed));
+            }
+        }
+        None
+    }
+
+    /// Log a progress record for entering `state`.
+    pub fn log_progress(&mut self, txn: u64, state: StateId, class: nbc_core::StateClass) {
+        self.wal.append_sync(&LogRecord::Progress {
+            txn,
+            state: state.0,
+            class: encode_class(class),
+        });
+    }
+
+    /// Log and adopt a final decision.
+    pub fn log_decision(&mut self, txn: u64, commit: bool) {
+        self.wal.append_sync(&LogRecord::Decision { txn, commit });
+        self.outcome = Some(commit);
+    }
+}
+
+/// Map a core message source to a site index.
+///
+/// # Panics
+/// Panics on [`SiteId::CLIENT`] — client stimuli are injected into inboxes
+/// directly with a reserved source index.
+pub fn src_index(src: SiteId) -> usize {
+    if src == SiteId::CLIENT {
+        CLIENT_SRC
+    } else {
+        src.index()
+    }
+}
+
+/// Reserved inbox source index for client stimuli.
+pub const CLIENT_SRC: usize = usize::MAX;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nbc_core::protocols::central_2pc;
+
+    #[test]
+    fn inbox_multiset_ops() {
+        let p = central_2pc(2);
+        let mut s = SiteRt::new(1, p.fsa(SiteId(1)), 2);
+        s.inbox.push((0, MsgKind::XACT));
+        s.inbox.push((0, MsgKind::XACT));
+        assert!(s.take_msg(0, MsgKind::XACT));
+        assert_eq!(s.inbox.len(), 1);
+        assert!(!s.take_msg(0, MsgKind::COMMIT));
+    }
+
+    #[test]
+    fn satisfy_all_and_any() {
+        let p = central_2pc(3);
+        let mut s = SiteRt::new(0, p.fsa(SiteId(0)), 3);
+        let all = Consume::All(vec![
+            (SiteId(1), MsgKind::YES),
+            (SiteId(2), MsgKind::YES),
+        ]);
+        assert!(s.satisfy(&all).is_none());
+        s.inbox.push((1, MsgKind::YES));
+        assert!(s.satisfy(&all).is_none());
+        s.inbox.push((2, MsgKind::YES));
+        assert_eq!(s.satisfy(&all).unwrap().len(), 2);
+
+        let any = Consume::Any(vec![
+            (SiteId(1), MsgKind::NO),
+            (SiteId(2), MsgKind::NO),
+        ]);
+        assert!(s.satisfy(&any).is_none());
+        s.inbox.push((2, MsgKind::NO));
+        assert_eq!(s.satisfy(&any).unwrap(), vec![(2, MsgKind::NO)]);
+    }
+
+    #[test]
+    fn vote_plan_gates_transitions() {
+        let p = central_2pc(2);
+        let fsa = p.fsa(SiteId(1));
+        let mut s = SiteRt::new(1, fsa, 2);
+        s.inbox.push((0, MsgKind::XACT));
+        // Yes voter takes the yes transition (to w).
+        let (ti, _) = s.choose_transition(fsa, true).unwrap();
+        assert!(fsa.transitions()[ti as usize].vote == Some(Vote::Yes));
+        // No voter takes the no transition (to a).
+        let (ti, _) = s.choose_transition(fsa, false).unwrap();
+        assert!(fsa.transitions()[ti as usize].vote == Some(Vote::No));
+    }
+
+    #[test]
+    fn coordinator_no_vote_is_spontaneous() {
+        let p = central_2pc(2);
+        let fsa = p.fsa(SiteId(0));
+        let mut s = SiteRt::new(0, fsa, 2);
+        // Move to w1 manually.
+        s.state = fsa.state_by_name("w1").unwrap();
+        // A yes-voting coordinator with an empty inbox does nothing.
+        assert!(s.choose_transition(fsa, true).is_none());
+        // A no-voting coordinator aborts spontaneously.
+        let (ti, consumed) = s.choose_transition(fsa, false).unwrap();
+        assert!(consumed.is_empty());
+        assert!(matches!(
+            fsa.transitions()[ti as usize].consume,
+            Consume::Spontaneous
+        ));
+    }
+
+    #[test]
+    fn elected_backup_is_lowest_operational() {
+        let p = central_2pc(3);
+        let mut s = SiteRt::new(2, p.fsa(SiteId(2)), 3);
+        assert_eq!(s.elected_backup(), 0);
+        s.view[0] = false;
+        assert_eq!(s.elected_backup(), 1);
+        s.view[1] = false;
+        assert_eq!(s.elected_backup(), 2);
+    }
+
+    #[test]
+    fn reported_class_prefers_alignment_except_final() {
+        let p = central_2pc(2);
+        let fsa = p.fsa(SiteId(1));
+        let mut s = SiteRt::new(1, fsa, 2);
+        s.state = fsa.state_by_name("w").unwrap();
+        assert_eq!(
+            s.reported_class(fsa),
+            nbc_storage::recovery::class_codes::WAIT
+        );
+        s.aligned_class = Some(nbc_storage::recovery::class_codes::PREPARED);
+        assert_eq!(
+            s.reported_class(fsa),
+            nbc_storage::recovery::class_codes::PREPARED
+        );
+        // Final states report themselves regardless of alignment.
+        s.state = fsa.state_by_name("c").unwrap();
+        assert_eq!(
+            s.reported_class(fsa),
+            nbc_storage::recovery::class_codes::COMMITTED
+        );
+    }
+}

@@ -1,0 +1,315 @@
+//! Cascading backup failures during the termination protocol, and the
+//! recovery protocol: the "worst case, all of the operational sites must
+//! obey the fundamental nonblocking theorem" part of the paper.
+
+use nbc_core::protocols::{central_2pc, central_3pc, decentralized_3pc};
+use nbc_core::Analysis;
+use nbc_engine::{
+    enumerate_crash_specs, run_with, sweep::sweep_double, CrashPoint, CrashSpec, RunConfig,
+    SiteOutcome, TerminationRule, TransitionProgress,
+};
+
+#[test]
+fn three_pc_double_failure_sweep_stays_consistent() {
+    // Every single-crash point combined with a timed crash of every other
+    // site across the interesting time window — this includes crashing the
+    // backup mid-termination (after phase 1 alignments, before or after a
+    // partial decision broadcast).
+    for p in [central_3pc(3), decentralized_3pc(3)] {
+        let a = Analysis::build(&p).unwrap();
+        let specs = enumerate_crash_specs(&p, None);
+        let s = sweep_double(&p, &a, &RunConfig::happy(3), &specs, 0..30u64);
+        assert!(
+            s.all_consistent(),
+            "{}: {} inconsistent of {}: {:?}",
+            p.name,
+            s.inconsistent_runs.len(),
+            s.total,
+            &s.inconsistent_runs[..s.inconsistent_runs.len().min(5)]
+        );
+        // With up to two of three sites crashed, the survivor must still
+        // terminate: nonblocking with respect to n-1 failures.
+        assert!(
+            s.nonblocking(),
+            "{}: blocked={} fully_decided={}/{}",
+            p.name,
+            s.blocked,
+            s.fully_decided,
+            s.total
+        );
+    }
+}
+
+#[test]
+fn three_pc_double_failure_with_no_voter_stays_consistent() {
+    let p = central_3pc(3);
+    let a = Analysis::build(&p).unwrap();
+    let specs = enumerate_crash_specs(&p, None);
+    for no_voter in 0..3 {
+        let base = RunConfig::one_no(3, no_voter);
+        let s = sweep_double(&p, &a, &base, &specs, 0..20u64);
+        assert!(
+            s.all_consistent(),
+            "no@{no_voter}: {:?}",
+            &s.inconsistent_runs[..s.inconsistent_runs.len().min(5)]
+        );
+    }
+}
+
+#[test]
+fn blocked_two_pc_slaves_unblock_when_coordinator_recovers() {
+    // The classical 2PC blocking story with a happy ending: the
+    // coordinator crashes right after durably committing without telling
+    // anyone; the slaves block; the coordinator recovers and answers.
+    let p = central_2pc(3);
+    let a = Analysis::build(&p).unwrap();
+    let cfg = RunConfig::happy(3)
+        .with_rule(TerminationRule::Cooperative)
+        .with_crash(CrashSpec {
+            site: 0,
+            point: CrashPoint::OnTransition {
+                ordinal: 2,
+                progress: TransitionProgress::AfterMsgs(0),
+            },
+            recover_at: Some(200),
+        });
+    let r = run_with(&p, &a, cfg);
+    assert!(r.consistent, "{r}");
+    assert_eq!(r.decision(), Some(true), "{r}");
+    assert_eq!(r.outcomes[0], SiteOutcome::Committed);
+    assert_eq!(r.outcomes[1], SiteOutcome::Committed);
+    assert_eq!(r.outcomes[2], SiteOutcome::Committed);
+    assert!(!r.any_blocked, "blocking resolved by recovery: {r}");
+}
+
+#[test]
+fn blocked_two_pc_without_recovery_stays_blocked_but_consistent() {
+    let p = central_2pc(3);
+    let a = Analysis::build(&p).unwrap();
+    let cfg = RunConfig::happy(3)
+        .with_rule(TerminationRule::Cooperative)
+        .with_crash(CrashSpec {
+            site: 0,
+            point: CrashPoint::OnTransition {
+                ordinal: 2,
+                progress: TransitionProgress::AfterMsgs(0),
+            },
+            recover_at: None,
+        });
+    let r = run_with(&p, &a, cfg);
+    assert!(r.consistent, "{r}");
+    assert!(r.any_blocked, "{r}");
+    assert_eq!(r.outcomes[1], SiteOutcome::Blocked);
+    assert_eq!(r.outcomes[2], SiteOutcome::Blocked);
+}
+
+#[test]
+fn recovering_slave_learns_outcome_from_survivors() {
+    // A 3PC slave crashes after voting yes, while receiving the prepare.
+    // The coordinator — already in p1 with unanimous yes votes — becomes
+    // the backup and the class rule commits; the recovered slave asks the
+    // survivors and adopts the commit.
+    let p = central_3pc(3);
+    let a = Analysis::build(&p).unwrap();
+    let cfg = RunConfig::happy(3).with_crash(CrashSpec {
+        site: 2,
+        point: CrashPoint::OnTransition {
+            ordinal: 2,
+            progress: TransitionProgress::BeforeLog,
+        },
+        recover_at: Some(100),
+    });
+    let r = run_with(&p, &a, cfg);
+    assert!(r.consistent, "{r}");
+    assert_eq!(r.decision(), Some(true), "{r}");
+    assert_eq!(r.outcomes[2], SiteOutcome::Committed, "{r}");
+    assert!(r.all_operational_decided, "{r}");
+}
+
+#[test]
+fn recovering_slave_adopts_survivor_abort() {
+    // Same crash point, but another slave votes no: the survivors abort
+    // and the recovered slave adopts the abort.
+    let p = central_3pc(3);
+    let a = Analysis::build(&p).unwrap();
+    let cfg = RunConfig::one_no(3, 1).with_crash(CrashSpec {
+        site: 2,
+        point: CrashPoint::OnTransition {
+            ordinal: 2,
+            progress: TransitionProgress::BeforeLog,
+        },
+        recover_at: Some(100),
+    });
+    let r = run_with(&p, &a, cfg);
+    assert!(r.consistent, "{r}");
+    assert_eq!(r.decision(), Some(false), "{r}");
+    assert_eq!(r.outcomes[2], SiteOutcome::Aborted, "{r}");
+}
+
+#[test]
+fn recovered_site_that_crashed_before_voting_aborts_unilaterally() {
+    let p = central_2pc(3);
+    let a = Analysis::build(&p).unwrap();
+    let cfg = RunConfig::happy(3)
+        .with_rule(TerminationRule::Cooperative)
+        .with_crash(CrashSpec {
+            site: 1,
+            point: CrashPoint::OnTransition {
+                ordinal: 1,
+                progress: TransitionProgress::BeforeLog,
+            },
+            recover_at: Some(100),
+        });
+    let r = run_with(&p, &a, cfg);
+    assert!(r.consistent, "{r}");
+    assert_eq!(r.decision(), Some(false), "{r}");
+    assert_eq!(r.outcomes[1], SiteOutcome::Aborted, "{r}");
+}
+
+#[test]
+fn total_failure_recovery_reaches_a_consistent_decision() {
+    // Everyone crashes mid-protocol, everyone recovers: cooperative
+    // total-failure recovery decides (commit only if someone durably
+    // committed; here nobody did, so abort).
+    let p = central_3pc(3);
+    let a = Analysis::build(&p).unwrap();
+    let mut cfg = RunConfig::happy(3);
+    cfg.crashes = vec![
+        CrashSpec {
+            site: 0,
+            point: CrashPoint::OnTransition {
+                ordinal: 2,
+                progress: TransitionProgress::AfterMsgs(1),
+            },
+            recover_at: Some(100),
+        },
+        CrashSpec { site: 1, point: CrashPoint::AtTime(4), recover_at: Some(120) },
+        CrashSpec { site: 2, point: CrashPoint::AtTime(4), recover_at: Some(140) },
+    ];
+    let r = run_with(&p, &a, cfg);
+    assert!(r.consistent, "{r}");
+    assert_eq!(r.decision(), Some(false), "{r}");
+    assert!(r.all_operational_decided, "{r}");
+}
+
+#[test]
+fn total_failure_after_durable_commit_recovers_to_commit() {
+    // The coordinator durably commits, then everything burns down; on full
+    // recovery the durable commit must win.
+    let p = central_3pc(3);
+    let a = Analysis::build(&p).unwrap();
+    let mut cfg = RunConfig::happy(3);
+    cfg.crashes = vec![
+        CrashSpec {
+            site: 0,
+            point: CrashPoint::OnTransition {
+                ordinal: 3,
+                progress: TransitionProgress::AfterMsgs(0),
+            },
+            recover_at: Some(100),
+        },
+        CrashSpec { site: 1, point: CrashPoint::AtTime(6), recover_at: Some(120) },
+        CrashSpec { site: 2, point: CrashPoint::AtTime(6), recover_at: Some(140) },
+    ];
+    let r = run_with(&p, &a, cfg);
+    assert!(r.consistent, "{r}");
+    assert_eq!(r.decision(), Some(true), "{r}");
+    assert!(r.all_operational_decided, "{r}");
+}
+
+#[test]
+fn exhaustive_single_crash_with_recovery_reintegrates_consistently() {
+    // Every crash point, with the crashed site recovering later: the
+    // recovered site must always adopt the survivors' decision.
+    for p in [central_3pc(3), decentralized_3pc(3)] {
+        let a = Analysis::build(&p).unwrap();
+        let specs = enumerate_crash_specs(&p, Some(300));
+        let s = nbc_engine::sweep(&p, &a, &RunConfig::happy(3), &specs);
+        assert!(s.all_consistent(), "{}: {:?}", p.name, s.inconsistent_runs);
+        assert!(
+            s.nonblocking(),
+            "{}: blocked={} fully_decided={}/{}",
+            p.name,
+            s.blocked,
+            s.fully_decided,
+            s.total
+        );
+    }
+}
+
+#[test]
+fn fast_recovery_must_not_race_in_flight_termination() {
+    // A slave crashes and restarts *before* the survivors' termination
+    // protocol has decided (slow failure detection). The recovering site
+    // collects inconclusive replies — it must NOT treat them as a
+    // settled "nobody will ever decide" signal and abort unilaterally,
+    // because the backup (in p) is about to commit.
+    let p = central_3pc(3);
+    let a = Analysis::build(&p).unwrap();
+    let mut cfg = RunConfig::happy(3);
+    cfg.detect_delay = 25; // termination starts late...
+    cfg.crashes = vec![CrashSpec {
+        site: 2,
+        point: CrashPoint::OnTransition {
+            ordinal: 2,
+            progress: TransitionProgress::BeforeLog,
+        },
+        recover_at: Some(6), // ...but the crashed site restarts early.
+    }];
+    let r = run_with(&p, &a, cfg);
+    assert!(r.consistent, "{r}");
+    assert!(r.all_operational_decided, "{r}");
+}
+
+#[test]
+fn exhaustive_fast_recovery_sweep_stays_consistent() {
+    for p in [central_3pc(3), decentralized_3pc(3)] {
+        let a = Analysis::build(&p).unwrap();
+        for recover_at in [3u64, 6, 10, 30] {
+            let specs = enumerate_crash_specs(&p, Some(recover_at));
+            let mut base = RunConfig::happy(3);
+            base.detect_delay = 20;
+            let s = nbc_engine::sweep(&p, &a, &base, &specs);
+            assert!(
+                s.all_consistent(),
+                "{} recover@{recover_at}: {:?}",
+                p.name,
+                &s.inconsistent_runs[..s.inconsistent_runs.len().min(3)]
+            );
+            assert!(
+                s.nonblocking(),
+                "{} recover@{recover_at}: blocked={} decided={}/{}",
+                p.name,
+                s.blocked,
+                s.fully_decided,
+                s.total
+            );
+        }
+    }
+}
+
+#[test]
+fn recovered_undecided_coordinator_unblocks_2pc_by_independent_abort() {
+    // The coordinator dies in w1 *without* a durable decision; the slaves
+    // block. When the coordinator restarts, independent-recovery analysis
+    // tells it that no commit can exist (it never cast its own yes vote),
+    // so it aborts unilaterally and its answers unblock the slaves.
+    let p = central_2pc(3);
+    let a = Analysis::build(&p).unwrap();
+    let cfg = RunConfig::happy(3)
+        .with_rule(TerminationRule::Cooperative)
+        .with_crash(CrashSpec {
+            site: 0,
+            point: CrashPoint::OnTransition {
+                ordinal: 2,
+                progress: TransitionProgress::BeforeLog,
+            },
+            recover_at: Some(200),
+        });
+    let r = run_with(&p, &a, cfg);
+    assert!(r.consistent, "{r}");
+    assert_eq!(r.decision(), Some(false), "{r}");
+    assert!(!r.any_blocked, "{r}");
+    assert!(r.all_operational_decided, "{r}");
+    assert_eq!(r.outcomes[0], SiteOutcome::Aborted);
+}

@@ -1,0 +1,104 @@
+//! Determinism: identical configurations must replay identically — the
+//! property that makes every sweep and every regression test meaningful.
+
+use nbc_core::protocols::catalog;
+use nbc_core::Analysis;
+use nbc_engine::{
+    run_with, CrashPoint, CrashSpec, RunConfig, TerminationRule, TransitionProgress,
+};
+use nbc_simnet::LatencyModel;
+
+fn configs(n: usize) -> Vec<RunConfig> {
+    let mut out = vec![RunConfig::happy(n), RunConfig::one_no(n, 1)];
+    let mut jitter = RunConfig::happy(n);
+    jitter.latency = LatencyModel::uniform(1, 15, 42);
+    out.push(jitter);
+    let crash = RunConfig::happy(n)
+        .with_rule(TerminationRule::Cooperative)
+        .with_crash(CrashSpec {
+            site: 0,
+            point: CrashPoint::OnTransition {
+                ordinal: 2,
+                progress: TransitionProgress::AfterMsgs(1),
+            },
+            recover_at: Some(120),
+        });
+    out.push(crash);
+    out
+}
+
+#[test]
+fn identical_configs_replay_identically() {
+    for p in catalog(3) {
+        let a = Analysis::build(&p).unwrap();
+        for cfg in configs(3) {
+            let r1 = run_with(&p, &a, cfg.clone());
+            let r2 = run_with(&p, &a, cfg.clone());
+            assert_eq!(r1.outcomes, r2.outcomes, "{}", p.name);
+            assert_eq!(r1.msgs_sent, r2.msgs_sent, "{}", p.name);
+            assert_eq!(r1.finished_at, r2.finished_at, "{}", p.name);
+            assert_eq!(r1.events, r2.events, "{}", p.name);
+            assert_eq!(r1.consistent, r2.consistent, "{}", p.name);
+        }
+    }
+}
+
+#[test]
+fn different_latency_seeds_may_differ_but_stay_correct() {
+    let p = nbc_core::protocols::central_3pc(3);
+    let a = Analysis::build(&p).unwrap();
+    for seed in 0..20u64 {
+        let mut cfg = RunConfig::happy(3);
+        cfg.latency = LatencyModel::uniform(1, 30, seed);
+        let r = run_with(&p, &a, cfg);
+        assert!(r.consistent, "seed {seed}: {r}");
+        assert_eq!(r.decision(), Some(true), "seed {seed}: {r}");
+    }
+}
+
+#[test]
+fn trace_is_empty_unless_requested() {
+    let p = nbc_core::protocols::central_3pc(3);
+    let a = Analysis::build(&p).unwrap();
+    let r = run_with(&p, &a, RunConfig::happy(3));
+    assert!(r.trace.is_empty());
+
+    let mut cfg = RunConfig::happy(3);
+    cfg.record_trace = true;
+    let r = run_with(&p, &a, cfg);
+    assert!(!r.trace.is_empty());
+    // The trace narrates the whole happy path in order: request, votes,
+    // prepares, acks, commits.
+    let joined = r.trace.join("\n");
+    for needle in ["q1 -> w1", "xact", "yes", "prepare", "ack", "commit", "DECIDED COMMIT"] {
+        assert!(joined.contains(needle), "missing {needle:?} in:\n{joined}");
+    }
+    // Timestamps are non-decreasing.
+    let times: Vec<u64> = r
+        .trace
+        .iter()
+        .map(|l| l[2..l.find(' ').unwrap()].trim().parse().unwrap())
+        .collect();
+    assert!(times.windows(2).all(|w| w[0] <= w[1]), "{times:?}");
+}
+
+#[test]
+fn trace_narrates_termination_and_recovery() {
+    let p = nbc_core::protocols::central_3pc(3);
+    let a = Analysis::build(&p).unwrap();
+    let mut cfg = RunConfig::happy(3).with_crash(CrashSpec {
+        site: 2,
+        point: CrashPoint::OnTransition {
+            ordinal: 2,
+            progress: TransitionProgress::BeforeLog,
+        },
+        recover_at: Some(100),
+    });
+    cfg.record_trace = true;
+    let r = run_with(&p, &a, cfg);
+    let joined = r.trace.join("\n");
+    assert!(joined.contains("CRASH"), "{joined}");
+    assert!(joined.contains("RECOVER"), "{joined}");
+    assert!(joined.contains("what-happened?"), "{joined}");
+    assert!(joined.contains("outcome: committed"), "{joined}");
+}

@@ -1,0 +1,156 @@
+//! Variable-latency stress: with randomized per-message delays, messages
+//! on different links reorder freely (only per-link FIFO holds). The
+//! protocols and the termination machinery must stay correct under every
+//! interleaving the latency model can produce.
+
+use nbc_core::protocols::{catalog, central_3pc, decentralized_3pc};
+use nbc_core::Analysis;
+use nbc_simnet::LatencyModel;
+use nbc_engine::{
+    enumerate_crash_specs, run_with, sweep, CrashPoint, CrashSpec, RunConfig,
+    TerminationRule, TransitionProgress,
+};
+
+fn jittery(n: usize, seed: u64) -> RunConfig {
+    let mut cfg = RunConfig::happy(n);
+    cfg.latency = LatencyModel::uniform(1, 20, seed);
+    cfg.detect_delay = 7;
+    cfg
+}
+
+#[test]
+fn happy_paths_survive_reordering() {
+    for seed in 0..30u64 {
+        for p in catalog(3) {
+            let a = Analysis::build(&p).unwrap();
+            let r = run_with(&p, &a, jittery(3, seed));
+            assert!(r.consistent, "{} seed {seed}: {r}", p.name);
+            assert_eq!(r.decision(), Some(true), "{} seed {seed}: {r}", p.name);
+        }
+    }
+}
+
+#[test]
+fn three_pc_crash_sweeps_survive_reordering() {
+    for seed in [1u64, 7, 23] {
+        for p in [central_3pc(3), decentralized_3pc(3)] {
+            let a = Analysis::build(&p).unwrap();
+            let specs = enumerate_crash_specs(&p, None);
+            let s = sweep(&p, &a, &jittery(3, seed), &specs);
+            assert!(
+                s.all_consistent(),
+                "{} seed {seed}: {:?}",
+                p.name,
+                s.inconsistent_runs
+            );
+            assert!(
+                s.nonblocking(),
+                "{} seed {seed}: blocked={} decided={}/{}",
+                p.name,
+                s.blocked,
+                s.fully_decided,
+                s.total
+            );
+        }
+    }
+}
+
+#[test]
+fn two_pc_cooperative_survives_reordering() {
+    for seed in [3u64, 11] {
+        for p in catalog(3).into_iter().filter(|p| p.phase_count() == 2) {
+            let a = Analysis::build(&p).unwrap();
+            let specs = enumerate_crash_specs(&p, None);
+            let base = jittery(3, seed).with_rule(TerminationRule::Cooperative);
+            let s = sweep(&p, &a, &base, &specs);
+            assert!(
+                s.all_consistent(),
+                "{} seed {seed}: {:?}",
+                p.name,
+                s.inconsistent_runs
+            );
+        }
+    }
+}
+
+#[test]
+fn recovery_survives_reordering() {
+    for seed in 0..10u64 {
+        let p = central_3pc(3);
+        let a = Analysis::build(&p).unwrap();
+        let cfg = jittery(3, seed).with_crash(CrashSpec {
+            site: 0,
+            point: CrashPoint::OnTransition {
+                ordinal: 3,
+                progress: TransitionProgress::AfterMsgs(1),
+            },
+            recover_at: Some(500),
+        });
+        let r = run_with(&p, &a, cfg);
+        assert!(r.consistent, "seed {seed}: {r}");
+        assert_eq!(r.decision(), Some(true), "seed {seed}: {r}");
+        assert!(r.all_operational_decided, "seed {seed}: {r}");
+    }
+}
+
+#[test]
+fn slow_failure_detection_is_still_safe() {
+    // A very slow detector lets the normal protocol race far ahead of the
+    // termination machinery; both paths must agree.
+    for p in [central_3pc(3), decentralized_3pc(3)] {
+        let a = Analysis::build(&p).unwrap();
+        let specs = enumerate_crash_specs(&p, None);
+        let mut base = RunConfig::happy(3);
+        base.detect_delay = 50;
+        let s = sweep(&p, &a, &base, &specs);
+        assert!(s.all_consistent(), "{}: {:?}", p.name, s.inconsistent_runs);
+        assert!(s.nonblocking(), "{}: blocked={}", p.name, s.blocked);
+    }
+}
+
+#[test]
+fn instant_failure_detection_is_still_safe() {
+    for p in [central_3pc(3), decentralized_3pc(3)] {
+        let a = Analysis::build(&p).unwrap();
+        let specs = enumerate_crash_specs(&p, None);
+        let mut base = RunConfig::happy(3);
+        base.detect_delay = 0;
+        let s = sweep(&p, &a, &base, &specs);
+        assert!(s.all_consistent(), "{}: {:?}", p.name, s.inconsistent_runs);
+        assert!(s.nonblocking(), "{}: blocked={}", p.name, s.blocked);
+    }
+}
+
+#[test]
+fn fast_recovery_never_races_termination_under_jitter() {
+    // Regression test for a real bug: a site that crashed and restarted
+    // *while the survivors' termination protocol was still in flight*
+    // collected inconclusive replies and treated them as "nobody will
+    // ever decide", aborting unilaterally — which split the cluster when
+    // the backup committed moments later. The fix: only *settled* replies
+    // (from sites that decided, blocked, or are themselves recovering)
+    // count toward the everyone-undecided rule.
+    let p = central_3pc(3);
+    let a = Analysis::build(&p).unwrap();
+    for seed in 0..400u64 {
+        for recover_at in [5u64, 7, 9, 12, 15] {
+            let mut cfg = RunConfig::happy(3);
+            cfg.latency = LatencyModel::uniform(1, 12, seed);
+            cfg.detect_delay = 5;
+            cfg.crashes = vec![CrashSpec {
+                site: 2,
+                point: CrashPoint::OnTransition {
+                    ordinal: 2,
+                    progress: TransitionProgress::BeforeLog,
+                },
+                recover_at: Some(recover_at),
+            }];
+            let r = run_with(&p, &a, cfg);
+            assert!(r.consistent, "seed {seed} recover@{recover_at}: {r}");
+            assert!(
+                r.all_operational_decided,
+                "seed {seed} recover@{recover_at}: {r}"
+            );
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! The partition demonstration: the paper's assumption that the network
+//! *never fails* and that failure detection is *reliable* is load-bearing.
+//! When a partition masquerades as site failures, both sides of a 3PC
+//! cluster run the termination protocol independently — and can decide
+//! differently. This is the famous caveat of 3PC, reproduced.
+
+use nbc_core::protocols::central_3pc;
+use nbc_core::Analysis;
+use nbc_engine::{run_with, PartitionSpec, RunConfig, SiteOutcome};
+use nbc_simnet::LatencyModel;
+
+fn partition_cfg(at: u64) -> RunConfig {
+    let mut cfg = RunConfig::happy(3);
+    // Latency 2: xact delivered t=2, votes t=4 (coordinator enters p1 and
+    // broadcasts prepare), prepares would arrive t=6.
+    cfg.latency = LatencyModel::constant(2);
+    cfg.detect_delay = 2;
+    // Isolate the coordinator from the slaves.
+    cfg.partition = Some(PartitionSpec { at, groups: vec![0, 1, 1] });
+    cfg
+}
+
+#[test]
+fn partition_at_prepared_coordinator_splits_the_decision() {
+    // Partition at t=5: the coordinator has durably entered p1 and sent
+    // the prepares, but they die on the wire. Side A = {coordinator in
+    // p1} commits by the class rule; side B = {slaves in w} aborts.
+    let p = central_3pc(3);
+    let a = Analysis::build(&p).unwrap();
+    let r = run_with(&p, &a, partition_cfg(5));
+    assert!(
+        !r.consistent,
+        "the partition must split the decision, got {r}"
+    );
+    assert_eq!(r.outcomes[0], SiteOutcome::Committed, "{r}");
+    assert_eq!(r.outcomes[1], SiteOutcome::Aborted, "{r}");
+    assert_eq!(r.outcomes[2], SiteOutcome::Aborted, "{r}");
+}
+
+#[test]
+fn partition_before_any_vote_is_harmless() {
+    // Partition at t=1: nothing has been decided and nobody has voted but
+    // the coordinator's side; both sides abort independently — consistent.
+    let p = central_3pc(3);
+    let a = Analysis::build(&p).unwrap();
+    let r = run_with(&p, &a, partition_cfg(1));
+    assert!(r.consistent, "{r}");
+    assert_eq!(r.decision(), Some(false), "{r}");
+}
+
+#[test]
+fn partition_after_commit_broadcast_is_harmless() {
+    // Partition at t=9: the commits (sent at t=8... with latency 2 the
+    // full run is xact@2, yes@4, prepare@6, ack@8, commit@10 — partition
+    // at 9 kills the commit messages but the coordinator has durably
+    // committed; slaves in p terminate by the class rule: p → commit.
+    // Consistent.
+    let p = central_3pc(3);
+    let a = Analysis::build(&p).unwrap();
+    let r = run_with(&p, &a, partition_cfg(9));
+    assert!(r.consistent, "{r}");
+    assert_eq!(r.decision(), Some(true), "{r}");
+    assert_eq!(r.outcomes[1], SiteOutcome::Committed, "{r}");
+}
+
+#[test]
+fn no_partition_no_split_across_every_time() {
+    // Control: the same schedule without the partition always commits.
+    let p = central_3pc(3);
+    let a = Analysis::build(&p).unwrap();
+    let mut cfg = partition_cfg(5);
+    cfg.partition = None;
+    let r = run_with(&p, &a, cfg);
+    assert!(r.consistent, "{r}");
+    assert_eq!(r.decision(), Some(true), "{r}");
+}
+
+#[test]
+fn partition_split_window_is_exactly_the_uncertainty_window() {
+    // Sweep the partition time: splits occur only while one side has
+    // progressed into committable territory (coordinator in p1) and the
+    // other has not. Before and after, both sides agree.
+    let p = central_3pc(3);
+    let a = Analysis::build(&p).unwrap();
+    let mut split_times = Vec::new();
+    for at in 0..14u64 {
+        let r = run_with(&p, &a, partition_cfg(at));
+        if !r.consistent {
+            split_times.push(at);
+        }
+    }
+    assert!(!split_times.is_empty(), "the window must exist");
+    // The window is contiguous.
+    let first = split_times[0];
+    for (i, t) in split_times.iter().enumerate() {
+        assert_eq!(*t, first + i as u64, "window must be contiguous: {split_times:?}");
+    }
+}
+
+mod quorum {
+    use super::*;
+    use nbc_engine::{enumerate_crash_specs, sweep, TerminationRule};
+
+    fn quorum_cfg(at: u64) -> RunConfig {
+        let mut cfg = partition_cfg(at);
+        cfg.rule = TerminationRule::QuorumSkeen;
+        cfg
+    }
+
+    #[test]
+    fn quorum_rule_closes_the_split_window() {
+        // With the quorum gate, the isolated coordinator (1 of 3) blocks
+        // instead of committing; the slave majority decides. No partition
+        // time splits the cluster.
+        let p = central_3pc(3);
+        let a = Analysis::build(&p).unwrap();
+        for at in 0..14u64 {
+            let r = run_with(&p, &a, quorum_cfg(at));
+            assert!(r.consistent, "t={at}: {r}");
+        }
+    }
+
+    #[test]
+    fn minority_blocks_majority_decides() {
+        // In the old split window (t=4): the coordinator blocks, the
+        // slaves abort — safe, at the price of minority availability.
+        let p = central_3pc(3);
+        let a = Analysis::build(&p).unwrap();
+        let r = run_with(&p, &a, quorum_cfg(4));
+        assert!(r.consistent, "{r}");
+        assert_eq!(r.outcomes[0], SiteOutcome::Blocked, "{r}");
+        assert_eq!(r.outcomes[1], SiteOutcome::Aborted, "{r}");
+        assert_eq!(r.outcomes[2], SiteOutcome::Aborted, "{r}");
+    }
+
+    #[test]
+    fn quorum_rule_still_nonblocking_for_minority_crashes() {
+        // Real crashes of a minority leave the majority deciding; the
+        // quorum gate costs nothing there.
+        for p in [central_3pc(3), nbc_core::protocols::decentralized_3pc(3)] {
+            let a = Analysis::build(&p).unwrap();
+            let specs = enumerate_crash_specs(&p, None);
+            let base = RunConfig::happy(3).with_rule(TerminationRule::QuorumSkeen);
+            let s = sweep(&p, &a, &base, &specs);
+            assert!(s.all_consistent(), "{}: {:?}", p.name, s.inconsistent_runs);
+            assert!(s.nonblocking(), "{}: blocked={}", p.name, s.blocked);
+        }
+    }
+
+    #[test]
+    fn quorum_rule_blocks_when_majority_is_truly_dead() {
+        // The price: if 2 of 3 sites really crash, the lone survivor
+        // blocks under the quorum gate (it cannot tell a partition from
+        // death), where plain Skeen would have terminated.
+        use nbc_engine::{CrashPoint, CrashSpec};
+        let p = central_3pc(3);
+        let a = Analysis::build(&p).unwrap();
+        let mut cfg = RunConfig::happy(3).with_rule(TerminationRule::QuorumSkeen);
+        cfg.crashes = vec![
+            CrashSpec { site: 0, point: CrashPoint::AtTime(3), recover_at: None },
+            CrashSpec { site: 1, point: CrashPoint::AtTime(3), recover_at: None },
+        ];
+        let r = run_with(&p, &a, cfg);
+        assert!(r.consistent, "{r}");
+        assert_eq!(r.outcomes[2], SiteOutcome::Blocked, "{r}");
+    }
+}

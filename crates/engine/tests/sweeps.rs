@@ -1,0 +1,251 @@
+//! Exhaustive crash-point sweeps: the engine-level validation of the
+//! fundamental nonblocking theorem.
+//!
+//! * 3PC (both paradigms) with the paper's termination protocol must be
+//!   consistent and nonblocking at **every** crash point, including
+//!   non-atomic transitions and cascading double failures.
+//! * 2PC with cooperative termination must stay consistent but exhibits a
+//!   blocking window.
+//! * 2PC with the naive verbatim rule must exhibit an actual atomicity
+//!   violation — the behavior the theorem's necessity argument predicts.
+
+use nbc_core::protocols::{central_2pc, central_3pc, decentralized_2pc, decentralized_3pc};
+use nbc_core::Analysis;
+use nbc_engine::{
+    enumerate_crash_specs, run_with, sweep, RunConfig, SiteOutcome, TerminationRule,
+};
+
+fn happy(n: usize) -> RunConfig {
+    RunConfig::happy(n)
+}
+
+#[test]
+fn all_protocols_commit_on_unanimous_yes() {
+    for p in nbc_core::protocols::catalog(3) {
+        let a = Analysis::build(&p).unwrap();
+        let r = run_with(&p, &a, happy(3));
+        assert!(r.consistent, "{}: {r}", p.name);
+        assert_eq!(r.decision(), Some(true), "{}: {r}", p.name);
+        assert_eq!(r.committed_count(), 3, "{}: {r}", p.name);
+        assert!(!r.truncated);
+    }
+}
+
+#[test]
+fn all_protocols_abort_on_any_no() {
+    for p in nbc_core::protocols::catalog(4) {
+        let a = Analysis::build(&p).unwrap();
+        for no_voter in 0..4 {
+            let r = run_with(&p, &a, RunConfig::one_no(4, no_voter));
+            assert!(r.consistent, "{} no@{no_voter}: {r}", p.name);
+            assert_eq!(r.decision(), Some(false), "{} no@{no_voter}: {r}", p.name);
+        }
+    }
+}
+
+#[test]
+fn message_counts_match_theory() {
+    // Central-site commit path: 2PC = 3(n-1) messages (xact, yes, commit);
+    // 3PC = 5(n-1) (xact, yes, prepare, ack, commit).
+    for n in [3usize, 5] {
+        let p2 = central_2pc(n);
+        let a2 = Analysis::build(&p2).unwrap();
+        let r2 = run_with(&p2, &a2, happy(n));
+        assert_eq!(r2.msgs_sent as usize, 3 * (n - 1), "2PC n={n}");
+
+        let p3 = central_3pc(n);
+        let a3 = Analysis::build(&p3).unwrap();
+        let r3 = run_with(&p3, &a3, happy(n));
+        assert_eq!(r3.msgs_sent as usize, 5 * (n - 1), "3PC n={n}");
+    }
+    // Decentralized commit path: 2PC = n^2 (votes incl. self-sends);
+    // 3PC = 2 n^2 (votes + prepares).
+    for n in [3usize, 4] {
+        let p2 = decentralized_2pc(n);
+        let a2 = Analysis::build(&p2).unwrap();
+        let r2 = run_with(&p2, &a2, happy(n));
+        assert_eq!(r2.msgs_sent as usize, n * n, "dec 2PC n={n}");
+
+        let p3 = decentralized_3pc(n);
+        let a3 = Analysis::build(&p3).unwrap();
+        let r3 = run_with(&p3, &a3, happy(n));
+        assert_eq!(r3.msgs_sent as usize, 2 * n * n, "dec 3PC n={n}");
+    }
+}
+
+#[test]
+fn three_pc_single_crash_sweep_is_nonblocking_and_consistent() {
+    for n in [2usize, 3, 4] {
+        for p in [central_3pc(n), decentralized_3pc(n)] {
+            let a = Analysis::build(&p).unwrap();
+            let specs = enumerate_crash_specs(&p, None);
+            let s = sweep(&p, &a, &happy(n), &specs);
+            assert!(
+                s.all_consistent(),
+                "{}: inconsistent runs: {:?}",
+                p.name,
+                s.inconsistent_runs
+            );
+            assert!(
+                s.nonblocking(),
+                "{}: blocked={} fully_decided={}/{}",
+                p.name,
+                s.blocked,
+                s.fully_decided,
+                s.total
+            );
+            assert_eq!(s.truncated, 0, "{}", p.name);
+        }
+    }
+}
+
+#[test]
+fn three_pc_sweep_with_no_voters_stays_consistent() {
+    for p in [central_3pc(3), decentralized_3pc(3)] {
+        let a = Analysis::build(&p).unwrap();
+        let specs = enumerate_crash_specs(&p, None);
+        for no_voter in 0..3 {
+            let base = RunConfig::one_no(3, no_voter);
+            let s = sweep(&p, &a, &base, &specs);
+            assert!(
+                s.all_consistent(),
+                "{} no@{no_voter}: {:?}",
+                p.name,
+                s.inconsistent_runs
+            );
+            assert!(s.nonblocking(), "{} no@{no_voter}: blocked={}", p.name, s.blocked);
+        }
+    }
+}
+
+#[test]
+fn two_pc_cooperative_sweep_consistent_but_blocking() {
+    for p in [central_2pc(3), decentralized_2pc(3)] {
+        let a = Analysis::build(&p).unwrap();
+        let specs = enumerate_crash_specs(&p, None);
+        let base = happy(3).with_rule(TerminationRule::Cooperative);
+        let s = sweep(&p, &a, &base, &specs);
+        assert!(
+            s.all_consistent(),
+            "{}: cooperative termination must never violate atomicity: {:?}",
+            p.name,
+            s.inconsistent_runs
+        );
+        assert!(
+            s.blocked > 0,
+            "{}: 2PC has a blocking window the sweep must find (total {})",
+            p.name,
+            s.total
+        );
+    }
+}
+
+#[test]
+fn two_pc_skeen_class_rule_also_consistent_but_blocking() {
+    // The class-based Skeen rule refuses to decide from the 2PC wait
+    // state, so it blocks rather than guesses.
+    let p = central_2pc(3);
+    let a = Analysis::build(&p).unwrap();
+    let specs = enumerate_crash_specs(&p, None);
+    let s = sweep(&p, &a, &happy(3), &specs);
+    assert!(s.all_consistent(), "{:?}", s.inconsistent_runs);
+    assert!(s.blocked > 0);
+}
+
+#[test]
+fn two_pc_naive_rule_violates_atomicity() {
+    // The theorem's necessity in action: applying the backup decision rule
+    // verbatim to a blocking protocol commits from the wait state while
+    // the crashed coordinator durably aborted (or vice versa).
+    let p = central_2pc(3);
+    let a = Analysis::build(&p).unwrap();
+    let specs = enumerate_crash_specs(&p, None);
+    // The violation needs the crashed coordinator to have durably decided
+    // *abort* while slaves sit in their wait states — so the coordinator
+    // votes no. A slave promoted to backup then applies "CS(w) contains a
+    // commit state → commit" and contradicts the durable abort.
+    let base = RunConfig::one_no(3, 0).with_rule(TerminationRule::NaiveCs);
+    let s = sweep(&p, &a, &base, &specs);
+    assert!(
+        !s.all_consistent(),
+        "expected the naive rule to produce an inconsistent run over {} runs",
+        s.total
+    );
+}
+
+#[test]
+fn three_pc_is_nonblocking_even_under_naive_rule_for_slaves() {
+    // For a protocol satisfying the theorem the verbatim rule is safe: all
+    // 3PC crash points stay consistent under NaiveCs too... except that
+    // NaiveCs on the *central coordinator's* p1 aborts (CS(p1) has no
+    // commit state) which is also safe. The sweep confirms consistency.
+    for p in [central_3pc(3), decentralized_3pc(3)] {
+        let a = Analysis::build(&p).unwrap();
+        let specs = enumerate_crash_specs(&p, None);
+        let base = happy(3).with_rule(TerminationRule::NaiveCs);
+        let s = sweep(&p, &a, &base, &specs);
+        assert!(s.all_consistent(), "{}: {:?}", p.name, s.inconsistent_runs);
+    }
+}
+
+#[test]
+fn crashed_before_voting_leads_to_abort() {
+    // A site that dies before its first transition cannot have voted yes;
+    // the survivors abort.
+    let p = central_3pc(3);
+    let a = Analysis::build(&p).unwrap();
+    let cfg = happy(3).with_crash(nbc_engine::CrashSpec {
+        site: 2,
+        point: nbc_engine::CrashPoint::OnTransition {
+            ordinal: 1,
+            progress: nbc_engine::TransitionProgress::BeforeLog,
+        },
+        recover_at: None,
+    });
+    let r = run_with(&p, &a, cfg);
+    assert!(r.consistent, "{r}");
+    assert_eq!(r.decision(), Some(false), "{r}");
+    assert_eq!(r.outcomes[2], SiteOutcome::DownUndecided);
+}
+
+#[test]
+fn coordinator_crash_after_full_commit_broadcast_propagates_commit() {
+    // Coordinator dies right after sending every commit: slaves commit.
+    let p = central_3pc(3);
+    let a = Analysis::build(&p).unwrap();
+    let cfg = happy(3).with_crash(nbc_engine::CrashSpec {
+        site: 0,
+        point: nbc_engine::CrashPoint::OnTransition {
+            ordinal: 3,
+            progress: nbc_engine::TransitionProgress::AfterMsgs(2),
+        },
+        recover_at: None,
+    });
+    let r = run_with(&p, &a, cfg);
+    assert!(r.consistent, "{r}");
+    assert_eq!(r.decision(), Some(true), "{r}");
+    assert_eq!(r.outcomes[0], SiteOutcome::DownCommitted);
+    assert_eq!(r.outcomes[1], SiteOutcome::Committed);
+    assert_eq!(r.outcomes[2], SiteOutcome::Committed);
+}
+
+#[test]
+fn coordinator_crash_with_partial_commit_broadcast_still_commits() {
+    // The non-atomic transition: the coordinator durably committed but
+    // only one slave heard; the termination protocol must carry the other
+    // slave to commit as well.
+    let p = central_3pc(3);
+    let a = Analysis::build(&p).unwrap();
+    let cfg = happy(3).with_crash(nbc_engine::CrashSpec {
+        site: 0,
+        point: nbc_engine::CrashPoint::OnTransition {
+            ordinal: 3,
+            progress: nbc_engine::TransitionProgress::AfterMsgs(1),
+        },
+        recover_at: None,
+    });
+    let r = run_with(&p, &a, cfg);
+    assert!(r.consistent, "{r}");
+    assert_eq!(r.decision(), Some(true), "{r}");
+    assert_eq!(r.committed_count(), 3, "{r}");
+}

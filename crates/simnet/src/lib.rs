@@ -1,0 +1,31 @@
+//! # nbc-simnet — the network substrate of the reproduction
+//!
+//! Skeen's model assumes an idealized network (paper §"Design
+//! assumptions"): it *provides point-to-point communication and never
+//! fails*, and it *can detect the failure of a site and reliably report it
+//! to an operational site*. This crate implements exactly that substrate as
+//! a deterministic discrete-event message fabric:
+//!
+//! * [`Network`] — reliable point-to-point delivery with per-link FIFO
+//!   ordering and a pluggable [`LatencyModel`];
+//! * a **perfect failure detector**: when a site crashes, every site that
+//!   is operational at detection time receives a [`NetEvent::FailureNotice`]
+//!   after a configurable detection delay;
+//! * deterministic tie-breaking (a global sequence number) so that two runs
+//!   with the same seed replay identically;
+//! * per-link and aggregate [`NetStats`] used by the message-complexity
+//!   experiments.
+//!
+//! The fabric is generic over the message type `M`; the protocol engine
+//! instantiates it with its wire enum.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod latency;
+pub mod net;
+pub mod stats;
+
+pub use latency::LatencyModel;
+pub use net::{NetEvent, Network, SiteIx, Time};
+pub use stats::NetStats;

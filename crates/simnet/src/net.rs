@@ -1,0 +1,390 @@
+//! The reliable point-to-point message fabric with a perfect failure
+//! detector.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::latency::LatencyModel;
+use crate::stats::NetStats;
+
+/// Logical simulation time.
+pub type Time = u64;
+
+/// Site index within one network instance (`0..n`).
+pub type SiteIx = usize;
+
+/// An event surfaced by the network to the simulation driver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetEvent<M> {
+    /// A message arrives at `dst`.
+    Deliver {
+        /// Sender.
+        src: SiteIx,
+        /// Receiver.
+        dst: SiteIx,
+        /// The payload.
+        msg: M,
+    },
+    /// The failure detector informs `observer` that `crashed` has failed.
+    ///
+    /// Per the paper's assumption the report is reliable: every site that
+    /// is operational when the detection fires receives it.
+    FailureNotice {
+        /// The operational site being informed.
+        observer: SiteIx,
+        /// The site that crashed.
+        crashed: SiteIx,
+    },
+    /// The failure detector informs `observer` that `recovered` is back.
+    ///
+    /// Recovery notices are the symmetric courtesy the recovery protocol
+    /// relies on to re-integrate sites; the paper assumes sites can tell
+    /// an operational site from a crashed one, which subsumes this.
+    RecoveryNotice {
+        /// The operational site being informed.
+        observer: SiteIx,
+        /// The site that recovered.
+        recovered: SiteIx,
+    },
+}
+
+/// Internal scheduled entry.
+#[derive(Debug)]
+struct Scheduled<M> {
+    at: Time,
+    seq: u64,
+    event: NetEvent<M>,
+}
+
+impl<M> PartialEq for Scheduled<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<M> Eq for Scheduled<M> {}
+impl<M> PartialOrd for Scheduled<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Scheduled<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// Deterministic reliable network for `n` sites.
+///
+/// * **Reliable**: every sent message is eventually delivered (even to a
+///   crashed site — the dead site simply never reads it; the engine models
+///   loss-on-crash at the *site*, not the network, matching the paper's
+///   "the network never fails").
+/// * **FIFO per link**: delivery times on one `(src, dst)` link are
+///   non-decreasing in send order.
+/// * **Perfect failure detection**: [`Network::crash`] schedules a
+///   [`NetEvent::FailureNotice`] to every other site after
+///   `detect_delay`; notices to sites that are themselves crashed at
+///   delivery time are suppressed by the driver loop (see
+///   [`Network::next_event`] — the network cannot know the future, so the
+///   *driver* passes current liveness in).
+pub struct Network<M> {
+    n: usize,
+    latency: LatencyModel,
+    detect_delay: Time,
+    heap: BinaryHeap<Reverse<Scheduled<M>>>,
+    seq: u64,
+    /// `last_delivery[src * n + dst]` = latest delivery time scheduled on
+    /// the link, for FIFO enforcement.
+    last_delivery: Vec<Time>,
+    /// Partition group per site, when partitioned. Messages across groups
+    /// are silently dropped — this deliberately violates the paper's
+    /// "network never fails" assumption and exists to demonstrate what
+    /// that assumption buys (see the `x3` experiment).
+    groups: Option<Vec<usize>>,
+    stats: NetStats,
+}
+
+impl<M> Network<M> {
+    /// Create a network for `n` sites.
+    pub fn new(n: usize, latency: LatencyModel, detect_delay: Time) -> Self {
+        Self {
+            n,
+            latency,
+            detect_delay,
+            heap: BinaryHeap::new(),
+            seq: 0,
+            last_delivery: vec![0; n * n],
+            groups: None,
+            stats: NetStats::new(n),
+        }
+    }
+
+    /// Number of sites.
+    pub fn n_sites(&self) -> usize {
+        self.n
+    }
+
+    /// Aggregate statistics.
+    pub fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+
+    /// Send `msg` from `src` to `dst` at time `now`; returns the scheduled
+    /// delivery time (`None` if a partition swallowed the message).
+    pub fn send(&mut self, now: Time, src: SiteIx, dst: SiteIx, msg: M) -> Option<Time> {
+        assert!(src < self.n && dst < self.n, "site index out of range");
+        if let Some(groups) = &self.groups {
+            if groups[src] != groups[dst] {
+                self.stats.record_send(src, dst);
+                self.stats.record_drop();
+                return None;
+            }
+        }
+        let lat = self.latency.sample();
+        let link = src * self.n + dst;
+        let at = (now + lat).max(self.last_delivery[link]);
+        self.last_delivery[link] = at;
+        self.stats.record_send(src, dst);
+        self.push(at, NetEvent::Deliver { src, dst, msg });
+        Some(at)
+    }
+
+    /// Partition the network at `now`: `assignment[i]` is site `i`'s group.
+    /// Messages across groups are dropped from now on, and — because the
+    /// failure detector cannot distinguish a dead site from an unreachable
+    /// one — every site receives failure notices for every site outside
+    /// its group. **This violates the paper's network assumptions on
+    /// purpose** (demonstration only).
+    pub fn partition(&mut self, now: Time, assignment: Vec<usize>) {
+        assert_eq!(assignment.len(), self.n);
+        // In-flight messages crossing the cut die with the link.
+        let retained: Vec<Reverse<Scheduled<M>>> = std::mem::take(&mut self.heap)
+            .into_iter()
+            .filter(|Reverse(sch)| match &sch.event {
+                NetEvent::Deliver { src, dst, .. }
+                    if assignment[*src] != assignment[*dst] =>
+                {
+                    self.stats.record_drop();
+                    false
+                }
+                _ => true,
+            })
+            .collect();
+        self.heap = retained.into();
+        for observer in 0..self.n {
+            for other in 0..self.n {
+                if observer != other && assignment[observer] != assignment[other] {
+                    self.push(
+                        now + self.detect_delay,
+                        NetEvent::FailureNotice { observer, crashed: other },
+                    );
+                }
+            }
+        }
+        self.groups = Some(assignment);
+    }
+
+    /// Heal a partition (messages flow again; no automatic notices).
+    pub fn heal(&mut self) {
+        self.groups = None;
+    }
+
+    /// True while partitioned.
+    pub fn is_partitioned(&self) -> bool {
+        self.groups.is_some()
+    }
+
+    /// Report that `site` crashed at `now`: schedules failure notices to
+    /// every other site at `now + detect_delay`.
+    pub fn crash(&mut self, now: Time, site: SiteIx) {
+        for observer in 0..self.n {
+            if observer != site {
+                self.push(
+                    now + self.detect_delay,
+                    NetEvent::FailureNotice { observer, crashed: site },
+                );
+            }
+        }
+    }
+
+    /// Report that `site` recovered at `now`: schedules recovery notices.
+    pub fn recover(&mut self, now: Time, site: SiteIx) {
+        for observer in 0..self.n {
+            if observer != site {
+                self.push(
+                    now + self.detect_delay,
+                    NetEvent::RecoveryNotice { observer, recovered: site },
+                );
+            }
+        }
+    }
+
+    /// Time of the next pending event, if any.
+    pub fn peek_time(&self) -> Option<Time> {
+        self.heap.peek().map(|Reverse(s)| s.at)
+    }
+
+    /// Pop the next event in time order (ties broken by send order).
+    pub fn next_event(&mut self) -> Option<(Time, NetEvent<M>)> {
+        self.heap.pop().map(|Reverse(s)| {
+            if matches!(s.event, NetEvent::Deliver { .. }) {
+                self.stats.record_delivery();
+            }
+            (s.at, s.event)
+        })
+    }
+
+    /// Number of undelivered events still scheduled.
+    pub fn pending(&self) -> usize {
+        self.heap.len()
+    }
+
+    fn push(&mut self, at: Time, event: NetEvent<M>) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(Scheduled { at, seq, event }));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net(n: usize) -> Network<&'static str> {
+        Network::new(n, LatencyModel::constant(5), 2)
+    }
+
+    #[test]
+    fn delivers_in_time_order() {
+        let mut n = net(3);
+        n.send(0, 0, 1, "a");
+        n.send(3, 1, 2, "b");
+        n.send(1, 2, 0, "c");
+        let mut order = Vec::new();
+        while let Some((t, e)) = n.next_event() {
+            if let NetEvent::Deliver { msg, .. } = e {
+                order.push((t, msg));
+            }
+        }
+        assert_eq!(order, vec![(5, "a"), (6, "c"), (8, "b")]);
+    }
+
+    #[test]
+    fn fifo_per_link_under_variable_latency() {
+        let mut n: Network<u32> = Network::new(2, LatencyModel::uniform(1, 50, 9), 0);
+        for i in 0..100 {
+            n.send(i as Time, 0, 1, i);
+        }
+        let mut seen = Vec::new();
+        while let Some((_, e)) = n.next_event() {
+            if let NetEvent::Deliver { msg, .. } = e {
+                seen.push(msg);
+            }
+        }
+        let mut sorted = seen.clone();
+        sorted.sort_unstable();
+        assert_eq!(seen, sorted, "per-link FIFO order violated");
+    }
+
+    #[test]
+    fn ties_break_by_send_order() {
+        let mut n = net(3);
+        n.send(0, 0, 1, "first");
+        n.send(0, 0, 2, "second");
+        let (t1, e1) = n.next_event().unwrap();
+        let (t2, e2) = n.next_event().unwrap();
+        assert_eq!(t1, t2);
+        assert!(matches!(e1, NetEvent::Deliver { msg: "first", .. }));
+        assert!(matches!(e2, NetEvent::Deliver { msg: "second", .. }));
+    }
+
+    #[test]
+    fn crash_notifies_everyone_else() {
+        let mut n = net(4);
+        n.crash(10, 2);
+        let mut observers = Vec::new();
+        while let Some((t, e)) = n.next_event() {
+            if let NetEvent::FailureNotice { observer, crashed } = e {
+                assert_eq!(t, 12);
+                assert_eq!(crashed, 2);
+                observers.push(observer);
+            }
+        }
+        observers.sort_unstable();
+        assert_eq!(observers, vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn recovery_notices_mirror_failure_notices() {
+        let mut n = net(3);
+        n.recover(7, 0);
+        let mut count = 0;
+        while let Some((t, e)) = n.next_event() {
+            if let NetEvent::RecoveryNotice { recovered, .. } = e {
+                assert_eq!(t, 9);
+                assert_eq!(recovered, 0);
+                count += 1;
+            }
+        }
+        assert_eq!(count, 2);
+    }
+
+    #[test]
+    fn stats_count_sends_and_deliveries() {
+        let mut n = net(2);
+        n.send(0, 0, 1, "x");
+        n.send(0, 1, 0, "y");
+        assert_eq!(n.stats().sent(), 2);
+        assert_eq!(n.stats().delivered(), 0);
+        while n.next_event().is_some() {}
+        assert_eq!(n.stats().delivered(), 2);
+        assert_eq!(n.stats().link(0, 1), 1);
+        assert_eq!(n.stats().link(1, 0), 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_site_rejected() {
+        let mut n = net(2);
+        n.send(0, 0, 5, "bad");
+    }
+
+    #[test]
+    fn partition_drops_cross_group_messages() {
+        let mut n = net(4);
+        // Groups: {0,1} and {2,3}.
+        n.partition(0, vec![0, 0, 1, 1]);
+        assert!(n.is_partitioned());
+        assert_eq!(n.send(5, 0, 1, "same side"), Some(10));
+        assert_eq!(n.send(5, 0, 2, "cross"), None);
+        assert_eq!(n.stats().dropped(), 1);
+        // Every site got failure notices for the other side's sites.
+        let mut notices = 0;
+        while let Some((_, e)) = n.next_event() {
+            if let NetEvent::FailureNotice { observer, crashed } = e {
+                assert_ne!(observer, crashed);
+                notices += 1;
+            }
+        }
+        assert_eq!(notices, 8, "2 sites x 2 unreachable peers x 2 sides");
+    }
+
+    #[test]
+    fn heal_restores_delivery() {
+        let mut n = net(2);
+        n.partition(0, vec![0, 1]);
+        assert_eq!(n.send(0, 0, 1, "lost"), None);
+        n.heal();
+        assert!(!n.is_partitioned());
+        assert!(n.send(1, 0, 1, "through").is_some());
+    }
+
+    #[test]
+    fn pending_counts_scheduled_events() {
+        let mut n = net(2);
+        assert_eq!(n.pending(), 0);
+        n.send(0, 0, 1, "x");
+        n.crash(0, 1);
+        assert_eq!(n.pending(), 2); // one delivery + one notice (to site 0)
+    }
+}

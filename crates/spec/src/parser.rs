@@ -1,0 +1,539 @@
+//! The line-oriented parser for the protocol spec format.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use nbc_core::{
+    Consume, Envelope, FsaBuilder, InitialMsg, MsgKind, Paradigm, Protocol, SiteId,
+    StateClass, StateId, Vote,
+};
+
+/// A parse failure with its 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line of the offending input.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err<T>(line: usize, message: impl Into<String>) -> Result<T, ParseError> {
+    Err(ParseError { line, message: message.into() })
+}
+
+/// A set of sites, resolved against the instantiation size and (for
+/// `Others`) the site currently being built.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SiteSet {
+    One(usize),
+    Range(usize, Option<usize>),
+    All,
+    Slaves,
+    Others,
+}
+
+impl SiteSet {
+    fn resolve(self, n: usize, me: usize) -> Vec<usize> {
+        match self {
+            Self::One(i) => vec![i],
+            Self::Range(lo, hi) => (lo..=hi.unwrap_or(n - 1)).collect(),
+            Self::All => (0..n).collect(),
+            Self::Slaves => (1..n).collect(),
+            Self::Others => (0..n).filter(|&j| j != me).collect(),
+        }
+    }
+}
+
+/// Message source in a trigger.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Src {
+    Client,
+    Site(usize),
+    All(SiteSet),
+    Any(SiteSet),
+}
+
+#[derive(Debug, Clone)]
+enum Action {
+    Send { kind: String, to: SiteSet },
+    Vote(Vote),
+}
+
+#[derive(Debug, Clone)]
+struct TransitionSpec {
+    line: usize,
+    from: String,
+    to: String,
+    trigger: Option<(String, Src)>, // None = spontaneous
+    actions: Vec<Action>,
+}
+
+#[derive(Debug, Clone)]
+struct FsaSpec {
+    role: String,
+    sites: SiteSet,
+    states: Vec<(String, StateClass)>,
+    transitions: Vec<TransitionSpec>,
+}
+
+struct Kinds {
+    map: BTreeMap<String, MsgKind>,
+    next_custom: u16,
+}
+
+impl Kinds {
+    fn new() -> Self {
+        let mut map = BTreeMap::new();
+        for k in [
+            MsgKind::REQUEST,
+            MsgKind::XACT,
+            MsgKind::YES,
+            MsgKind::NO,
+            MsgKind::COMMIT,
+            MsgKind::ABORT,
+            MsgKind::PREPARE,
+            MsgKind::ACK,
+        ] {
+            map.insert(k.builtin_name().unwrap().to_string(), k);
+        }
+        Self { map, next_custom: MsgKind::FIRST_CUSTOM.0 }
+    }
+
+    fn intern(&mut self, name: &str) -> MsgKind {
+        if let Some(&k) = self.map.get(name) {
+            return k;
+        }
+        let k = MsgKind(self.next_custom);
+        self.next_custom += 1;
+        self.map.insert(name.to_string(), k);
+        k
+    }
+}
+
+/// Parse a spec into a protocol instantiated for `n_sites`.
+pub fn parse(text: &str, n_sites: usize) -> Result<Protocol, ParseError> {
+    if n_sites < 2 {
+        return err(0, "a commit protocol needs at least 2 sites");
+    }
+    let mut name: Option<String> = None;
+    let mut paradigm = Paradigm::Custom;
+    let mut inits: Vec<(String, SiteSet, usize)> = Vec::new();
+    let mut fsas: Vec<FsaSpec> = Vec::new();
+
+    for (line_ix, raw) in text.lines().enumerate() {
+        let line_no = line_ix + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let words: Vec<&str> = line.split_whitespace().collect();
+        match words[0] {
+            "protocol" => {
+                if words.len() != 2 {
+                    return err(line_no, "usage: protocol NAME");
+                }
+                name = Some(words[1].to_string());
+            }
+            "paradigm" => {
+                paradigm = match words.get(1).copied() {
+                    Some("central") => Paradigm::CentralSite,
+                    Some("decentralized") => Paradigm::Decentralized,
+                    Some("custom") => Paradigm::Custom,
+                    other => {
+                        return err(
+                            line_no,
+                            format!("unknown paradigm {other:?} (central | decentralized | custom)"),
+                        )
+                    }
+                };
+            }
+            "init" => {
+                // init KIND to SITESET
+                if words.len() < 4 || words[2] != "to" {
+                    return err(line_no, "usage: init KIND to SITESET");
+                }
+                let set = parse_site_set(&words[3..], line_no)?;
+                inits.push((words[1].to_string(), set, line_no));
+            }
+            "fsa" => {
+                if words.len() < 3 {
+                    return err(line_no, "usage: fsa NAME SITESET");
+                }
+                let set = parse_site_set(&words[2..], line_no)?;
+                fsas.push(FsaSpec {
+                    role: words[1].to_string(),
+                    sites: set,
+                    states: Vec::new(),
+                    transitions: Vec::new(),
+                });
+            }
+            "state" => {
+                let Some(fsa) = fsas.last_mut() else {
+                    return err(line_no, "`state` outside an `fsa` block");
+                };
+                if words.len() < 3 {
+                    return err(line_no, "usage: state NAME CLASS");
+                }
+                let class = match words[2] {
+                    "initial" => StateClass::Initial,
+                    "wait" => StateClass::Wait,
+                    "prepared" => StateClass::Prepared,
+                    "aborted" => StateClass::Aborted,
+                    "committed" => StateClass::Committed,
+                    "custom" => {
+                        let k: u8 = words
+                            .get(3)
+                            .and_then(|w| w.parse().ok())
+                            .ok_or(ParseError {
+                                line: line_no,
+                                message: "usage: state NAME custom K".into(),
+                            })?;
+                        StateClass::Custom(k)
+                    }
+                    other => {
+                        return err(line_no, format!("unknown state class {other:?}"))
+                    }
+                };
+                fsa.states.push((words[1].to_string(), class));
+            }
+            _ if line.contains("->") => {
+                let Some(fsa) = fsas.last_mut() else {
+                    return err(line_no, "transition outside an `fsa` block");
+                };
+                fsa.transitions.push(parse_transition(line, line_no)?);
+            }
+            other => return err(line_no, format!("unrecognized directive {other:?}")),
+        }
+    }
+
+    let name = name.ok_or(ParseError { line: 0, message: "missing `protocol NAME`".into() })?;
+    if fsas.is_empty() {
+        return err(0, "no `fsa` blocks");
+    }
+
+    // Assign an FSA spec to every site.
+    let mut per_site: Vec<Option<&FsaSpec>> = vec![None; n_sites];
+    for f in &fsas {
+        for i in f.sites.resolve(n_sites, usize::MAX) {
+            if i >= n_sites {
+                return err(0, format!("fsa {:?} names site {i} of {n_sites}", f.role));
+            }
+            if per_site[i].is_some() {
+                return err(0, format!("site {i} assigned to two fsa blocks"));
+            }
+            per_site[i] = Some(f);
+        }
+    }
+    for (i, f) in per_site.iter().enumerate() {
+        if f.is_none() {
+            return err(0, format!("site {i} has no fsa"));
+        }
+    }
+
+    let mut kinds = Kinds::new();
+    let mut built = Vec::with_capacity(n_sites);
+    for (i, spec) in per_site.iter().enumerate() {
+        built.push(build_fsa(spec.expect("checked"), i, n_sites, &mut kinds)?);
+    }
+
+    let mut initial_msgs = Vec::new();
+    for (kind, set, line) in &inits {
+        let k = kinds.intern(kind);
+        for dst in set.resolve(n_sites, usize::MAX) {
+            if dst >= n_sites {
+                return err(*line, format!("init targets site {dst} of {n_sites}"));
+            }
+            initial_msgs.push(InitialMsg {
+                src: SiteId::CLIENT,
+                dst: SiteId(dst as u32),
+                kind: k,
+            });
+        }
+    }
+
+    let mut p = Protocol::new(format!("{name} (n={n_sites})"), paradigm, built, initial_msgs);
+    for (nm, k) in &kinds.map {
+        if k.0 >= MsgKind::FIRST_CUSTOM.0 {
+            p.name_msg(*k, nm.clone());
+        }
+    }
+    Ok(p)
+}
+
+fn parse_site_set(words: &[&str], line: usize) -> Result<SiteSet, ParseError> {
+    match words {
+        ["all"] | ["peers"] => Ok(SiteSet::All),
+        ["slaves"] => Ok(SiteSet::Slaves),
+        ["others"] => Ok(SiteSet::Others),
+        ["site", n] => n
+            .parse()
+            .map(SiteSet::One)
+            .map_err(|_| ParseError { line, message: format!("bad site index {n:?}") }),
+        ["sites", range] => {
+            let (lo, hi) = range.split_once("..").ok_or(ParseError {
+                line,
+                message: "usage: sites N.. or sites N..M".into(),
+            })?;
+            let lo: usize = lo.parse().map_err(|_| ParseError {
+                line,
+                message: format!("bad range start {lo:?}"),
+            })?;
+            let hi = if hi.is_empty() {
+                None
+            } else {
+                Some(hi.parse().map_err(|_| ParseError {
+                    line,
+                    message: format!("bad range end {hi:?}"),
+                })?)
+            };
+            Ok(SiteSet::Range(lo, hi))
+        }
+        other => err(line, format!("unrecognized site set {other:?}")),
+    }
+}
+
+fn parse_transition(line: &str, line_no: usize) -> Result<TransitionSpec, ParseError> {
+    let (arrow, rest) = line.split_once(':').ok_or(ParseError {
+        line: line_no,
+        message: "transition needs `FROM -> TO : TRIGGER [; ACTION]*`".into(),
+    })?;
+    let (from, to) = arrow.split_once("->").ok_or(ParseError {
+        line: line_no,
+        message: "transition needs `FROM -> TO`".into(),
+    })?;
+    let mut parts = rest.split(';').map(str::trim);
+    let trigger_text = parts.next().unwrap_or("");
+    let trigger = parse_trigger(trigger_text, line_no)?;
+    let mut actions = Vec::new();
+    for p in parts {
+        if p.is_empty() {
+            continue;
+        }
+        actions.push(parse_action(p, line_no)?);
+    }
+    Ok(TransitionSpec {
+        line: line_no,
+        from: from.trim().to_string(),
+        to: to.trim().to_string(),
+        trigger,
+        actions,
+    })
+}
+
+fn parse_trigger(text: &str, line: usize) -> Result<Option<(String, Src)>, ParseError> {
+    let words: Vec<&str> = text.split_whitespace().collect();
+    match words.as_slice() {
+        ["spontaneous"] => Ok(None),
+        ["recv", kind, "from", "client"] => Ok(Some((kind.to_string(), Src::Client))),
+        ["recv", kind, "from", "site", n] => {
+            let i: usize = n.parse().map_err(|_| ParseError {
+                line,
+                message: format!("bad site index {n:?}"),
+            })?;
+            Ok(Some((kind.to_string(), Src::Site(i))))
+        }
+        ["recv", kind, "from", quant @ ("all" | "any"), set @ ..] => {
+            let set = parse_site_set_names(set, line)?;
+            let src = if *quant == "all" { Src::All(set) } else { Src::Any(set) };
+            Ok(Some((kind.to_string(), src)))
+        }
+        _ => err(line, format!("unrecognized trigger {text:?}")),
+    }
+}
+
+/// Site-set names as used inside triggers, accepting singular forms
+/// ("any slave").
+fn parse_site_set_names(words: &[&str], line: usize) -> Result<SiteSet, ParseError> {
+    match words {
+        ["slaves"] | ["slave"] => Ok(SiteSet::Slaves),
+        ["peers"] | ["peer"] | ["all"] => Ok(SiteSet::All),
+        ["others"] | ["other"] => Ok(SiteSet::Others),
+        other => parse_site_set(other, line),
+    }
+}
+
+fn parse_action(text: &str, line: usize) -> Result<Action, ParseError> {
+    let words: Vec<&str> = text.split_whitespace().collect();
+    match words.as_slice() {
+        ["send", kind, "to", set @ ..] => Ok(Action::Send {
+            kind: kind.to_string(),
+            to: parse_site_set_names(set, line)?,
+        }),
+        ["vote", "yes"] => Ok(Action::Vote(Vote::Yes)),
+        ["vote", "no"] => Ok(Action::Vote(Vote::No)),
+        _ => err(line, format!("unrecognized action {text:?}")),
+    }
+}
+
+fn build_fsa(
+    spec: &FsaSpec,
+    me: usize,
+    n: usize,
+    kinds: &mut Kinds,
+) -> Result<nbc_core::Fsa, ParseError> {
+    if !spec.states.iter().any(|(_, c)| *c == StateClass::Initial) {
+        return err(
+            0,
+            format!("fsa {:?} declares no `initial` state", spec.role),
+        );
+    }
+    let mut b = FsaBuilder::new(spec.role.clone());
+    let mut ids: BTreeMap<&str, StateId> = BTreeMap::new();
+    for (nm, class) in &spec.states {
+        ids.insert(nm.as_str(), b.state(nm.clone(), *class));
+    }
+    for t in &spec.transitions {
+        let from = *ids.get(t.from.as_str()).ok_or(ParseError {
+            line: t.line,
+            message: format!("unknown state {:?}", t.from),
+        })?;
+        let to = *ids.get(t.to.as_str()).ok_or(ParseError {
+            line: t.line,
+            message: format!("unknown state {:?}", t.to),
+        })?;
+        let consume = match &t.trigger {
+            None => Consume::Spontaneous,
+            Some((kind, src)) => {
+                let k = kinds.intern(kind);
+                match src {
+                    Src::Client => Consume::one(SiteId::CLIENT, k),
+                    Src::Site(i) => Consume::one(SiteId(*i as u32), k),
+                    Src::All(set) => Consume::All(
+                        set.resolve(n, me)
+                            .into_iter()
+                            .map(|j| (SiteId(j as u32), k))
+                            .collect(),
+                    ),
+                    Src::Any(set) => Consume::Any(
+                        set.resolve(n, me)
+                            .into_iter()
+                            .map(|j| (SiteId(j as u32), k))
+                            .collect(),
+                    ),
+                }
+            }
+        };
+        let mut emit = Vec::new();
+        let mut vote = None;
+        for a in &t.actions {
+            match a {
+                Action::Send { kind, to } => {
+                    let k = kinds.intern(kind);
+                    for j in to.resolve(n, me) {
+                        emit.push(Envelope::new(SiteId(j as u32), k));
+                    }
+                }
+                Action::Vote(v) => vote = Some(*v),
+            }
+        }
+        let label = format!("{} -> {}", t.from, t.to);
+        b.transition(from, to, consume, emit, vote, label);
+    }
+    Ok(b.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::examples;
+
+    #[test]
+    fn rejects_bad_paradigm() {
+        let e = parse("protocol x\nparadigm sideways\n", 2).unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("paradigm"));
+    }
+
+    #[test]
+    fn rejects_state_outside_fsa() {
+        let e = parse("protocol x\nstate q initial\n", 2).unwrap_err();
+        assert!(e.message.contains("outside"));
+    }
+
+    #[test]
+    fn rejects_unknown_state_in_transition() {
+        let text = "protocol x\nfsa a all\n  state q initial\n  q -> nowhere : spontaneous\n";
+        let e = parse(text, 2).unwrap_err();
+        assert!(e.message.contains("nowhere"), "{e}");
+        assert_eq!(e.line, 4);
+    }
+
+    #[test]
+    fn rejects_unassigned_site() {
+        let text = "protocol x\nfsa a site 0\n  state q initial\n";
+        let e = parse(text, 3).unwrap_err();
+        assert!(e.message.contains("no fsa"), "{e}");
+    }
+
+    #[test]
+    fn rejects_double_assignment() {
+        let text = "protocol x\nfsa a all\n state q initial\nfsa b site 0\n state q initial\n";
+        let e = parse(text, 2).unwrap_err();
+        assert!(e.message.contains("two fsa blocks"), "{e}");
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let p = parse(examples::DECENTRALIZED_2PC, 2).unwrap();
+        assert_eq!(p.n_sites(), 2);
+    }
+
+    #[test]
+    fn custom_message_kinds_are_interned_and_named() {
+        let text = "\
+protocol gossip
+paradigm custom
+init ping to site 0
+fsa a site 0
+  state q initial
+  state c committed
+  q -> c : recv ping from client ; send pong to others
+fsa b sites 1..
+  state q initial
+  state c committed
+  state a aborted
+  q -> c : recv pong from site 0
+  q -> a : spontaneous ; vote no
+";
+        let p = parse(text, 3).unwrap();
+        // `pong` got a custom kind with its name registered.
+        let pong = p
+            .fsa(SiteId(0))
+            .transitions()
+            .iter()
+            .flat_map(|t| t.emit.iter())
+            .next()
+            .unwrap()
+            .kind;
+        assert!(pong.0 >= MsgKind::FIRST_CUSTOM.0);
+        assert_eq!(p.msg_name(pong), "pong");
+    }
+
+    #[test]
+    fn line_numbers_in_errors() {
+        let text = "protocol x\n\n# comment\nfsa a all\n  state q initial\n  q -> q : garbage trigger\n";
+        let e = parse(text, 2).unwrap_err();
+        assert_eq!(e.line, 6);
+    }
+
+    #[test]
+    fn site_ranges_resolve() {
+        assert_eq!(SiteSet::Range(1, None).resolve(4, 0), vec![1, 2, 3]);
+        assert_eq!(SiteSet::Range(1, Some(2)).resolve(4, 0), vec![1, 2]);
+        assert_eq!(SiteSet::Others.resolve(3, 1), vec![0, 2]);
+        assert_eq!(SiteSet::Slaves.resolve(3, 0), vec![1, 2]);
+    }
+
+    #[test]
+    fn needs_two_sites() {
+        assert!(parse(examples::CENTRAL_2PC, 1).is_err());
+    }
+}

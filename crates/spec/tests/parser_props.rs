@@ -1,0 +1,68 @@
+//! Property tests for the spec parser: total on arbitrary input (errors,
+//! never panics), and semantically faithful on the example specs at every
+//! site count.
+
+use nbc_spec::{examples, parse};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The parser must be total: any byte soup yields Ok or a positioned
+    /// error — never a panic.
+    #[test]
+    fn parser_never_panics(text in "\\PC{0,400}", n in 2usize..6) {
+        let _ = parse(&text, n);
+    }
+
+    /// Mutating random lines of a valid spec either still parses or fails
+    /// with a line number inside the document.
+    #[test]
+    fn mutated_spec_errors_are_positioned(
+        line_ix in any::<proptest::sample::Index>(),
+        junk in "[a-z]{1,12}",
+    ) {
+        let mut lines: Vec<String> =
+            examples::CENTRAL_3PC.lines().map(str::to_string).collect();
+        let i = line_ix.index(lines.len());
+        lines[i] = junk.clone();
+        let text = lines.join("\n");
+        match parse(&text, 3) {
+            Ok(_) => {}
+            Err(e) => prop_assert!(e.line <= lines.len(), "line {} of {}", e.line, lines.len()),
+        }
+    }
+
+    /// Example specs instantiate at any site count and agree with the
+    /// hand-written catalog on the theorem verdict.
+    #[test]
+    fn examples_parse_at_every_n(n in 2usize..6) {
+        use nbc_core::protocols::{central_2pc, central_3pc, decentralized_2pc};
+        use nbc_core::theorem;
+
+        for (text, hand) in [
+            (examples::CENTRAL_2PC, central_2pc(n)),
+            (examples::CENTRAL_3PC, central_3pc(n)),
+            (examples::DECENTRALIZED_2PC, decentralized_2pc(n)),
+        ] {
+            let spec = parse(text, n).unwrap();
+            spec.validate_strict().unwrap();
+            let vs = theorem::check(&spec).unwrap();
+            let vh = theorem::check(&hand).unwrap();
+            prop_assert_eq!(vs.nonblocking(), vh.nonblocking(), "{}", spec.name);
+            prop_assert_eq!(vs.clean, vh.clean, "{}", spec.name);
+        }
+    }
+}
+
+#[test]
+fn truncated_specs_fail_gracefully() {
+    // Every prefix of a valid spec parses or errors cleanly.
+    let full = examples::CENTRAL_2PC;
+    for cut in 0..full.len() {
+        if !full.is_char_boundary(cut) {
+            continue;
+        }
+        let _ = parse(&full[..cut], 3);
+    }
+}

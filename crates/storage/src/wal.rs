@@ -1,0 +1,607 @@
+//! The write-ahead log.
+//!
+//! ## Record framing
+//!
+//! ```text
+//! +----------+----------+---------+-------------------+
+//! | len: u32 | crc: u32 | tag: u8 | payload (len-1 B) |
+//! +----------+----------+---------+-------------------+
+//! ```
+//!
+//! `len` covers tag + payload; `crc` is CRC-32 over tag + payload. All
+//! integers are little-endian. Recovery reads records until the first
+//! frame that is truncated or fails its checksum — everything after a torn
+//! write is discarded, which is exactly the local atomicity the paper
+//! assumes of each site.
+//!
+//! ## Durability model
+//!
+//! The log buffer is in memory (the "disk" of the simulation), with an
+//! explicit durable watermark: [`Wal::sync`] advances it to the current
+//! end. A crash preserves only the synced prefix ([`Wal::crash_image`]).
+//! Protocols call `sync` before acting on a state transition — writing the
+//! record *ahead* of the action, hence the name.
+
+use bytes::{Buf, BufMut};
+
+use crate::crc32::crc32;
+
+/// Byte offset of a record in the log.
+pub type Lsn = u64;
+
+/// Errors from log operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalError {
+    /// A record frame declared an impossible length.
+    BadLength {
+        /// Offset of the bad frame.
+        at: Lsn,
+    },
+    /// A record failed its checksum.
+    BadChecksum {
+        /// Offset of the bad frame.
+        at: Lsn,
+    },
+    /// Unknown record tag (log written by a newer version?).
+    UnknownTag {
+        /// Offset of the bad frame.
+        at: Lsn,
+        /// The unrecognized tag byte.
+        tag: u8,
+    },
+    /// The payload of a known tag did not decode.
+    Truncated {
+        /// Offset of the bad frame.
+        at: Lsn,
+    },
+}
+
+impl std::fmt::Display for WalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::BadLength { at } => write!(f, "bad record length at lsn {at}"),
+            Self::BadChecksum { at } => write!(f, "checksum mismatch at lsn {at}"),
+            Self::UnknownTag { at, tag } => write!(f, "unknown record tag {tag} at lsn {at}"),
+            Self::Truncated { at } => write!(f, "truncated record payload at lsn {at}"),
+        }
+    }
+}
+
+impl std::error::Error for WalError {}
+
+/// A log record: the DT-log records of the commit protocol plus redo
+/// images for data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LogRecord {
+    /// A distributed transaction arrived at this site.
+    Begin {
+        /// Transaction id.
+        txn: u64,
+    },
+    /// The site's FSA moved to `state` (of `class`) for `txn`. Persisted
+    /// *before* the transition's messages are sent, so a recovering site
+    /// knows exactly how far it progressed.
+    Progress {
+        /// Transaction id.
+        txn: u64,
+        /// New local state id.
+        state: u32,
+        /// [`StateClass`](../../nbc_core/fsa/enum.StateClass.html) encoded
+        /// via the engine's mapping (the storage layer is agnostic).
+        class: u8,
+    },
+    /// Final decision for `txn`.
+    Decision {
+        /// Transaction id.
+        txn: u64,
+        /// `true` = commit, `false` = abort.
+        commit: bool,
+    },
+    /// Termination protocol, phase 1: this site aligned to the backup
+    /// coordinator's state class.
+    AlignedTo {
+        /// Transaction id.
+        txn: u64,
+        /// The class aligned to.
+        class: u8,
+    },
+    /// A staged write (redo image) for `txn`.
+    Put {
+        /// Transaction id.
+        txn: u64,
+        /// Key bytes.
+        key: Vec<u8>,
+        /// New value bytes.
+        value: Vec<u8>,
+    },
+    /// A staged deletion for `txn`.
+    Delete {
+        /// Transaction id.
+        txn: u64,
+        /// Key bytes.
+        key: Vec<u8>,
+    },
+    /// Transaction fully applied locally; earlier records for it may be
+    /// garbage-collected.
+    End {
+        /// Transaction id.
+        txn: u64,
+    },
+    /// A full snapshot of the committed key-value state. Taken at a
+    /// quiescent point (no transactions in flight), it makes every earlier
+    /// record redundant — the basis of log compaction.
+    Checkpoint {
+        /// The committed pairs, sorted by key.
+        pairs: Vec<(Vec<u8>, Vec<u8>)>,
+    },
+}
+
+impl LogRecord {
+    fn tag(&self) -> u8 {
+        match self {
+            Self::Begin { .. } => 1,
+            Self::Progress { .. } => 2,
+            Self::Decision { .. } => 3,
+            Self::AlignedTo { .. } => 4,
+            Self::Put { .. } => 5,
+            Self::Delete { .. } => 6,
+            Self::End { .. } => 7,
+            Self::Checkpoint { .. } => 8,
+        }
+    }
+
+    fn encode_payload(&self, out: &mut Vec<u8>) {
+        match self {
+            Self::Begin { txn } | Self::End { txn } => out.put_u64_le(*txn),
+            Self::Progress { txn, state, class } => {
+                out.put_u64_le(*txn);
+                out.put_u32_le(*state);
+                out.put_u8(*class);
+            }
+            Self::Decision { txn, commit } => {
+                out.put_u64_le(*txn);
+                out.put_u8(u8::from(*commit));
+            }
+            Self::AlignedTo { txn, class } => {
+                out.put_u64_le(*txn);
+                out.put_u8(*class);
+            }
+            Self::Put { txn, key, value } => {
+                out.put_u64_le(*txn);
+                out.put_u32_le(key.len() as u32);
+                out.put_slice(key);
+                out.put_u32_le(value.len() as u32);
+                out.put_slice(value);
+            }
+            Self::Delete { txn, key } => {
+                out.put_u64_le(*txn);
+                out.put_u32_le(key.len() as u32);
+                out.put_slice(key);
+            }
+            Self::Checkpoint { pairs } => {
+                out.put_u32_le(pairs.len() as u32);
+                for (k, v) in pairs {
+                    out.put_u32_le(k.len() as u32);
+                    out.put_slice(k);
+                    out.put_u32_le(v.len() as u32);
+                    out.put_slice(v);
+                }
+            }
+        }
+    }
+
+    fn decode(tag: u8, mut buf: &[u8], at: Lsn) -> Result<Self, WalError> {
+        fn need(buf: &[u8], n: usize, at: Lsn) -> Result<(), WalError> {
+            if buf.remaining() < n {
+                Err(WalError::Truncated { at })
+            } else {
+                Ok(())
+            }
+        }
+        match tag {
+            1 | 7 => {
+                need(buf, 8, at)?;
+                let txn = buf.get_u64_le();
+                Ok(if tag == 1 { Self::Begin { txn } } else { Self::End { txn } })
+            }
+            2 => {
+                need(buf, 13, at)?;
+                let txn = buf.get_u64_le();
+                let state = buf.get_u32_le();
+                let class = buf.get_u8();
+                Ok(Self::Progress { txn, state, class })
+            }
+            3 => {
+                need(buf, 9, at)?;
+                let txn = buf.get_u64_le();
+                let commit = buf.get_u8() != 0;
+                Ok(Self::Decision { txn, commit })
+            }
+            4 => {
+                need(buf, 9, at)?;
+                let txn = buf.get_u64_le();
+                let class = buf.get_u8();
+                Ok(Self::AlignedTo { txn, class })
+            }
+            5 => {
+                need(buf, 12, at)?;
+                let txn = buf.get_u64_le();
+                let klen = buf.get_u32_le() as usize;
+                need(buf, klen + 4, at)?;
+                let key = buf[..klen].to_vec();
+                buf.advance(klen);
+                let vlen = buf.get_u32_le() as usize;
+                need(buf, vlen, at)?;
+                let value = buf[..vlen].to_vec();
+                Ok(Self::Put { txn, key, value })
+            }
+            6 => {
+                need(buf, 12, at)?;
+                let txn = buf.get_u64_le();
+                let klen = buf.get_u32_le() as usize;
+                need(buf, klen, at)?;
+                let key = buf[..klen].to_vec();
+                Ok(Self::Delete { txn, key })
+            }
+            8 => {
+                need(buf, 4, at)?;
+                let count = buf.get_u32_le() as usize;
+                let mut pairs = Vec::with_capacity(count.min(1024));
+                for _ in 0..count {
+                    need(buf, 4, at)?;
+                    let klen = buf.get_u32_le() as usize;
+                    need(buf, klen + 4, at)?;
+                    let k = buf[..klen].to_vec();
+                    buf.advance(klen);
+                    let vlen = buf.get_u32_le() as usize;
+                    need(buf, vlen, at)?;
+                    let v = buf[..vlen].to_vec();
+                    buf.advance(vlen);
+                    pairs.push((k, v));
+                }
+                Ok(Self::Checkpoint { pairs })
+            }
+            other => Err(WalError::UnknownTag { at, tag: other }),
+        }
+    }
+}
+
+/// An in-memory write-ahead log with explicit durability.
+#[derive(Debug, Clone, Default)]
+pub struct Wal {
+    buf: Vec<u8>,
+    durable: usize,
+}
+
+impl Wal {
+    /// An empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a record; returns its LSN. The record is *not* durable until
+    /// [`Wal::sync`].
+    pub fn append(&mut self, rec: &LogRecord) -> Lsn {
+        let at = self.buf.len() as Lsn;
+        let mut payload = Vec::with_capacity(32);
+        payload.push(rec.tag());
+        rec.encode_payload(&mut payload);
+        self.buf.put_u32_le(payload.len() as u32);
+        self.buf.put_u32_le(crc32(&payload));
+        self.buf.extend_from_slice(&payload);
+        at
+    }
+
+    /// Append and immediately sync (the common protocol-record path —
+    /// write-ahead means the record must be durable before the transition's
+    /// messages go out).
+    pub fn append_sync(&mut self, rec: &LogRecord) -> Lsn {
+        let lsn = self.append(rec);
+        self.sync();
+        lsn
+    }
+
+    /// Make everything appended so far durable.
+    pub fn sync(&mut self) {
+        self.durable = self.buf.len();
+    }
+
+    /// Total bytes appended.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if nothing has been appended.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Bytes guaranteed to survive a crash.
+    pub fn durable_len(&self) -> usize {
+        self.durable
+    }
+
+    /// The byte image a crash would leave behind: the synced prefix.
+    pub fn crash_image(&self) -> Vec<u8> {
+        self.buf[..self.durable].to_vec()
+    }
+
+    /// The full byte image (as if shut down cleanly).
+    pub fn full_image(&self) -> Vec<u8> {
+        self.buf.clone()
+    }
+
+    /// Decode a byte image back into records.
+    ///
+    /// Stops at the first truncated frame (normal after a crash — the tail
+    /// was torn) and returns the records before it. A checksum or tag
+    /// failure in the *interior* is still reported as that error on the
+    /// offending frame; callers distinguish "clean tail truncation" (an
+    /// incomplete final frame, `Ok`) from corruption (`Err`).
+    pub fn recover(image: &[u8]) -> Result<Vec<LogRecord>, WalError> {
+        let mut recs = Vec::new();
+        let mut off = 0usize;
+        while off < image.len() {
+            let at = off as Lsn;
+            if image.len() - off < 8 {
+                break; // torn frame header
+            }
+            let len = u32::from_le_bytes(image[off..off + 4].try_into().unwrap()) as usize;
+            let crc = u32::from_le_bytes(image[off + 4..off + 8].try_into().unwrap());
+            if len == 0 {
+                return Err(WalError::BadLength { at });
+            }
+            if image.len() - off - 8 < len {
+                break; // torn payload
+            }
+            let payload = &image[off + 8..off + 8 + len];
+            if crc32(payload) != crc {
+                return Err(WalError::BadChecksum { at });
+            }
+            let rec = LogRecord::decode(payload[0], &payload[1..], at)?;
+            recs.push(rec);
+            off += 8 + len;
+        }
+        Ok(recs)
+    }
+
+    /// Compact the log: replace its entire contents with one durable
+    /// checkpoint of the given committed pairs. Callers must be quiescent —
+    /// any in-flight transaction's redo images are discarded with the old
+    /// log, so its decision could no longer be replayed.
+    pub fn checkpoint_compact(&mut self, pairs: Vec<(Vec<u8>, Vec<u8>)>) -> Lsn {
+        self.buf.clear();
+        self.durable = 0;
+        let lsn = self.append(&LogRecord::Checkpoint { pairs });
+        self.sync();
+        lsn
+    }
+
+    /// Restore a `Wal` from a crash image: the image becomes the durable
+    /// prefix, with any torn tail discarded.
+    pub fn from_image(image: &[u8]) -> Result<(Self, Vec<LogRecord>), WalError> {
+        let recs = Self::recover(image)?;
+        // Re-encode nothing: keep only the well-formed prefix length.
+        let mut well_formed = 0usize;
+        let mut off = 0usize;
+        for _ in &recs {
+            let len =
+                u32::from_le_bytes(image[off..off + 4].try_into().unwrap()) as usize;
+            off += 8 + len;
+            well_formed = off;
+        }
+        let buf = image[..well_formed].to_vec();
+        let durable = buf.len();
+        Ok((Self { buf, durable }, recs))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_records() -> Vec<LogRecord> {
+        vec![
+            LogRecord::Begin { txn: 7 },
+            LogRecord::Progress { txn: 7, state: 1, class: 1 },
+            LogRecord::Put { txn: 7, key: b"alice".to_vec(), value: b"100".to_vec() },
+            LogRecord::Delete { txn: 7, key: b"bob".to_vec() },
+            LogRecord::AlignedTo { txn: 7, class: 2 },
+            LogRecord::Decision { txn: 7, commit: true },
+            LogRecord::End { txn: 7 },
+        ]
+    }
+
+    #[test]
+    fn roundtrip_all_record_types() {
+        let mut wal = Wal::new();
+        for r in sample_records() {
+            wal.append(&r);
+        }
+        wal.sync();
+        let recovered = Wal::recover(&wal.crash_image()).unwrap();
+        assert_eq!(recovered, sample_records());
+    }
+
+    #[test]
+    fn unsynced_tail_is_lost_on_crash() {
+        let mut wal = Wal::new();
+        wal.append(&LogRecord::Begin { txn: 1 });
+        wal.sync();
+        wal.append(&LogRecord::Decision { txn: 1, commit: true });
+        // No sync: the decision is not durable.
+        let recovered = Wal::recover(&wal.crash_image()).unwrap();
+        assert_eq!(recovered, vec![LogRecord::Begin { txn: 1 }]);
+    }
+
+    #[test]
+    fn append_sync_is_durable() {
+        let mut wal = Wal::new();
+        wal.append_sync(&LogRecord::Decision { txn: 3, commit: false });
+        let recovered = Wal::recover(&wal.crash_image()).unwrap();
+        assert_eq!(recovered.len(), 1);
+    }
+
+    #[test]
+    fn torn_tail_is_dropped_cleanly() {
+        let mut wal = Wal::new();
+        wal.append(&LogRecord::Begin { txn: 1 });
+        wal.append(&LogRecord::Decision { txn: 1, commit: true });
+        wal.sync();
+        let mut image = wal.crash_image();
+        // Tear the last record: drop 3 bytes.
+        image.truncate(image.len() - 3);
+        let recovered = Wal::recover(&image).unwrap();
+        assert_eq!(recovered, vec![LogRecord::Begin { txn: 1 }]);
+    }
+
+    #[test]
+    fn corrupt_interior_detected() {
+        let mut wal = Wal::new();
+        wal.append(&LogRecord::Begin { txn: 1 });
+        wal.append(&LogRecord::End { txn: 1 });
+        wal.sync();
+        let mut image = wal.crash_image();
+        image[10] ^= 0xFF; // flip a bit inside the first payload
+        assert!(matches!(
+            Wal::recover(&image),
+            Err(WalError::BadChecksum { at: 0 })
+        ));
+    }
+
+    #[test]
+    fn unknown_tag_detected() {
+        // Hand-craft a frame with tag 99.
+        let payload = vec![99u8, 0, 0, 0, 0, 0, 0, 0, 0];
+        let mut image = Vec::new();
+        image.put_u32_le(payload.len() as u32);
+        image.put_u32_le(crc32(&payload));
+        image.extend_from_slice(&payload);
+        assert!(matches!(
+            Wal::recover(&image),
+            Err(WalError::UnknownTag { tag: 99, .. })
+        ));
+    }
+
+    #[test]
+    fn zero_length_frame_rejected() {
+        let mut image = Vec::new();
+        image.put_u32_le(0);
+        image.put_u32_le(0);
+        assert!(matches!(Wal::recover(&image), Err(WalError::BadLength { at: 0 })));
+    }
+
+    #[test]
+    fn from_image_restores_durable_log() {
+        let mut wal = Wal::new();
+        for r in sample_records() {
+            wal.append(&r);
+        }
+        wal.sync();
+        let image = wal.crash_image();
+        let (restored, recs) = Wal::from_image(&image).unwrap();
+        assert_eq!(recs, sample_records());
+        assert_eq!(restored.durable_len(), image.len());
+        // And the restored log keeps working.
+        let mut restored = restored;
+        restored.append_sync(&LogRecord::End { txn: 99 });
+        let again = Wal::recover(&restored.crash_image()).unwrap();
+        assert_eq!(again.len(), sample_records().len() + 1);
+    }
+
+    #[test]
+    fn lsn_is_byte_offset() {
+        let mut wal = Wal::new();
+        let l0 = wal.append(&LogRecord::Begin { txn: 1 });
+        let l1 = wal.append(&LogRecord::Begin { txn: 2 });
+        assert_eq!(l0, 0);
+        assert!(l1 > l0);
+    }
+
+    #[test]
+    fn empty_image_recovers_empty() {
+        assert_eq!(Wal::recover(&[]).unwrap(), vec![]);
+        assert!(Wal::new().is_empty());
+    }
+}
+
+#[cfg(test)]
+mod checkpoint_tests {
+    use super::*;
+    use crate::kv::KvStore;
+
+    fn populated() -> (Wal, KvStore) {
+        let mut wal = Wal::new();
+        let mut kv = KvStore::new();
+        for i in 0..5u64 {
+            kv.stage_put(i, format!("k{i}").into_bytes(), format!("v{i}").into_bytes());
+            kv.log_stage(i, &mut wal);
+            wal.append(&LogRecord::Decision { txn: i, commit: i != 2 });
+            if i != 2 {
+                kv.commit(i);
+            } else {
+                kv.abort(i);
+            }
+        }
+        wal.sync();
+        (wal, kv)
+    }
+
+    #[test]
+    fn checkpoint_roundtrips() {
+        let rec = LogRecord::Checkpoint {
+            pairs: vec![(b"a".to_vec(), b"1".to_vec()), (b"b".to_vec(), vec![])],
+        };
+        let mut wal = Wal::new();
+        wal.append_sync(&rec);
+        assert_eq!(Wal::recover(&wal.crash_image()).unwrap(), vec![rec]);
+    }
+
+    #[test]
+    fn compaction_preserves_committed_state() {
+        let (mut wal, kv) = populated();
+        let before = KvStore::redo_from_log(&Wal::recover(&wal.crash_image()).unwrap());
+        let old_len = wal.len();
+        wal.checkpoint_compact(kv.snapshot());
+        assert!(wal.len() < old_len, "compaction must shrink this log");
+        let after = KvStore::redo_from_log(&Wal::recover(&wal.crash_image()).unwrap());
+        let b: Vec<_> = before.iter().collect();
+        let a: Vec<_> = after.iter().collect();
+        assert_eq!(a, b);
+        // The aborted txn's key is absent in both.
+        assert_eq!(after.get(b"k2"), None);
+        assert_eq!(after.get(b"k3"), Some(b"v3".as_slice()));
+    }
+
+    #[test]
+    fn post_checkpoint_records_replay_on_top() {
+        let (mut wal, kv) = populated();
+        wal.checkpoint_compact(kv.snapshot());
+        wal.append(&LogRecord::Put { txn: 9, key: b"k0".to_vec(), value: b"new".to_vec() });
+        wal.append(&LogRecord::Decision { txn: 9, commit: true });
+        wal.append(&LogRecord::Put { txn: 10, key: b"k1".to_vec(), value: b"no".to_vec() });
+        wal.append(&LogRecord::Decision { txn: 10, commit: false });
+        wal.sync();
+        let rebuilt = KvStore::redo_from_log(&Wal::recover(&wal.crash_image()).unwrap());
+        assert_eq!(rebuilt.get(b"k0"), Some(b"new".as_slice()));
+        assert_eq!(rebuilt.get(b"k1"), Some(b"v1".as_slice()), "aborted overwrite ignored");
+    }
+
+    #[test]
+    fn empty_checkpoint_clears_state() {
+        let (mut wal, _) = populated();
+        wal.checkpoint_compact(Vec::new());
+        let rebuilt = KvStore::redo_from_log(&Wal::recover(&wal.crash_image()).unwrap());
+        assert!(rebuilt.is_empty());
+    }
+
+    #[test]
+    fn torn_checkpoint_is_detected_as_truncation() {
+        let mut wal = Wal::new();
+        wal.checkpoint_compact(vec![(vec![b'x'; 100], vec![b'y'; 100])]);
+        let mut image = wal.crash_image();
+        image.truncate(image.len() - 10);
+        // The frame is torn, so recovery sees an empty clean prefix.
+        assert_eq!(Wal::recover(&image).unwrap(), vec![]);
+    }
+}

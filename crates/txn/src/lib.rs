@@ -1,0 +1,30 @@
+//! # nbc-txn — a distributed transaction manager over the commit engine
+//!
+//! The paper motivates unilateral aborts with local concurrency control:
+//! *"a server may not be able to commit its part of a transaction due to
+//! issues of concurrency control — e.g. the resolution of a deadlock, when
+//! a locking scheme is adopted."* This crate supplies that application
+//! layer:
+//!
+//! * [`locks`] — a per-site lock manager with shared/exclusive locks and
+//!   **wait-die** deadlock avoidance, so no votes arise organically;
+//! * [`cluster`] — a multi-site cluster: each site holds a transactional
+//!   key-value store and a persistent WAL; distributed transactions stage
+//!   writes under locks and then run a commit round through `nbc-engine`
+//!   with the configured protocol (2PC or 3PC, central or decentralized),
+//!   optionally under injected crashes. Blocked commit rounds (2PC's
+//!   curse) leave their locks held — which is exactly how blocking
+//!   destroys throughput, and what the failure benchmarks measure;
+//! * [`workload`] — bank-transfer and inventory workload generators with
+//!   conservation invariants used by the property tests.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod cluster;
+pub mod locks;
+pub mod workload;
+
+pub use cluster::{Cluster, ClusterConfig, ProtocolKind, TxnResult};
+pub use locks::{LockManager, LockMode, LockOutcome};
+pub use workload::{BankWorkload, InventoryWorkload, Op};

@@ -1,0 +1,365 @@
+//! Cluster-level integration: distributed bank transfers under every
+//! protocol, with crash injection, blocking, and recovery — the atomicity
+//! story told through the conservation-of-money invariant.
+
+use nbc_engine::{CrashPoint, CrashSpec, TransitionProgress};
+use nbc_txn::{BankWorkload, Cluster, ClusterConfig, Op, ProtocolKind, TxnResult};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn cluster(kind: ProtocolKind, n: usize) -> Cluster {
+    Cluster::new(ClusterConfig::new(n, kind))
+}
+
+fn seeded(c: &mut Cluster, w: &BankWorkload) {
+    let r = c.execute(&w.setup_ops());
+    assert_eq!(r, TxnResult::Committed, "setup must commit");
+}
+
+const KINDS: [ProtocolKind; 4] = [
+    ProtocolKind::Central2pc,
+    ProtocolKind::Central3pc,
+    ProtocolKind::Decentralized2pc,
+    ProtocolKind::Decentralized3pc,
+];
+
+#[test]
+fn transfers_commit_and_conserve_money() {
+    for kind in KINDS {
+        let w0 = BankWorkload::new(3, 9, 1000, 11);
+        let mut c = cluster(kind, 3);
+        seeded(&mut c, &w0);
+        let mut w = w0.clone();
+        for _ in 0..25 {
+            let (f, t, amt) = w.random_transfer();
+            let r = c.transfer(&w, f, t, amt);
+            assert_eq!(r, TxnResult::Committed, "{}", kind.name());
+        }
+        assert_eq!(c.total_balance(&w), w.expected_total(), "{}", kind.name());
+        assert_eq!(c.stats.committed, 26, "{}", kind.name());
+    }
+}
+
+#[test]
+fn three_pc_transfers_survive_coordinator_crashes() {
+    for kind in [ProtocolKind::Central3pc, ProtocolKind::Decentralized3pc] {
+        let w0 = BankWorkload::new(3, 9, 1000, 5);
+        let mut c = cluster(kind, 3);
+        seeded(&mut c, &w0);
+        let mut w = w0.clone();
+        for i in 0..20u32 {
+            let (f, t, amt) = w.random_transfer();
+            // Crash site 0 at varying points in every third round.
+            let crashes = if i % 3 == 0 {
+                vec![CrashSpec {
+                    site: 0,
+                    point: CrashPoint::OnTransition {
+                        ordinal: 1 + (i / 3) % 3,
+                        progress: if i % 2 == 0 {
+                            TransitionProgress::AfterMsgs(1)
+                        } else {
+                            TransitionProgress::BeforeLog
+                        },
+                    },
+                    recover_at: None,
+                }]
+            } else {
+                vec![]
+            };
+            let r = c.transfer_with_crashes(&w, f, t, amt, &crashes);
+            assert_ne!(r, TxnResult::Blocked, "{}: 3PC never blocks", kind.name());
+        }
+        c.recover_all();
+        assert_eq!(c.total_balance(&w), w.expected_total(), "{}", kind.name());
+        assert_eq!(c.blocked_count(), 0);
+    }
+}
+
+#[test]
+fn two_pc_blocks_and_poisons_locks_until_recovery() {
+    let w = BankWorkload::new(3, 6, 500, 2);
+    let mut c = cluster(ProtocolKind::Central2pc, 3);
+    seeded(&mut c, &w);
+
+    // Coordinator dies right after durably committing, telling nobody:
+    // the slaves block, the locks on accounts 0 and 1 stay held.
+    let crash = CrashSpec {
+        site: 0,
+        point: CrashPoint::OnTransition {
+            ordinal: 2,
+            progress: TransitionProgress::AfterMsgs(0),
+        },
+        recover_at: None,
+    };
+    let r = c.transfer_with_crashes(&w, 0, 1, 50, &[crash]);
+    assert_eq!(r, TxnResult::Blocked);
+    assert_eq!(c.blocked_count(), 1);
+    assert!(c.locked_keys() >= 2, "blocked transaction holds its locks");
+
+    // A later transfer touching the same accounts dies on the lock
+    // conflict and aborts.
+    let r2 = c.transfer(&w, 0, 1, 10);
+    assert_eq!(r2, TxnResult::Aborted, "poisoned by the blocked transaction");
+
+    // A transfer on disjoint accounts still works.
+    let r3 = c.transfer(&w, 2, 3, 10);
+    assert_eq!(r3, TxnResult::Committed);
+
+    // Recovery resolves the blocked transaction using the coordinator's
+    // durable decision (commit), and money is conserved.
+    c.recover_all();
+    assert_eq!(c.blocked_count(), 0);
+    assert_eq!(c.locked_keys(), 0);
+    assert_eq!(c.total_balance(&w), w.expected_total());
+    // The blocked transfer really committed.
+    let b0 = BankWorkload::decode(c.get(w.site_of(0), &BankWorkload::key_of(0)).unwrap());
+    assert_eq!(b0, 450, "account 0 debited by the blocked transfer");
+}
+
+#[test]
+fn two_pc_blocked_round_with_undecided_coordinator_aborts_on_recovery() {
+    let w = BankWorkload::new(2, 4, 500, 9);
+    let mut c = cluster(ProtocolKind::Central2pc, 2);
+    seeded(&mut c, &w);
+    // Coordinator dies undecided in w1 (after collecting the vote but
+    // before logging a decision): BeforeLog on its second transition.
+    let crash = CrashSpec {
+        site: 0,
+        point: CrashPoint::OnTransition {
+            ordinal: 2,
+            progress: TransitionProgress::BeforeLog,
+        },
+        recover_at: None,
+    };
+    let r = c.transfer_with_crashes(&w, 0, 1, 75, &[crash]);
+    assert_eq!(r, TxnResult::Blocked);
+    c.recover_all();
+    // Undecided at every site: recovery aborts.
+    assert_eq!(c.total_balance(&w), w.expected_total());
+    let b0 = BankWorkload::decode(c.get(w.site_of(0), &BankWorkload::key_of(0)).unwrap());
+    assert_eq!(b0, 500, "undecided transfer rolled back");
+}
+
+#[test]
+fn no_vote_from_lock_conflict_aborts_whole_transaction() {
+    let mut c = cluster(ProtocolKind::Central3pc, 2);
+    // Two writes to the same key from one transaction are fine...
+    let r = c.execute(&[
+        Op::Write { site: 0, key: b"k".to_vec(), value: b"1".to_vec() },
+        Op::Write { site: 1, key: b"other".to_vec(), value: b"x".to_vec() },
+    ]);
+    assert_eq!(r, TxnResult::Committed);
+    assert_eq!(c.get(0, b"k"), Some(b"1".as_slice()));
+}
+
+#[test]
+fn randomized_crash_storm_conserves_money_for_3pc() {
+    let mut rng = StdRng::seed_from_u64(1234);
+    for kind in [ProtocolKind::Central3pc, ProtocolKind::Decentralized3pc] {
+        let w0 = BankWorkload::new(4, 12, 1000, 77);
+        let mut c = cluster(kind, 4);
+        seeded(&mut c, &w0);
+        let mut w = w0.clone();
+        for _ in 0..60 {
+            let (f, t, amt) = w.random_transfer();
+            let crashes = if rng.gen_bool(0.4) {
+                vec![CrashSpec {
+                    site: rng.gen_range(0..4),
+                    point: CrashPoint::OnTransition {
+                        ordinal: rng.gen_range(1..=3),
+                        progress: match rng.gen_range(0..3) {
+                            0 => TransitionProgress::BeforeLog,
+                            1 => TransitionProgress::AfterMsgs(0),
+                            _ => TransitionProgress::AfterMsgs(rng.gen_range(1..=3)),
+                        },
+                    },
+                    recover_at: None,
+                }]
+            } else {
+                vec![]
+            };
+            let r = c.transfer_with_crashes(&w, f, t, amt, &crashes);
+            assert_ne!(r, TxnResult::Blocked, "{}", kind.name());
+        }
+        c.recover_all();
+        assert_eq!(c.total_balance(&w), w.expected_total(), "{}", kind.name());
+    }
+}
+
+#[test]
+fn randomized_crash_storm_2pc_blocks_but_conserves_after_recovery() {
+    let mut rng = StdRng::seed_from_u64(4321);
+    let w0 = BankWorkload::new(3, 9, 1000, 99);
+    let mut c = cluster(ProtocolKind::Central2pc, 3);
+    seeded(&mut c, &w0);
+    let mut w = w0.clone();
+    let mut blocked_seen = 0;
+    for _ in 0..80 {
+        let (f, t, amt) = w.random_transfer();
+        let crashes = if rng.gen_bool(0.5) {
+            vec![CrashSpec {
+                site: 0,
+                point: CrashPoint::OnTransition {
+                    ordinal: 2,
+                    progress: TransitionProgress::AfterMsgs(rng.gen_range(0..=2)),
+                },
+                recover_at: None,
+            }]
+        } else {
+            vec![]
+        };
+        if c.transfer_with_crashes(&w, f, t, amt, &crashes) == TxnResult::Blocked {
+            blocked_seen += 1;
+        }
+    }
+    assert!(blocked_seen > 0, "2PC coordinator crashes must block sometimes");
+    c.recover_all();
+    assert_eq!(c.total_balance(&w), w.expected_total());
+    assert_eq!(c.blocked_count(), 0);
+}
+
+#[test]
+fn throughput_shape_2pc_strands_transactions_3pc_does_not() {
+    // The qualitative claim behind the failure-throughput benchmark: under
+    // identical coordinator-crash pressure, every 3PC round decides, while
+    // 2PC strands a visible fraction.
+    let run = |kind: ProtocolKind| {
+        let w0 = BankWorkload::new(3, 9, 1000, 55);
+        let mut c = cluster(kind, 3);
+        seeded(&mut c, &w0);
+        let mut w = w0.clone();
+        for i in 0..40u32 {
+            let (f, t, amt) = w.random_transfer();
+            let crashes = if i % 4 == 0 {
+                vec![CrashSpec {
+                    site: 0,
+                    point: CrashPoint::OnTransition {
+                        ordinal: 2,
+                        progress: TransitionProgress::AfterMsgs(0),
+                    },
+                    recover_at: None,
+                }]
+            } else {
+                vec![]
+            };
+            let _ = c.transfer_with_crashes(&w, f, t, amt, &crashes);
+        }
+        (c.stats.committed, c.stats.blocked)
+    };
+    let (committed_2pc, blocked_2pc) = run(ProtocolKind::Central2pc);
+    let (committed_3pc, blocked_3pc) = run(ProtocolKind::Central3pc);
+    assert!(blocked_2pc > 0, "2PC must strand transactions");
+    assert_eq!(blocked_3pc, 0, "3PC must not block");
+    assert!(
+        committed_3pc > committed_2pc,
+        "3PC throughput under failures exceeds 2PC ({committed_3pc} vs {committed_2pc})"
+    );
+}
+
+mod inventory_and_checkpoint {
+    use super::*;
+    use nbc_txn::InventoryWorkload;
+
+    #[test]
+    fn inventory_orders_conserve_stock_under_crashes() {
+        let mut rng = StdRng::seed_from_u64(8);
+        for kind in [ProtocolKind::Central3pc, ProtocolKind::Decentralized3pc] {
+            let w0 = InventoryWorkload::new(3, 6, 100, 13);
+            let mut c = cluster(kind, 3);
+            assert_eq!(c.execute(&w0.setup_ops()), TxnResult::Committed);
+            let mut w = w0.clone();
+            for _ in 0..40 {
+                let (item, qty) = w.random_order();
+                let crashes = if rng.gen_bool(0.3) {
+                    vec![CrashSpec {
+                        site: rng.gen_range(0..3),
+                        point: CrashPoint::OnTransition {
+                            ordinal: rng.gen_range(1..=3),
+                            progress: TransitionProgress::AfterMsgs(rng.gen_range(0..=2)),
+                        },
+                        recover_at: None,
+                    }]
+                } else {
+                    vec![]
+                };
+                let r = c.place_order(&w, item, qty, &crashes);
+                assert_ne!(r, TxnResult::Blocked, "{}", kind.name());
+            }
+            c.recover_all();
+            for (i, total) in c.inventory_totals(&w).iter().enumerate() {
+                assert_eq!(*total, 100, "{}: item {i} stock+sold drifted", kind.name());
+            }
+        }
+    }
+
+    #[test]
+    fn checkpoint_compacts_and_preserves_state() {
+        let w0 = BankWorkload::new(3, 9, 1000, 21);
+        let mut c = cluster(ProtocolKind::Central3pc, 3);
+        seeded(&mut c, &w0);
+        let mut w = w0.clone();
+        for _ in 0..30 {
+            let (f, t, amt) = w.random_transfer();
+            assert_eq!(c.transfer(&w, f, t, amt), TxnResult::Committed);
+        }
+        let before_bytes = c.wal_bytes();
+        let balances: Vec<i64> = (0..9)
+            .map(|a| BankWorkload::decode(c.get(w.site_of(a), &BankWorkload::key_of(a)).unwrap()))
+            .collect();
+        c.checkpoint();
+        assert!(c.wal_bytes() < before_bytes, "compaction must shrink logs");
+
+        // State survives compaction, and the cluster keeps working.
+        let after: Vec<i64> = (0..9)
+            .map(|a| BankWorkload::decode(c.get(w.site_of(a), &BankWorkload::key_of(a)).unwrap()))
+            .collect();
+        assert_eq!(balances, after);
+        for _ in 0..10 {
+            let (f, t, amt) = w.random_transfer();
+            assert_eq!(c.transfer(&w, f, t, amt), TxnResult::Committed);
+        }
+        assert_eq!(c.total_balance(&w), w.expected_total());
+    }
+
+    #[test]
+    fn checkpoint_then_crash_recovery_replays_from_snapshot() {
+        let w0 = BankWorkload::new(3, 6, 500, 3);
+        let mut c = cluster(ProtocolKind::Central3pc, 3);
+        seeded(&mut c, &w0);
+        let mut w = w0.clone();
+        c.checkpoint();
+        // Post-checkpoint transfers, one with a crash that forces a
+        // missed-decision replay from the compacted log.
+        assert_eq!(c.transfer(&w, 0, 1, 25), TxnResult::Committed);
+        let crash = CrashSpec {
+            site: 1,
+            point: CrashPoint::OnTransition {
+                ordinal: 2,
+                progress: TransitionProgress::BeforeLog,
+            },
+            recover_at: None,
+        };
+        let (f, t, amt) = w.random_transfer();
+        let _ = c.transfer_with_crashes(&w, f, t, amt, &[crash]);
+        c.recover_all();
+        assert_eq!(c.total_balance(&w), w.expected_total());
+    }
+
+    #[test]
+    #[should_panic(expected = "blocked")]
+    fn checkpoint_refuses_blocked_transactions() {
+        let w = BankWorkload::new(3, 6, 500, 2);
+        let mut c = cluster(ProtocolKind::Central2pc, 3);
+        seeded(&mut c, &w);
+        let crash = CrashSpec {
+            site: 0,
+            point: CrashPoint::OnTransition {
+                ordinal: 2,
+                progress: TransitionProgress::AfterMsgs(0),
+            },
+            recover_at: None,
+        };
+        assert_eq!(c.transfer_with_crashes(&w, 0, 1, 50, &[crash]), TxnResult::Blocked);
+        c.checkpoint(); // must panic
+    }
+}

@@ -1,14 +1,13 @@
 //! B4 (timing face): cluster transaction throughput under coordinator
 //! crashes, 2PC vs 3PC over the bank workload.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use nbc_bench::BenchGroup;
 use nbc_engine::{CrashPoint, CrashSpec, TransitionProgress};
+use nbc_simnet::SimRng;
 use nbc_txn::{BankWorkload, Cluster, ClusterConfig, ProtocolKind, TxnResult};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 fn run_batch(kind: ProtocolKind, crash_pct: u32, txns: u32) -> u64 {
-    let mut rng = StdRng::seed_from_u64(7);
+    let mut rng = SimRng::seed_from_u64(7);
     let w0 = BankWorkload::new(3, 12, 1_000, 31);
     let mut c = Cluster::new(ClusterConfig::new(3, kind));
     assert_eq!(c.execute(&w0.setup_ops()), TxnResult::Committed);
@@ -20,7 +19,7 @@ fn run_batch(kind: ProtocolKind, crash_pct: u32, txns: u32) -> u64 {
                 site: 0,
                 point: CrashPoint::OnTransition {
                     ordinal: 2,
-                    progress: TransitionProgress::AfterMsgs(rng.gen_range(0..=2)),
+                    progress: TransitionProgress::AfterMsgs(rng.gen_range(0u32..=2)),
                 },
                 recover_at: None,
             }]
@@ -32,22 +31,14 @@ fn run_batch(kind: ProtocolKind, crash_pct: u32, txns: u32) -> u64 {
     c.stats.committed
 }
 
-fn bench_throughput(c: &mut Criterion) {
-    let mut g = c.benchmark_group("cluster_throughput");
+fn main() {
+    let mut g = BenchGroup::new("cluster_throughput");
     g.sample_size(20);
     const TXNS: u32 = 50;
-    g.throughput(Throughput::Elements(TXNS as u64));
     for kind in [ProtocolKind::Central2pc, ProtocolKind::Central3pc] {
         for crash_pct in [0u32, 25] {
-            g.bench_with_input(
-                BenchmarkId::new(kind.name().replace(' ', "_"), format!("crash{crash_pct}pct")),
-                &(kind, crash_pct),
-                |b, &(kind, pct)| b.iter(|| run_batch(kind, pct, TXNS)),
-            );
+            let name = kind.name().replace(' ', "_");
+            g.bench(&format!("{name}/crash{crash_pct}pct"), || run_batch(kind, crash_pct, TXNS));
         }
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_throughput);
-criterion_main!(benches);

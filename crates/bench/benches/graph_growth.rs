@@ -2,13 +2,13 @@
 //! cost as the number of sites grows — the "grows exponentially with the
 //! number of sites" observation as wall-clock.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nbc_bench::BenchGroup;
 use nbc_core::protocols::{central_2pc, central_3pc, decentralized_2pc, decentralized_3pc};
 use nbc_core::{Analysis, ReachGraph};
 use std::hint::black_box;
 
-fn bench_graph_build(c: &mut Criterion) {
-    let mut g = c.benchmark_group("reach_graph_build");
+fn bench_graph_build() {
+    let mut g = BenchGroup::new("reach_graph_build");
     g.sample_size(20);
     for n in [2usize, 3, 4, 5] {
         for (label, p) in [
@@ -17,28 +17,26 @@ fn bench_graph_build(c: &mut Criterion) {
             ("decentralized_2pc", decentralized_2pc(n)),
             ("decentralized_3pc", decentralized_3pc(n)),
         ] {
-            g.bench_with_input(BenchmarkId::new(label, n), &p, |b, p| {
-                b.iter(|| ReachGraph::build(black_box(p)).unwrap().node_count())
+            g.bench(&format!("{label}/{n}"), || {
+                ReachGraph::build(black_box(&p)).unwrap().node_count()
             });
         }
     }
-    g.finish();
 }
 
-fn bench_full_analysis(c: &mut Criterion) {
-    let mut g = c.benchmark_group("full_analysis");
+fn bench_full_analysis() {
+    let mut g = BenchGroup::new("full_analysis");
     g.sample_size(20);
     for n in [3usize, 5] {
         let p = central_3pc(n);
-        g.bench_with_input(BenchmarkId::new("central_3pc", n), &p, |b, p| {
-            b.iter(|| {
-                let a = Analysis::build(black_box(p)).unwrap();
-                nbc_core::theorem::check_with(p, &a).nonblocking()
-            })
+        g.bench(&format!("central_3pc/{n}"), || {
+            let a = Analysis::build(black_box(&p)).unwrap();
+            nbc_core::theorem::check_with(&p, &a).nonblocking()
         });
     }
-    g.finish();
 }
 
-criterion_group!(benches, bench_graph_build, bench_full_analysis);
-criterion_main!(benches);
+fn main() {
+    bench_graph_build();
+    bench_full_analysis();
+}

@@ -2,23 +2,20 @@
 //! paradigm — the engine's wall-clock reflection of message counts and
 //! phase counts.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nbc_bench::BenchGroup;
 use nbc_core::protocols::{central_2pc, central_3pc, decentralized_2pc, decentralized_3pc};
 use nbc_core::Analysis;
 use nbc_engine::{run_with, RunConfig};
 use std::hint::black_box;
 
-fn bench_commit_round(c: &mut Criterion) {
-    let mut g = c.benchmark_group("commit_round");
+fn bench_commit_round() {
+    let mut g = BenchGroup::new("commit_round");
     g.sample_size(50);
     for n in [3usize, 5, 8] {
-        for (label, p) in [
-            ("central_2pc", central_2pc(n)),
-            ("central_3pc", central_3pc(n)),
-        ] {
+        for (label, p) in [("central_2pc", central_2pc(n)), ("central_3pc", central_3pc(n))] {
             let a = Analysis::build(&p).unwrap();
-            g.bench_with_input(BenchmarkId::new(label, n), &(&p, &a), |b, (p, a)| {
-                b.iter(|| run_with(black_box(p), a, RunConfig::happy(p.n_sites())).msgs_sent)
+            g.bench(&format!("{label}/{n}"), || {
+                run_with(black_box(&p), &a, RunConfig::happy(p.n_sites())).msgs_sent
             });
         }
     }
@@ -28,19 +25,18 @@ fn bench_commit_round(c: &mut Criterion) {
             ("decentralized_3pc", decentralized_3pc(n)),
         ] {
             let a = Analysis::build(&p).unwrap();
-            g.bench_with_input(BenchmarkId::new(label, n), &(&p, &a), |b, (p, a)| {
-                b.iter(|| run_with(black_box(p), a, RunConfig::happy(p.n_sites())).msgs_sent)
+            g.bench(&format!("{label}/{n}"), || {
+                run_with(black_box(&p), &a, RunConfig::happy(p.n_sites())).msgs_sent
             });
         }
     }
-    g.finish();
 }
 
-fn bench_termination_round(c: &mut Criterion) {
+fn bench_termination_round() {
     // A commit round that goes through the full termination protocol:
     // coordinator dies after a partial prepare broadcast.
     use nbc_engine::{CrashPoint, CrashSpec, TransitionProgress};
-    let mut g = c.benchmark_group("termination_round");
+    let mut g = BenchGroup::new("termination_round");
     g.sample_size(50);
     for n in [3usize, 5] {
         let p = central_3pc(n);
@@ -53,16 +49,15 @@ fn bench_termination_round(c: &mut Criterion) {
             },
             recover_at: None,
         });
-        g.bench_with_input(BenchmarkId::new("central_3pc", n), &(&p, &a), |b, (p, a)| {
-            b.iter(|| {
-                let r = run_with(black_box(p), a, cfg.clone());
-                assert!(r.consistent);
-                r.msgs_sent
-            })
+        g.bench(&format!("central_3pc/{n}"), || {
+            let r = run_with(black_box(&p), &a, cfg.clone());
+            assert!(r.consistent);
+            r.msgs_sent
         });
     }
-    g.finish();
 }
 
-criterion_group!(benches, bench_commit_round, bench_termination_round);
-criterion_main!(benches);
+fn main() {
+    bench_commit_round();
+    bench_termination_round();
+}

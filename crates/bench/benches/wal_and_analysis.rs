@@ -1,45 +1,39 @@
 //! Substrate microbenchmarks: WAL append/recover throughput, CRC-32, and
 //! the KV store's transactional operations.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use nbc_bench::BenchGroup;
 use nbc_storage::crc32::crc32;
 use nbc_storage::{KvStore, LogRecord, Wal};
 use std::hint::black_box;
 
-fn bench_wal_append(c: &mut Criterion) {
-    let mut g = c.benchmark_group("wal_append");
+fn bench_wal_append() {
+    let mut g = BenchGroup::new("wal_append");
     for &batch in &[100usize, 1000] {
-        g.throughput(Throughput::Elements(batch as u64));
-        g.bench_with_input(BenchmarkId::new("progress_records", batch), &batch, |b, &n| {
-            b.iter(|| {
-                let mut wal = Wal::new();
-                for i in 0..n as u64 {
-                    wal.append(&LogRecord::Progress { txn: i, state: 1, class: 1 });
-                }
-                wal.sync();
-                wal.len()
-            })
+        g.bench(&format!("progress_records/{batch}"), || {
+            let mut wal = Wal::new();
+            for i in 0..batch as u64 {
+                wal.append(&LogRecord::Progress { txn: i, state: 1, class: 1 });
+            }
+            wal.sync();
+            wal.len()
         });
-        g.bench_with_input(BenchmarkId::new("put_records_64b", batch), &batch, |b, &n| {
-            let value = vec![0xAAu8; 64];
-            b.iter(|| {
-                let mut wal = Wal::new();
-                for i in 0..n as u64 {
-                    wal.append(&LogRecord::Put {
-                        txn: i,
-                        key: format!("key{i:08}").into_bytes(),
-                        value: value.clone(),
-                    });
-                }
-                wal.sync();
-                wal.len()
-            })
+        let value = vec![0xAAu8; 64];
+        g.bench(&format!("put_records_64b/{batch}"), || {
+            let mut wal = Wal::new();
+            for i in 0..batch as u64 {
+                wal.append(&LogRecord::Put {
+                    txn: i,
+                    key: format!("key{i:08}").into_bytes(),
+                    value: value.clone(),
+                });
+            }
+            wal.sync();
+            wal.len()
         });
     }
-    g.finish();
 }
 
-fn bench_wal_recover(c: &mut Criterion) {
+fn bench_wal_recover() {
     let mut wal = Wal::new();
     for i in 0..5_000u64 {
         wal.append(&LogRecord::Put {
@@ -53,45 +47,35 @@ fn bench_wal_recover(c: &mut Criterion) {
     }
     wal.sync();
     let image = wal.crash_image();
-    let mut g = c.benchmark_group("wal_recover");
-    g.throughput(Throughput::Bytes(image.len() as u64));
-    g.bench_function("decode_5k_records", |b| {
-        b.iter(|| Wal::recover(black_box(&image)).unwrap().len())
-    });
-    g.bench_function("redo_5k_records", |b| {
-        let records = Wal::recover(&image).unwrap();
-        b.iter(|| KvStore::redo_from_log(black_box(&records)).len())
-    });
-    g.finish();
+    let mut g = BenchGroup::new("wal_recover");
+    g.bench("decode_5k_records", || Wal::recover(black_box(&image)).unwrap().len());
+    let records = Wal::recover(&image).unwrap();
+    g.bench("redo_5k_records", || KvStore::redo_from_log(black_box(&records)).len());
 }
 
-fn bench_crc32(c: &mut Criterion) {
-    let mut g = c.benchmark_group("crc32");
+fn bench_crc32() {
+    let mut g = BenchGroup::new("crc32");
     for &size in &[64usize, 4096] {
         let data = vec![0xC3u8; size];
-        g.throughput(Throughput::Bytes(size as u64));
-        g.bench_with_input(BenchmarkId::from_parameter(size), &data, |b, d| {
-            b.iter(|| crc32(black_box(d)))
-        });
+        g.bench(&format!("{size}"), || crc32(black_box(&data)));
     }
-    g.finish();
 }
 
-fn bench_kv_txn(c: &mut Criterion) {
-    let mut g = c.benchmark_group("kv_txn");
-    g.throughput(Throughput::Elements(100));
-    g.bench_function("stage_commit_100", |b| {
-        b.iter(|| {
-            let mut kv = KvStore::new();
-            for i in 0..100u64 {
-                kv.stage_put(1, format!("k{i}").into_bytes(), vec![0; 16]);
-            }
-            kv.commit(1);
-            kv.len()
-        })
+fn bench_kv_txn() {
+    let mut g = BenchGroup::new("kv_txn");
+    g.bench("stage_commit_100", || {
+        let mut kv = KvStore::new();
+        for i in 0..100u64 {
+            kv.stage_put(1, format!("k{i}").into_bytes(), vec![0; 16]);
+        }
+        kv.commit(1);
+        kv.len()
     });
-    g.finish();
 }
 
-criterion_group!(benches, bench_wal_append, bench_wal_recover, bench_crc32, bench_kv_txn);
-criterion_main!(benches);
+fn main() {
+    bench_wal_append();
+    bench_wal_recover();
+    bench_crc32();
+    bench_kv_txn();
+}

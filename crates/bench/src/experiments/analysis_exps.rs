@@ -19,9 +19,7 @@ pub fn e4_concurrency_sets() -> String {
     let a = Analysis::build(&p).expect("tiny");
     let fsa = p.fsa(SiteId(0));
     for name in ["q", "w", "a", "c"] {
-        let adj = can
-            .adjacency_names(can.state_by_name(name).expect("canonical state"))
-            .join(", ");
+        let adj = can.adjacency_names(can.state_by_name(name).expect("canonical state")).join(", ");
         let s = fsa.state_by_name(name).expect("state");
         let mut ids: Vec<StateId> = a
             .concurrency_set(SiteId(0), s)
@@ -32,14 +30,11 @@ pub fn e4_concurrency_sets() -> String {
             .collect();
         // Present in the paper's q, w, a, c order (declaration order).
         ids.sort_by_key(|t| t.0);
-        let exact: Vec<String> =
-            ids.into_iter().map(|t| fsa.state(t).name.clone()).collect();
+        let exact: Vec<String> = ids.into_iter().map(|t| fsa.state(t).name.clone()).collect();
         t.row([name.to_string(), format!("{{{adj}}}"), format!("{{{}}}", exact.join(", "))]);
     }
     out.push_str(&t.render());
-    out.push_str(
-        "\nPaper table: CS(q)={q,w,a}  CS(w)={q,w,a,c}  CS(a)={q,w,a}  CS(c)={w,c}\n",
-    );
+    out.push_str("\nPaper table: CS(q)={q,w,a}  CS(w)={q,w,a,c}  CS(a)={q,w,a}  CS(c)={w,c}\n");
     out
 }
 
@@ -54,10 +49,7 @@ pub fn e5_blocking_2pc() -> String {
         out.push_str(&format!("  - {v}\n"));
     }
     out.push('\n');
-    for p in [
-        nbc_core::protocols::central_2pc(3),
-        nbc_core::protocols::decentralized_2pc(3),
-    ] {
+    for p in [nbc_core::protocols::central_2pc(3), nbc_core::protocols::decentralized_2pc(3)] {
         let r = theorem::check(&p).expect("analyzable");
         out.push_str(&format!("{r}"));
     }

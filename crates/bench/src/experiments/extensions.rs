@@ -63,21 +63,12 @@ pub fn x2_independent_recovery() -> String {
     let mut out = String::new();
     for p in [central_3pc(3), decentralized_3pc(3)] {
         let a = Analysis::build(&p).expect("analyzable");
-        let mut t = Table::new([
-            "site",
-            "durable state",
-            "recovery",
-            "survivor decisions reachable",
-        ]);
+        let mut t =
+            Table::new(["site", "durable state", "recovery", "survivor decisions reachable"]);
         for row in classify(&p, &a) {
             let reach: Vec<String> =
                 row.reachable_decisions.iter().map(|d| d.to_string()).collect();
-            t.row([
-                row.site.to_string(),
-                row.state_name,
-                row.class.to_string(),
-                reach.join("/"),
-            ]);
+            t.row([row.site.to_string(), row.state_name, row.class.to_string(), reach.join("/")]);
         }
         out.push_str(&format!("{}:\n{}\n", p.name, t.render()));
     }
@@ -92,7 +83,6 @@ pub fn x2_independent_recovery() -> String {
     out
 }
 
-
 /// X3 — what the paper's network assumption buys: under a partition that
 /// masquerades as site failures, 3PC's termination protocol splits the
 /// decision. Reproduces the famous caveat.
@@ -102,13 +92,7 @@ pub fn x3_partition_unsafety() -> String {
 
     let p = central_3pc(3);
     let a = Analysis::build(&p).expect("analyzable");
-    let mut t = Table::new([
-        "partition at",
-        "coordinator",
-        "slave 1",
-        "slave 2",
-        "consistent?",
-    ]);
+    let mut t = Table::new(["partition at", "coordinator", "slave 1", "slave 2", "consistent?"]);
     for at in 0..12u64 {
         let mut cfg = RunConfig::happy(3);
         cfg.latency = LatencyModel::constant(2);
@@ -135,7 +119,6 @@ pub fn x3_partition_unsafety() -> String {
     )
 }
 
-
 /// X4 — the fix the paper's reference list points at: Skeen's quorum-based
 /// commit. Gating the termination decision on a strict majority closes the
 /// X3 split window — the minority side blocks instead of deciding.
@@ -145,11 +128,7 @@ pub fn x4_quorum_termination() -> String {
 
     let p = central_3pc(3);
     let a = Analysis::build(&p).expect("analyzable");
-    let mut t = Table::new([
-        "partition at",
-        "plain Skeen rule",
-        "quorum-gated rule",
-    ]);
+    let mut t = Table::new(["partition at", "plain Skeen rule", "quorum-gated rule"]);
     for at in 0..12u64 {
         let mut base = RunConfig::happy(3);
         base.latency = LatencyModel::constant(2);

@@ -90,10 +90,8 @@ pub fn b5_graph_growth() -> String {
             })
             .collect();
         let name = catalog(2)[idx].name.replace(" (n=2)", "");
-        let ratios: Vec<String> = sizes
-            .windows(2)
-            .map(|w| format!("{:.1}", w[1] as f64 / w[0] as f64))
-            .collect();
+        let ratios: Vec<String> =
+            sizes.windows(2).map(|w| format!("{:.1}", w[1] as f64 / w[0] as f64)).collect();
         growth.row([
             name,
             ratios[0].clone(),

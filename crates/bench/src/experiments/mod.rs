@@ -109,6 +109,11 @@ pub fn all() -> Vec<Experiment> {
             run: graphs::b5_graph_growth,
         },
         Experiment {
+            id: "b6",
+            title: "Concurrent commit pipeline with group commit vs the serial cluster",
+            run: perf::b6_pipeline_group_commit,
+        },
+        Experiment {
             id: "x1",
             title: "Extension/ablation: the k-phase commit family (is one buffer state enough?)",
             run: extensions::x1_kpc_ablation,
@@ -147,7 +152,7 @@ mod tests {
         ids.sort_unstable();
         ids.dedup();
         assert_eq!(ids.len(), exps.len());
-        assert_eq!(exps.len(), 21);
+        assert_eq!(exps.len(), 22);
     }
 
     #[test]

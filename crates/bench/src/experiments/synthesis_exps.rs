@@ -15,10 +15,7 @@ pub fn e6_synthesis() -> String {
     let can2 = canonical_2pc();
     out.push_str("Before (canonical 2PC):\n");
     out.push_str(&format!("{can2}"));
-    out.push_str(&format!(
-        "  lemma violations: {}\n\n",
-        can2.lemma_violations().len()
-    ));
+    out.push_str(&format!("  lemma violations: {}\n\n", can2.lemma_violations().len()));
     let can3 = insert_buffer_states(&can2);
     out.push_str("After buffer-state insertion:\n");
     out.push_str(&format!("{can3}"));

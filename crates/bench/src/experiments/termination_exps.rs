@@ -51,14 +51,8 @@ pub fn e9_termination() -> String {
     );
 
     // Exhaustive engine sweeps.
-    let mut t = Table::new([
-        "protocol",
-        "rule",
-        "crash points",
-        "consistent",
-        "blocked",
-        "all decided",
-    ]);
+    let mut t =
+        Table::new(["protocol", "rule", "crash points", "consistent", "blocked", "all decided"]);
     for p in [central_3pc(3), decentralized_3pc(3), central_2pc(3)] {
         let a = Analysis::build(&p).expect("analyzable");
         let specs = enumerate_crash_specs(&p, None);
@@ -87,13 +81,8 @@ pub fn e9_termination() -> String {
 /// E10 — the corollary: resiliency to k−1 failures needs a clean subset of
 /// k sites.
 pub fn e10_resilience() -> String {
-    let mut t = Table::new([
-        "protocol",
-        "n",
-        "clean sites",
-        "max tolerated failures",
-        "tolerates n-1?",
-    ]);
+    let mut t =
+        Table::new(["protocol", "n", "clean sites", "max tolerated failures", "tolerates n-1?"]);
     for n in [3usize, 5] {
         for p in catalog(n) {
             let r = resilience::resilience(&p).expect("analyzable");

@@ -1,0 +1,112 @@
+//! A minimal wall-clock benchmark harness for the `benches/` binaries.
+//!
+//! The workspace is dependency-free, so instead of Criterion the timing
+//! benches use this: warm up, auto-calibrate an iteration batch so each
+//! sample runs long enough to time meaningfully, take a fixed number of
+//! samples, and report the median (with min/max spread) per iteration.
+//! Output is one aligned line per benchmark, suitable for eyeballing and
+//! diffing — these benches measure *shape* (relative cost across
+//! protocols and sizes), not absolute regressions.
+
+use std::time::{Duration, Instant};
+
+/// Minimum wall-clock time per timed sample.
+const MIN_SAMPLE: Duration = Duration::from_millis(2);
+
+/// A named set of benchmarks reported together.
+pub struct BenchGroup {
+    name: String,
+    samples: usize,
+}
+
+impl BenchGroup {
+    /// A group with the default sample count (20).
+    pub fn new(name: &str) -> Self {
+        println!("\n== {name} ==");
+        Self { name: name.to_string(), samples: 20 }
+    }
+
+    /// Override the number of timed samples.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(3);
+        self
+    }
+
+    /// Time `f` and print one result line. The closure's return value is
+    /// passed through [`std::hint::black_box`] so the work is not
+    /// optimized away.
+    pub fn bench<R>(&mut self, id: &str, mut f: impl FnMut() -> R) {
+        // Warmup + calibration: find an iteration count whose batch takes
+        // at least MIN_SAMPLE.
+        let mut iters = 1u64;
+        loop {
+            let t = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            if t.elapsed() >= MIN_SAMPLE || iters >= 1 << 20 {
+                break;
+            }
+            iters *= 4;
+        }
+
+        let mut per_iter: Vec<f64> = (0..self.samples)
+            .map(|_| {
+                let t = Instant::now();
+                for _ in 0..iters {
+                    std::hint::black_box(f());
+                }
+                t.elapsed().as_nanos() as f64 / iters as f64
+            })
+            .collect();
+        per_iter.sort_by(|a, b| a.total_cmp(b));
+        let median = per_iter[per_iter.len() / 2];
+        let (min, max) = (per_iter[0], per_iter[per_iter.len() - 1]);
+        println!(
+            "{:<44} {:>14}/iter  [{} .. {}]  ({} iters x {} samples)",
+            format!("{}/{}", self.name, id),
+            fmt_ns(median),
+            fmt_ns(min),
+            fmt_ns(max),
+            iters,
+            self.samples,
+        );
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.0} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} us", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut g = BenchGroup::new("selftest");
+        g.sample_size(3);
+        let mut count = 0u64;
+        g.bench("noop", || {
+            count += 1;
+            count
+        });
+        assert!(count > 0);
+    }
+
+    #[test]
+    fn fmt_ns_scales() {
+        assert_eq!(fmt_ns(500.0), "500 ns");
+        assert_eq!(fmt_ns(1_500.0), "1.50 us");
+        assert_eq!(fmt_ns(2_500_000.0), "2.50 ms");
+        assert_eq!(fmt_ns(3_000_000_000.0), "3.00 s");
+    }
+}

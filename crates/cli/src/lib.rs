@@ -25,16 +25,14 @@
 use std::fmt::Write as _;
 
 use nbc_core::kpc::k_phase_central;
-use nbc_core::protocols::{
-    central_2pc, central_3pc, decentralized_2pc, decentralized_3pc, one_pc,
-};
+use nbc_core::protocols::{central_2pc, central_3pc, decentralized_2pc, decentralized_3pc, one_pc};
 use nbc_core::{
-    dot, recovery_analysis, resilience, sync_check, synthesis, termination, theorem,
-    verify, Analysis, Protocol, ReachGraph, ReachOptions,
+    dot, recovery_analysis, resilience, sync_check, synthesis, termination, theorem, verify,
+    Analysis, Protocol, ReachGraph, ReachOptions,
 };
 use nbc_engine::{
-    enumerate_crash_specs, run_with, sweep, CrashPoint, CrashSpec, RunConfig,
-    TerminationRule, TransitionProgress,
+    enumerate_crash_specs, run_with, sweep, CrashPoint, CrashSpec, RunConfig, TerminationRule,
+    TransitionProgress,
 };
 use nbc_simnet::LatencyModel;
 
@@ -64,9 +62,8 @@ pub fn resolve_protocol(arg: &str, n: usize) -> Result<Protocol, CliError> {
         "decentralized-3pc" | "d3pc" => Ok(decentralized_3pc(n)),
         "1pc" | "central-1pc" => Ok(one_pc(n)),
         _ if arg.starts_with("kpc:") => {
-            let k: u32 = arg[4..]
-                .parse()
-                .map_err(|_| CliError(format!("bad phase count in {arg:?}")))?;
+            let k: u32 =
+                arg[4..].parse().map_err(|_| CliError(format!("bad phase count in {arg:?}")))?;
             if k < 2 {
                 return fail("kpc:K needs K >= 2");
             }
@@ -77,9 +74,7 @@ pub fn resolve_protocol(arg: &str, n: usize) -> Result<Protocol, CliError> {
                 .map_err(|e| CliError(format!("cannot read {arg}: {e}")))?;
             nbc_spec::parse(&text, n).map_err(|e| CliError(format!("{arg}: {e}")))
         }
-        _ => fail(format!(
-            "unknown protocol {arg:?}; try `nbc list` or a spec file path"
-        )),
+        _ => fail(format!("unknown protocol {arg:?}; try `nbc list` or a spec file path")),
     }
 }
 
@@ -168,8 +163,7 @@ pub fn cmd_graph(protocol: &Protocol, dot_output: bool) -> Result<String, CliErr
 /// `nbc synthesize PROTO`
 pub fn cmd_synthesize(protocol: &Protocol) -> Result<String, CliError> {
     let before = theorem::check(protocol).map_err(|e| CliError(e.to_string()))?;
-    let fixed =
-        synthesis::make_nonblocking(protocol).map_err(|e| CliError(e.to_string()))?;
+    let fixed = synthesis::make_nonblocking(protocol).map_err(|e| CliError(e.to_string()))?;
     let after = theorem::check(&fixed).map_err(|e| CliError(e.to_string()))?;
     let mut out = String::new();
     let _ = writeln!(
@@ -327,35 +321,140 @@ pub fn cmd_recovery(protocol: &Protocol) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// `nbc pipeline PROTO [flags]` — run the concurrent commit scheduler
+/// over a bank workload and report throughput, latency percentiles, and
+/// group-commit savings, alongside a serial baseline (the same scheduler
+/// at in-flight 1 with group commit off).
+///
+/// Parses its own argument tail: `PROTO [--txns T] [--crash-pct P]
+/// [--in-flight K] [--window W] [--reap T] [--seed S] [-n N]`.
+pub fn cmd_pipeline(args: &[String]) -> Result<String, CliError> {
+    use nbc_pipeline::{bank_transfer_txns, Pipeline, PipelineConfig, PipelineTxn};
+    use nbc_simnet::SimRng;
+    use nbc_txn::{BankWorkload, ProtocolKind};
+
+    let Some(proto) = args.first() else {
+        return fail("pipeline: missing protocol argument");
+    };
+    let kind = match proto.as_str() {
+        "central-2pc" | "2pc" => ProtocolKind::Central2pc,
+        "central-3pc" | "3pc" => ProtocolKind::Central3pc,
+        "decentralized-2pc" | "d2pc" => ProtocolKind::Decentralized2pc,
+        "decentralized-3pc" | "d3pc" => ProtocolKind::Decentralized3pc,
+        other => {
+            return fail(format!(
+                "pipeline runs the cluster protocols only \
+                 (central-2pc | central-3pc | decentralized-2pc | decentralized-3pc), \
+                 got {other:?}"
+            ))
+        }
+    };
+
+    let mut n = 3usize;
+    let mut txns = 64usize;
+    let mut crash_pct = 0u32;
+    let mut in_flight = 8usize;
+    let mut window = 2u64;
+    let mut reap = 200u64;
+    let mut seed = 42u64;
+    let mut i = 1;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let mut val = |what: &str| -> Result<String, CliError> {
+            i += 1;
+            args.get(i).cloned().ok_or_else(|| CliError(format!("{what} needs a value")))
+        };
+        match flag {
+            "-n" => n = parse_num(&val("-n")?, "-n")?,
+            "--txns" => txns = parse_num(&val("--txns")?, "--txns")?,
+            "--crash-pct" => {
+                crash_pct = parse_num(&val("--crash-pct")?, "--crash-pct")?;
+                if crash_pct > 100 {
+                    return fail("--crash-pct wants 0..=100");
+                }
+            }
+            "--in-flight" => in_flight = parse_num(&val("--in-flight")?, "--in-flight")?,
+            "--window" => window = parse_num(&val("--window")?, "--window")?,
+            "--reap" => reap = parse_num(&val("--reap")?, "--reap")?,
+            "--seed" => seed = parse_num(&val("--seed")?, "--seed")?,
+            other => return fail(format!("unknown flag {other:?}")),
+        }
+        i += 1;
+    }
+    if n < 2 {
+        return fail("pipeline needs -n >= 2");
+    }
+
+    let accounts = (n * 4).max(8);
+    let mut w = BankWorkload::new(n, accounts, 1_000, seed);
+    let mut rng = SimRng::seed_from_u64(seed);
+    let batch = bank_transfer_txns(&mut w, txns, crash_pct, &mut rng);
+
+    let run_with = |max_in_flight: usize, group_window: u64| {
+        let mut p = Pipeline::new(
+            PipelineConfig::new(n, kind)
+                .with_in_flight(max_in_flight)
+                .with_group_window(group_window)
+                .with_reap_after(reap),
+        );
+        p.run(vec![PipelineTxn::from_ops(&w.setup_ops())]);
+        let start = p.now();
+        let r = p.run(batch.clone());
+        let conserved = p.total_balance(&w) == w.expected_total() && p.locked_keys() == 0;
+        let ticks = r.finished_at - start;
+        (r, ticks, conserved)
+    };
+    let (serial, serial_ticks, serial_ok) = run_with(1, 0);
+    let (report, pipe_ticks, pipe_ok) = run_with(in_flight, window);
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "pipeline: {} x{n} sites, {txns} txns, crash {crash_pct}%, \
+         in-flight {in_flight}, window {window}, seed {seed}",
+        kind.name()
+    );
+    let _ = writeln!(out, "{report}");
+    let _ = writeln!(
+        out,
+        "serial baseline (in-flight 1, window 0): {} ticks, {:.2} txn/ktick, {} syncs",
+        serial_ticks,
+        serial.txns_per_kilotick(),
+        serial.wal_forces
+    );
+    let speedup = serial_ticks as f64 / pipe_ticks.max(1) as f64;
+    let _ = writeln!(
+        out,
+        "speedup over serial: {speedup:.2}x; conservation: {}",
+        if serial_ok && pipe_ok { "ok" } else { "VIOLATED" }
+    );
+    Ok(out)
+}
+
+fn parse_num<T: std::str::FromStr>(arg: &str, flag: &str) -> Result<T, CliError> {
+    arg.parse().map_err(|_| CliError(format!("bad {flag} value {arg:?}")))
+}
+
 /// Parse `site:ordinal:msgs` (msgs may be `log`).
 pub fn parse_crash_arg(arg: &str) -> Result<(usize, u32, Option<u32>), CliError> {
     let parts: Vec<&str> = arg.split(':').collect();
     if parts.len() != 3 {
         return fail(format!("--crash wants SITE:ORDINAL:MSGS, got {arg:?}"));
     }
-    let site = parts[0]
-        .parse()
-        .map_err(|_| CliError(format!("bad site {:?}", parts[0])))?;
-    let ordinal = parts[1]
-        .parse()
-        .map_err(|_| CliError(format!("bad ordinal {:?}", parts[1])))?;
+    let site = parts[0].parse().map_err(|_| CliError(format!("bad site {:?}", parts[0])))?;
+    let ordinal = parts[1].parse().map_err(|_| CliError(format!("bad ordinal {:?}", parts[1])))?;
     let msgs = if parts[2] == "log" {
         None
     } else {
-        Some(
-            parts[2]
-                .parse()
-                .map_err(|_| CliError(format!("bad msg count {:?}", parts[2])))?,
-        )
+        Some(parts[2].parse().map_err(|_| CliError(format!("bad msg count {:?}", parts[2])))?)
     };
     Ok((site, ordinal, msgs))
 }
 
 /// Parse a `lo..hi` latency range.
 pub fn parse_latency_arg(arg: &str) -> Result<(u64, u64), CliError> {
-    let (lo, hi) = arg
-        .split_once("..")
-        .ok_or(CliError(format!("--latency wants LO..HI, got {arg:?}")))?;
+    let (lo, hi) =
+        arg.split_once("..").ok_or(CliError(format!("--latency wants LO..HI, got {arg:?}")))?;
     let lo = lo.parse().map_err(|_| CliError(format!("bad latency {lo:?}")))?;
     let hi = hi.parse().map_err(|_| CliError(format!("bad latency {hi:?}")))?;
     if lo > hi {
@@ -371,9 +470,7 @@ pub fn parse_rule_arg(arg: &str) -> Result<TerminationRule, CliError> {
         "cooperative" => Ok(TerminationRule::Cooperative),
         "naive" => Ok(TerminationRule::NaiveCs),
         "quorum" => Ok(TerminationRule::QuorumSkeen),
-        _ => fail(format!(
-            "unknown rule {arg:?} (skeen | cooperative | naive | quorum)"
-        )),
+        _ => fail(format!("unknown rule {arg:?} (skeen | cooperative | naive | quorum)")),
     }
 }
 
@@ -421,11 +518,8 @@ mod tests {
     #[test]
     fn simulate_with_crash_and_recovery() {
         let p = resolve_protocol("3pc", 3).unwrap();
-        let opts = SimOpts {
-            crash: Some((0, 3, Some(1))),
-            recover: Some(300),
-            ..SimOpts::default()
-        };
+        let opts =
+            SimOpts { crash: Some((0, 3, Some(1))), recover: Some(300), ..SimOpts::default() };
         let out = cmd_simulate(&p, &opts).unwrap();
         assert!(out.contains("preserved"), "{out}");
     }
@@ -436,11 +530,7 @@ mod tests {
         // Partial prepare broadcast: the backup must run phase 1
         // (alignment) before deciding, so the whole termination protocol
         // shows up in the trace.
-        let opts = SimOpts {
-            crash: Some((0, 2, Some(1))),
-            trace: true,
-            ..SimOpts::default()
-        };
+        let opts = SimOpts { crash: Some((0, 2, Some(1))), trace: true, ..SimOpts::default() };
         let out = cmd_simulate(&p, &opts).unwrap();
         assert!(out.contains("CRASH"), "{out}");
         assert!(out.contains("align-to"), "{out}");
@@ -456,11 +546,8 @@ mod tests {
         let p = resolve_protocol("2pc", 3).unwrap();
         let opts = SimOpts { rule: TerminationRule::Cooperative, ..SimOpts::default() };
         assert!(cmd_sweep(&p, &opts).unwrap().contains("blocking window"));
-        let opts = SimOpts {
-            rule: TerminationRule::NaiveCs,
-            no_voters: vec![0],
-            ..SimOpts::default()
-        };
+        let opts =
+            SimOpts { rule: TerminationRule::NaiveCs, no_voters: vec![0], ..SimOpts::default() };
         assert!(cmd_sweep(&p, &opts).unwrap().contains("ATOMICITY VIOLATED"));
     }
 
@@ -478,6 +565,31 @@ mod tests {
         assert!(cmd_recovery(&p).unwrap().contains("must ask"));
         assert!(cmd_graph(&p, false).unwrap().contains("global states"));
         assert!(cmd_graph(&p, true).unwrap().contains("digraph"));
+    }
+
+    #[test]
+    fn pipeline_command_reports_speedup() {
+        let args: Vec<String> =
+            ["3pc", "--txns", "32", "--in-flight", "8", "--window", "3", "--seed", "7"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect();
+        let out = cmd_pipeline(&args).unwrap();
+        assert!(out.contains("speedup over serial"), "{out}");
+        assert!(out.contains("conservation: ok"), "{out}");
+        assert!(out.contains("saved by group commit"), "{out}");
+    }
+
+    #[test]
+    fn pipeline_command_rejects_junk() {
+        let bad = |v: &[&str]| {
+            let args: Vec<String> = v.iter().map(|s| s.to_string()).collect();
+            cmd_pipeline(&args)
+        };
+        assert!(bad(&[]).is_err());
+        assert!(bad(&["1pc"]).is_err(), "non-cluster protocol");
+        assert!(bad(&["3pc", "--crash-pct", "101"]).is_err());
+        assert!(bad(&["3pc", "--bogus"]).is_err());
     }
 
     #[test]

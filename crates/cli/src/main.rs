@@ -18,6 +18,8 @@ USAGE:
   nbc sweep       PROTO [-n N] [--recover T] [--rule ...]
   nbc termination PROTO [-n N]
   nbc recovery    PROTO [-n N]
+  nbc pipeline    PROTO [-n N] [--txns T] [--crash-pct P] [--in-flight K]
+                  [--window W] [--reap T] [--seed S]
 
 PROTO: central-2pc | central-3pc | decentralized-2pc | decentralized-3pc |
        1pc | kpc:K | a .nbc spec file (see the nbc-spec crate docs)
@@ -48,6 +50,9 @@ fn run(args: &[String]) -> Result<String, CliError> {
     if cmd == "help" || cmd == "--help" || cmd == "-h" {
         return Ok(USAGE.to_string());
     }
+    if cmd == "pipeline" {
+        return cmd_pipeline(&args[1..]);
+    }
 
     let Some(proto_arg) = args.get(1) else {
         return Err(CliError(format!("{cmd}: missing protocol argument")));
@@ -61,9 +66,7 @@ fn run(args: &[String]) -> Result<String, CliError> {
     while i < args.len() {
         match args[i].as_str() {
             "-n" => {
-                n = next_val(args, &mut i)?
-                    .parse()
-                    .map_err(|_| CliError("bad -n value".into()))?;
+                n = next_val(args, &mut i)?.parse().map_err(|_| CliError("bad -n value".into()))?;
             }
             "--dot" => dot = true,
             "--trace" => opts.trace = true,
@@ -81,9 +84,7 @@ fn run(args: &[String]) -> Result<String, CliError> {
                     .map_err(|_| CliError("bad --no-voter value".into()))?,
             ),
             "--rule" => opts.rule = parse_rule_arg(&next_val(args, &mut i)?)?,
-            "--latency" => {
-                opts.latency = Some(parse_latency_arg(&next_val(args, &mut i)?)?)
-            }
+            "--latency" => opts.latency = Some(parse_latency_arg(&next_val(args, &mut i)?)?),
             "--seed" => {
                 opts.seed = next_val(args, &mut i)?
                     .parse()
@@ -110,7 +111,5 @@ fn run(args: &[String]) -> Result<String, CliError> {
 
 fn next_val(args: &[String], i: &mut usize) -> Result<String, CliError> {
     *i += 1;
-    args.get(*i)
-        .cloned()
-        .ok_or_else(|| CliError(format!("{} needs a value", args[*i - 1])))
+    args.get(*i).cloned().ok_or_else(|| CliError(format!("{} needs a value", args[*i - 1])))
 }

@@ -58,10 +58,7 @@ impl Analysis {
     }
 
     /// As [`Analysis::build`] with explicit graph options.
-    pub fn build_with(
-        protocol: &Protocol,
-        opts: ReachOptions,
-    ) -> Result<Self, ProtocolError> {
+    pub fn build_with(protocol: &Protocol, opts: ReachOptions) -> Result<Self, ProtocolError> {
         let graph = ReachGraph::build_with(protocol, opts)?;
         Ok(Self::from_graph(protocol, graph))
     }
@@ -69,30 +66,20 @@ impl Analysis {
     /// Run the analysis over an already-built graph.
     pub fn from_graph(protocol: &Protocol, graph: ReachGraph) -> Self {
         let n = protocol.n_sites();
-        let state_counts: Vec<usize> =
-            protocol.fsas().iter().map(Fsa::state_count).collect();
+        let state_counts: Vec<usize> = protocol.fsas().iter().map(Fsa::state_count).collect();
 
-        let yes_voted: Vec<Vec<bool>> =
-            protocol.fsas().iter().map(yes_voted_states).collect();
+        let yes_voted: Vec<Vec<bool>> = protocol.fsas().iter().map(yes_voted_states).collect();
 
-        let mut cs: Vec<Vec<BTreeSet<(SiteId, StateId)>>> = state_counts
-            .iter()
-            .map(|&c| vec![BTreeSet::new(); c])
-            .collect();
-        let mut occupied: Vec<Vec<bool>> =
-            state_counts.iter().map(|&c| vec![false; c]).collect();
+        let mut cs: Vec<Vec<BTreeSet<(SiteId, StateId)>>> =
+            state_counts.iter().map(|&c| vec![BTreeSet::new(); c]).collect();
+        let mut occupied: Vec<Vec<bool>> = state_counts.iter().map(|&c| vec![false; c]).collect();
         // Start from "all committable", knock out states seen in a
         // not-all-yes global state.
-        let mut committable: Vec<Vec<bool>> =
-            state_counts.iter().map(|&c| vec![true; c]).collect();
+        let mut committable: Vec<Vec<bool>> = state_counts.iter().map(|&c| vec![true; c]).collect();
 
         for id in 0..graph.node_count() as NodeId {
             let g = graph.node(id);
-            let all_yes = g
-                .locals
-                .iter()
-                .enumerate()
-                .all(|(j, &t)| yes_voted[j][t.index()]);
+            let all_yes = g.locals.iter().enumerate().all(|(j, &t)| yes_voted[j][t.index()]);
             for (i, &s) in g.locals.iter().enumerate() {
                 occupied[i][s.index()] = true;
                 if !all_yes {
@@ -106,11 +93,8 @@ impl Analysis {
             }
         }
 
-        let classes = protocol
-            .fsas()
-            .iter()
-            .map(|f| f.states().iter().map(|s| s.class).collect())
-            .collect();
+        let classes =
+            protocol.fsas().iter().map(|f| f.states().iter().map(|s| s.class).collect()).collect();
 
         Self { n_sites: n, cs, occupied, yes_voted, committable, classes, graph }
     }
@@ -170,10 +154,7 @@ impl Analysis {
     /// The concurrency set projected to state *classes* — the form the
     /// paper's tables use (e.g. `CS(w) = {q, w, a, c}`).
     pub fn concurrency_classes(&self, site: SiteId, s: StateId) -> BTreeSet<StateClass> {
-        self.concurrency_set(site, s)
-            .iter()
-            .map(|&(j, t)| self.class_of(j, t))
-            .collect()
+        self.concurrency_set(site, s).iter().map(|&(j, t)| self.class_of(j, t)).collect()
     }
 }
 
@@ -200,7 +181,12 @@ mod tests {
     use super::*;
     use crate::protocols::{central_2pc, central_3pc, decentralized_2pc, decentralized_3pc};
 
-    fn classes_of(a: &Analysis, site: u32, name_to_id: &dyn Fn(&str) -> StateId, name: &str) -> BTreeSet<StateClass> {
+    fn classes_of(
+        a: &Analysis,
+        site: u32,
+        name_to_id: &dyn Fn(&str) -> StateId,
+        name: &str,
+    ) -> BTreeSet<StateClass> {
         a.concurrency_classes(SiteId(site), name_to_id(name))
     }
 
@@ -212,18 +198,12 @@ mod tests {
         let fsa = p.fsa(SiteId(0));
         let id = |n: &str| fsa.state_by_name(n).unwrap();
         use StateClass::*;
-        assert_eq!(
-            classes_of(&a, 0, &id, "q"),
-            BTreeSet::from([Initial, Wait, Aborted])
-        );
+        assert_eq!(classes_of(&a, 0, &id, "q"), BTreeSet::from([Initial, Wait, Aborted]));
         assert_eq!(
             classes_of(&a, 0, &id, "w"),
             BTreeSet::from([Initial, Wait, Aborted, Committed])
         );
-        assert_eq!(
-            classes_of(&a, 0, &id, "a"),
-            BTreeSet::from([Initial, Wait, Aborted])
-        );
+        assert_eq!(classes_of(&a, 0, &id, "a"), BTreeSet::from([Initial, Wait, Aborted]));
         assert_eq!(classes_of(&a, 0, &id, "c"), BTreeSet::from([Wait, Committed]));
     }
 

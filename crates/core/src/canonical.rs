@@ -99,10 +99,7 @@ impl CanonicalFsa {
     /// The adjacency (= concurrency) set rendered as state names, e.g.
     /// `CS(w) = {q, w, a, c}`.
     pub fn adjacency_names(&self, s: u32) -> Vec<&str> {
-        self.adjacency_set(s)
-            .into_iter()
-            .map(|i| self.states[i as usize].name.as_str())
-            .collect()
+        self.adjacency_set(s).into_iter().map(|i| self.states[i as usize].name.as_str()).collect()
     }
 
     /// Check the Lemma's two constraints; empty result means nonblocking.
@@ -110,19 +107,15 @@ impl CanonicalFsa {
         let mut out = Vec::new();
         for (i, st) in self.states.iter().enumerate() {
             let adj = self.adjacency_set(i as u32);
-            let commit_adj = adj
-                .iter()
-                .any(|&j| self.states[j as usize].class == StateClass::Committed);
-            let abort_adj = adj
-                .iter()
-                .any(|&j| self.states[j as usize].class == StateClass::Aborted);
+            let commit_adj =
+                adj.iter().any(|&j| self.states[j as usize].class == StateClass::Committed);
+            let abort_adj =
+                adj.iter().any(|&j| self.states[j as usize].class == StateClass::Aborted);
             if commit_adj && abort_adj {
                 out.push(LemmaViolation::AdjacentToBoth { state: st.name.clone() });
             }
             if commit_adj && !st.committable && st.class != StateClass::Committed {
-                out.push(LemmaViolation::NoncommittableAdjacentToCommit {
-                    state: st.name.clone(),
-                });
+                out.push(LemmaViolation::NoncommittableAdjacentToCommit { state: st.name.clone() });
             }
         }
         out
@@ -140,10 +133,7 @@ impl CanonicalFsa {
     /// Only meaningful for nonblocking canonical protocols.
     pub fn backup_decision(&self, s: u32) -> Decision {
         let adj = self.adjacency_set(s);
-        if adj
-            .iter()
-            .any(|&j| self.states[j as usize].class == StateClass::Committed)
-        {
+        if adj.iter().any(|&j| self.states[j as usize].class == StateClass::Committed) {
             Decision::Commit
         } else {
             Decision::Abort
@@ -166,11 +156,7 @@ impl fmt::Display for CanonicalFsa {
             )?;
         }
         for &(a, b) in &self.edges {
-            writeln!(
-                f,
-                "  {} -> {}",
-                self.states[a as usize].name, self.states[b as usize].name
-            )?;
+            writeln!(f, "  {} -> {}", self.states[a as usize].name, self.states[b as usize].name)?;
         }
         Ok(())
     }
@@ -213,11 +199,7 @@ pub fn canonical_2pc() -> CanonicalFsa {
             CanonicalState { name: "q".into(), class: StateClass::Initial, committable: false },
             CanonicalState { name: "w".into(), class: StateClass::Wait, committable: false },
             CanonicalState { name: "a".into(), class: StateClass::Aborted, committable: false },
-            CanonicalState {
-                name: "c".into(),
-                class: StateClass::Committed,
-                committable: true,
-            },
+            CanonicalState { name: "c".into(), class: StateClass::Committed, committable: true },
         ],
         vec![(0, 1), (0, 2), (1, 2), (1, 3)],
         0,
@@ -233,16 +215,8 @@ pub fn canonical_3pc() -> CanonicalFsa {
             CanonicalState { name: "q".into(), class: StateClass::Initial, committable: false },
             CanonicalState { name: "w".into(), class: StateClass::Wait, committable: false },
             CanonicalState { name: "a".into(), class: StateClass::Aborted, committable: false },
-            CanonicalState {
-                name: "p".into(),
-                class: StateClass::Prepared,
-                committable: true,
-            },
-            CanonicalState {
-                name: "c".into(),
-                class: StateClass::Committed,
-                committable: true,
-            },
+            CanonicalState { name: "p".into(), class: StateClass::Prepared, committable: true },
+            CanonicalState { name: "c".into(), class: StateClass::Committed, committable: true },
         ],
         vec![(0, 1), (0, 2), (1, 2), (1, 3), (3, 4)],
         0,
@@ -275,20 +249,15 @@ pub fn insert_buffer_states(fsa: &CanonicalFsa) -> CanonicalFsa {
                 return false;
             }
             let adj = out.adjacency_set(s);
-            let abort_adjacent = adj
-                .iter()
-                .any(|&j| out.states[j as usize].class == StateClass::Aborted);
+            let abort_adjacent =
+                adj.iter().any(|&j| out.states[j as usize].class == StateClass::Aborted);
             !src.committable || abort_adjacent
         });
         let Some(idx) = offending else { break };
         let (s, c) = out.edges[idx];
         let p_idx = out.states.len() as u32;
         out.states.push(CanonicalState {
-            name: if next_buffer == 0 {
-                "p".to_string()
-            } else {
-                format!("p{next_buffer}")
-            },
+            name: if next_buffer == 0 { "p".to_string() } else { format!("p{next_buffer}") },
             class: StateClass::Prepared,
             committable: true,
         });

@@ -35,13 +35,7 @@ pub fn fsa_to_dot(fsa: &Fsa, graph_name: &str) -> String {
         );
     }
     for t in fsa.transitions() {
-        let _ = writeln!(
-            out,
-            "  s{} -> s{} [label=\"{}\"];",
-            t.from.0,
-            t.to.0,
-            sanitize(&t.label)
-        );
+        let _ = writeln!(out, "  s{} -> s{} [label=\"{}\"];", t.from.0, t.to.0, sanitize(&t.label));
     }
     out.push_str("}\n");
     out
@@ -93,11 +87,7 @@ pub fn protocol_to_dot(protocol: &Protocol) -> String {
 /// 2PC protocol").
 ///
 /// `with_msgs` additionally prints the outstanding messages in each node.
-pub fn reach_graph_to_dot(
-    graph: &ReachGraph,
-    protocol: &Protocol,
-    with_msgs: bool,
-) -> String {
+pub fn reach_graph_to_dot(graph: &ReachGraph, protocol: &Protocol, with_msgs: bool) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "digraph \"reachable: {}\" {{", sanitize(&protocol.name));
     let _ = writeln!(out, "  rankdir=TB;");

@@ -62,10 +62,7 @@ impl fmt::Display for ProtocolError {
                 )
             }
             Self::StrandedState { site, state } => {
-                write!(
-                    f,
-                    "{site}: reachable non-final state {state:?} has no outgoing transition"
-                )
+                write!(f, "{site}: reachable non-final state {state:?} has no outgoing transition")
             }
             Self::TooFewPhases { phases } => {
                 write!(f, "protocol has {phases} phase(s); at least 2 required")
@@ -73,19 +70,13 @@ impl fmt::Display for ProtocolError {
             Self::EmptyFsa { site } => write!(f, "{site}: FSA has no states"),
             Self::NoSites => write!(f, "protocol has no participating sites"),
             Self::EmptyTrigger { site, state } => {
-                write!(
-                    f,
-                    "{site}: transition out of {state:?} consumes an empty message string"
-                )
+                write!(f, "{site}: transition out of {state:?} consumes an empty message string")
             }
             Self::GraphTooLarge { limit } => {
                 write!(f, "reachable state graph exceeds limit of {limit} global states")
             }
             Self::NotLeveled { site, state } => {
-                write!(
-                    f,
-                    "{site}: state {state:?} is reachable along paths of different lengths"
-                )
+                write!(f, "{site}: state {state:?} is reachable along paths of different lengths")
             }
         }
     }

@@ -208,9 +208,7 @@ impl Fsa {
 
     /// Transitions leaving `s`.
     pub fn outgoing(&self, s: StateId) -> impl Iterator<Item = (u32, &Transition)> + '_ {
-        self.outgoing[s.index()]
-            .iter()
-            .map(move |&i| (i, &self.transitions[i as usize]))
+        self.outgoing[s.index()].iter().map(move |&i| (i, &self.transitions[i as usize]))
     }
 
     /// True if `s` is a final (commit or abort) state.
@@ -233,18 +231,12 @@ impl Fsa {
 
     /// Find the (first) state with the given class, if any.
     pub fn state_of_class(&self, class: StateClass) -> Option<StateId> {
-        self.states
-            .iter()
-            .position(|i| i.class == class)
-            .map(|i| StateId(i as u32))
+        self.states.iter().position(|i| i.class == class).map(|i| StateId(i as u32))
     }
 
     /// Find a state by display name.
     pub fn state_by_name(&self, name: &str) -> Option<StateId> {
-        self.states
-            .iter()
-            .position(|i| i.name == name)
-            .map(|i| StateId(i as u32))
+        self.states.iter().position(|i| i.name == name).map(|i| StateId(i as u32))
     }
 
     /// States reachable from the initial state (local reachability, ignoring
@@ -302,11 +294,8 @@ impl Fsa {
             if let Some(v) = memo[s.index()] {
                 return v;
             }
-            let best = fsa
-                .outgoing(s)
-                .map(|(_, t)| 1 + longest(fsa, t.to, memo))
-                .max()
-                .unwrap_or(0);
+            let best =
+                fsa.outgoing(s).map(|(_, t)| 1 + longest(fsa, t.to, memo)).max().unwrap_or(0);
             memo[s.index()] = Some(best);
             best
         }
@@ -397,8 +386,7 @@ impl Fsa {
                 return Err(ProtocolError::Cyclic { site });
             }
         }
-        let mut queue: VecDeque<usize> =
-            (0..n).filter(|&i| indeg[i] == 0).collect();
+        let mut queue: VecDeque<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
         let mut removed = 0;
         while let Some(i) = queue.pop_front() {
             removed += 1;
@@ -488,14 +476,7 @@ impl FsaBuilder {
         vote: Option<Vote>,
         label: impl Into<String>,
     ) -> &mut Self {
-        self.transitions.push(Transition {
-            from,
-            to,
-            consume,
-            emit,
-            vote,
-            label: label.into(),
-        });
+        self.transitions.push(Transition { from, to, consume, emit, vote, label: label.into() });
         self
     }
 
@@ -591,10 +572,7 @@ mod tests {
         b.transition(q, w, Consume::Spontaneous, vec![], None, "go");
         b.transition(w, q, Consume::Spontaneous, vec![], None, "back");
         let fsa = b.build();
-        assert_eq!(
-            fsa.validate(SiteId(0), 1),
-            Err(ProtocolError::Cyclic { site: SiteId(0) })
-        );
+        assert_eq!(fsa.validate(SiteId(0), 1), Err(ProtocolError::Cyclic { site: SiteId(0) }));
     }
 
     #[test]
@@ -605,10 +583,7 @@ mod tests {
         b.transition(q, q, Consume::Spontaneous, vec![], None, "spin");
         b.transition(q, a, Consume::Spontaneous, vec![], None, "abort");
         let fsa = b.build();
-        assert_eq!(
-            fsa.validate(SiteId(0), 1),
-            Err(ProtocolError::Cyclic { site: SiteId(0) })
-        );
+        assert_eq!(fsa.validate(SiteId(0), 1), Err(ProtocolError::Cyclic { site: SiteId(0) }));
     }
 
     #[test]
@@ -657,14 +632,7 @@ mod tests {
         let mut b = FsaBuilder::new("bad");
         let q = b.state("q", StateClass::Initial);
         let a = b.state("a", StateClass::Aborted);
-        b.transition(
-            q,
-            a,
-            Consume::one(SiteId(9), MsgKind::XACT),
-            vec![],
-            None,
-            "xact from site9",
-        );
+        b.transition(q, a, Consume::one(SiteId(9), MsgKind::XACT), vec![], None, "xact from site9");
         let fsa = b.build();
         assert_eq!(
             fsa.validate(SiteId(0), 2),

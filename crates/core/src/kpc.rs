@@ -72,10 +72,7 @@ mod tests {
     #[test]
     fn every_k_at_least_3_is_nonblocking() {
         for k in 3..=5u32 {
-            for p in [
-                k_phase_central(3, k).unwrap(),
-                k_phase_decentralized(3, k).unwrap(),
-            ] {
+            for p in [k_phase_central(3, k).unwrap(), k_phase_decentralized(3, k).unwrap()] {
                 p.validate_strict().unwrap_or_else(|e| panic!("{}: {e}", p.name));
                 assert_eq!(p.phase_count(), k, "{}", p.name);
                 let r = theorem::check(&p).unwrap();

@@ -69,13 +69,7 @@ impl Protocol {
         fsas: Vec<Fsa>,
         initial_msgs: Vec<InitialMsg>,
     ) -> Self {
-        Self {
-            name: name.into(),
-            paradigm,
-            fsas,
-            initial_msgs,
-            msg_names: BTreeMap::new(),
-        }
+        Self { name: name.into(), paradigm, fsas, initial_msgs, msg_names: BTreeMap::new() }
     }
 
     /// Number of participating sites.
@@ -117,10 +111,7 @@ impl Protocol {
         if let Some(n) = kind.builtin_name() {
             return n.to_string();
         }
-        self.msg_names
-            .get(&kind)
-            .cloned()
-            .unwrap_or_else(|| format!("msg{}", kind.0))
+        self.msg_names.get(&kind).cloned().unwrap_or_else(|| format!("msg{}", kind.0))
     }
 
     /// Validate every site FSA plus protocol-level properties.
@@ -296,8 +287,11 @@ mod tests {
     #[test]
     fn initial_msg_to_unknown_site_rejected() {
         let mut p = two_site_protocol();
-        p.initial_msgs
-            .push(InitialMsg { src: SiteId::CLIENT, dst: SiteId(5), kind: MsgKind::XACT });
+        p.initial_msgs.push(InitialMsg {
+            src: SiteId::CLIENT,
+            dst: SiteId(5),
+            kind: MsgKind::XACT,
+        });
         assert!(matches!(p.validate(), Err(ProtocolError::BadSiteRef { .. })));
     }
 

@@ -159,16 +159,8 @@ mod tests {
         let p = central_2pc(3);
         for site in p.sites() {
             let fsa = p.fsa(site);
-            let commits = fsa
-                .states()
-                .iter()
-                .filter(|s| s.class == StateClass::Committed)
-                .count();
-            let aborts = fsa
-                .states()
-                .iter()
-                .filter(|s| s.class == StateClass::Aborted)
-                .count();
+            let commits = fsa.states().iter().filter(|s| s.class == StateClass::Committed).count();
+            let aborts = fsa.states().iter().filter(|s| s.class == StateClass::Aborted).count();
             assert_eq!((commits, aborts), (1, 1));
         }
     }

@@ -151,12 +151,8 @@ mod tests {
             // p's only successor is c, and its only predecessor is w.
             let succ: Vec<_> = fsa.outgoing(pi).map(|(_, t)| t.to).collect();
             assert_eq!(succ, vec![ci]);
-            let preds: Vec<_> = fsa
-                .transitions()
-                .iter()
-                .filter(|t| t.to == pi)
-                .map(|t| t.from)
-                .collect();
+            let preds: Vec<_> =
+                fsa.transitions().iter().filter(|t| t.to == pi).map(|t| t.from).collect();
             assert_eq!(preds, vec![wi]);
         }
     }

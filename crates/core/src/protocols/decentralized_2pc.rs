@@ -116,11 +116,7 @@ mod tests {
         let p = decentralized_2pc(4);
         let fsa = p.fsa(SiteId(0));
         let w = fsa.state_of_class(StateClass::Wait).unwrap();
-        let commit_t = fsa
-            .outgoing(w)
-            .map(|(_, t)| t)
-            .find(|t| fsa.is_commit(t.to))
-            .unwrap();
+        let commit_t = fsa.outgoing(w).map(|(_, t)| t).find(|t| fsa.is_commit(t.to)).unwrap();
         match &commit_t.consume {
             Consume::All(v) => assert_eq!(v.len(), 4),
             other => panic!("expected All, got {other:?}"),

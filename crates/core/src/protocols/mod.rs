@@ -29,12 +29,7 @@ use crate::protocol::Protocol;
 /// Every catalog protocol instantiated for `n` sites, for sweep-style
 /// experiments. 1PC is excluded (it fails strict validation by design).
 pub fn catalog(n: usize) -> Vec<Protocol> {
-    vec![
-        central_2pc(n),
-        decentralized_2pc(n),
-        central_3pc(n),
-        decentralized_3pc(n),
-    ]
+    vec![central_2pc(n), decentralized_2pc(n), central_3pc(n), decentralized_3pc(n)]
 }
 
 #[cfg(test)]
@@ -45,8 +40,7 @@ mod tests {
     fn whole_catalog_validates_strictly() {
         for n in 2..=5 {
             for p in catalog(n) {
-                p.validate_strict()
-                    .unwrap_or_else(|e| panic!("{} failed: {e}", p.name));
+                p.validate_strict().unwrap_or_else(|e| panic!("{} failed: {e}", p.name));
             }
         }
     }

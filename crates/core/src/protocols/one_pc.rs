@@ -78,10 +78,7 @@ mod tests {
         p.validate().unwrap();
         for site in p.sites().skip(1) {
             let fsa = p.fsa(site);
-            assert!(fsa
-                .transitions()
-                .iter()
-                .all(|t| !matches!(t.vote, Some(Vote::No))));
+            assert!(fsa.transitions().iter().all(|t| !matches!(t.vote, Some(Vote::No))));
         }
     }
 

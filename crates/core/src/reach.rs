@@ -169,19 +169,15 @@ impl ReachGraph {
     }
 
     /// Build with explicit options.
-    pub fn build_with(
-        protocol: &Protocol,
-        opts: ReachOptions,
-    ) -> Result<Self, ProtocolError> {
+    pub fn build_with(protocol: &Protocol, opts: ReachOptions) -> Result<Self, ProtocolError> {
         let n = protocol.n_sites();
         let initial_state = GlobalState {
             locals: protocol.fsas().iter().map(|f| f.initial()).collect(),
-            msgs: Msgs::from_addrs(
-                protocol
-                    .initial_msgs()
-                    .iter()
-                    .map(|m| MsgAddr { src: m.src, dst: m.dst, kind: m.kind }),
-            ),
+            msgs: Msgs::from_addrs(protocol.initial_msgs().iter().map(|m| MsgAddr {
+                src: m.src,
+                dst: m.dst,
+                kind: m.kind,
+            })),
         };
 
         let mut nodes: Vec<GlobalState> = vec![initial_state.clone()];
@@ -235,16 +231,10 @@ impl ReachGraph {
                             for &(src, kind) in v {
                                 let addr = MsgAddr { src, dst: site, kind };
                                 if state.msgs.contains(addr) {
-                                    let succ =
-                                        apply(&state, i, t.to, &[addr], &t.emit, site);
+                                    let succ = apply(&state, i, t.to, &[addr], &t.emit, site);
                                     push_succ(
                                         succ,
-                                        Edge {
-                                            to: 0,
-                                            site,
-                                            transition: ti,
-                                            any_choice: Some(src),
-                                        },
+                                        Edge { to: 0, site, transition: ti, any_choice: Some(src) },
                                         &mut nodes,
                                         &mut index,
                                         &mut out_edges,
@@ -261,11 +251,8 @@ impl ReachGraph {
             out_edges[id as usize] = edges;
         }
 
-        let classes = protocol
-            .fsas()
-            .iter()
-            .map(|f| f.states().iter().map(|s| s.class).collect())
-            .collect();
+        let classes =
+            protocol.fsas().iter().map(|f| f.states().iter().map(|s| s.class).collect()).collect();
 
         Ok(Self { nodes, out_edges, initial: 0, classes })
     }
@@ -308,10 +295,7 @@ impl ReachGraph {
     /// A global state is *final* if all local states are final.
     pub fn is_final(&self, id: NodeId) -> bool {
         let g = self.node(id);
-        g.locals
-            .iter()
-            .enumerate()
-            .all(|(i, &s)| self.class_of(SiteId(i as u32), s).is_final())
+        g.locals.iter().enumerate().all(|(i, &s)| self.class_of(SiteId(i as u32), s).is_final())
     }
 
     /// A global state is *terminal* if it has no immediately reachable
@@ -520,9 +504,10 @@ mod tests {
             let mut abort_reachable = false;
             for id in 0..g.node_count() as NodeId {
                 if g.is_final(id) {
-                    let all_commit = g.node(id).locals.iter().enumerate().all(|(i, &s)| {
-                        g.class_of(SiteId(i as u32), s) == StateClass::Committed
-                    });
+                    let all_commit =
+                        g.node(id).locals.iter().enumerate().all(|(i, &s)| {
+                            g.class_of(SiteId(i as u32), s) == StateClass::Committed
+                        });
                     if all_commit {
                         commit_reachable = true;
                     } else {

@@ -186,10 +186,7 @@ mod tests {
         let p = central_3pc(3);
         let a = Analysis::build(&p).unwrap();
         let rows = classify(&p, &a);
-        let w = rows
-            .iter()
-            .find(|r| r.site == SiteId(1) && r.state_name == "w")
-            .unwrap();
+        let w = rows.iter().find(|r| r.site == SiteId(1) && r.state_name == "w").unwrap();
         assert!(w.reachable_decisions.contains(&Decision::Commit));
         assert!(w.reachable_decisions.contains(&Decision::Abort));
     }

@@ -53,12 +53,7 @@ pub fn resilience_with(protocol: &Protocol, report: &TheoremReport) -> Resilienc
     let clean_count = clean.iter().filter(|&&c| c).count();
     let n = protocol.n_sites();
     let max_tolerated_failures = clean_count.saturating_sub(1).min(n - 1);
-    ResilienceReport {
-        protocol: protocol.name.clone(),
-        n_sites: n,
-        clean,
-        max_tolerated_failures,
-    }
+    ResilienceReport { protocol: protocol.name.clone(), n_sites: n, clean, max_tolerated_failures }
 }
 
 #[cfg(test)]

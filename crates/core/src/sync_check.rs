@@ -79,11 +79,7 @@ pub fn check(protocol: &Protocol) -> Result<SyncReport, ProtocolError> {
 }
 
 /// Check against a precomputed [`Analysis`].
-pub fn check_with(
-    protocol: &Protocol,
-    analysis: &Analysis,
-    opts: ReachOptions,
-) -> SyncReport {
+pub fn check_with(protocol: &Protocol, analysis: &Analysis, opts: ReachOptions) -> SyncReport {
     // Canonical quotient adjacency: class pairs connected by some site's
     // transition (undirected), plus reflexivity.
     let mut quotient: BTreeSet<(StateClass, StateClass)> = BTreeSet::new();
@@ -96,8 +92,7 @@ pub fn check_with(
             quotient.insert((b, a));
         }
     }
-    let adjacent =
-        |a: StateClass, b: StateClass| a == b || quotient.contains(&(a, b));
+    let adjacent = |a: StateClass, b: StateClass| a == b || quotient.contains(&(a, b));
 
     let mut escapes = Vec::new();
     for site in protocol.sites() {
@@ -111,12 +106,7 @@ pub fn check_with(
             for &(j, t) in analysis.concurrency_set(site, s) {
                 let cls = analysis.class_of(j, t);
                 if !adjacent(s_class, cls) {
-                    escapes.push(AdjacencyEscape {
-                        site,
-                        state: s,
-                        other_site: j,
-                        other_state: t,
-                    });
+                    escapes.push(AdjacencyEscape { site, state: s, other_site: j, other_state: t });
                 }
             }
         }
@@ -180,21 +170,14 @@ mod tests {
     use crate::fsa::{Consume, Envelope, FsaBuilder};
     use crate::ids::MsgKind;
     use crate::protocol::{InitialMsg, Paradigm};
-    use crate::protocols::{
-        central_2pc, central_3pc, decentralized_2pc, decentralized_3pc,
-    };
+    use crate::protocols::{central_2pc, central_3pc, decentralized_2pc, decentralized_3pc};
 
     #[test]
     fn whole_catalog_is_synchronous_within_one() {
         // The paper asserts this for both paradigms, 2PC and 3PC alike.
         for p in crate::protocols::catalog(3) {
             let r = check(&p).unwrap();
-            assert!(
-                r.synchronous_within_one(),
-                "{}: escapes {:?}",
-                p.name,
-                r.escapes
-            );
+            assert!(r.synchronous_within_one(), "{}: escapes {:?}", p.name, r.escapes);
         }
     }
 
@@ -230,14 +213,7 @@ mod tests {
             None,
             "step2 / commit",
         );
-        b0.transition(
-            z0,
-            c0,
-            Consume::one(SiteId(1), MsgKind::ACK),
-            vec![],
-            None,
-            "ack /",
-        );
+        b0.transition(z0, c0, Consume::one(SiteId(1), MsgKind::ACK), vec![], None, "ack /");
         let mut b1 = FsaBuilder::new("waiter");
         let q1 = b1.state("q", StateClass::Initial);
         let c1 = b1.state("c", StateClass::Committed);

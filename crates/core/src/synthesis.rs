@@ -53,7 +53,10 @@ impl fmt::Display for SynthesisError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Self::UnsupportedParadigm => {
-                write!(f, "buffer-state synthesis supports the central-site and decentralized paradigms")
+                write!(
+                    f,
+                    "buffer-state synthesis supports the central-site and decentralized paradigms"
+                )
             }
             Self::StillBlocking { violations } => {
                 write!(f, "synthesized protocol still blocking ({violations} violations)")
@@ -146,9 +149,7 @@ fn fresh_kinds(protocol: &Protocol) -> (MsgKind, MsgKind) {
 /// transition `p → c` consumes `exit_consume` and emits `exit_emit`.
 fn buffer_fsa(
     fsa: &Fsa,
-    mut on_split: impl FnMut(
-        &crate::fsa::Transition,
-    ) -> (Vec<Envelope>, Consume, Vec<Envelope>),
+    mut on_split: impl FnMut(&crate::fsa::Transition) -> (Vec<Envelope>, Consume, Vec<Envelope>),
 ) -> Fsa {
     let mut b = FsaBuilder::new(fsa.role.clone());
     // Copy states verbatim (ids preserved), then append buffers as needed.
@@ -157,19 +158,12 @@ fn buffer_fsa(
     }
     b.initial(fsa.initial());
     // Name new buffers after the ones already present ("p", then "p2"...).
-    let mut buffer_count = fsa
-        .states()
-        .iter()
-        .filter(|i| i.class == StateClass::Prepared)
-        .count() as u32;
+    let mut buffer_count =
+        fsa.states().iter().filter(|i| i.class == StateClass::Prepared).count() as u32;
     for t in fsa.transitions() {
         if fsa.is_commit(t.to) && !fsa.is_commit(t.from) {
             let p = b.state(
-                if buffer_count == 0 {
-                    "p".to_string()
-                } else {
-                    format!("p{}", buffer_count + 1)
-                },
+                if buffer_count == 0 { "p".to_string() } else { format!("p{}", buffer_count + 1) },
                 StateClass::Prepared,
             );
             buffer_count += 1;
@@ -208,10 +202,8 @@ fn central_transform(protocol: &Protocol, prepare: MsgKind, ack: MsgKind) -> Pro
             buffer_fsa(fsa, |t| {
                 // Coordinator: announce prepare instead of commit, then
                 // collect acks and broadcast the original commit emission.
-                let enter_emit =
-                    slaves.iter().map(|&s| Envelope::new(s, prepare)).collect();
-                let exit_consume =
-                    Consume::All(slaves.iter().map(|&s| (s, ack)).collect());
+                let enter_emit = slaves.iter().map(|&s| Envelope::new(s, prepare)).collect();
+                let exit_consume = Consume::All(slaves.iter().map(|&s| (s, ack)).collect());
                 (enter_emit, exit_consume, t.emit.clone())
             })
         } else {
@@ -261,14 +253,10 @@ fn retarget_enter_consume(fsa: &Fsa, from_kind: MsgKind, to_kind: MsgKind) -> Fs
             match &t.consume {
                 Consume::Spontaneous => Consume::Spontaneous,
                 Consume::All(v) => Consume::All(
-                    v.iter()
-                        .map(|&(s, k)| (s, if k == from_kind { to_kind } else { k }))
-                        .collect(),
+                    v.iter().map(|&(s, k)| (s, if k == from_kind { to_kind } else { k })).collect(),
                 ),
                 Consume::Any(v) => Consume::Any(
-                    v.iter()
-                        .map(|&(s, k)| (s, if k == from_kind { to_kind } else { k }))
-                        .collect(),
+                    v.iter().map(|&(s, k)| (s, if k == from_kind { to_kind } else { k })).collect(),
                 ),
             }
         } else {
@@ -287,10 +275,8 @@ fn decentralized_transform(protocol: &Protocol, prepare: MsgKind) -> Protocol {
             buffer_fsa(protocol.fsa(site), |_t| {
                 // Peer: after collecting the yes votes, broadcast prepare;
                 // commit once prepare has arrived from every peer.
-                let enter_emit =
-                    everyone.iter().map(|&s| Envelope::new(s, prepare)).collect();
-                let exit_consume =
-                    Consume::All(everyone.iter().map(|&s| (s, prepare)).collect());
+                let enter_emit = everyone.iter().map(|&s| Envelope::new(s, prepare)).collect();
+                let exit_consume = Consume::All(everyone.iter().map(|&s| (s, prepare)).collect());
                 (enter_emit, exit_consume, vec![])
             })
         })
@@ -340,11 +326,7 @@ mod tests {
         let synth = make_nonblocking(&central_2pc(3)).unwrap();
         let hand = central_3pc(3);
         for site in synth.sites() {
-            assert_eq!(
-                synth.fsa(site).state_count(),
-                hand.fsa(site).state_count(),
-                "{site}"
-            );
+            assert_eq!(synth.fsa(site).state_count(), hand.fsa(site).state_count(), "{site}");
             assert_eq!(
                 synth.fsa(site).transitions().len(),
                 hand.fsa(site).transitions().len(),
@@ -359,10 +341,7 @@ mod tests {
         let hand = decentralized_3pc(3);
         for site in synth.sites() {
             assert_eq!(synth.fsa(site).state_count(), hand.fsa(site).state_count());
-            assert_eq!(
-                synth.fsa(site).transitions().len(),
-                hand.fsa(site).transitions().len()
-            );
+            assert_eq!(synth.fsa(site).transitions().len(), hand.fsa(site).transitions().len());
         }
     }
 
@@ -385,9 +364,12 @@ mod tests {
         let mut abort = false;
         for id in 0..g.node_count() as NodeId {
             if g.is_final(id) {
-                let all_commit = g.node(id).locals.iter().enumerate().all(|(i, &s)| {
-                    g.class_of(SiteId(i as u32), s) == StateClass::Committed
-                });
+                let all_commit = g
+                    .node(id)
+                    .locals
+                    .iter()
+                    .enumerate()
+                    .all(|(i, &s)| g.class_of(SiteId(i as u32), s) == StateClass::Committed);
                 if all_commit {
                     commit = true;
                 } else {
@@ -404,10 +386,7 @@ mod tests {
     fn custom_paradigm_rejected() {
         let mut p = central_2pc(2);
         p.paradigm = Paradigm::Custom;
-        assert!(matches!(
-            make_nonblocking(&p),
-            Err(SynthesisError::UnsupportedParadigm)
-        ));
+        assert!(matches!(make_nonblocking(&p), Err(SynthesisError::UnsupportedParadigm)));
     }
 
     #[test]

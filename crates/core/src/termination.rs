@@ -81,25 +81,16 @@ pub fn backup_decision(analysis: &Analysis, site: SiteId, state: StateId) -> Dec
 /// the classical *cooperative termination protocol* for 2PC.
 pub fn cautious_decision(analysis: &Analysis, states: &[(SiteId, StateId)]) -> Decision {
     assert!(!states.is_empty(), "termination requires at least one operational site");
-    if states
-        .iter()
-        .any(|&(i, s)| analysis.class_of(i, s) == StateClass::Committed)
-    {
+    if states.iter().any(|&(i, s)| analysis.class_of(i, s) == StateClass::Committed) {
         return Decision::Commit;
     }
-    if states
-        .iter()
-        .any(|&(i, s)| analysis.class_of(i, s) == StateClass::Aborted)
-    {
+    if states.iter().any(|&(i, s)| analysis.class_of(i, s) == StateClass::Aborted) {
         return Decision::Abort;
     }
     if states.iter().any(|&(i, s)| !analysis.cs_has_commit(i, s)) {
         return Decision::Abort;
     }
-    if states
-        .iter()
-        .any(|&(i, s)| analysis.committable(i, s) && !analysis.cs_has_abort(i, s))
-    {
+    if states.iter().any(|&(i, s)| analysis.committable(i, s) && !analysis.cs_has_abort(i, s)) {
         return Decision::Commit;
     }
     Decision::Blocked
@@ -145,11 +136,10 @@ pub fn class_decisions(
                 StateClass::Committed => Decision::Commit,
                 StateClass::Aborted => Decision::Abort,
                 _ => {
-                    let any_commit_cs =
-                        states.iter().any(|&(i, s)| analysis.cs_has_commit(i, s));
-                    let all_safe_commit = states.iter().all(|&(i, s)| {
-                        analysis.committable(i, s) && !analysis.cs_has_abort(i, s)
-                    });
+                    let any_commit_cs = states.iter().any(|&(i, s)| analysis.cs_has_commit(i, s));
+                    let all_safe_commit = states
+                        .iter()
+                        .all(|&(i, s)| analysis.committable(i, s) && !analysis.cs_has_abort(i, s));
                     if all_safe_commit {
                         Decision::Commit
                     } else if !any_commit_cs {

@@ -40,27 +40,25 @@ pub enum Violation {
     },
     /// Condition 2: `state` is noncommittable and its concurrency set
     /// contains a commit state.
-    NoncommittableSeesCommit {
-        site: SiteId,
-        state: StateId,
-        commit_witness: (SiteId, StateId),
-    },
+    NoncommittableSeesCommit { site: SiteId, state: StateId, commit_witness: (SiteId, StateId) },
 }
 
 impl Violation {
     /// The site whose state violates a condition.
     pub fn site(&self) -> SiteId {
         match self {
-            Self::MixedConcurrency { site, .. }
-            | Self::NoncommittableSeesCommit { site, .. } => *site,
+            Self::MixedConcurrency { site, .. } | Self::NoncommittableSeesCommit { site, .. } => {
+                *site
+            }
         }
     }
 
     /// The violating local state.
     pub fn state(&self) -> StateId {
         match self {
-            Self::MixedConcurrency { state, .. }
-            | Self::NoncommittableSeesCommit { state, .. } => *state,
+            Self::MixedConcurrency { state, .. } | Self::NoncommittableSeesCommit { state, .. } => {
+                *state
+            }
         }
     }
 }
@@ -86,16 +84,12 @@ impl TheoremReport {
 
     /// Violations of condition 1 only.
     pub fn mixed_concurrency(&self) -> impl Iterator<Item = &Violation> {
-        self.violations
-            .iter()
-            .filter(|v| matches!(v, Violation::MixedConcurrency { .. }))
+        self.violations.iter().filter(|v| matches!(v, Violation::MixedConcurrency { .. }))
     }
 
     /// Violations of condition 2 only.
     pub fn noncommittable_sees_commit(&self) -> impl Iterator<Item = &Violation> {
-        self.violations
-            .iter()
-            .filter(|v| matches!(v, Violation::NoncommittableSeesCommit { .. }))
+        self.violations.iter().filter(|v| matches!(v, Violation::NoncommittableSeesCommit { .. }))
     }
 }
 
@@ -104,12 +98,7 @@ impl fmt::Display for TheoremReport {
         if self.nonblocking() {
             writeln!(f, "{}: NONBLOCKING (both theorem conditions hold)", self.protocol)?;
         } else {
-            writeln!(
-                f,
-                "{}: BLOCKING ({} violation(s))",
-                self.protocol,
-                self.violations.len()
-            )?;
+            writeln!(f, "{}: BLOCKING ({} violation(s))", self.protocol, self.violations.len())?;
             for v in &self.violations {
                 match v {
                     Violation::MixedConcurrency { site, state, .. } => writeln!(
@@ -154,10 +143,8 @@ pub fn check_with(protocol: &Protocol, analysis: &Analysis) -> TheoremReport {
                 .iter()
                 .find(|&&(j, t)| analysis.class_of(j, t) == StateClass::Committed)
                 .copied();
-            let abort_witness = cs
-                .iter()
-                .find(|&&(j, t)| analysis.class_of(j, t) == StateClass::Aborted)
-                .copied();
+            let abort_witness =
+                cs.iter().find(|&&(j, t)| analysis.class_of(j, t) == StateClass::Aborted).copied();
 
             if let (Some(cw), Some(aw)) = (commit_witness, abort_witness) {
                 violations.push(Violation::MixedConcurrency {

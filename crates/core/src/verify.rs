@@ -138,8 +138,7 @@ pub fn verify_termination_with(
         }
 
         for mask in 1u64..(1u64 << n) {
-            let survivors: Vec<usize> =
-                (0..n).filter(|&i| mask & (1 << i) != 0).collect();
+            let survivors: Vec<usize> = (0..n).filter(|&i| mask & (1 << i) != 0).collect();
             cases += 1;
 
             // The elected backup is the lowest-id survivor; the decision
@@ -166,14 +165,11 @@ pub fn verify_termination_with(
                 Decision::Blocked => {
                     // Liveness: stuck iff no survivor's class can refine
                     // the decision (the cooperative extension).
-                    let refinable = survivors
-                        .iter()
-                        .any(|&i| site_decision[i] != Decision::Blocked);
+                    let refinable =
+                        survivors.iter().any(|&i| site_decision[i] != Decision::Blocked);
                     if !refinable {
-                        stuck_witnesses.push(TerminationWitness::Stuck {
-                            node,
-                            survivors: survivors.clone(),
-                        });
+                        stuck_witnesses
+                            .push(TerminationWitness::Stuck { node, survivors: survivors.clone() });
                     }
                 }
             }
@@ -199,7 +195,12 @@ mod tests {
         for n in 2..=4 {
             for p in [central_3pc(n), decentralized_3pc(n)] {
                 let v = verify_termination(&p).unwrap();
-                assert!(v.safe(), "{}: {:?}", p.name, &v.unsafe_witnesses[..3.min(v.unsafe_witnesses.len())]);
+                assert!(
+                    v.safe(),
+                    "{}: {:?}",
+                    p.name,
+                    &v.unsafe_witnesses[..3.min(v.unsafe_witnesses.len())]
+                );
                 assert!(
                     v.nonblocking(),
                     "{}: {} stuck cases of {}",
@@ -217,7 +218,12 @@ mod tests {
         for p in [central_2pc(3), decentralized_2pc(3)] {
             let v = verify_termination(&p).unwrap();
             // The class rule never splits a decision, even for 2PC...
-            assert!(v.safe(), "{}: {:?}", p.name, &v.unsafe_witnesses[..3.min(v.unsafe_witnesses.len())]);
+            assert!(
+                v.safe(),
+                "{}: {:?}",
+                p.name,
+                &v.unsafe_witnesses[..3.min(v.unsafe_witnesses.len())]
+            );
             // ...but some survivor subsets are stuck: that is blocking.
             assert!(!v.stuck_witnesses.is_empty(), "{}", p.name);
         }
@@ -235,10 +241,7 @@ mod tests {
             };
             let g = a.graph().node(*node);
             for &i in survivors {
-                assert_eq!(
-                    a.graph().class_of(SiteId(i as u32), g.locals[i]),
-                    StateClass::Wait
-                );
+                assert_eq!(a.graph().class_of(SiteId(i as u32), g.locals[i]), StateClass::Wait);
             }
         }
     }

@@ -19,9 +19,8 @@ fn reachable_graphs_are_acyclic() {
                     indeg[e.to as usize] += 1;
                 }
             }
-            let mut queue: Vec<u32> = (0..g.node_count() as u32)
-                .filter(|&i| indeg[i as usize] == 0)
-                .collect();
+            let mut queue: Vec<u32> =
+                (0..g.node_count() as u32).filter(|&i| indeg[i as usize] == 0).collect();
             let mut removed = 0;
             while let Some(u) = queue.pop() {
                 removed += 1;
@@ -89,10 +88,7 @@ fn occupied_equals_locally_reachable_for_catalog() {
 /// concurrency-class sets and committability for same-named states.
 #[test]
 fn decentralized_analyses_are_site_symmetric() {
-    for p in catalog(3)
-        .into_iter()
-        .filter(|p| p.paradigm == nbc_core::Paradigm::Decentralized)
-    {
+    for p in catalog(3).into_iter().filter(|p| p.paradigm == nbc_core::Paradigm::Decentralized) {
         let a = Analysis::build(&p).unwrap();
         let reference = SiteId(0);
         for site in p.sites().skip(1) {
@@ -124,8 +120,7 @@ fn committable_closed_toward_commit() {
         for site in p.sites() {
             let fsa = p.fsa(site);
             for t in fsa.transitions() {
-                let from_committable =
-                    a.occupied(site, t.from) && a.committable(site, t.from);
+                let from_committable = a.occupied(site, t.from) && a.committable(site, t.from);
                 let to_abort = fsa.state(t.to).class == StateClass::Aborted;
                 if from_committable && !to_abort && a.occupied(site, t.to) {
                     assert!(

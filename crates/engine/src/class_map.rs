@@ -28,9 +28,7 @@ pub fn decode_class(code: u8) -> StateClass {
         class_codes::PREPARED => StateClass::Prepared,
         class_codes::ABORTED => StateClass::Aborted,
         class_codes::COMMITTED => StateClass::Committed,
-        c if c >= class_codes::CUSTOM_BASE => {
-            StateClass::Custom(c - class_codes::CUSTOM_BASE)
-        }
+        c if c >= class_codes::CUSTOM_BASE => StateClass::Custom(c - class_codes::CUSTOM_BASE),
         other => panic!("invalid class code {other}"),
     }
 }

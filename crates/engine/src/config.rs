@@ -108,6 +108,14 @@ pub struct RunConfig {
     pub max_events: usize,
     /// Record a human-readable execution trace into the report.
     pub record_trace: bool,
+    /// Transaction id stamped on every WAL record of the run. Single-shot
+    /// runs use the default (`1`); the pipeline gives each concurrent
+    /// round its own id so one site log can carry many interleaved rounds.
+    pub txn_id: u64,
+    /// Simulation time at which the run begins (client stimuli are
+    /// injected at this instant). The pipeline admits rounds mid-
+    /// simulation; single-shot runs start at `0`.
+    pub start_at: Time,
 }
 
 impl RunConfig {
@@ -124,6 +132,8 @@ impl RunConfig {
             total_failure_recovery: true,
             max_events: 200_000,
             record_trace: false,
+            txn_id: crate::run::TXN,
+            start_at: 0,
         }
     }
 
@@ -143,6 +153,18 @@ impl RunConfig {
     /// Set the termination rule.
     pub fn with_rule(mut self, rule: TerminationRule) -> Self {
         self.rule = rule;
+        self
+    }
+
+    /// Tag the run's WAL records with a transaction id.
+    pub fn with_txn_id(mut self, txn_id: u64) -> Self {
+        self.txn_id = txn_id;
+        self
+    }
+
+    /// Start the run at a mid-simulation instant.
+    pub fn with_start_at(mut self, at: Time) -> Self {
+        self.start_at = at;
         self
     }
 }

@@ -40,7 +40,9 @@ pub mod site;
 pub mod sweep;
 pub mod wire;
 
-pub use config::{CrashPoint, CrashSpec, PartitionSpec, RunConfig, TerminationRule, TransitionProgress};
+pub use config::{
+    CrashPoint, CrashSpec, PartitionSpec, RunConfig, TerminationRule, TransitionProgress,
+};
 pub use decide::ClassDecisions;
 pub use report::{RunReport, SiteOutcome};
 pub use run::{run_one, run_with, Runner};

@@ -83,9 +83,8 @@ impl<'a> Runner<'a> {
         let n = protocol.n_sites();
         assert_eq!(config.votes.len(), n, "one vote per site required");
         let net = Network::new(n, config.latency.clone(), config.detect_delay);
-        let sites = (0..n)
-            .map(|i| SiteRt::new(i, protocol.fsa(nbc_core::SiteId(i as u32)), n))
-            .collect();
+        let sites =
+            (0..n).map(|i| SiteRt::new(i, protocol.fsa(nbc_core::SiteId(i as u32)), n)).collect();
         let mut timers = BinaryHeap::new();
         let mut transition_crashes = vec![None; n];
         for spec in &config.crashes {
@@ -97,8 +96,7 @@ impl<'a> Runner<'a> {
                     }
                 }
                 CrashPoint::OnTransition { ordinal, progress } => {
-                    transition_crashes[spec.site] =
-                        Some((ordinal, progress, spec.recover_at));
+                    transition_crashes[spec.site] = Some((ordinal, progress, spec.recover_at));
                 }
             }
         }
@@ -106,15 +104,13 @@ impl<'a> Runner<'a> {
             timers.push(Reverse((p.at, Timer::Partition)));
         }
         let decisions = ClassDecisions::build(protocol, analysis);
-        let mut recovery_classes: Vec<Vec<RecoveryClass>> = protocol
-            .fsas()
-            .iter()
-            .map(|f| vec![RecoveryClass::MustAsk; f.state_count()])
-            .collect();
+        let mut recovery_classes: Vec<Vec<RecoveryClass>> =
+            protocol.fsas().iter().map(|f| vec![RecoveryClass::MustAsk; f.state_count()]).collect();
         for row in classify(protocol, analysis) {
             recovery_classes[row.site.index()][row.state.index()] = row.class;
         }
-        Self {
+        let start_at = config.start_at;
+        let mut runner = Self {
             protocol,
             analysis,
             decisions,
@@ -124,61 +120,84 @@ impl<'a> Runner<'a> {
             sites,
             timers,
             transition_crashes,
-            now: 0,
+            now: start_at,
             events: 0,
             truncated: false,
             trace: Vec::new(),
+        };
+        // Seed the client stimuli and let every site take its first steps,
+        // so the run is steppable from the moment it is constructed.
+        for m in runner.protocol.initial_msgs() {
+            let dst = m.dst.index();
+            runner.sites[dst].inbox.push((CLIENT_SRC, m.kind));
         }
+        for i in 0..runner.sites.len() {
+            runner.pump(i);
+        }
+        runner
     }
 
     /// Execute to quiescence and report.
     pub fn run(mut self) -> RunReport {
-        // Seed the client stimuli and let every site take its first steps.
-        for m in self.protocol.initial_msgs() {
-            let dst = m.dst.index();
-            self.sites[dst].inbox.push((CLIENT_SRC, m.kind));
-        }
-        for i in 0..self.sites.len() {
-            self.pump(i);
-        }
+        while self.step() {}
+        self.report()
+    }
 
-        loop {
-            if self.events >= self.config.max_events {
-                self.truncated = true;
-                break;
+    /// The time of the next pending event (network delivery, failure
+    /// notice, or timer), or `None` if the run is quiescent. Never moves
+    /// backwards; the multiplexer uses it to interleave concurrent runs in
+    /// global time order.
+    pub fn next_time(&self) -> Option<Time> {
+        let net_t = self.net.peek_time();
+        let timer_t = self.timers.peek().map(|Reverse((t, _))| *t);
+        match (net_t, timer_t) {
+            (None, None) => None,
+            (Some(a), None) => Some(a),
+            (None, Some(b)) => Some(b),
+            (Some(a), Some(b)) => Some(a.min(b)),
+        }
+    }
+
+    /// The run's current simulation time.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Process exactly one event. Returns `false` once the run is
+    /// quiescent (or the event safety valve tripped).
+    pub fn step(&mut self) -> bool {
+        if self.events >= self.config.max_events {
+            self.truncated = true;
+            return false;
+        }
+        let net_t = self.net.peek_time();
+        let timer_t = self.timers.peek().map(|Reverse((t, _))| *t);
+        match (net_t, timer_t) {
+            (None, None) => false,
+            (Some(nt), tt) if tt.is_none() || nt <= tt.unwrap() => {
+                let (t, ev) = self.net.next_event().expect("peeked");
+                self.now = t;
+                self.events += 1;
+                self.handle_net(ev);
+                true
             }
-            let net_t = self.net.peek_time();
-            let timer_t = self.timers.peek().map(|Reverse((t, _))| *t);
-            match (net_t, timer_t) {
-                (None, None) => break,
-                (Some(nt), tt) if tt.is_none() || nt <= tt.unwrap() => {
-                    let (t, ev) = self.net.next_event().expect("peeked");
-                    self.now = t;
-                    self.events += 1;
-                    self.handle_net(ev);
-                }
-                _ => {
-                    let Reverse((t, timer)) = self.timers.pop().expect("peeked");
-                    self.now = t;
-                    self.events += 1;
-                    match timer {
-                        Timer::Crash(site) => self.crash_site(site),
-                        Timer::Recover(site) => self.recover_site(site),
-                        Timer::Partition => {
-                            let spec = self
-                                .config
-                                .partition
-                                .clone()
-                                .expect("partition timer implies a spec");
-                            self.note(|| format!("PARTITION {:?}", spec.groups));
-                            self.net.partition(self.now, spec.groups);
-                        }
+            _ => {
+                let Reverse((t, timer)) = self.timers.pop().expect("peeked");
+                self.now = t;
+                self.events += 1;
+                match timer {
+                    Timer::Crash(site) => self.crash_site(site),
+                    Timer::Recover(site) => self.recover_site(site),
+                    Timer::Partition => {
+                        let spec =
+                            self.config.partition.clone().expect("partition timer implies a spec");
+                        self.note(|| format!("PARTITION {:?}", spec.groups));
+                        self.net.partition(self.now, spec.groups);
                     }
                 }
+                true
             }
         }
-
-        self.report()
     }
 
     // ------------------------------------------------------------------
@@ -276,17 +295,17 @@ impl<'a> Runner<'a> {
             );
             self.trace.push(line);
         }
-        self.sites[ix].log_progress(TXN, to, to_class);
+        let txn = self.config.txn_id;
+        self.sites[ix].log_progress(txn, to, to_class);
         self.sites[ix].state = to;
     }
 
     /// Reach a final outcome at `ix` (via the protocol or a decision).
     fn finish(&mut self, ix: usize, commit: bool) {
         if self.sites[ix].outcome.is_none() {
-            self.sites[ix].log_decision(TXN, commit);
-            self.note(|| {
-                format!("site{ix}: DECIDED {}", if commit { "COMMIT" } else { "ABORT" })
-            });
+            let txn = self.config.txn_id;
+            self.sites[ix].log_decision(txn, commit);
+            self.note(|| format!("site{ix}: DECIDED {}", if commit { "COMMIT" } else { "ABORT" }));
         }
         self.sites[ix].mode = Mode::Done;
         self.answer_pending_queries(ix);
@@ -341,9 +360,7 @@ impl<'a> Runner<'a> {
                 }
             }
             Wire::TermDecision { commit, .. } => {
-                if self.sites[dst].outcome.is_none()
-                    && self.sites[dst].mode != Mode::Down
-                {
+                if self.sites[dst].outcome.is_none() && self.sites[dst].mode != Mode::Down {
                     self.finish(dst, commit);
                 }
             }
@@ -395,8 +412,7 @@ impl<'a> Runner<'a> {
                 // the paper's degenerate case where phase 1 is omitted
                 // because the backup is already in a commit or abort state.
                 if self.sites[observer].elected_backup() == observer {
-                    let commit =
-                        self.sites[observer].outcome.expect("Done implies an outcome");
+                    let commit = self.sites[observer].outcome.expect("Done implies an outcome");
                     self.broadcast_decision(observer, commit);
                 }
             }
@@ -435,9 +451,8 @@ impl<'a> Runner<'a> {
             return;
         }
 
-        let peers: Vec<usize> = (0..self.sites.len())
-            .filter(|&j| j != ix && self.sites[ix].view[j])
-            .collect();
+        let peers: Vec<usize> =
+            (0..self.sites.len()).filter(|&j| j != ix && self.sites[ix].view[j]).collect();
         let my_class = self.reported_class_of(ix);
         self.sites[ix].backup_state.pending_acks = peers.iter().copied().collect();
         self.sites[ix].backup_state.collected.clear();
@@ -473,7 +488,7 @@ impl<'a> Runner<'a> {
             // Make the transition to the backup's state: durable first.
             self.sites[ix]
                 .wal
-                .append_sync(&LogRecord::AlignedTo { txn: TXN, class });
+                .append_sync(&LogRecord::AlignedTo { txn: self.config.txn_id, class });
             self.sites[ix].aligned_class = Some(class);
         }
         self.send(ix, backup, Wire::AlignAck { backup, reported_class: reported });
@@ -520,8 +535,7 @@ impl<'a> Runner<'a> {
                 // included); without a strict majority of all n sites the
                 // backup must not decide — the other side of a potential
                 // partition might.
-                let operational =
-                    self.sites[ix].view.iter().filter(|&&up| up).count();
+                let operational = self.sites[ix].view.iter().filter(|&&up| up).count();
                 if 2 * operational > self.sites.len() {
                     self.decisions.decide(my_class)
                 } else {
@@ -531,12 +545,8 @@ impl<'a> Runner<'a> {
             TerminationRule::Cooperative => {
                 let base = self.decisions.decide(my_class);
                 if base == Decision::Blocked {
-                    let mut classes: Vec<u8> = self.sites[ix]
-                        .backup_state
-                        .collected
-                        .iter()
-                        .map(|&(_, c)| c)
-                        .collect();
+                    let mut classes: Vec<u8> =
+                        self.sites[ix].backup_state.collected.iter().map(|&(_, c)| c).collect();
                     classes.push(my_class);
                     self.decisions.decide_cooperative(classes)
                 } else {
@@ -555,9 +565,8 @@ impl<'a> Runner<'a> {
             }
             Decision::Blocked => {
                 self.sites[ix].mode = Mode::Blocked;
-                let peers: Vec<usize> = (0..self.sites.len())
-                    .filter(|&j| j != ix && self.sites[ix].view[j])
-                    .collect();
+                let peers: Vec<usize> =
+                    (0..self.sites.len()).filter(|&j| j != ix && self.sites[ix].view[j]).collect();
                 for j in peers {
                     self.send(ix, j, Wire::TermBlocked { backup: ix });
                 }
@@ -567,9 +576,8 @@ impl<'a> Runner<'a> {
     }
 
     fn broadcast_decision(&mut self, ix: usize, commit: bool) {
-        let peers: Vec<usize> = (0..self.sites.len())
-            .filter(|&j| j != ix && self.sites[ix].view[j])
-            .collect();
+        let peers: Vec<usize> =
+            (0..self.sites.len()).filter(|&j| j != ix && self.sites[ix].view[j]).collect();
         for j in peers {
             self.send(ix, j, Wire::TermDecision { backup: ix, commit });
         }
@@ -585,8 +593,8 @@ impl<'a> Runner<'a> {
         }
         // Volatile state is lost: only the synced WAL prefix survives.
         let image = self.sites[ix].wal.crash_image();
-        let (wal, _) = nbc_storage::Wal::from_image(&image)
-            .expect("own crash image is well-formed");
+        let (wal, _) =
+            nbc_storage::Wal::from_image(&image).expect("own crash image is well-formed");
         self.sites[ix].wal = wal;
         self.sites[ix].inbox.clear();
         self.sites[ix].backup_state = Default::default();
@@ -601,10 +609,9 @@ impl<'a> Runner<'a> {
         if self.sites[ix].mode != Mode::Down {
             return;
         }
-        let records =
-            nbc_storage::Wal::recover(&self.sites[ix].wal.full_image()).expect("own log");
+        let records = nbc_storage::Wal::recover(&self.sites[ix].wal.full_image()).expect("own log");
         let summaries = summarize(&records);
-        let summary = summaries.iter().find(|t| t.txn == TXN);
+        let summary = summaries.iter().find(|t| t.txn == self.config.txn_id);
         // Fresh view: the recovering site interacts via the recovery
         // protocol only, so an optimistic view is harmless.
         let n = self.sites.len();
@@ -739,11 +746,8 @@ impl<'a> Runner<'a> {
             return;
         }
         use nbc_storage::recovery::class_codes;
-        let mut classes: Vec<u8> = self.sites[ix]
-            .recovery_replies
-            .iter()
-            .map(|&(_, _, c)| c)
-            .collect();
+        let mut classes: Vec<u8> =
+            self.sites[ix].recovery_replies.iter().map(|&(_, _, c)| c).collect();
         classes.push(self.reported_class_of(ix));
         let commit = classes.contains(&class_codes::COMMITTED);
         self.finish(ix, commit);
@@ -758,14 +762,17 @@ impl<'a> Runner<'a> {
     // Reporting
     // ------------------------------------------------------------------
 
-    fn report(&self) -> RunReport {
+    /// Assemble the run's current outcome report (callable mid-run by
+    /// the multiplexer once [`Runner::next_time`] returns `None`).
+    pub fn report(&self) -> RunReport {
         let mut outcomes = Vec::with_capacity(self.sites.len());
         for s in &self.sites {
             let o = if s.mode == Mode::Down {
                 // Inspect the durable log of the dead site.
-                let recs = nbc_storage::Wal::recover(&s.wal.full_image())
-                    .expect("own log well-formed");
-                match summarize(&recs).iter().find(|t| t.txn == TXN).map(|t| &t.outcome) {
+                let recs =
+                    nbc_storage::Wal::recover(&s.wal.full_image()).expect("own log well-formed");
+                let txn = self.config.txn_id;
+                match summarize(&recs).iter().find(|t| t.txn == txn).map(|t| &t.outcome) {
                     Some(TxnOutcome::Committed) => SiteOutcome::DownCommitted,
                     Some(TxnOutcome::Aborted) => SiteOutcome::DownAborted,
                     _ => SiteOutcome::DownUndecided,

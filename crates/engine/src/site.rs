@@ -110,17 +110,13 @@ impl SiteRt {
             // Final states never align; they report themselves.
             return encode_class(fsa.state(self.state).class);
         }
-        self.aligned_class
-            .unwrap_or_else(|| encode_class(fsa.state(self.state).class))
+        self.aligned_class.unwrap_or_else(|| encode_class(fsa.state(self.state).class))
     }
 
     /// The backup this site elects: the lowest-id site in its operational
     /// view (itself included).
     pub fn elected_backup(&self) -> usize {
-        self.view
-            .iter()
-            .position(|&up| up)
-            .expect("at least this site is operational")
+        self.view.iter().position(|&up| up).expect("at least this site is operational")
     }
 
     /// Remove one `(src, kind)` message from the inbox; true if present.
@@ -140,10 +136,8 @@ impl SiteRt {
         match consume {
             Consume::Spontaneous => Some(Vec::new()),
             Consume::All(v) => {
-                let mut need: Vec<(usize, MsgKind)> = v
-                    .iter()
-                    .map(|&(src, kind)| (src_index(src), kind))
-                    .collect();
+                let mut need: Vec<(usize, MsgKind)> =
+                    v.iter().map(|&(src, kind)| (src_index(src), kind)).collect();
                 // Every needed (src, kind) must be present; sources are
                 // distinct in well-formed protocols so counting is simple.
                 for item in &need {
@@ -243,20 +237,14 @@ mod tests {
     fn satisfy_all_and_any() {
         let p = central_2pc(3);
         let mut s = SiteRt::new(0, p.fsa(SiteId(0)), 3);
-        let all = Consume::All(vec![
-            (SiteId(1), MsgKind::YES),
-            (SiteId(2), MsgKind::YES),
-        ]);
+        let all = Consume::All(vec![(SiteId(1), MsgKind::YES), (SiteId(2), MsgKind::YES)]);
         assert!(s.satisfy(&all).is_none());
         s.inbox.push((1, MsgKind::YES));
         assert!(s.satisfy(&all).is_none());
         s.inbox.push((2, MsgKind::YES));
         assert_eq!(s.satisfy(&all).unwrap().len(), 2);
 
-        let any = Consume::Any(vec![
-            (SiteId(1), MsgKind::NO),
-            (SiteId(2), MsgKind::NO),
-        ]);
+        let any = Consume::Any(vec![(SiteId(1), MsgKind::NO), (SiteId(2), MsgKind::NO)]);
         assert!(s.satisfy(&any).is_none());
         s.inbox.push((2, MsgKind::NO));
         assert_eq!(s.satisfy(&any).unwrap(), vec![(2, MsgKind::NO)]);
@@ -288,10 +276,7 @@ mod tests {
         // A no-voting coordinator aborts spontaneously.
         let (ti, consumed) = s.choose_transition(fsa, false).unwrap();
         assert!(consumed.is_empty());
-        assert!(matches!(
-            fsa.transitions()[ti as usize].consume,
-            Consume::Spontaneous
-        ));
+        assert!(matches!(fsa.transitions()[ti as usize].consume, Consume::Spontaneous));
     }
 
     #[test]
@@ -311,20 +296,11 @@ mod tests {
         let fsa = p.fsa(SiteId(1));
         let mut s = SiteRt::new(1, fsa, 2);
         s.state = fsa.state_by_name("w").unwrap();
-        assert_eq!(
-            s.reported_class(fsa),
-            nbc_storage::recovery::class_codes::WAIT
-        );
+        assert_eq!(s.reported_class(fsa), nbc_storage::recovery::class_codes::WAIT);
         s.aligned_class = Some(nbc_storage::recovery::class_codes::PREPARED);
-        assert_eq!(
-            s.reported_class(fsa),
-            nbc_storage::recovery::class_codes::PREPARED
-        );
+        assert_eq!(s.reported_class(fsa), nbc_storage::recovery::class_codes::PREPARED);
         // Final states report themselves regardless of alignment.
         s.state = fsa.state_by_name("c").unwrap();
-        assert_eq!(
-            s.reported_class(fsa),
-            nbc_storage::recovery::class_codes::COMMITTED
-        );
+        assert_eq!(s.reported_class(fsa), nbc_storage::recovery::class_codes::COMMITTED);
     }
 }

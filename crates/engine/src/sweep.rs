@@ -23,12 +23,7 @@ pub fn enumerate_crash_specs(protocol: &Protocol, recover_at: Option<Time>) -> V
     for site in protocol.sites() {
         let fsa = protocol.fsa(site);
         let max_ordinal = fsa.max_depth();
-        let max_emit = fsa
-            .transitions()
-            .iter()
-            .map(|t| t.emit.len() as u32)
-            .max()
-            .unwrap_or(0);
+        let max_emit = fsa.transitions().iter().map(|t| t.emit.len() as u32).max().unwrap_or(0);
         for ordinal in 1..=max_ordinal {
             specs.push(CrashSpec {
                 site: site.index(),
@@ -108,10 +103,51 @@ impl SweepSummary {
             self.truncated += 1;
         }
     }
+
+    /// Fold another partial summary in (chunk merge for parallel sweeps).
+    fn merge(&mut self, other: SweepSummary) {
+        self.total += other.total;
+        self.consistent += other.consistent;
+        self.blocked += other.blocked;
+        self.fully_decided += other.fully_decided;
+        self.truncated += other.truncated;
+        self.inconsistent_runs.extend(other.inconsistent_runs);
+    }
 }
 
 /// Run every spec as a single-crash schedule against the base config.
+///
+/// Each crash spec is an independent run, so the sweep fans out over
+/// scoped threads, chunking the spec list in order and merging the partial
+/// summaries in chunk order — the result (including the order of
+/// `inconsistent_runs`) is identical to the serial sweep.
 pub fn sweep(
+    protocol: &Protocol,
+    analysis: &Analysis,
+    base: &RunConfig,
+    specs: &[CrashSpec],
+) -> SweepSummary {
+    let threads = std::thread::available_parallelism().map_or(1, |p| p.get()).min(8);
+    if threads <= 1 || specs.len() < 2 * threads {
+        return sweep_serial(protocol, analysis, base, specs);
+    }
+    let chunk_len = specs.len().div_ceil(threads);
+    let partials: Vec<SweepSummary> = std::thread::scope(|scope| {
+        let handles: Vec<_> = specs
+            .chunks(chunk_len)
+            .map(|chunk| scope.spawn(move || sweep_serial(protocol, analysis, base, chunk)))
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("sweep worker")).collect()
+    });
+    let mut summary = SweepSummary::default();
+    for partial in partials {
+        summary.merge(partial);
+    }
+    summary
+}
+
+/// Single-threaded sweep over `specs`, in order.
+fn sweep_serial(
     protocol: &Protocol,
     analysis: &Analysis,
     base: &RunConfig,
@@ -148,11 +184,7 @@ pub fn sweep_double(
                 let mut cfg = base.clone();
                 cfg.crashes = vec![
                     *spec,
-                    CrashSpec {
-                        site: second,
-                        point: CrashPoint::AtTime(t),
-                        recover_at: None,
-                    },
+                    CrashSpec { site: second, point: CrashPoint::AtTime(t), recover_at: None },
                 ];
                 let report = run_with(protocol, analysis, cfg);
                 summary.absorb(format!("{spec:?} + site{second}@t={t}"), &report);
@@ -177,6 +209,22 @@ mod tests {
         for site in 0..3 {
             assert!(specs.iter().any(|s| s.site == site));
         }
+    }
+
+    #[test]
+    fn parallel_sweep_matches_serial() {
+        let p = central_3pc(3);
+        let a = Analysis::build(&p).unwrap();
+        let base = RunConfig::happy(3);
+        let specs = enumerate_crash_specs(&p, None);
+        let par = sweep(&p, &a, &base, &specs);
+        let ser = sweep_serial(&p, &a, &base, &specs);
+        assert_eq!(par.total, ser.total);
+        assert_eq!(par.consistent, ser.consistent);
+        assert_eq!(par.blocked, ser.blocked);
+        assert_eq!(par.fully_decided, ser.fully_decided);
+        assert_eq!(par.truncated, ser.truncated);
+        assert_eq!(par.inconsistent_runs, ser.inconsistent_runs);
     }
 
     #[test]

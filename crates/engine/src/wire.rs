@@ -74,7 +74,11 @@ impl fmt::Display for Wire {
                 write!(f, "align-ack(was {})", letter(reported_class))
             }
             Self::TermDecision { commit, backup } => {
-                write!(f, "decision({}) from site{backup}", if *commit { "commit" } else { "abort" })
+                write!(
+                    f,
+                    "decision({}) from site{backup}",
+                    if *commit { "commit" } else { "abort" }
+                )
             }
             Self::TermBlocked { backup } => write!(f, "blocked! (backup site{backup})"),
             Self::WhatHappened => write!(f, "what-happened?"),

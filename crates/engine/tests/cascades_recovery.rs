@@ -63,16 +63,11 @@ fn blocked_two_pc_slaves_unblock_when_coordinator_recovers() {
     // anyone; the slaves block; the coordinator recovers and answers.
     let p = central_2pc(3);
     let a = Analysis::build(&p).unwrap();
-    let cfg = RunConfig::happy(3)
-        .with_rule(TerminationRule::Cooperative)
-        .with_crash(CrashSpec {
-            site: 0,
-            point: CrashPoint::OnTransition {
-                ordinal: 2,
-                progress: TransitionProgress::AfterMsgs(0),
-            },
-            recover_at: Some(200),
-        });
+    let cfg = RunConfig::happy(3).with_rule(TerminationRule::Cooperative).with_crash(CrashSpec {
+        site: 0,
+        point: CrashPoint::OnTransition { ordinal: 2, progress: TransitionProgress::AfterMsgs(0) },
+        recover_at: Some(200),
+    });
     let r = run_with(&p, &a, cfg);
     assert!(r.consistent, "{r}");
     assert_eq!(r.decision(), Some(true), "{r}");
@@ -86,16 +81,11 @@ fn blocked_two_pc_slaves_unblock_when_coordinator_recovers() {
 fn blocked_two_pc_without_recovery_stays_blocked_but_consistent() {
     let p = central_2pc(3);
     let a = Analysis::build(&p).unwrap();
-    let cfg = RunConfig::happy(3)
-        .with_rule(TerminationRule::Cooperative)
-        .with_crash(CrashSpec {
-            site: 0,
-            point: CrashPoint::OnTransition {
-                ordinal: 2,
-                progress: TransitionProgress::AfterMsgs(0),
-            },
-            recover_at: None,
-        });
+    let cfg = RunConfig::happy(3).with_rule(TerminationRule::Cooperative).with_crash(CrashSpec {
+        site: 0,
+        point: CrashPoint::OnTransition { ordinal: 2, progress: TransitionProgress::AfterMsgs(0) },
+        recover_at: None,
+    });
     let r = run_with(&p, &a, cfg);
     assert!(r.consistent, "{r}");
     assert!(r.any_blocked, "{r}");
@@ -113,10 +103,7 @@ fn recovering_slave_learns_outcome_from_survivors() {
     let a = Analysis::build(&p).unwrap();
     let cfg = RunConfig::happy(3).with_crash(CrashSpec {
         site: 2,
-        point: CrashPoint::OnTransition {
-            ordinal: 2,
-            progress: TransitionProgress::BeforeLog,
-        },
+        point: CrashPoint::OnTransition { ordinal: 2, progress: TransitionProgress::BeforeLog },
         recover_at: Some(100),
     });
     let r = run_with(&p, &a, cfg);
@@ -134,10 +121,7 @@ fn recovering_slave_adopts_survivor_abort() {
     let a = Analysis::build(&p).unwrap();
     let cfg = RunConfig::one_no(3, 1).with_crash(CrashSpec {
         site: 2,
-        point: CrashPoint::OnTransition {
-            ordinal: 2,
-            progress: TransitionProgress::BeforeLog,
-        },
+        point: CrashPoint::OnTransition { ordinal: 2, progress: TransitionProgress::BeforeLog },
         recover_at: Some(100),
     });
     let r = run_with(&p, &a, cfg);
@@ -150,16 +134,11 @@ fn recovering_slave_adopts_survivor_abort() {
 fn recovered_site_that_crashed_before_voting_aborts_unilaterally() {
     let p = central_2pc(3);
     let a = Analysis::build(&p).unwrap();
-    let cfg = RunConfig::happy(3)
-        .with_rule(TerminationRule::Cooperative)
-        .with_crash(CrashSpec {
-            site: 1,
-            point: CrashPoint::OnTransition {
-                ordinal: 1,
-                progress: TransitionProgress::BeforeLog,
-            },
-            recover_at: Some(100),
-        });
+    let cfg = RunConfig::happy(3).with_rule(TerminationRule::Cooperative).with_crash(CrashSpec {
+        site: 1,
+        point: CrashPoint::OnTransition { ordinal: 1, progress: TransitionProgress::BeforeLog },
+        recover_at: Some(100),
+    });
     let r = run_with(&p, &a, cfg);
     assert!(r.consistent, "{r}");
     assert_eq!(r.decision(), Some(false), "{r}");
@@ -250,10 +229,7 @@ fn fast_recovery_must_not_race_in_flight_termination() {
     cfg.detect_delay = 25; // termination starts late...
     cfg.crashes = vec![CrashSpec {
         site: 2,
-        point: CrashPoint::OnTransition {
-            ordinal: 2,
-            progress: TransitionProgress::BeforeLog,
-        },
+        point: CrashPoint::OnTransition { ordinal: 2, progress: TransitionProgress::BeforeLog },
         recover_at: Some(6), // ...but the crashed site restarts early.
     }];
     let r = run_with(&p, &a, cfg);
@@ -296,16 +272,11 @@ fn recovered_undecided_coordinator_unblocks_2pc_by_independent_abort() {
     // so it aborts unilaterally and its answers unblock the slaves.
     let p = central_2pc(3);
     let a = Analysis::build(&p).unwrap();
-    let cfg = RunConfig::happy(3)
-        .with_rule(TerminationRule::Cooperative)
-        .with_crash(CrashSpec {
-            site: 0,
-            point: CrashPoint::OnTransition {
-                ordinal: 2,
-                progress: TransitionProgress::BeforeLog,
-            },
-            recover_at: Some(200),
-        });
+    let cfg = RunConfig::happy(3).with_rule(TerminationRule::Cooperative).with_crash(CrashSpec {
+        site: 0,
+        point: CrashPoint::OnTransition { ordinal: 2, progress: TransitionProgress::BeforeLog },
+        recover_at: Some(200),
+    });
     let r = run_with(&p, &a, cfg);
     assert!(r.consistent, "{r}");
     assert_eq!(r.decision(), Some(false), "{r}");

@@ -3,9 +3,7 @@
 
 use nbc_core::protocols::catalog;
 use nbc_core::Analysis;
-use nbc_engine::{
-    run_with, CrashPoint, CrashSpec, RunConfig, TerminationRule, TransitionProgress,
-};
+use nbc_engine::{run_with, CrashPoint, CrashSpec, RunConfig, TerminationRule, TransitionProgress};
 use nbc_simnet::LatencyModel;
 
 fn configs(n: usize) -> Vec<RunConfig> {
@@ -13,16 +11,11 @@ fn configs(n: usize) -> Vec<RunConfig> {
     let mut jitter = RunConfig::happy(n);
     jitter.latency = LatencyModel::uniform(1, 15, 42);
     out.push(jitter);
-    let crash = RunConfig::happy(n)
-        .with_rule(TerminationRule::Cooperative)
-        .with_crash(CrashSpec {
-            site: 0,
-            point: CrashPoint::OnTransition {
-                ordinal: 2,
-                progress: TransitionProgress::AfterMsgs(1),
-            },
-            recover_at: Some(120),
-        });
+    let crash = RunConfig::happy(n).with_rule(TerminationRule::Cooperative).with_crash(CrashSpec {
+        site: 0,
+        point: CrashPoint::OnTransition { ordinal: 2, progress: TransitionProgress::AfterMsgs(1) },
+        recover_at: Some(120),
+    });
     out.push(crash);
     out
 }
@@ -74,11 +67,8 @@ fn trace_is_empty_unless_requested() {
         assert!(joined.contains(needle), "missing {needle:?} in:\n{joined}");
     }
     // Timestamps are non-decreasing.
-    let times: Vec<u64> = r
-        .trace
-        .iter()
-        .map(|l| l[2..l.find(' ').unwrap()].trim().parse().unwrap())
-        .collect();
+    let times: Vec<u64> =
+        r.trace.iter().map(|l| l[2..l.find(' ').unwrap()].trim().parse().unwrap()).collect();
     assert!(times.windows(2).all(|w| w[0] <= w[1]), "{times:?}");
 }
 
@@ -88,10 +78,7 @@ fn trace_narrates_termination_and_recovery() {
     let a = Analysis::build(&p).unwrap();
     let mut cfg = RunConfig::happy(3).with_crash(CrashSpec {
         site: 2,
-        point: CrashPoint::OnTransition {
-            ordinal: 2,
-            progress: TransitionProgress::BeforeLog,
-        },
+        point: CrashPoint::OnTransition { ordinal: 2, progress: TransitionProgress::BeforeLog },
         recover_at: Some(100),
     });
     cfg.record_trace = true;

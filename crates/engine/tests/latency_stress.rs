@@ -5,11 +5,11 @@
 
 use nbc_core::protocols::{catalog, central_3pc, decentralized_3pc};
 use nbc_core::Analysis;
-use nbc_simnet::LatencyModel;
 use nbc_engine::{
-    enumerate_crash_specs, run_with, sweep, CrashPoint, CrashSpec, RunConfig,
-    TerminationRule, TransitionProgress,
+    enumerate_crash_specs, run_with, sweep, CrashPoint, CrashSpec, RunConfig, TerminationRule,
+    TransitionProgress,
 };
+use nbc_simnet::LatencyModel;
 
 fn jittery(n: usize, seed: u64) -> RunConfig {
     let mut cfg = RunConfig::happy(n);
@@ -37,12 +37,7 @@ fn three_pc_crash_sweeps_survive_reordering() {
             let a = Analysis::build(&p).unwrap();
             let specs = enumerate_crash_specs(&p, None);
             let s = sweep(&p, &a, &jittery(3, seed), &specs);
-            assert!(
-                s.all_consistent(),
-                "{} seed {seed}: {:?}",
-                p.name,
-                s.inconsistent_runs
-            );
+            assert!(s.all_consistent(), "{} seed {seed}: {:?}", p.name, s.inconsistent_runs);
             assert!(
                 s.nonblocking(),
                 "{} seed {seed}: blocked={} decided={}/{}",
@@ -63,12 +58,7 @@ fn two_pc_cooperative_survives_reordering() {
             let specs = enumerate_crash_specs(&p, None);
             let base = jittery(3, seed).with_rule(TerminationRule::Cooperative);
             let s = sweep(&p, &a, &base, &specs);
-            assert!(
-                s.all_consistent(),
-                "{} seed {seed}: {:?}",
-                p.name,
-                s.inconsistent_runs
-            );
+            assert!(s.all_consistent(), "{} seed {seed}: {:?}", p.name, s.inconsistent_runs);
         }
     }
 }
@@ -147,10 +137,7 @@ fn fast_recovery_never_races_termination_under_jitter() {
             }];
             let r = run_with(&p, &a, cfg);
             assert!(r.consistent, "seed {seed} recover@{recover_at}: {r}");
-            assert!(
-                r.all_operational_decided,
-                "seed {seed} recover@{recover_at}: {r}"
-            );
+            assert!(r.all_operational_decided, "seed {seed} recover@{recover_at}: {r}");
         }
     }
 }

@@ -28,10 +28,7 @@ fn partition_at_prepared_coordinator_splits_the_decision() {
     let p = central_3pc(3);
     let a = Analysis::build(&p).unwrap();
     let r = run_with(&p, &a, partition_cfg(5));
-    assert!(
-        !r.consistent,
-        "the partition must split the decision, got {r}"
-    );
+    assert!(!r.consistent, "the partition must split the decision, got {r}");
     assert_eq!(r.outcomes[0], SiteOutcome::Committed, "{r}");
     assert_eq!(r.outcomes[1], SiteOutcome::Aborted, "{r}");
     assert_eq!(r.outcomes[2], SiteOutcome::Aborted, "{r}");

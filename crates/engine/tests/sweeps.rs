@@ -11,9 +11,7 @@
 
 use nbc_core::protocols::{central_2pc, central_3pc, decentralized_2pc, decentralized_3pc};
 use nbc_core::Analysis;
-use nbc_engine::{
-    enumerate_crash_specs, run_with, sweep, RunConfig, SiteOutcome, TerminationRule,
-};
+use nbc_engine::{enumerate_crash_specs, run_with, sweep, RunConfig, SiteOutcome, TerminationRule};
 
 fn happy(n: usize) -> RunConfig {
     RunConfig::happy(n)
@@ -80,12 +78,7 @@ fn three_pc_single_crash_sweep_is_nonblocking_and_consistent() {
             let a = Analysis::build(&p).unwrap();
             let specs = enumerate_crash_specs(&p, None);
             let s = sweep(&p, &a, &happy(n), &specs);
-            assert!(
-                s.all_consistent(),
-                "{}: inconsistent runs: {:?}",
-                p.name,
-                s.inconsistent_runs
-            );
+            assert!(s.all_consistent(), "{}: inconsistent runs: {:?}", p.name, s.inconsistent_runs);
             assert!(
                 s.nonblocking(),
                 "{}: blocked={} fully_decided={}/{}",
@@ -107,12 +100,7 @@ fn three_pc_sweep_with_no_voters_stays_consistent() {
         for no_voter in 0..3 {
             let base = RunConfig::one_no(3, no_voter);
             let s = sweep(&p, &a, &base, &specs);
-            assert!(
-                s.all_consistent(),
-                "{} no@{no_voter}: {:?}",
-                p.name,
-                s.inconsistent_runs
-            );
+            assert!(s.all_consistent(), "{} no@{no_voter}: {:?}", p.name, s.inconsistent_runs);
             assert!(s.nonblocking(), "{} no@{no_voter}: blocked={}", p.name, s.blocked);
         }
     }

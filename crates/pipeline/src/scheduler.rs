@@ -1,0 +1,690 @@
+//! The concurrent commit scheduler: many overlapping commit rounds over
+//! one set of sites, with group-committed WALs and wait-die admission.
+//!
+//! # How the multiplexing works
+//!
+//! Each admitted transaction runs its own [`Runner`] — an independent
+//! commit-protocol round whose WAL records are tagged with the
+//! transaction id ([`RunConfig::with_txn_id`]) and whose first stimulus
+//! fires at the admission instant ([`RunConfig::with_start_at`]). The
+//! scheduler owns the *shared* per-site state — key-value stores, data
+//! WALs, lock tables — and interleaves the rounds by always stepping the
+//! round with the globally earliest pending event (ties broken by
+//! transaction id), so the merged execution is a single deterministic
+//! discrete-event timeline.
+//!
+//! # Admission (wait-die, with a retry budget)
+//!
+//! Locks are acquired at admission. A requester older than every
+//! conflicting holder *parks holding the locks it already has* (waits are
+//! only old → young, so no deadlock); a younger requester *dies*,
+//! releasing everything, and retries on a later admission pass with its
+//! original id — the classic wait-die restart, which ages it toward
+//! victory. A transaction that dies more than [`PipelineConfig::die_budget`]
+//! times is admitted anyway with a no vote at the contested site, turning
+//! starvation into an ordinary distributed abort (the serial cluster's
+//! behaviour).
+//!
+//! # Blocked rounds
+//!
+//! A round that ends blocked (2PC's curse) keeps its locks — that is how
+//! blocking destroys throughput, and younger transactions now die against
+//! the strand-locks. After [`PipelineConfig::reap_after`] ticks the
+//! scheduler runs the recovery decision for the round (adopt a durable
+//! decision if one exists, else abort) and frees the locks, so blocking
+//! is *measurable* (deferrals, latency tails) rather than fatal.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use nbc_core::{Analysis, Protocol};
+use nbc_engine::{RunConfig, Runner};
+use nbc_simnet::{LatencyModel, Time};
+use nbc_storage::{KvStore, LogRecord, SyncStats, Wal};
+use nbc_txn::{BankWorkload, LockManager, LockMode, LockOutcome, ProtocolKind};
+
+use crate::report::{percentile, ThroughputReport};
+use crate::txn::{PipeOp, PipelineTxn};
+
+/// Scheduler configuration.
+#[derive(Clone, Debug)]
+pub struct PipelineConfig {
+    /// Number of sites.
+    pub n_sites: usize,
+    /// Commit protocol run by every round.
+    pub kind: ProtocolKind,
+    /// Maximum concurrent commit rounds.
+    pub max_in_flight: usize,
+    /// Constant network latency of each round.
+    pub latency: Time,
+    /// Failure-detection delay of each round.
+    pub detect_delay: Time,
+    /// Group-commit window in sim ticks: a physical WAL force covers
+    /// every sync requested within this window (0 = force every sync).
+    pub group_window: u64,
+    /// Sim ticks a blocked round may hold its locks before the scheduler
+    /// reaps it through the recovery decision.
+    pub reap_after: Time,
+    /// Wait-die restarts a transaction may suffer before it is admitted
+    /// doomed (no vote at the contested site) instead of retried.
+    pub die_budget: u32,
+}
+
+impl PipelineConfig {
+    /// Defaults matching the serial cluster (latency 1, detection 5) with
+    /// 8-way concurrency, a 2-tick group-commit window, and patient
+    /// reaping.
+    pub fn new(n_sites: usize, kind: ProtocolKind) -> Self {
+        Self {
+            n_sites,
+            kind,
+            max_in_flight: 8,
+            latency: 1,
+            detect_delay: 5,
+            group_window: 2,
+            reap_after: 200,
+            die_budget: 3,
+        }
+    }
+
+    /// Set the concurrency limit.
+    pub fn with_in_flight(mut self, max: usize) -> Self {
+        self.max_in_flight = max;
+        self
+    }
+
+    /// Set the group-commit window.
+    pub fn with_group_window(mut self, window: u64) -> Self {
+        self.group_window = window;
+        self
+    }
+
+    /// Set the blocked-round reap delay.
+    pub fn with_reap_after(mut self, ticks: Time) -> Self {
+        self.reap_after = ticks;
+        self
+    }
+}
+
+/// An admitted round in flight.
+struct Round<'a> {
+    txn: u64,
+    admitted_at: Time,
+    touched: Vec<bool>,
+    /// Set when `step()` returned false while events remain (truncated).
+    done: bool,
+    runner: Runner<'a>,
+}
+
+/// A round that ended blocked, awaiting its reap timer.
+struct BlockedRound {
+    txn: u64,
+    reap_at: Time,
+}
+
+/// A transaction waiting for admission (parked on a lock, or restarting
+/// after a wait-die death).
+struct ParkedTxn {
+    spec: PipelineTxn,
+    dies: u32,
+}
+
+enum Admission<'a> {
+    /// Round admitted and running.
+    Started(Box<Round<'a>>),
+    /// Older than a conflicting holder: parked, keeping granted locks.
+    Parked,
+    /// Younger than a conflicting holder: released everything; retry.
+    /// `released` is true if any lock was actually freed.
+    Died { released: bool },
+}
+
+/// The concurrent commit scheduler. Owns the persistent per-site state
+/// (stores, data WALs, lock tables) across [`Pipeline::run`] calls; each
+/// call drains a batch of transactions to quiescence.
+pub struct Pipeline {
+    cfg: PipelineConfig,
+    stores: Vec<KvStore>,
+    wals: Vec<Wal>,
+    locks: Vec<LockManager>,
+    next_txn: u64,
+    /// Omniscient decision record (the auditor's view, consulted by
+    /// recovery and catch-up).
+    ledger: BTreeMap<u64, bool>,
+    /// Per-site transactions whose decision the site missed (crashed
+    /// during the round).
+    missed: Vec<Vec<u64>>,
+    /// Persistent simulation clock: a second `run` continues where the
+    /// first left off.
+    clock: Time,
+}
+
+impl Pipeline {
+    /// A fresh pipeline: empty stores, group-commit windows armed.
+    pub fn new(cfg: PipelineConfig) -> Self {
+        assert!(cfg.n_sites >= 2, "need at least 2 sites");
+        let n = cfg.n_sites;
+        let wals = (0..n)
+            .map(|_| {
+                let mut w = Wal::new();
+                w.set_group_window(cfg.group_window);
+                w
+            })
+            .collect();
+        Self {
+            cfg,
+            stores: (0..n).map(|_| KvStore::new()).collect(),
+            wals,
+            locks: (0..n).map(|_| LockManager::new()).collect(),
+            next_txn: 1,
+            ledger: BTreeMap::new(),
+            missed: vec![Vec::new(); n],
+            clock: 0,
+        }
+    }
+
+    /// Number of sites.
+    pub fn n_sites(&self) -> usize {
+        self.cfg.n_sites
+    }
+
+    /// Committed value of `key` at `site`.
+    pub fn get(&self, site: usize, key: &[u8]) -> Option<&[u8]> {
+        self.stores[site].get(key)
+    }
+
+    /// Total keys currently locked across all sites.
+    pub fn locked_keys(&self) -> usize {
+        self.locks.iter().map(LockManager::locked_keys).sum()
+    }
+
+    /// Total WAL bytes across all sites.
+    pub fn wal_bytes(&self) -> usize {
+        self.wals.iter().map(Wal::len).sum()
+    }
+
+    /// Current simulation clock.
+    pub fn now(&self) -> Time {
+        self.clock
+    }
+
+    /// Sum of all committed account balances under the bank workload's
+    /// encoding (missing account = not yet materialized = initial).
+    pub fn total_balance(&self, w: &BankWorkload) -> i64 {
+        (0..w.n_accounts)
+            .map(|a| {
+                self.get(w.site_of(a), &BankWorkload::key_of(a))
+                    .map(BankWorkload::decode)
+                    .unwrap_or(w.initial_balance)
+            })
+            .sum()
+    }
+
+    /// Drain `txns` through the scheduler: admit up to
+    /// [`PipelineConfig::max_in_flight`] rounds, interleave their events
+    /// in global time order, reap blocked rounds, and return the measured
+    /// throughput. Deterministic: the same pipeline state and input
+    /// produce an identical report.
+    pub fn run(&mut self, txns: Vec<PipelineTxn>) -> ThroughputReport {
+        let n = self.cfg.n_sites;
+        let max_in_flight = self.cfg.max_in_flight.max(1);
+        let protocol = self.cfg.kind.build(n);
+        let analysis = Analysis::build(&protocol).expect("catalog protocols analyze");
+        let sync_base = self.sync_totals();
+
+        let mut report = ThroughputReport { txns: txns.len() as u64, ..Default::default() };
+        let mut pending: VecDeque<(u64, PipelineTxn)> = txns
+            .into_iter()
+            .map(|t| {
+                let id = self.next_txn;
+                self.next_txn += 1;
+                (id, t)
+            })
+            .collect();
+        let mut parked: BTreeMap<u64, ParkedTxn> = BTreeMap::new();
+        let mut in_flight: Vec<Round<'_>> = Vec::new();
+        let mut blocked: Vec<BlockedRound> = Vec::new();
+        let mut latencies: Vec<Time> = Vec::new();
+        let mut clock = self.clock;
+        let mut dirty = true;
+        let mut last_pass_progressed = true;
+
+        loop {
+            // ---- Admission pass (only when something changed). ----
+            if dirty {
+                dirty = false;
+                last_pass_progressed = false;
+                self.catch_up(clock);
+                let retry_ids: Vec<u64> = parked.keys().copied().collect();
+                for id in retry_ids {
+                    if in_flight.len() >= max_in_flight {
+                        break;
+                    }
+                    let entry = parked.remove(&id).expect("snapshotted id");
+                    match self.try_admit(&protocol, &analysis, id, &entry.spec, entry.dies, clock) {
+                        Admission::Started(r) => {
+                            in_flight.push(*r);
+                            last_pass_progressed = true;
+                        }
+                        Admission::Parked => {
+                            report.deferrals += 1;
+                            parked.insert(id, entry);
+                        }
+                        Admission::Died { released } => {
+                            report.deferrals += 1;
+                            last_pass_progressed |= released;
+                            parked.insert(id, ParkedTxn { dies: entry.dies + 1, ..entry });
+                        }
+                    }
+                }
+                while in_flight.len() < max_in_flight {
+                    let Some((id, spec)) = pending.pop_front() else { break };
+                    match self.try_admit(&protocol, &analysis, id, &spec, 0, clock) {
+                        Admission::Started(r) => {
+                            in_flight.push(*r);
+                            last_pass_progressed = true;
+                        }
+                        Admission::Parked => {
+                            report.deferrals += 1;
+                            parked.insert(id, ParkedTxn { spec, dies: 0 });
+                        }
+                        Admission::Died { released } => {
+                            report.deferrals += 1;
+                            last_pass_progressed |= released;
+                            parked.insert(id, ParkedTxn { spec, dies: 1 });
+                        }
+                    }
+                }
+            }
+
+            // ---- Finalize quiescent rounds (smallest txn id first). ----
+            let quiescent = in_flight
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| r.done || r.runner.next_time().is_none())
+                .min_by_key(|(_, r)| r.txn)
+                .map(|(i, _)| i);
+            if let Some(i) = quiescent {
+                let round = in_flight.remove(i);
+                clock = clock.max(round.runner.now());
+                self.finalize(round, &mut report, &mut latencies, &mut blocked);
+                dirty = true;
+                continue;
+            }
+
+            // ---- Pick the globally earliest event: round step or reap. ----
+            let round_next = in_flight
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| !r.done)
+                .filter_map(|(i, r)| r.runner.next_time().map(|t| (t, r.txn, i)))
+                .min();
+            let reap_next = blocked.iter().enumerate().map(|(i, b)| (b.reap_at, b.txn, i)).min();
+            let step_round = match (round_next, reap_next) {
+                (Some((t, txn, i)), reap) => {
+                    if reap.is_none_or(|(rt, rtxn, _)| (t, txn) <= (rt, rtxn)) {
+                        Some(Some(i))
+                    } else {
+                        Some(None)
+                    }
+                }
+                (None, Some(_)) => Some(None),
+                (None, None) => None,
+            };
+            match step_round {
+                Some(Some(i)) => {
+                    let round = &mut in_flight[i];
+                    if !round.runner.step() {
+                        round.done = true;
+                    }
+                    clock = clock.max(round.runner.now());
+                }
+                Some(None) => {
+                    let (rt, _, i) = reap_next.expect("reap selected");
+                    clock = clock.max(rt);
+                    let b = blocked.remove(i);
+                    if self.reap(b.txn, rt) {
+                        report.reaped_commits += 1;
+                    }
+                    dirty = true;
+                }
+                None => {
+                    if pending.is_empty() && parked.is_empty() {
+                        break;
+                    }
+                    // Locks can only be held by parked transactions now;
+                    // an admission pass must admit or free something.
+                    assert!(
+                        last_pass_progressed,
+                        "pipeline admission stalled with {} parked, {} pending",
+                        parked.len(),
+                        pending.len()
+                    );
+                    dirty = true;
+                }
+            }
+        }
+
+        self.catch_up(clock);
+        self.clock = clock;
+        latencies.sort_unstable();
+        report.p50_commit_latency = percentile(&latencies, 50);
+        report.p99_commit_latency = percentile(&latencies, 99);
+        report.finished_at = clock;
+        let mut delta = self.sync_totals();
+        delta.requested -= sync_base.requested;
+        delta.physical -= sync_base.physical;
+        report.set_sync_delta(delta);
+        report
+    }
+
+    /// Sum of WAL sync counters across sites.
+    fn sync_totals(&self) -> SyncStats {
+        let mut total = SyncStats::default();
+        for w in &self.wals {
+            total.absorb(&w.sync_stats());
+        }
+        total
+    }
+
+    /// Try to start a commit round for `txn` at time `now`.
+    fn try_admit<'a>(
+        &mut self,
+        protocol: &'a Protocol,
+        analysis: &'a Analysis,
+        txn: u64,
+        spec: &PipelineTxn,
+        dies: u32,
+        now: Time,
+    ) -> Admission<'a> {
+        let n = self.cfg.n_sites;
+        let give_up = dies >= self.cfg.die_budget;
+        let mut votes = vec![true; n];
+        let mut touched = vec![false; n];
+
+        for op in &spec.ops {
+            let site = op.site();
+            assert!(site < n, "op addresses site {site} of {n}");
+            touched[site] = true;
+            if !votes[site] {
+                continue; // site already doomed
+            }
+            let mode = if matches!(op, PipeOp::Read { .. }) {
+                LockMode::Shared
+            } else {
+                LockMode::Exclusive
+            };
+            match self.locks[site].request(txn, op.key(), mode) {
+                LockOutcome::Granted => {}
+                LockOutcome::Wait if !give_up => return Admission::Parked,
+                LockOutcome::Die if !give_up => {
+                    let released = self.locks.iter().map(|l| l.held_by(txn)).sum::<usize>() > 0;
+                    for l in &mut self.locks {
+                        l.release_all(txn);
+                    }
+                    return Admission::Died { released };
+                }
+                _ => votes[site] = false,
+            }
+        }
+
+        // Stage writes at voting sites (own staged values visible, so
+        // repeated AddI64 on one key accumulates).
+        for op in &spec.ops {
+            let site = op.site();
+            if !votes[site] {
+                continue;
+            }
+            match op {
+                PipeOp::Read { .. } => {}
+                PipeOp::Write { key, value, .. } => {
+                    self.stores[site].stage_put(txn, key.clone(), value.clone());
+                }
+                PipeOp::AddI64 { key, delta, .. } => {
+                    let cur =
+                        self.stores[site].get_in_txn(txn, key).map(|v| decode_i64(&v)).unwrap_or(0);
+                    self.stores[site].stage_put(txn, key.clone(), encode_i64(cur + delta));
+                }
+            }
+        }
+
+        // Write-ahead: Begin + redo images, group-commit batched.
+        for (site, touched_here) in touched.iter().enumerate() {
+            if *touched_here {
+                self.wals[site].append(&LogRecord::Begin { txn });
+                let store = &self.stores[site];
+                store.log_stage(txn, &mut self.wals[site]);
+                self.wals[site].sync_batched(now);
+            }
+        }
+
+        let mut rc = RunConfig::happy(n);
+        rc.votes = votes;
+        rc.crashes = spec.crashes.clone();
+        rc.rule = self.cfg.kind.rule();
+        rc.latency = LatencyModel::constant(self.cfg.latency);
+        rc.detect_delay = self.cfg.detect_delay;
+        let rc = rc.with_txn_id(txn).with_start_at(now);
+        Admission::Started(Box::new(Round {
+            txn,
+            admitted_at: now,
+            touched,
+            done: false,
+            runner: Runner::new(protocol, analysis, rc),
+        }))
+    }
+
+    /// Post-round bookkeeping, mirroring the serial cluster: apply the
+    /// decision at operational sites, queue crashed sites for catch-up,
+    /// or park the round as blocked with a reap deadline.
+    fn finalize(
+        &mut self,
+        round: Round<'_>,
+        report: &mut ThroughputReport,
+        latencies: &mut Vec<Time>,
+        blocked: &mut Vec<BlockedRound>,
+    ) {
+        let txn = round.txn;
+        let rr = round.runner.report();
+        assert!(rr.consistent, "txn {txn}: commit round violated atomicity: {rr}");
+        report.events += rr.events as u64;
+        report.msgs += rr.msgs_sent;
+        let done_at = rr.finished_at;
+
+        // The operational sites' view, not the omniscient auditor's.
+        let is_blocked = rr.any_blocked || !rr.all_operational_decided || rr.truncated;
+        match (is_blocked, rr.decision()) {
+            (false, Some(commit)) => {
+                self.ledger.insert(txn, commit);
+                for site in 0..self.cfg.n_sites {
+                    if rr.outcomes[site].operational() {
+                        self.apply_decision(site, txn, commit, done_at);
+                    } else if round.touched[site] {
+                        // Crashed during the round: volatile stage lost;
+                        // the WAL's redo images remain for catch-up.
+                        self.stores[site].abort(txn);
+                        self.locks[site].release_all(txn);
+                        self.missed[site].push(txn);
+                    } else {
+                        self.locks[site].release_all(txn);
+                    }
+                }
+                if commit {
+                    report.committed += 1;
+                    latencies.push(done_at - round.admitted_at);
+                } else {
+                    report.aborted += 1;
+                }
+            }
+            _ => {
+                // Blocked: locks stay held (the measurable cost). Record
+                // any decision durable only at a crashed site in the
+                // ledger for the reaper.
+                for o in &rr.outcomes {
+                    if let Some(commit) = o.decision() {
+                        self.ledger.insert(txn, commit);
+                    }
+                }
+                report.blocked += 1;
+                blocked.push(BlockedRound { txn, reap_at: done_at + self.cfg.reap_after });
+            }
+        }
+    }
+
+    /// Recovery decision for a blocked round: adopt a decision durable at
+    /// a crashed site if one exists, else abort; apply everywhere and free
+    /// the strand-locks. Returns true if the reap committed.
+    fn reap(&mut self, txn: u64, now: Time) -> bool {
+        let commit = self.ledger.get(&txn).copied().unwrap_or(false);
+        self.ledger.insert(txn, commit);
+        for site in 0..self.cfg.n_sites {
+            self.apply_decision(site, txn, commit, now);
+        }
+        commit
+    }
+
+    fn apply_decision(&mut self, site: usize, txn: u64, commit: bool, now: Time) {
+        self.wals[site].append(&LogRecord::Decision { txn, commit });
+        self.wals[site].sync_batched(now);
+        if commit {
+            self.stores[site].commit(txn);
+        } else {
+            self.stores[site].abort(txn);
+        }
+        self.wals[site].append(&LogRecord::End { txn });
+        self.locks[site].release_all(txn);
+    }
+
+    /// Bring every site that missed a decision back up to date: replay the
+    /// decision from the ledger and redo the staged images from the site's
+    /// own WAL.
+    fn catch_up(&mut self, now: Time) {
+        for site in 0..self.cfg.n_sites {
+            let mut still_missing = Vec::new();
+            for txn in std::mem::take(&mut self.missed[site]) {
+                match self.ledger.get(&txn).copied() {
+                    Some(commit) => {
+                        self.wals[site].append(&LogRecord::Decision { txn, commit });
+                        self.wals[site].sync_batched(now);
+                        self.wals[site].append(&LogRecord::End { txn });
+                        if commit {
+                            let records = Wal::recover(&self.wals[site].full_image())
+                                .expect("pipeline WALs are well-formed");
+                            self.stores[site].redo_one(&records, txn);
+                        }
+                    }
+                    None => still_missing.push(txn),
+                }
+            }
+            self.missed[site] = still_missing;
+        }
+    }
+}
+
+fn encode_i64(v: i64) -> Vec<u8> {
+    v.to_le_bytes().to_vec()
+}
+
+fn decode_i64(bytes: &[u8]) -> i64 {
+    i64::from_le_bytes(bytes.try_into().expect("AddI64 target must be an 8-byte i64 cell"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::txn::bank_transfer_txns;
+    use nbc_simnet::SimRng;
+
+    fn seeded_pipeline(kind: ProtocolKind, window: u64) -> (Pipeline, BankWorkload) {
+        let w = BankWorkload::new(3, 12, 1_000, 31);
+        let mut p = Pipeline::new(PipelineConfig::new(3, kind).with_group_window(window));
+        let setup = p.run(vec![PipelineTxn::from_ops(&w.setup_ops())]);
+        assert_eq!(setup.committed, 1);
+        (p, w)
+    }
+
+    #[test]
+    fn happy_batch_commits_and_conserves() {
+        let (mut p, mut w) = seeded_pipeline(ProtocolKind::Central3pc, 2);
+        let mut rng = SimRng::seed_from_u64(11);
+        let txns = bank_transfer_txns(&mut w, 24, 0, &mut rng);
+        let r = p.run(txns);
+        assert_eq!(r.txns, 24);
+        assert_eq!(r.decided(), 24);
+        assert_eq!(r.blocked, 0, "no crashes, no blocking: {r}");
+        assert!(r.committed > 0);
+        assert_eq!(p.total_balance(&w), w.expected_total());
+        assert_eq!(p.locked_keys(), 0);
+    }
+
+    #[test]
+    fn group_commit_saves_syncs() {
+        let (mut p, mut w) = seeded_pipeline(ProtocolKind::Central3pc, 4);
+        let mut rng = SimRng::seed_from_u64(12);
+        let r = p.run(bank_transfer_txns(&mut w, 24, 0, &mut rng));
+        assert!(r.syncs_saved > 0, "overlapping rounds must batch syncs: {r}");
+        assert_eq!(r.wal_syncs, r.wal_forces + r.syncs_saved);
+    }
+
+    #[test]
+    fn window_zero_forces_every_sync() {
+        let (mut p, mut w) = seeded_pipeline(ProtocolKind::Central3pc, 0);
+        let mut rng = SimRng::seed_from_u64(12);
+        let r = p.run(bank_transfer_txns(&mut w, 12, 0, &mut rng));
+        assert_eq!(r.syncs_saved, 0);
+    }
+
+    #[test]
+    fn conflicting_txns_backpressure() {
+        let (mut p, _w) = seeded_pipeline(ProtocolKind::Central3pc, 2);
+        // Every transaction hammers the same account pair: heavy
+        // contention, so admission must defer or doom most of them.
+        let ops = || {
+            vec![
+                PipeOp::AddI64 { site: 0, key: BankWorkload::key_of(0), delta: -1 },
+                PipeOp::AddI64 { site: 1, key: BankWorkload::key_of(1), delta: 1 },
+            ]
+        };
+        let txns: Vec<PipelineTxn> = (0..10).map(|_| PipelineTxn::new(ops())).collect();
+        let r = p.run(txns);
+        assert_eq!(r.decided(), 10);
+        assert!(r.deferrals > 0, "same-key txns must collide: {r}");
+        assert_eq!(p.locked_keys(), 0);
+        // Conservation even under pure contention.
+        let a0 = p.get(0, &BankWorkload::key_of(0)).map(decode_i64).unwrap();
+        let a1 = p.get(1, &BankWorkload::key_of(1)).map(decode_i64).unwrap();
+        assert_eq!(a0 + a1, 2_000);
+    }
+
+    #[test]
+    fn blocked_two_pc_rounds_are_reaped() {
+        use nbc_engine::{CrashPoint, CrashSpec, TransitionProgress};
+        let (mut p, mut w) = seeded_pipeline(ProtocolKind::Central2pc, 2);
+        // Coordinator logs its decision and crashes before sending any of
+        // it: every operational slave is stuck in wait — 2PC's blocking
+        // window, unresolvable even by cooperative termination.
+        let crash = CrashSpec {
+            site: 0,
+            point: CrashPoint::OnTransition {
+                ordinal: 2,
+                progress: TransitionProgress::AfterMsgs(0),
+            },
+            recover_at: None,
+        };
+        let mut txns = bank_transfer_txns(&mut w, 8, 0, &mut SimRng::seed_from_u64(5));
+        txns[1].crashes = vec![crash];
+        let r = p.run(txns);
+        assert_eq!(r.decided(), 8);
+        assert!(r.blocked >= 1, "2PC coordinator crash must block: {r}");
+        assert_eq!(p.locked_keys(), 0, "reaper must free strand-locks");
+        assert_eq!(p.total_balance(&w), w.expected_total());
+    }
+
+    #[test]
+    fn clock_persists_across_runs() {
+        let (mut p, mut w) = seeded_pipeline(ProtocolKind::Central3pc, 2);
+        let t0 = p.now();
+        let mut rng = SimRng::seed_from_u64(3);
+        p.run(bank_transfer_txns(&mut w, 4, 0, &mut rng));
+        assert!(p.now() > t0);
+    }
+}

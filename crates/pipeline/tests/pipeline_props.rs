@@ -1,0 +1,102 @@
+//! Pipeline invariants under concurrency and injected crashes, driven by
+//! seeded random sweeps: money conservation, per-round atomicity (the
+//! scheduler asserts it internally on every round), lock hygiene, and
+//! bit-identical determinism.
+
+use nbc_pipeline::{bank_transfer_txns, Pipeline, PipelineConfig, PipelineTxn, ThroughputReport};
+use nbc_simnet::SimRng;
+use nbc_txn::{BankWorkload, ProtocolKind};
+
+fn run_once(
+    kind: ProtocolKind,
+    seed: u64,
+    txns: usize,
+    crash_pct: u32,
+) -> (ThroughputReport, i64, i64, usize) {
+    let mut w = BankWorkload::new(3, 12, 1_000, seed);
+    let mut p = Pipeline::new(
+        PipelineConfig::new(3, kind).with_in_flight(8).with_group_window(3).with_reap_after(60),
+    );
+    let setup = p.run(vec![PipelineTxn::from_ops(&w.setup_ops())]);
+    assert_eq!(setup.committed, 1, "setup must commit");
+    let mut rng = SimRng::seed_from_u64(seed ^ 0xF00D);
+    let r = p.run(bank_transfer_txns(&mut w, txns, crash_pct, &mut rng));
+    (r, p.total_balance(&w), w.expected_total(), p.locked_keys())
+}
+
+/// ≥8 concurrent transfers with a 30% coordinator-crash rate: every round
+/// decides (in flight or by reaping), money is conserved, and no lock
+/// survives the run. The scheduler itself asserts the atomicity invariant
+/// of every commit round, so a violation panics the sweep.
+#[test]
+fn conservation_under_concurrent_crashes() {
+    for (case, kind) in [
+        ProtocolKind::Central2pc,
+        ProtocolKind::Central3pc,
+        ProtocolKind::Decentralized2pc,
+        ProtocolKind::Decentralized3pc,
+    ]
+    .iter()
+    .enumerate()
+    {
+        for round in 0..6u64 {
+            let seed = 0xC011 + 97 * case as u64 + round;
+            let (r, balance, expected, locked) = run_once(*kind, seed, 24, 30);
+            assert_eq!(r.decided(), 24, "{kind:?} seed {seed}: every txn decides: {r}");
+            assert_eq!(balance, expected, "{kind:?} seed {seed}: conservation: {r}");
+            assert_eq!(locked, 0, "{kind:?} seed {seed}: locks must drain: {r}");
+        }
+    }
+}
+
+/// 3PC never blocks: with the nonblocking protocol every crashy round
+/// still decides in flight, so the reaper has nothing to do.
+#[test]
+fn three_pc_rounds_never_block() {
+    for seed in 0..8u64 {
+        let (r, ..) = run_once(ProtocolKind::Central3pc, 0x3BC0 + seed, 20, 40);
+        assert_eq!(r.blocked, 0, "3PC must not block: {r}");
+    }
+}
+
+/// 2PC under coordinator crashes does block sometimes, and the reaper
+/// resolves every blocked round without losing money.
+#[test]
+fn two_pc_blocks_and_reaping_conserves() {
+    let mut saw_blocked = false;
+    for seed in 0..10u64 {
+        let (r, balance, expected, locked) =
+            run_once(ProtocolKind::Central2pc, 0x2BC0 + seed, 24, 50);
+        saw_blocked |= r.blocked > 0;
+        assert_eq!(balance, expected, "seed {seed}: conservation: {r}");
+        assert_eq!(locked, 0, "seed {seed}: strand-locks must be reaped: {r}");
+    }
+    assert!(saw_blocked, "50% crash rate over 240 2PC rounds must block at least once");
+}
+
+/// Same seed, same input ⇒ bit-identical ThroughputReport and final
+/// balances. This is the pipeline's core determinism contract.
+#[test]
+fn same_seed_same_report() {
+    for kind in [ProtocolKind::Central2pc, ProtocolKind::Central3pc] {
+        let a = run_once(kind, 0xDE7, 30, 35);
+        let b = run_once(kind, 0xDE7, 30, 35);
+        assert_eq!(a.0, b.0, "{kind:?}: reports must be identical");
+        assert_eq!(a.1, b.1);
+    }
+}
+
+/// Group commit is observable end to end: a wide window saves syncs, a
+/// zero window saves none, and the saved count never exceeds requests.
+#[test]
+fn group_commit_accounting() {
+    let mut w = BankWorkload::new(3, 12, 1_000, 77);
+    let mut p =
+        Pipeline::new(PipelineConfig::new(3, ProtocolKind::Central3pc).with_group_window(4));
+    p.run(vec![PipelineTxn::from_ops(&w.setup_ops())]);
+    let mut rng = SimRng::seed_from_u64(77);
+    let r = p.run(bank_transfer_txns(&mut w, 30, 0, &mut rng));
+    assert!(r.syncs_saved > 0, "{r}");
+    assert_eq!(r.wal_syncs, r.wal_forces + r.syncs_saved);
+    assert!(r.wal_forces > 0, "durability still forces the log sometimes");
+}

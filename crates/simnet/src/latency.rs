@@ -4,10 +4,8 @@
 //! the discrete-event engine a schedule to explore and the benchmarks a
 //! time axis. All models are deterministic given their seed.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
 use crate::net::Time;
+use crate::rng::SimRng;
 
 /// How long a message takes from send to delivery.
 #[derive(Debug, Clone)]
@@ -27,7 +25,7 @@ pub struct UniformLatency {
     /// Inclusive upper bound.
     pub hi: Time,
     /// RNG state (seeded at construction).
-    rng: StdRng,
+    rng: SimRng,
 }
 
 impl LatencyModel {
@@ -42,7 +40,7 @@ impl LatencyModel {
     /// Panics if `lo > hi`.
     pub fn uniform(lo: Time, hi: Time, seed: u64) -> Self {
         assert!(lo <= hi, "uniform latency requires lo <= hi");
-        Self::Uniform(Box::new(UniformLatency { lo, hi, rng: StdRng::seed_from_u64(seed) }))
+        Self::Uniform(Box::new(UniformLatency { lo, hi, rng: SimRng::seed_from_u64(seed) }))
     }
 
     /// Draw the latency for the next message.

@@ -24,8 +24,10 @@
 
 pub mod latency;
 pub mod net;
+pub mod rng;
 pub mod stats;
 
 pub use latency::LatencyModel;
 pub use net::{NetEvent, Network, SiteIx, Time};
+pub use rng::SimRng;
 pub use stats::NetStats;

@@ -161,9 +161,7 @@ impl<M> Network<M> {
         let retained: Vec<Reverse<Scheduled<M>>> = std::mem::take(&mut self.heap)
             .into_iter()
             .filter(|Reverse(sch)| match &sch.event {
-                NetEvent::Deliver { src, dst, .. }
-                    if assignment[*src] != assignment[*dst] =>
-                {
+                NetEvent::Deliver { src, dst, .. } if assignment[*src] != assignment[*dst] => {
                     self.stats.record_drop();
                     false
                 }

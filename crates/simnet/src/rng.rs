@@ -1,0 +1,170 @@
+//! A small deterministic PRNG for simulation use.
+//!
+//! Every randomized component of the reproduction (latency models,
+//! workload generators, crash storms, property sweeps) draws from
+//! [`SimRng`], a SplitMix64 generator. It is seeded explicitly, has no
+//! global state, and its sequence is stable across platforms and
+//! releases — the properties the determinism guarantees in DESIGN.md
+//! rest on. It is *not* cryptographically secure and does not try to be.
+
+use std::ops::{Range, RangeInclusive};
+
+/// A seeded SplitMix64 pseudo-random number generator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimRng {
+    state: u64,
+}
+
+impl SimRng {
+    /// Construct a generator from a 64-bit seed. Identical seeds yield
+    /// identical sequences forever.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Next raw 64-bit output (SplitMix64 step).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, span)`. `span` must be nonzero.
+    fn below(&mut self, span: u64) -> u64 {
+        debug_assert!(span > 0);
+        // Lemire's multiply-shift: unbiased enough for simulation and
+        // branch-free, so the sequence is trivially reproducible.
+        ((self.next_u64() as u128 * span as u128) >> 64) as u64
+    }
+
+    /// Uniform draw from a half-open or inclusive integer range.
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    pub fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output {
+        range.sample(self)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        // 53 high bits → a uniform f64 in [0, 1).
+        let u = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        u < p
+    }
+
+    /// `true` with probability `numerator / denominator`.
+    ///
+    /// # Panics
+    /// Panics if `denominator` is zero or `numerator > denominator`.
+    pub fn gen_ratio(&mut self, numerator: u32, denominator: u32) -> bool {
+        assert!(denominator > 0 && numerator <= denominator);
+        self.below(denominator as u64) < numerator as u64
+    }
+}
+
+/// Integer ranges [`SimRng::gen_range`] can sample from.
+pub trait SampleRange {
+    /// The integer type produced.
+    type Output;
+    /// Draw one uniform sample.
+    fn sample(self, rng: &mut SimRng) -> Self::Output;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for Range<$t> {
+            type Output = $t;
+            fn sample(self, rng: &mut SimRng) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+        impl SampleRange for RangeInclusive<$t> {
+            type Output = $t;
+            fn sample(self, rng: &mut SimRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range");
+                let span = (hi as i128 - lo as i128 + 1) as u128;
+                if span == 1 << 64 {
+                    return rng.next_u64() as $t;
+                }
+                (lo as i128 + rng.below(span as u64) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(usize, u64, u32, i64, i32);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_sequence() {
+        let mut a = SimRng::seed_from_u64(42);
+        let mut b = SimRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SimRng::seed_from_u64(1);
+        let mut b = SimRng::seed_from_u64(2);
+        let va: Vec<_> = (0..10).map(|_| a.next_u64()).collect();
+        let vb: Vec<_> = (0..10).map(|_| b.next_u64()).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = SimRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = r.gen_range(3usize..9);
+            assert!((3..9).contains(&v));
+            let w = r.gen_range(-5i64..=5);
+            assert!((-5..=5).contains(&w));
+            let t = r.gen_range(0u64..=0);
+            assert_eq!(t, 0);
+        }
+    }
+
+    #[test]
+    fn all_values_of_a_small_range_appear() {
+        let mut r = SimRng::seed_from_u64(9);
+        let mut seen = [false; 6];
+        for _ in 0..1000 {
+            seen[r.gen_range(0usize..6)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut r = SimRng::seed_from_u64(3);
+        for _ in 0..100 {
+            assert!(!r.gen_bool(0.0));
+            assert!(r.gen_bool(1.0));
+        }
+    }
+
+    #[test]
+    fn gen_ratio_extremes_and_rough_frequency() {
+        let mut r = SimRng::seed_from_u64(4);
+        let mut hits = 0u32;
+        for _ in 0..2000 {
+            assert!(r.gen_ratio(10, 10));
+            assert!(!r.gen_ratio(0, 10));
+            if r.gen_ratio(1, 4) {
+                hits += 1;
+            }
+        }
+        // 25% ± generous slack.
+        assert!((300..=700).contains(&hits), "hits = {hits}");
+    }
+}

@@ -4,8 +4,8 @@ use std::collections::BTreeMap;
 use std::fmt;
 
 use nbc_core::{
-    Consume, Envelope, FsaBuilder, InitialMsg, MsgKind, Paradigm, Protocol, SiteId,
-    StateClass, StateId, Vote,
+    Consume, Envelope, FsaBuilder, InitialMsg, MsgKind, Paradigm, Protocol, SiteId, StateClass,
+    StateId, Vote,
 };
 
 /// A parse failure with its 1-based line number.
@@ -150,7 +150,9 @@ pub fn parse(text: &str, n_sites: usize) -> Result<Protocol, ParseError> {
                     other => {
                         return err(
                             line_no,
-                            format!("unknown paradigm {other:?} (central | decentralized | custom)"),
+                            format!(
+                                "unknown paradigm {other:?} (central | decentralized | custom)"
+                            ),
                         )
                     }
                 };
@@ -189,18 +191,14 @@ pub fn parse(text: &str, n_sites: usize) -> Result<Protocol, ParseError> {
                     "aborted" => StateClass::Aborted,
                     "committed" => StateClass::Committed,
                     "custom" => {
-                        let k: u8 = words
-                            .get(3)
-                            .and_then(|w| w.parse().ok())
-                            .ok_or(ParseError {
+                        let k: u8 =
+                            words.get(3).and_then(|w| w.parse().ok()).ok_or(ParseError {
                                 line: line_no,
                                 message: "usage: state NAME custom K".into(),
                             })?;
                         StateClass::Custom(k)
                     }
-                    other => {
-                        return err(line_no, format!("unknown state class {other:?}"))
-                    }
+                    other => return err(line_no, format!("unknown state class {other:?}")),
                 };
                 fsa.states.push((words[1].to_string(), class));
             }
@@ -251,11 +249,7 @@ pub fn parse(text: &str, n_sites: usize) -> Result<Protocol, ParseError> {
             if dst >= n_sites {
                 return err(*line, format!("init targets site {dst} of {n_sites}"));
             }
-            initial_msgs.push(InitialMsg {
-                src: SiteId::CLIENT,
-                dst: SiteId(dst as u32),
-                kind: k,
-            });
+            initial_msgs.push(InitialMsg { src: SiteId::CLIENT, dst: SiteId(dst as u32), kind: k });
         }
     }
 
@@ -278,22 +272,21 @@ fn parse_site_set(words: &[&str], line: usize) -> Result<SiteSet, ParseError> {
             .map(SiteSet::One)
             .map_err(|_| ParseError { line, message: format!("bad site index {n:?}") }),
         ["sites", range] => {
-            let (lo, hi) = range.split_once("..").ok_or(ParseError {
-                line,
-                message: "usage: sites N.. or sites N..M".into(),
-            })?;
-            let lo: usize = lo.parse().map_err(|_| ParseError {
-                line,
-                message: format!("bad range start {lo:?}"),
-            })?;
-            let hi = if hi.is_empty() {
-                None
-            } else {
-                Some(hi.parse().map_err(|_| ParseError {
-                    line,
-                    message: format!("bad range end {hi:?}"),
-                })?)
-            };
+            let (lo, hi) = range
+                .split_once("..")
+                .ok_or(ParseError { line, message: "usage: sites N.. or sites N..M".into() })?;
+            let lo: usize = lo
+                .parse()
+                .map_err(|_| ParseError { line, message: format!("bad range start {lo:?}") })?;
+            let hi =
+                if hi.is_empty() {
+                    None
+                } else {
+                    Some(hi.parse().map_err(|_| ParseError {
+                        line,
+                        message: format!("bad range end {hi:?}"),
+                    })?)
+                };
             Ok(SiteSet::Range(lo, hi))
         }
         other => err(line, format!("unrecognized site set {other:?}")),
@@ -305,10 +298,9 @@ fn parse_transition(line: &str, line_no: usize) -> Result<TransitionSpec, ParseE
         line: line_no,
         message: "transition needs `FROM -> TO : TRIGGER [; ACTION]*`".into(),
     })?;
-    let (from, to) = arrow.split_once("->").ok_or(ParseError {
-        line: line_no,
-        message: "transition needs `FROM -> TO`".into(),
-    })?;
+    let (from, to) = arrow
+        .split_once("->")
+        .ok_or(ParseError { line: line_no, message: "transition needs `FROM -> TO`".into() })?;
     let mut parts = rest.split(';').map(str::trim);
     let trigger_text = parts.next().unwrap_or("");
     let trigger = parse_trigger(trigger_text, line_no)?;
@@ -334,10 +326,9 @@ fn parse_trigger(text: &str, line: usize) -> Result<Option<(String, Src)>, Parse
         ["spontaneous"] => Ok(None),
         ["recv", kind, "from", "client"] => Ok(Some((kind.to_string(), Src::Client))),
         ["recv", kind, "from", "site", n] => {
-            let i: usize = n.parse().map_err(|_| ParseError {
-                line,
-                message: format!("bad site index {n:?}"),
-            })?;
+            let i: usize = n
+                .parse()
+                .map_err(|_| ParseError { line, message: format!("bad site index {n:?}") })?;
             Ok(Some((kind.to_string(), Src::Site(i))))
         }
         ["recv", kind, "from", quant @ ("all" | "any"), set @ ..] => {
@@ -363,10 +354,9 @@ fn parse_site_set_names(words: &[&str], line: usize) -> Result<SiteSet, ParseErr
 fn parse_action(text: &str, line: usize) -> Result<Action, ParseError> {
     let words: Vec<&str> = text.split_whitespace().collect();
     match words.as_slice() {
-        ["send", kind, "to", set @ ..] => Ok(Action::Send {
-            kind: kind.to_string(),
-            to: parse_site_set_names(set, line)?,
-        }),
+        ["send", kind, "to", set @ ..] => {
+            Ok(Action::Send { kind: kind.to_string(), to: parse_site_set_names(set, line)? })
+        }
         ["vote", "yes"] => Ok(Action::Vote(Vote::Yes)),
         ["vote", "no"] => Ok(Action::Vote(Vote::No)),
         _ => err(line, format!("unrecognized action {text:?}")),
@@ -380,10 +370,7 @@ fn build_fsa(
     kinds: &mut Kinds,
 ) -> Result<nbc_core::Fsa, ParseError> {
     if !spec.states.iter().any(|(_, c)| *c == StateClass::Initial) {
-        return err(
-            0,
-            format!("fsa {:?} declares no `initial` state", spec.role),
-        );
+        return err(0, format!("fsa {:?} declares no `initial` state", spec.role));
     }
     let mut b = FsaBuilder::new(spec.role.clone());
     let mut ids: BTreeMap<&str, StateId> = BTreeMap::new();
@@ -391,14 +378,12 @@ fn build_fsa(
         ids.insert(nm.as_str(), b.state(nm.clone(), *class));
     }
     for t in &spec.transitions {
-        let from = *ids.get(t.from.as_str()).ok_or(ParseError {
-            line: t.line,
-            message: format!("unknown state {:?}", t.from),
-        })?;
-        let to = *ids.get(t.to.as_str()).ok_or(ParseError {
-            line: t.line,
-            message: format!("unknown state {:?}", t.to),
-        })?;
+        let from = *ids
+            .get(t.from.as_str())
+            .ok_or(ParseError { line: t.line, message: format!("unknown state {:?}", t.from) })?;
+        let to = *ids
+            .get(t.to.as_str())
+            .ok_or(ParseError { line: t.line, message: format!("unknown state {:?}", t.to) })?;
         let consume = match &t.trigger {
             None => Consume::Spontaneous,
             Some((kind, src)) => {
@@ -407,16 +392,10 @@ fn build_fsa(
                     Src::Client => Consume::one(SiteId::CLIENT, k),
                     Src::Site(i) => Consume::one(SiteId(*i as u32), k),
                     Src::All(set) => Consume::All(
-                        set.resolve(n, me)
-                            .into_iter()
-                            .map(|j| (SiteId(j as u32), k))
-                            .collect(),
+                        set.resolve(n, me).into_iter().map(|j| (SiteId(j as u32), k)).collect(),
                     ),
                     Src::Any(set) => Consume::Any(
-                        set.resolve(n, me)
-                            .into_iter()
-                            .map(|j| (SiteId(j as u32), k))
-                            .collect(),
+                        set.resolve(n, me).into_iter().map(|j| (SiteId(j as u32), k)).collect(),
                     ),
                 }
             }
@@ -505,21 +484,16 @@ fsa b sites 1..
 ";
         let p = parse(text, 3).unwrap();
         // `pong` got a custom kind with its name registered.
-        let pong = p
-            .fsa(SiteId(0))
-            .transitions()
-            .iter()
-            .flat_map(|t| t.emit.iter())
-            .next()
-            .unwrap()
-            .kind;
+        let pong =
+            p.fsa(SiteId(0)).transitions().iter().flat_map(|t| t.emit.iter()).next().unwrap().kind;
         assert!(pong.0 >= MsgKind::FIRST_CUSTOM.0);
         assert_eq!(p.msg_name(pong), "pong");
     }
 
     #[test]
     fn line_numbers_in_errors() {
-        let text = "protocol x\n\n# comment\nfsa a all\n  state q initial\n  q -> q : garbage trigger\n";
+        let text =
+            "protocol x\n\n# comment\nfsa a all\n  state q initial\n  q -> q : garbage trigger\n";
         let e = parse(text, 2).unwrap_err();
         assert_eq!(e.line, 6);
     }

@@ -1,45 +1,62 @@
-//! Property tests for the spec parser: total on arbitrary input (errors,
-//! never panics), and semantically faithful on the example specs at every
-//! site count.
+//! Property tests for the spec parser, driven by seeded random sweeps:
+//! total on arbitrary input (errors, never panics), and semantically
+//! faithful on the example specs at every site count.
 
+use nbc_simnet::SimRng;
 use nbc_spec::{examples, parse};
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// The parser must be total: any byte soup yields Ok or a positioned
-    /// error — never a panic.
-    #[test]
-    fn parser_never_panics(text in "\\PC{0,400}", n in 2usize..6) {
+/// The parser must be total: any byte soup yields Ok or a positioned
+/// error — never a panic.
+#[test]
+fn parser_never_panics() {
+    let mut rng = SimRng::seed_from_u64(0x5bec);
+    for _ in 0..256 {
+        let len = rng.gen_range(0usize..400);
+        let text: String = (0..len)
+            .map(|_| {
+                // Mostly printable ASCII with some newlines and a sprinkle
+                // of arbitrary unicode.
+                match rng.gen_range(0u32..10) {
+                    0 => '\n',
+                    1 => char::from_u32(rng.gen_range(0x20u32..0x2FFF)).unwrap_or('\u{FFFD}'),
+                    _ => rng.gen_range(0x20u32..0x7F) as u8 as char,
+                }
+            })
+            .collect();
+        let n = rng.gen_range(2usize..6);
         let _ = parse(&text, n);
     }
+}
 
-    /// Mutating random lines of a valid spec either still parses or fails
-    /// with a line number inside the document.
-    #[test]
-    fn mutated_spec_errors_are_positioned(
-        line_ix in any::<proptest::sample::Index>(),
-        junk in "[a-z]{1,12}",
-    ) {
-        let mut lines: Vec<String> =
-            examples::CENTRAL_3PC.lines().map(str::to_string).collect();
-        let i = line_ix.index(lines.len());
-        lines[i] = junk.clone();
+/// Mutating random lines of a valid spec either still parses or fails
+/// with a line number inside the document.
+#[test]
+fn mutated_spec_errors_are_positioned() {
+    let mut rng = SimRng::seed_from_u64(0x5bed);
+    for _ in 0..256 {
+        let mut lines: Vec<String> = examples::CENTRAL_3PC.lines().map(str::to_string).collect();
+        let i = rng.gen_range(0..lines.len());
+        let junk_len = rng.gen_range(1usize..=12);
+        lines[i] =
+            (0..junk_len).map(|_| rng.gen_range(b'a' as u32..=b'z' as u32) as u8 as char).collect();
         let text = lines.join("\n");
         match parse(&text, 3) {
             Ok(_) => {}
-            Err(e) => prop_assert!(e.line <= lines.len(), "line {} of {}", e.line, lines.len()),
+            Err(e) => {
+                assert!(e.line <= lines.len(), "line {} of {}", e.line, lines.len())
+            }
         }
     }
+}
 
-    /// Example specs instantiate at any site count and agree with the
-    /// hand-written catalog on the theorem verdict.
-    #[test]
-    fn examples_parse_at_every_n(n in 2usize..6) {
-        use nbc_core::protocols::{central_2pc, central_3pc, decentralized_2pc};
-        use nbc_core::theorem;
+/// Example specs instantiate at any site count and agree with the
+/// hand-written catalog on the theorem verdict.
+#[test]
+fn examples_parse_at_every_n() {
+    use nbc_core::protocols::{central_2pc, central_3pc, decentralized_2pc};
+    use nbc_core::theorem;
 
+    for n in 2usize..6 {
         for (text, hand) in [
             (examples::CENTRAL_2PC, central_2pc(n)),
             (examples::CENTRAL_3PC, central_3pc(n)),
@@ -49,8 +66,8 @@ proptest! {
             spec.validate_strict().unwrap();
             let vs = theorem::check(&spec).unwrap();
             let vh = theorem::check(&hand).unwrap();
-            prop_assert_eq!(vs.nonblocking(), vh.nonblocking(), "{}", spec.name);
-            prop_assert_eq!(vs.clean, vh.clean, "{}", spec.name);
+            assert_eq!(vs.nonblocking(), vh.nonblocking(), "{}", spec.name);
+            assert_eq!(vs.clean, vh.clean, "{}", spec.name);
         }
     }
 }

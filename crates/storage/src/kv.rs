@@ -75,11 +75,7 @@ impl KvStore {
             for w in writes {
                 match w {
                     TxnWrite::Put(k, v) => {
-                        wal.append(&LogRecord::Put {
-                            txn,
-                            key: k.clone(),
-                            value: v.clone(),
-                        });
+                        wal.append(&LogRecord::Put { txn, key: k.clone(), value: v.clone() });
                     }
                     TxnWrite::Delete(k) => {
                         wal.append(&LogRecord::Delete { txn, key: k.clone() });
@@ -131,8 +127,7 @@ impl KvStore {
                 }
                 LogRecord::Checkpoint { pairs } => {
                     // A checkpoint supersedes everything before it.
-                    store.base =
-                        pairs.iter().cloned().collect::<BTreeMap<Vec<u8>, Vec<u8>>>();
+                    store.base = pairs.iter().cloned().collect::<BTreeMap<Vec<u8>, Vec<u8>>>();
                 }
                 _ => {}
             }

@@ -21,6 +21,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod codec;
 pub mod crc32;
 pub mod kv;
 pub mod recovery;
@@ -28,4 +29,4 @@ pub mod wal;
 
 pub use kv::{KvStore, TxnWrite};
 pub use recovery::{RecoveredTxn, TxnOutcome};
-pub use wal::{LogRecord, Lsn, Wal, WalError};
+pub use wal::{LogRecord, Lsn, SyncStats, Wal, WalError};

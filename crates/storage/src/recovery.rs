@@ -78,11 +78,7 @@ pub fn summarize(records: &[LogRecord]) -> Vec<RecoveredTxn> {
     }
     let mut map: BTreeMap<u64, Acc> = BTreeMap::new();
     let mut next_order = 0usize;
-    fn touch<'m>(
-        map: &'m mut BTreeMap<u64, Acc>,
-        next_order: &mut usize,
-        txn: u64,
-    ) -> &'m mut Acc {
+    fn touch<'m>(map: &'m mut BTreeMap<u64, Acc>, next_order: &mut usize, txn: u64) -> &'m mut Acc {
         map.entry(txn).or_insert_with(|| {
             let acc = Acc { order: *next_order, ..Acc::default() };
             *next_order += 1;
@@ -132,17 +128,11 @@ pub fn summarize(records: &[LogRecord]) -> Vec<RecoveredTxn> {
                     Some((_, class)) if class == class_codes::INITIAL => {
                         TxnOutcome::AbortOnRecovery
                     }
-                    Some((_, class)) if class == class_codes::ABORTED => {
-                        TxnOutcome::Aborted
+                    Some((_, class)) if class == class_codes::ABORTED => TxnOutcome::Aborted,
+                    Some((_, class)) if class == class_codes::COMMITTED => TxnOutcome::Committed,
+                    Some((state, class)) => {
+                        TxnOutcome::MustAsk { state, class, aligned_class: acc.aligned }
                     }
-                    Some((_, class)) if class == class_codes::COMMITTED => {
-                        TxnOutcome::Committed
-                    }
-                    Some((state, class)) => TxnOutcome::MustAsk {
-                        state,
-                        class,
-                        aligned_class: acc.aligned,
-                    },
                 },
             };
             (acc.order, RecoveredTxn { txn, outcome, ended: acc.ended })

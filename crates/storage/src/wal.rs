@@ -22,7 +22,7 @@
 //! Protocols call `sync` before acting on a state transition — writing the
 //! record *ahead* of the action, hence the name.
 
-use bytes::{Buf, BufMut};
+use crate::codec::{BufExt, BufMutExt};
 
 use crate::crc32::crc32;
 
@@ -266,11 +266,39 @@ impl LogRecord {
     }
 }
 
+/// Counters for the sync path: how many durability requests the log saw
+/// and how many turned into physical forces. The gap is the group-commit
+/// win ([`SyncStats::saved`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SyncStats {
+    /// Durability requests ([`Wal::sync`] / [`Wal::sync_batched`] calls).
+    pub requested: u64,
+    /// Requests that actually forced bytes to stable storage.
+    pub physical: u64,
+}
+
+impl SyncStats {
+    /// Requests absorbed without a physical force (batched into an open
+    /// group-commit window, or no-ops with nothing new to force).
+    pub fn saved(&self) -> u64 {
+        self.requested - self.physical
+    }
+
+    /// Accumulate another log's counters (for cluster-wide totals).
+    pub fn absorb(&mut self, other: &SyncStats) {
+        self.requested += other.requested;
+        self.physical += other.physical;
+    }
+}
+
 /// An in-memory write-ahead log with explicit durability.
 #[derive(Debug, Clone, Default)]
 pub struct Wal {
     buf: Vec<u8>,
     durable: usize,
+    sync_stats: SyncStats,
+    group_window: u64,
+    last_force_at: Option<u64>,
 }
 
 impl Wal {
@@ -303,7 +331,51 @@ impl Wal {
 
     /// Make everything appended so far durable.
     pub fn sync(&mut self) {
+        self.sync_stats.requested += 1;
+        if self.durable < self.buf.len() {
+            self.sync_stats.physical += 1;
+        }
         self.durable = self.buf.len();
+    }
+
+    /// Set the group-commit batch window, in simulation ticks. `0`
+    /// (the default) disables batching: every [`Wal::sync_batched`] call
+    /// with undurable bytes pays a physical force.
+    pub fn set_group_window(&mut self, window: u64) {
+        self.group_window = window;
+    }
+
+    /// Group-commit durability: request a force at simulation time `now`,
+    /// coalescing with other requests in the same batch window. Returns
+    /// `true` if this call paid a physical force.
+    ///
+    /// Model: a physical force at time `t` opens a batch window of
+    /// `group_window` ticks. A request arriving at `now < t + window` joins
+    /// that batch — its bytes ride the batch's single force (which the
+    /// batcher completes at window close) and no new physical force is
+    /// counted. The watermark still advances immediately: within the
+    /// window the simulator injects no crash that could observe the gap
+    /// between "joined the batch" and "batch forced", so the accounting is
+    /// observationally equivalent to a real delayed group force.
+    pub fn sync_batched(&mut self, now: u64) -> bool {
+        self.sync_stats.requested += 1;
+        if self.durable == self.buf.len() {
+            return false; // nothing new to force
+        }
+        self.durable = self.buf.len();
+        if let Some(t) = self.last_force_at {
+            if now >= t && now - t < self.group_window {
+                return false; // joined the open batch
+            }
+        }
+        self.last_force_at = Some(now);
+        self.sync_stats.physical += 1;
+        true
+    }
+
+    /// Sync-path counters (requests vs. physical forces).
+    pub fn sync_stats(&self) -> SyncStats {
+        self.sync_stats
     }
 
     /// Total bytes appended.
@@ -385,14 +457,13 @@ impl Wal {
         let mut well_formed = 0usize;
         let mut off = 0usize;
         for _ in &recs {
-            let len =
-                u32::from_le_bytes(image[off..off + 4].try_into().unwrap()) as usize;
+            let len = u32::from_le_bytes(image[off..off + 4].try_into().unwrap()) as usize;
             off += 8 + len;
             well_formed = off;
         }
         let buf = image[..well_formed].to_vec();
         let durable = buf.len();
-        Ok((Self { buf, durable }, recs))
+        Ok((Self { buf, durable, ..Self::default() }, recs))
     }
 }
 
@@ -443,6 +514,41 @@ mod tests {
     }
 
     #[test]
+    fn sync_batched_coalesces_within_window() {
+        let mut wal = Wal::new();
+        wal.set_group_window(3);
+        // Three rounds force at t=0..2: one physical force, two batched.
+        for t in 0..3u64 {
+            wal.append(&LogRecord::Begin { txn: t });
+            let physical = wal.sync_batched(t);
+            assert_eq!(physical, t == 0);
+        }
+        // All three records are durable regardless.
+        assert_eq!(wal.durable_len(), wal.len());
+        assert_eq!(Wal::recover(&wal.crash_image()).unwrap().len(), 3);
+        // Past the window, the next request pays a force again.
+        wal.append(&LogRecord::Begin { txn: 9 });
+        assert!(wal.sync_batched(3));
+        let s = wal.sync_stats();
+        assert_eq!(s.requested, 4);
+        assert_eq!(s.physical, 2);
+        assert_eq!(s.saved(), 2);
+    }
+
+    #[test]
+    fn sync_batched_without_window_forces_every_time() {
+        let mut wal = Wal::new();
+        for t in 0..3u64 {
+            wal.append(&LogRecord::Begin { txn: t });
+            assert!(wal.sync_batched(t), "window 0 must always force");
+        }
+        // A request with nothing new to force is saved, not physical.
+        assert!(!wal.sync_batched(3));
+        let s = wal.sync_stats();
+        assert_eq!((s.requested, s.physical, s.saved()), (4, 3, 1));
+    }
+
+    #[test]
     fn torn_tail_is_dropped_cleanly() {
         let mut wal = Wal::new();
         wal.append(&LogRecord::Begin { txn: 1 });
@@ -463,10 +569,7 @@ mod tests {
         wal.sync();
         let mut image = wal.crash_image();
         image[10] ^= 0xFF; // flip a bit inside the first payload
-        assert!(matches!(
-            Wal::recover(&image),
-            Err(WalError::BadChecksum { at: 0 })
-        ));
+        assert!(matches!(Wal::recover(&image), Err(WalError::BadChecksum { at: 0 })));
     }
 
     #[test]
@@ -477,10 +580,7 @@ mod tests {
         image.put_u32_le(payload.len() as u32);
         image.put_u32_le(crc32(&payload));
         image.extend_from_slice(&payload);
-        assert!(matches!(
-            Wal::recover(&image),
-            Err(WalError::UnknownTag { tag: 99, .. })
-        ));
+        assert!(matches!(Wal::recover(&image), Err(WalError::UnknownTag { tag: 99, .. })));
     }
 
     #[test]

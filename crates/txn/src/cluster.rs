@@ -16,9 +16,7 @@
 
 use std::collections::BTreeMap;
 
-use nbc_core::protocols::{
-    central_2pc, central_3pc, decentralized_2pc, decentralized_3pc,
-};
+use nbc_core::protocols::{central_2pc, central_3pc, decentralized_2pc, decentralized_3pc};
 use nbc_core::{Analysis, Protocol};
 use nbc_engine::{run_with, CrashSpec, RunConfig, TerminationRule};
 use nbc_simnet::LatencyModel;
@@ -221,8 +219,7 @@ impl Cluster {
             }
             match op {
                 Op::Read { key, .. } => {
-                    if self.locks[site].request(txn, key, LockMode::Shared)
-                        != LockOutcome::Granted
+                    if self.locks[site].request(txn, key, LockMode::Shared) != LockOutcome::Granted
                     {
                         votes[site] = false;
                     }
@@ -259,10 +256,7 @@ impl Cluster {
         let report = run_with(&self.protocol, &self.analysis, rc);
         self.stats.messages += report.msgs_sent;
         self.stats.sim_time += report.finished_at;
-        assert!(
-            report.consistent,
-            "txn {txn}: commit round violated atomicity: {report}"
-        );
+        assert!(report.consistent, "txn {txn}: commit round violated atomicity: {report}");
 
         // `RunReport::decision()` is the omniscient auditor's view — it
         // reports a decision durable only in a crashed site's log even
@@ -347,8 +341,8 @@ impl Cluster {
             }
             // Rebuild the store from the durable log: the real recovery
             // path, exercising WAL decode + redo.
-            let records = Wal::recover(&self.wals[site].full_image())
-                .expect("cluster WALs are well-formed");
+            let records =
+                Wal::recover(&self.wals[site].full_image()).expect("cluster WALs are well-formed");
             let rebuilt = KvStore::redo_from_log(&records);
             // Staged-but-undecided data of future transactions does not
             // exist at this point (recover_all resolves everything), so
@@ -364,14 +358,8 @@ impl Cluster {
     /// # Panics
     /// Panics if transactions are still unresolved.
     pub fn checkpoint(&mut self) {
-        assert!(
-            self.blocked_txns.is_empty(),
-            "checkpoint requires no blocked transactions"
-        );
-        assert!(
-            self.missed.iter().all(Vec::is_empty),
-            "checkpoint requires no missed decisions"
-        );
+        assert!(self.blocked_txns.is_empty(), "checkpoint requires no blocked transactions");
+        assert!(self.missed.iter().all(Vec::is_empty), "checkpoint requires no missed decisions");
         for site in 0..self.cfg.n_sites {
             let snapshot = self.stores[site].snapshot();
             self.wals[site].checkpoint_compact(snapshot);
@@ -394,13 +382,7 @@ impl Cluster {
     }
 
     /// Execute a bank transfer (helper around [`Cluster::execute`]).
-    pub fn transfer(
-        &mut self,
-        w: &BankWorkload,
-        from: usize,
-        to: usize,
-        amount: i64,
-    ) -> TxnResult {
+    pub fn transfer(&mut self, w: &BankWorkload, from: usize, to: usize, amount: i64) -> TxnResult {
         self.transfer_with_crashes(w, from, to, amount, &[])
     }
 

@@ -63,12 +63,8 @@ impl LockManager {
                 return LockOutcome::Granted;
             }
             // Upgrade shared -> exclusive: conflicts with other holders.
-            let others: Vec<u64> = entry
-                .holders
-                .iter()
-                .filter(|&&(t, _)| t != txn)
-                .map(|&(t, _)| t)
-                .collect();
+            let others: Vec<u64> =
+                entry.holders.iter().filter(|&&(t, _)| t != txn).map(|&(t, _)| t).collect();
             if others.is_empty() {
                 entry.holders[pos].1 = LockMode::Exclusive;
                 return LockOutcome::Granted;
@@ -79,9 +75,7 @@ impl LockManager {
         let conflicting: Vec<u64> = entry
             .holders
             .iter()
-            .filter(|&&(_, held)| {
-                held == LockMode::Exclusive || mode == LockMode::Exclusive
-            })
+            .filter(|&&(_, held)| held == LockMode::Exclusive || mode == LockMode::Exclusive)
             .map(|&(t, _)| t)
             .collect();
         if conflicting.is_empty() {
@@ -101,10 +95,7 @@ impl LockManager {
 
     /// Locks currently held by `txn`.
     pub fn held_by(&self, txn: u64) -> usize {
-        self.table
-            .values()
-            .filter(|e| e.holders.iter().any(|&(t, _)| t == txn))
-            .count()
+        self.table.values().filter(|e| e.holders.iter().any(|&(t, _)| t == txn)).count()
     }
 
     /// Total number of locked keys.

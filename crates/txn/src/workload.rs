@@ -1,8 +1,7 @@
 //! Workload generators: the multi-site applications the paper's
 //! introduction motivates.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use nbc_simnet::SimRng;
 
 /// One data operation of a distributed transaction.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -47,14 +46,14 @@ pub struct BankWorkload {
     pub n_accounts: usize,
     /// Initial balance per account.
     pub initial_balance: i64,
-    rng: StdRng,
+    rng: SimRng,
 }
 
 impl BankWorkload {
     /// A workload with `n_accounts` accounts spread over `n_sites` sites.
     pub fn new(n_sites: usize, n_accounts: usize, initial_balance: i64, seed: u64) -> Self {
         assert!(n_sites >= 2 && n_accounts >= 2);
-        Self { n_sites, n_accounts, initial_balance, rng: StdRng::seed_from_u64(seed) }
+        Self { n_sites, n_accounts, initial_balance, rng: SimRng::seed_from_u64(seed) }
     }
 
     /// The site an account lives at.
@@ -98,7 +97,7 @@ impl BankWorkload {
         while to == from {
             to = self.rng.gen_range(0..self.n_accounts);
         }
-        let amount = self.rng.gen_range(1..=100);
+        let amount = self.rng.gen_range(1i64..=100);
         (from, to, amount)
     }
 
@@ -167,14 +166,14 @@ pub struct InventoryWorkload {
     pub n_items: usize,
     /// Initial stock per item.
     pub initial_stock: i64,
-    rng: StdRng,
+    rng: SimRng,
 }
 
 impl InventoryWorkload {
     /// Create an inventory with `n_items` items over `n_sites` sites.
     pub fn new(n_sites: usize, n_items: usize, initial_stock: i64, seed: u64) -> Self {
         assert!(n_sites >= 2 && n_items >= 1);
-        Self { n_sites, n_items, initial_stock, rng: StdRng::seed_from_u64(seed) }
+        Self { n_sites, n_items, initial_stock, rng: SimRng::seed_from_u64(seed) }
     }
 
     /// The site an item's stock lives at (sites 1.. hold stock; site 0
@@ -203,11 +202,7 @@ impl InventoryWorkload {
                         key: Self::stock_key(i),
                         value: BankWorkload::encode(self.initial_stock),
                     },
-                    Op::Write {
-                        site: 0,
-                        key: Self::sold_key(i),
-                        value: BankWorkload::encode(0),
-                    },
+                    Op::Write { site: 0, key: Self::sold_key(i), value: BankWorkload::encode(0) },
                 ]
             })
             .collect()
@@ -215,6 +210,6 @@ impl InventoryWorkload {
 
     /// A random order: `(item, quantity)`.
     pub fn random_order(&mut self) -> (usize, i64) {
-        (self.rng.gen_range(0..self.n_items), self.rng.gen_range(1..=5))
+        (self.rng.gen_range(0..self.n_items), self.rng.gen_range(1i64..=5))
     }
 }

@@ -3,9 +3,8 @@
 //! story told through the conservation-of-money invariant.
 
 use nbc_engine::{CrashPoint, CrashSpec, TransitionProgress};
+use nbc_simnet::SimRng;
 use nbc_txn::{BankWorkload, Cluster, ClusterConfig, Op, ProtocolKind, TxnResult};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 fn cluster(kind: ProtocolKind, n: usize) -> Cluster {
     Cluster::new(ClusterConfig::new(n, kind))
@@ -85,10 +84,7 @@ fn two_pc_blocks_and_poisons_locks_until_recovery() {
     // the slaves block, the locks on accounts 0 and 1 stay held.
     let crash = CrashSpec {
         site: 0,
-        point: CrashPoint::OnTransition {
-            ordinal: 2,
-            progress: TransitionProgress::AfterMsgs(0),
-        },
+        point: CrashPoint::OnTransition { ordinal: 2, progress: TransitionProgress::AfterMsgs(0) },
         recover_at: None,
     };
     let r = c.transfer_with_crashes(&w, 0, 1, 50, &[crash]);
@@ -125,10 +121,7 @@ fn two_pc_blocked_round_with_undecided_coordinator_aborts_on_recovery() {
     // before logging a decision): BeforeLog on its second transition.
     let crash = CrashSpec {
         site: 0,
-        point: CrashPoint::OnTransition {
-            ordinal: 2,
-            progress: TransitionProgress::BeforeLog,
-        },
+        point: CrashPoint::OnTransition { ordinal: 2, progress: TransitionProgress::BeforeLog },
         recover_at: None,
     };
     let r = c.transfer_with_crashes(&w, 0, 1, 75, &[crash]);
@@ -154,7 +147,7 @@ fn no_vote_from_lock_conflict_aborts_whole_transaction() {
 
 #[test]
 fn randomized_crash_storm_conserves_money_for_3pc() {
-    let mut rng = StdRng::seed_from_u64(1234);
+    let mut rng = SimRng::seed_from_u64(1234);
     for kind in [ProtocolKind::Central3pc, ProtocolKind::Decentralized3pc] {
         let w0 = BankWorkload::new(4, 12, 1000, 77);
         let mut c = cluster(kind, 4);
@@ -164,13 +157,13 @@ fn randomized_crash_storm_conserves_money_for_3pc() {
             let (f, t, amt) = w.random_transfer();
             let crashes = if rng.gen_bool(0.4) {
                 vec![CrashSpec {
-                    site: rng.gen_range(0..4),
+                    site: rng.gen_range(0usize..4),
                     point: CrashPoint::OnTransition {
-                        ordinal: rng.gen_range(1..=3),
-                        progress: match rng.gen_range(0..3) {
+                        ordinal: rng.gen_range(1u32..=3),
+                        progress: match rng.gen_range(0usize..3) {
                             0 => TransitionProgress::BeforeLog,
                             1 => TransitionProgress::AfterMsgs(0),
-                            _ => TransitionProgress::AfterMsgs(rng.gen_range(1..=3)),
+                            _ => TransitionProgress::AfterMsgs(rng.gen_range(1u32..=3)),
                         },
                     },
                     recover_at: None,
@@ -188,7 +181,7 @@ fn randomized_crash_storm_conserves_money_for_3pc() {
 
 #[test]
 fn randomized_crash_storm_2pc_blocks_but_conserves_after_recovery() {
-    let mut rng = StdRng::seed_from_u64(4321);
+    let mut rng = SimRng::seed_from_u64(4321);
     let w0 = BankWorkload::new(3, 9, 1000, 99);
     let mut c = cluster(ProtocolKind::Central2pc, 3);
     seeded(&mut c, &w0);
@@ -201,7 +194,7 @@ fn randomized_crash_storm_2pc_blocks_but_conserves_after_recovery() {
                 site: 0,
                 point: CrashPoint::OnTransition {
                     ordinal: 2,
-                    progress: TransitionProgress::AfterMsgs(rng.gen_range(0..=2)),
+                    progress: TransitionProgress::AfterMsgs(rng.gen_range(0u32..=2)),
                 },
                 recover_at: None,
             }]
@@ -262,7 +255,7 @@ mod inventory_and_checkpoint {
 
     #[test]
     fn inventory_orders_conserve_stock_under_crashes() {
-        let mut rng = StdRng::seed_from_u64(8);
+        let mut rng = SimRng::seed_from_u64(8);
         for kind in [ProtocolKind::Central3pc, ProtocolKind::Decentralized3pc] {
             let w0 = InventoryWorkload::new(3, 6, 100, 13);
             let mut c = cluster(kind, 3);
@@ -272,10 +265,10 @@ mod inventory_and_checkpoint {
                 let (item, qty) = w.random_order();
                 let crashes = if rng.gen_bool(0.3) {
                     vec![CrashSpec {
-                        site: rng.gen_range(0..3),
+                        site: rng.gen_range(0usize..3),
                         point: CrashPoint::OnTransition {
-                            ordinal: rng.gen_range(1..=3),
-                            progress: TransitionProgress::AfterMsgs(rng.gen_range(0..=2)),
+                            ordinal: rng.gen_range(1u32..=3),
+                            progress: TransitionProgress::AfterMsgs(rng.gen_range(0u32..=2)),
                         },
                         recover_at: None,
                     }]
@@ -333,10 +326,7 @@ mod inventory_and_checkpoint {
         assert_eq!(c.transfer(&w, 0, 1, 25), TxnResult::Committed);
         let crash = CrashSpec {
             site: 1,
-            point: CrashPoint::OnTransition {
-                ordinal: 2,
-                progress: TransitionProgress::BeforeLog,
-            },
+            point: CrashPoint::OnTransition { ordinal: 2, progress: TransitionProgress::BeforeLog },
             recover_at: None,
         };
         let (f, t, amt) = w.random_transfer();

@@ -11,11 +11,8 @@
 //! ```
 
 use nonblocking_commit::nbc_engine::{CrashPoint, CrashSpec, TransitionProgress};
-use nonblocking_commit::nbc_txn::{
-    BankWorkload, Cluster, ClusterConfig, ProtocolKind, TxnResult,
-};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use nonblocking_commit::nbc_simnet::SimRng;
+use nonblocking_commit::nbc_txn::{BankWorkload, Cluster, ClusterConfig, ProtocolKind, TxnResult};
 
 fn run(kind: ProtocolKind) {
     let n_sites = 3;
@@ -24,7 +21,7 @@ fn run(kind: ProtocolKind) {
     assert_eq!(cluster.execute(&w0.setup_ops()), TxnResult::Committed);
 
     let mut w = w0.clone();
-    let mut rng = StdRng::seed_from_u64(99);
+    let mut rng = SimRng::seed_from_u64(99);
     let transfers = 100;
     for _ in 0..transfers {
         let (from, to, amount) = w.random_transfer();
@@ -35,7 +32,7 @@ fn run(kind: ProtocolKind) {
                 site: 0,
                 point: CrashPoint::OnTransition {
                     ordinal: 2,
-                    progress: TransitionProgress::AfterMsgs(rng.gen_range(0..=2)),
+                    progress: TransitionProgress::AfterMsgs(rng.gen_range(0u32..=2)),
                 },
                 recover_at: None,
             }]

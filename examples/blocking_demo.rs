@@ -25,18 +25,13 @@ fn main() {
     // commits, and dies before telling anyone.
     let window = CrashSpec {
         site: 0,
-        point: CrashPoint::OnTransition {
-            ordinal: 2,
-            progress: TransitionProgress::AfterMsgs(0),
-        },
+        point: CrashPoint::OnTransition { ordinal: 2, progress: TransitionProgress::AfterMsgs(0) },
         recover_at: None,
     };
 
     // ----- Act 1: blocking ------------------------------------------------
     println!("== Act 1: the blocking window ==\n");
-    let cfg = RunConfig::happy(3)
-        .with_rule(TerminationRule::Cooperative)
-        .with_crash(window);
+    let cfg = RunConfig::happy(3).with_rule(TerminationRule::Cooperative).with_crash(window);
     let r = run_with(&protocol, &analysis, cfg);
     println!("  {r}");
     assert!(r.any_blocked && r.consistent);
@@ -50,9 +45,7 @@ fn main() {
     println!("== Act 2: recovery unblocks ==\n");
     let mut spec = window;
     spec.recover_at = Some(100);
-    let cfg = RunConfig::happy(3)
-        .with_rule(TerminationRule::Cooperative)
-        .with_crash(spec);
+    let cfg = RunConfig::happy(3).with_rule(TerminationRule::Cooperative).with_crash(spec);
     let r = run_with(&protocol, &analysis, cfg);
     println!("  {r}");
     assert!(r.consistent && !r.any_blocked);

@@ -12,8 +12,8 @@
 
 use nonblocking_commit::nbc_core::protocols::central_2pc;
 use nonblocking_commit::nbc_core::{
-    dot, synthesis, termination, theorem, Analysis, Consume, Envelope, FsaBuilder,
-    InitialMsg, MsgKind, Paradigm, Protocol, SiteId, StateClass, Vote,
+    dot, synthesis, termination, theorem, Analysis, Consume, Envelope, FsaBuilder, InitialMsg,
+    MsgKind, Paradigm, Protocol, SiteId, StateClass, Vote,
 };
 
 /// A half-measure: buffer the coordinator's commit, leave slaves as 2PC.

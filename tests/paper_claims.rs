@@ -5,9 +5,7 @@
 
 use nonblocking_commit::nbc_core::protocols::catalog;
 use nonblocking_commit::nbc_core::{resilience, sync_check, theorem, Analysis, ReachOptions};
-use nonblocking_commit::nbc_engine::{
-    enumerate_crash_specs, sweep, RunConfig, TerminationRule,
-};
+use nonblocking_commit::nbc_engine::{enumerate_crash_specs, sweep, RunConfig, TerminationRule};
 
 #[test]
 fn theorem_verdict_matches_engine_behavior() {
@@ -56,13 +54,7 @@ fn resilience_matches_double_failure_sweeps() {
         let r = resilience::resilience(&p).unwrap();
         assert_eq!(r.max_tolerated_failures, 2, "{}", p.name);
         let specs = enumerate_crash_specs(&p, None);
-        let s = sweep_double(
-            &p,
-            &analysis,
-            &RunConfig::happy(3),
-            &specs,
-            (0..24u64).step_by(3),
-        );
+        let s = sweep_double(&p, &analysis, &RunConfig::happy(3), &specs, (0..24u64).step_by(3));
         assert!(s.all_consistent(), "{}: {:?}", p.name, s.inconsistent_runs);
         assert!(s.nonblocking(), "{}: blocked={}", p.name, s.blocked);
     }

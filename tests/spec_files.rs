@@ -107,13 +107,7 @@ fn linear_irrevocable_is_nonblocking_without_buffer_states() {
     let specs = enumerate_crash_specs(&p, None);
     let s = sweep(&p, &a, &RunConfig::happy(3), &specs);
     assert!(s.all_consistent(), "{:?}", s.inconsistent_runs);
-    assert!(
-        s.nonblocking(),
-        "blocked={} decided={}/{}",
-        s.blocked,
-        s.fully_decided,
-        s.total
-    );
+    assert!(s.nonblocking(), "blocked={} decided={}/{}", s.blocked, s.fully_decided, s.total);
 }
 
 #[test]

@@ -12,7 +12,8 @@ fn bench_wal_append() {
         g.bench(&format!("progress_records/{batch}"), || {
             let mut wal = Wal::new();
             for i in 0..batch as u64 {
-                wal.append(&LogRecord::Progress { txn: i, state: 1, class: 1 });
+                wal.append(&LogRecord::Progress { txn: i, state: 1, class: 1 })
+                    .expect("wal record fits");
             }
             wal.sync();
             wal.len()
@@ -25,7 +26,8 @@ fn bench_wal_append() {
                     txn: i,
                     key: format!("key{i:08}").into_bytes(),
                     value: value.clone(),
-                });
+                })
+                .expect("wal record fits");
             }
             wal.sync();
             wal.len()
@@ -40,9 +42,11 @@ fn bench_wal_recover() {
             txn: i % 50,
             key: format!("key{i:08}").into_bytes(),
             value: vec![0x55u8; 64],
-        });
+        })
+        .expect("wal record fits");
         if i % 50 == 49 {
-            wal.append(&LogRecord::Decision { txn: i % 50, commit: i % 2 == 0 });
+            wal.append(&LogRecord::Decision { txn: i % 50, commit: i % 2 == 0 })
+                .expect("wal record fits");
         }
     }
     wal.sync();

@@ -2,7 +2,7 @@
 //! exponential-growth observation.
 
 use nbc_core::protocols::{catalog, central_2pc};
-use nbc_core::{dot, ReachGraph, SiteId};
+use nbc_core::{dot, ReachGraph, ReachOptions, SiteId};
 
 use crate::table::Table;
 
@@ -65,10 +65,15 @@ pub fn e2_two_site_2pc_graph() -> String {
 }
 
 /// B5 — graph growth: "the reachable state graph grows exponentially with
-/// the number of sites".
+/// the number of sites", plus the serial-vs-parallel construction race on
+/// the large central 2PC instances the growth unlocks.
 pub fn b5_graph_growth() -> String {
+    b5_impl(6, &[6, 7, 8, 9])
+}
+
+fn b5_impl(max_n: usize, timing_ns: &[usize]) -> String {
     let mut t = Table::new(["protocol", "n", "global states", "edges", ""]);
-    for n in 2..=6usize {
+    for n in 2..=max_n {
         for p in catalog(n) {
             let g = ReachGraph::build(&p).expect("bounded");
             t.row([
@@ -81,30 +86,53 @@ pub fn b5_graph_growth() -> String {
         }
     }
     // Per-protocol growth factors (nodes(n)/nodes(n-1)).
-    let mut growth = Table::new(["protocol", "n=3/2", "n=4/3", "n=5/4", "n=6/5"]);
+    let mut header = vec!["protocol".to_string()];
+    header.extend((3..=max_n).map(|n| format!("n={n}/{}", n - 1)));
+    let mut growth = Table::new(header);
     for idx in 0..4usize {
-        let sizes: Vec<usize> = (2..=6usize)
+        let sizes: Vec<usize> = (2..=max_n)
             .map(|n| {
                 let p = &catalog(n)[idx];
                 ReachGraph::build(p).expect("bounded").node_count()
             })
             .collect();
         let name = catalog(2)[idx].name.replace(" (n=2)", "");
-        let ratios: Vec<String> =
-            sizes.windows(2).map(|w| format!("{:.1}", w[1] as f64 / w[0] as f64)).collect();
-        growth.row([
-            name,
-            ratios[0].clone(),
-            ratios[1].clone(),
-            ratios[2].clone(),
-            ratios[3].clone(),
+        let mut row = vec![name];
+        row.extend(sizes.windows(2).map(|w| format!("{:.1}", w[1] as f64 / w[0] as f64)));
+        growth.row(row);
+    }
+
+    // Serial vs. frontier-parallel construction on central 2PC, where the
+    // growth actually bites. Parallel uses 4 worker threads; both builds
+    // are verified to agree on the node count (full bit-identity is a
+    // regression test in nbc-core).
+    let mut race =
+        Table::new(["central 2PC n", "global states", "serial", "parallel (4 threads)", "speedup"]);
+    for &n in timing_ns {
+        let p = central_2pc(n);
+        let t0 = std::time::Instant::now();
+        let gs = ReachGraph::build_serial(&p, ReachOptions::default()).expect("bounded");
+        let serial = t0.elapsed();
+        let t1 = std::time::Instant::now();
+        let gp =
+            ReachGraph::build_with(&p, ReachOptions::default().with_threads(4)).expect("bounded");
+        let parallel = t1.elapsed();
+        assert_eq!(gs.node_count(), gp.node_count(), "parallel must match serial");
+        race.row([
+            n.to_string(),
+            gs.node_count().to_string(),
+            format!("{:.1} ms", serial.as_secs_f64() * 1e3),
+            format!("{:.1} ms", parallel.as_secs_f64() * 1e3),
+            format!("{:.2}x", serial.as_secs_f64() / parallel.as_secs_f64()),
         ]);
     }
     format!(
         "{}\nGrowth factor per added site (≈ constant ⇒ exponential growth, \
-         as the paper observes):\n{}",
+         as the paper observes):\n{}\nConstruction wall-clock, serial vs. \
+         frontier-parallel BFS:\n{}",
         t.render(),
-        growth.render()
+        growth.render(),
+        race.render()
     )
 }
 
@@ -123,8 +151,11 @@ mod tests {
 
     #[test]
     fn b5_shows_growth() {
-        let s = b5_graph_growth();
+        // Small instances only — the full n<=9 sweep is for release runs.
+        let s = b5_impl(3, &[3]);
         assert!(s.contains("Growth factor"));
         assert!(s.contains("central-site 2PC"));
+        assert!(s.contains("serial vs"));
+        assert!(s.contains("speedup"));
     }
 }

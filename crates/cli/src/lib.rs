@@ -151,8 +151,13 @@ pub fn cmd_verify(protocol: &Protocol) -> Result<String, CliError> {
 }
 
 /// `nbc graph PROTO [--dot]`
-pub fn cmd_graph(protocol: &Protocol, dot_output: bool) -> Result<String, CliError> {
-    let g = ReachGraph::build(protocol).map_err(|e| CliError(e.to_string()))?;
+pub fn cmd_graph(
+    protocol: &Protocol,
+    dot_output: bool,
+    threads: usize,
+) -> Result<String, CliError> {
+    let opts = ReachOptions::default().with_threads(threads);
+    let g = ReachGraph::build_with(protocol, opts).map_err(|e| CliError(e.to_string()))?;
     if dot_output {
         Ok(dot::reach_graph_to_dot(&g, protocol, true))
     } else {
@@ -563,8 +568,9 @@ mod tests {
         let p = resolve_protocol("3pc", 3).unwrap();
         assert!(cmd_termination(&p).unwrap().contains("commit"));
         assert!(cmd_recovery(&p).unwrap().contains("must ask"));
-        assert!(cmd_graph(&p, false).unwrap().contains("global states"));
-        assert!(cmd_graph(&p, true).unwrap().contains("digraph"));
+        assert!(cmd_graph(&p, false, 0).unwrap().contains("global states"));
+        assert!(cmd_graph(&p, true, 0).unwrap().contains("digraph"));
+        assert_eq!(cmd_graph(&p, false, 1).unwrap(), cmd_graph(&p, false, 4).unwrap());
     }
 
     #[test]

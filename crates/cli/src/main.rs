@@ -10,7 +10,7 @@ USAGE:
   nbc list
   nbc analyze     PROTO [-n N]
   nbc verify      PROTO [-n N]
-  nbc graph       PROTO [-n N] [--dot]
+  nbc graph       PROTO [-n N] [--dot] [--threads T]
   nbc synthesize  PROTO [-n N]
   nbc simulate    PROTO [-n N] [--crash SITE:ORDINAL:MSGS] [--recover T]
                   [--no-voter K]... [--rule skeen|cooperative|naive|quorum]
@@ -61,6 +61,7 @@ fn run(args: &[String]) -> Result<String, CliError> {
     // Flag parsing.
     let mut n = 3usize;
     let mut dot = false;
+    let mut threads = 0usize; // 0 = auto
     let mut opts = SimOpts::default();
     let mut i = 2;
     while i < args.len() {
@@ -69,6 +70,11 @@ fn run(args: &[String]) -> Result<String, CliError> {
                 n = next_val(args, &mut i)?.parse().map_err(|_| CliError("bad -n value".into()))?;
             }
             "--dot" => dot = true,
+            "--threads" => {
+                threads = next_val(args, &mut i)?
+                    .parse()
+                    .map_err(|_| CliError("bad --threads value".into()))?
+            }
             "--trace" => opts.trace = true,
             "--crash" => opts.crash = Some(parse_crash_arg(&next_val(args, &mut i)?)?),
             "--recover" => {
@@ -99,7 +105,7 @@ fn run(args: &[String]) -> Result<String, CliError> {
     match cmd.as_str() {
         "analyze" => cmd_analyze(&protocol),
         "verify" => cmd_verify(&protocol),
-        "graph" => cmd_graph(&protocol, dot),
+        "graph" => cmd_graph(&protocol, dot, threads),
         "synthesize" => cmd_synthesize(&protocol),
         "simulate" => cmd_simulate(&protocol, &opts),
         "sweep" => cmd_sweep(&protocol, &opts),

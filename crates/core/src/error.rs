@@ -40,6 +40,10 @@ pub enum ProtocolError {
     /// state differ in length), so phase-synchronicity analysis by state
     /// depth is not defined for it.
     NotLeveled { site: SiteId, state: StateId },
+    /// A message multiset's per-address count overflowed `u16` — an
+    /// unchecked increment would silently wrap to 0 and corrupt the
+    /// multiset.
+    MsgOverflow { src: SiteId, dst: SiteId, kind: crate::ids::MsgKind },
 }
 
 impl fmt::Display for ProtocolError {
@@ -77,6 +81,14 @@ impl fmt::Display for ProtocolError {
             }
             Self::NotLeveled { site, state } => {
                 write!(f, "{site}: state {state:?} is reachable along paths of different lengths")
+            }
+            Self::MsgOverflow { src, dst, kind } => {
+                write!(
+                    f,
+                    "outstanding-message count overflow for {src}->{dst} kind {kind:?} \
+                     (more than {} identical messages)",
+                    u16::MAX
+                )
             }
         }
     }

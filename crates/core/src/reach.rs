@@ -20,9 +20,27 @@
 //! The graph "grows exponentially with the number of sites, but, in
 //! practice, we seldom need to actually build it" — we do build it (that is
 //! the point of the reproduction), with a configurable node bound.
+//!
+//! ## Parallel construction
+//!
+//! [`ReachGraph::build_with`] runs a *frontier-parallel* BFS: the graph is
+//! grown level by level, each level's frontier is split across scoped
+//! worker threads that expand successors independently, and the successors
+//! are interned into shard-by-hash tables (one hash map per shard, shard
+//! chosen by a deterministic hash of the global state, so shards can be
+//! probed concurrently without locks). Node ids are then assigned in a
+//! deterministic serial merge — in order of each new state's *first
+//! occurrence* in the level's successor stream, which is exactly the
+//! discovery order of the serial FIFO BFS. The result is therefore
+//! **bit-identical** to [`ReachGraph::build_serial`]: same node ids, same
+//! edge order, same classification counts, for any thread count. The
+//! determinism tests assert this across the whole catalog.
 
+use std::collections::hash_map::DefaultHasher;
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ops::Range;
 
 use crate::error::ProtocolError;
 use crate::fsa::{Consume, StateClass};
@@ -56,12 +74,12 @@ impl Msgs {
     }
 
     /// Build from addresses (duplicates accumulate).
-    pub fn from_addrs(iter: impl IntoIterator<Item = MsgAddr>) -> Self {
+    pub fn from_addrs(iter: impl IntoIterator<Item = MsgAddr>) -> Result<Self, ProtocolError> {
         let mut m = Self::new();
         for a in iter {
-            m.add(a);
+            m.add(a)?;
         }
-        m
+        Ok(m)
     }
 
     /// Number of outstanding messages (with multiplicity).
@@ -88,11 +106,22 @@ impl Msgs {
     }
 
     /// Add one message.
-    pub fn add(&mut self, addr: MsgAddr) {
+    ///
+    /// Fails with [`ProtocolError::MsgOverflow`] if the multiplicity of
+    /// `addr` would exceed `u16::MAX` — in release builds an unchecked
+    /// increment would silently wrap to 0 and corrupt the multiset.
+    pub fn add(&mut self, addr: MsgAddr) -> Result<(), ProtocolError> {
         match self.0.binary_search_by_key(&addr, |&(a, _)| a) {
-            Ok(i) => self.0[i].1 += 1,
+            Ok(i) => {
+                self.0[i].1 = self.0[i].1.checked_add(1).ok_or(ProtocolError::MsgOverflow {
+                    src: addr.src,
+                    dst: addr.dst,
+                    kind: addr.kind,
+                })?;
+            }
             Err(i) => self.0.insert(i, (addr, 1)),
         }
+        Ok(())
     }
 
     /// Remove one message; panics if absent (callers check first).
@@ -124,6 +153,14 @@ pub struct GlobalState {
     pub msgs: Msgs,
 }
 
+impl GlobalState {
+    /// An empty placeholder used when a state is moved out of a scratch
+    /// buffer during the parallel merge.
+    fn hollow() -> Self {
+        Self { locals: Box::from([]), msgs: Msgs::new() }
+    }
+}
+
 /// An edge of the reachable state graph: site `site` fired transition
 /// `transition` (an index into its FSA's transition table). For `Any`
 /// triggers, `any_choice` records which source's message was consumed.
@@ -144,11 +181,35 @@ pub struct Edge {
 pub struct ReachOptions {
     /// Abort with [`ProtocolError::GraphTooLarge`] beyond this many nodes.
     pub max_states: usize,
+    /// Worker threads for frontier expansion and interning. `0` (the
+    /// default) picks [`std::thread::available_parallelism`] capped at 8;
+    /// `1` forces the serial reference path.
+    pub threads: usize,
+    /// Frontiers smaller than this are expanded inline even when `threads`
+    /// allows fan-out — thread spawn overhead dwarfs the work on the
+    /// shallow levels every graph starts with.
+    pub parallel_frontier_min: usize,
 }
 
 impl Default for ReachOptions {
     fn default() -> Self {
-        Self { max_states: 1 << 22 }
+        Self { max_states: 1 << 22, threads: 0, parallel_frontier_min: 512 }
+    }
+}
+
+impl ReachOptions {
+    /// Same options with an explicit thread count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// The effective worker count for these options.
+    fn resolved_threads(&self) -> usize {
+        match self.threads {
+            0 => std::thread::available_parallelism().map_or(1, |p| p.get()).min(8),
+            t => t,
+        }
     }
 }
 
@@ -162,6 +223,103 @@ pub struct ReachGraph {
     classes: Vec<Vec<StateClass>>,
 }
 
+/// A successor produced during frontier expansion, before interning: the
+/// state, its deterministic hash (used for shard routing and table
+/// probing), and the edge with a placeholder target.
+struct Succ {
+    state: GlobalState,
+    hash: u64,
+    edge: Edge,
+}
+
+/// Shard-local interning verdict for one successor occurrence.
+#[derive(Copy, Clone)]
+enum Interned {
+    /// The state already has a node id (discovered on an earlier level).
+    Old(NodeId),
+    /// The state is new this level; payload is the shard-local index.
+    New(u32),
+}
+
+fn state_hash(state: &GlobalState) -> u64 {
+    // DefaultHasher::new() uses fixed keys, so the hash — and with it the
+    // shard routing — is deterministic for a given state.
+    let mut h = DefaultHasher::new();
+    state.hash(&mut h);
+    h.finish()
+}
+
+/// Pass-through hasher for maps keyed by an already-computed `u64` state
+/// hash: each global state is hashed exactly once, at expansion time, and
+/// every table probe after that is a plain integer lookup.
+#[derive(Clone, Default)]
+struct IdentityHasher(u64);
+
+impl Hasher for IdentityHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, _: &[u8]) {
+        unreachable!("identity hasher is only used with u64 keys");
+    }
+    fn write_u64(&mut self, n: u64) {
+        self.0 = n;
+    }
+}
+
+/// One shard's intern table: precomputed state hash → ids of the nodes
+/// with that hash (a chain, in case of 64-bit collisions). Storing ids
+/// instead of states avoids cloning every interned state; candidates are
+/// compared against the node array.
+type ShardTable = HashMap<u64, Vec<NodeId>, std::hash::BuildHasherDefault<IdentityHasher>>;
+
+/// What one expansion worker returns: the flattened successor stream of its
+/// chunk plus the per-source successor counts.
+type ExpandedChunk = Result<(Vec<Succ>, Vec<u32>), ProtocolError>;
+
+/// What interning one shard yields: verdicts aligned with the shard's
+/// occurrence list plus the first-occurrence indices of its new states.
+type ShardVerdicts = (Vec<Interned>, Vec<u32>);
+
+/// Resolve one shard's occurrences against its intern table plus a
+/// level-local map of states first seen this level. Returns the verdicts
+/// (aligned with `occs`) and the first-occurrence index of each new state,
+/// in ascending order.
+fn intern_shard(
+    occs: &[u32],
+    table: &ShardTable,
+    flat: &[Succ],
+    nodes: &[GlobalState],
+) -> ShardVerdicts {
+    let mut verdicts = Vec::with_capacity(occs.len());
+    let mut fresh: HashMap<u64, Vec<u32>, std::hash::BuildHasherDefault<IdentityHasher>> =
+        HashMap::default();
+    let mut first_occ: Vec<u32> = Vec::new();
+    'occs: for &occ in occs {
+        let s = &flat[occ as usize];
+        if let Some(chain) = table.get(&s.hash) {
+            for &id in chain {
+                if nodes[id as usize] == s.state {
+                    verdicts.push(Interned::Old(id));
+                    continue 'occs;
+                }
+            }
+        }
+        let chain = fresh.entry(s.hash).or_default();
+        for &local in chain.iter() {
+            if flat[first_occ[local as usize] as usize].state == s.state {
+                verdicts.push(Interned::New(local));
+                continue 'occs;
+            }
+        }
+        let local = first_occ.len() as u32;
+        first_occ.push(occ);
+        chain.push(local);
+        verdicts.push(Interned::New(local));
+    }
+    (verdicts, first_occ)
+}
+
 impl ReachGraph {
     /// Build the reachable state graph with default options.
     pub fn build(protocol: &Protocol) -> Result<Self, ProtocolError> {
@@ -169,92 +327,222 @@ impl ReachGraph {
     }
 
     /// Build with explicit options.
+    ///
+    /// With `threads > 1` (or `threads == 0` on a multicore machine) this
+    /// runs the frontier-parallel construction; the output is bit-identical
+    /// to [`ReachGraph::build_serial`] in every case.
     pub fn build_with(protocol: &Protocol, opts: ReachOptions) -> Result<Self, ProtocolError> {
-        let n = protocol.n_sites();
-        let initial_state = GlobalState {
-            locals: protocol.fsas().iter().map(|f| f.initial()).collect(),
-            msgs: Msgs::from_addrs(protocol.initial_msgs().iter().map(|m| MsgAddr {
-                src: m.src,
-                dst: m.dst,
-                kind: m.kind,
-            })),
-        };
+        let threads = opts.resolved_threads();
+        if threads <= 1 {
+            return Self::build_serial(protocol, opts);
+        }
+        Self::build_parallel(protocol, opts, threads)
+    }
 
+    /// The serial reference implementation: a FIFO BFS over a single
+    /// intern table. Kept as the ground truth the parallel construction is
+    /// tested (and benchmarked) against.
+    pub fn build_serial(protocol: &Protocol, opts: ReachOptions) -> Result<Self, ProtocolError> {
+        let initial_state = initial_global_state(protocol)?;
         let mut nodes: Vec<GlobalState> = vec![initial_state.clone()];
         let mut index: HashMap<GlobalState, NodeId> = HashMap::new();
         index.insert(initial_state, 0);
         let mut out_edges: Vec<Vec<Edge>> = vec![Vec::new()];
         let mut queue: VecDeque<NodeId> = VecDeque::from([0]);
 
+        let mut scratch: Vec<Succ> = Vec::new();
         while let Some(id) = queue.pop_front() {
             let state = nodes[id as usize].clone();
-            let mut edges = Vec::new();
-            for i in 0..n {
-                let site = SiteId(i as u32);
-                let fsa = protocol.fsa(site);
-                let local = state.locals[i];
-                for (ti, t) in fsa.outgoing(local) {
-                    match &t.consume {
-                        Consume::Spontaneous => {
-                            let succ = apply(&state, i, t.to, &[], &t.emit, site);
-                            push_succ(
-                                succ,
-                                Edge { to: 0, site, transition: ti, any_choice: None },
-                                &mut nodes,
-                                &mut index,
-                                &mut out_edges,
-                                &mut queue,
-                                &mut edges,
-                                opts.max_states,
-                            )?;
+            scratch.clear();
+            successors(protocol, &state, &mut scratch)?;
+            let mut edges = Vec::with_capacity(scratch.len());
+            for succ in scratch.drain(..) {
+                let Succ { state: succ_state, mut edge, .. } = succ;
+                let to = match index.get(&succ_state) {
+                    Some(&id) => id,
+                    None => {
+                        if nodes.len() >= opts.max_states {
+                            return Err(ProtocolError::GraphTooLarge { limit: opts.max_states });
                         }
-                        Consume::All(v) => {
-                            let needed: Vec<MsgAddr> = v
-                                .iter()
-                                .map(|&(src, kind)| MsgAddr { src, dst: site, kind })
-                                .collect();
-                            if needed.iter().all(|&a| state.msgs.contains(a)) {
-                                let succ = apply(&state, i, t.to, &needed, &t.emit, site);
-                                push_succ(
-                                    succ,
-                                    Edge { to: 0, site, transition: ti, any_choice: None },
-                                    &mut nodes,
-                                    &mut index,
-                                    &mut out_edges,
-                                    &mut queue,
-                                    &mut edges,
-                                    opts.max_states,
-                                )?;
-                            }
-                        }
-                        Consume::Any(v) => {
-                            for &(src, kind) in v {
-                                let addr = MsgAddr { src, dst: site, kind };
-                                if state.msgs.contains(addr) {
-                                    let succ = apply(&state, i, t.to, &[addr], &t.emit, site);
-                                    push_succ(
-                                        succ,
-                                        Edge { to: 0, site, transition: ti, any_choice: Some(src) },
-                                        &mut nodes,
-                                        &mut index,
-                                        &mut out_edges,
-                                        &mut queue,
-                                        &mut edges,
-                                        opts.max_states,
-                                    )?;
-                                }
-                            }
-                        }
+                        let id = nodes.len() as NodeId;
+                        nodes.push(succ_state.clone());
+                        index.insert(succ_state, id);
+                        out_edges.push(Vec::new());
+                        queue.push_back(id);
+                        id
                     }
-                }
+                };
+                edge.to = to;
+                edges.push(edge);
             }
             out_edges[id as usize] = edges;
         }
 
-        let classes =
-            protocol.fsas().iter().map(|f| f.states().iter().map(|s| s.class).collect()).collect();
+        Ok(Self { nodes, out_edges, initial: 0, classes: class_table(protocol) })
+    }
 
-        Ok(Self { nodes, out_edges, initial: 0, classes })
+    /// Frontier-parallel construction (see the module docs for the scheme
+    /// and the determinism argument).
+    fn build_parallel(
+        protocol: &Protocol,
+        opts: ReachOptions,
+        threads: usize,
+    ) -> Result<Self, ProtocolError> {
+        // Power-of-two shard count a few times the worker count keeps the
+        // per-shard tables small and the interning fan-out balanced.
+        let shards = (threads * 4).next_power_of_two().min(64);
+        let shard_of = |hash: u64| (hash as usize) & (shards - 1);
+
+        let initial_state = initial_global_state(protocol)?;
+        let mut tables: Vec<ShardTable> = vec![ShardTable::default(); shards];
+        let initial_hash = state_hash(&initial_state);
+        tables[shard_of(initial_hash)].entry(initial_hash).or_default().push(0);
+        let mut nodes: Vec<GlobalState> = vec![initial_state];
+        let mut out_edges: Vec<Vec<Edge>> = vec![Vec::new()];
+        let mut level: Range<usize> = 0..1;
+
+        while !level.is_empty() {
+            // 1. Expand the frontier into the level's successor stream
+            //    (`flat`, with `counts[k]` successors for the k-th frontier
+            //    node). Position in this stream — the "occurrence index" —
+            //    is exactly the serial BFS's discovery scan order. This is
+            //    the hot part (state cloning, multiset edits, hashing) and
+            //    parallelizes embarrassingly.
+            let expand_chunk =
+                |chunk: &[GlobalState]| -> Result<(Vec<Succ>, Vec<u32>), ProtocolError> {
+                    let mut flat = Vec::with_capacity(chunk.len() * 4);
+                    let mut counts = Vec::with_capacity(chunk.len());
+                    for s in chunk {
+                        let start = flat.len();
+                        successors(protocol, s, &mut flat)?;
+                        for succ in &mut flat[start..] {
+                            succ.hash = state_hash(&succ.state);
+                        }
+                        counts.push((flat.len() - start) as u32);
+                    }
+                    Ok((flat, counts))
+                };
+            let (mut flat, mut counts) = (Vec::new(), Vec::new());
+            {
+                let frontier = &nodes[level.clone()];
+                if frontier.len() >= opts.parallel_frontier_min {
+                    let chunk_len = frontier.len().div_ceil(threads);
+                    let expand_chunk = &expand_chunk;
+                    let results: Vec<ExpandedChunk> = std::thread::scope(|scope| {
+                        let handles: Vec<_> = frontier
+                            .chunks(chunk_len)
+                            .map(|chunk| scope.spawn(move || expand_chunk(chunk)))
+                            .collect();
+                        handles.into_iter().map(|h| h.join().expect("expand worker")).collect()
+                    });
+                    for r in results {
+                        let (f, c) = r?;
+                        flat.extend(f);
+                        counts.extend(c);
+                    }
+                } else {
+                    (flat, counts) = expand_chunk(frontier)?;
+                }
+            }
+
+            // 2. Route each occurrence to its shard (ascending occurrence
+            //    order within every shard, by construction).
+            let mut shard_occs: Vec<Vec<u32>> = vec![Vec::new(); shards];
+            for (occ, s) in flat.iter().enumerate() {
+                shard_occs[shard_of(s.hash)].push(occ as u32);
+            }
+
+            // 3. Intern per shard: each shard resolves its occurrences
+            //    against its own table plus a level-local map of states
+            //    first seen this level. Shards are independent, so workers
+            //    take them round-robin.
+            let shard_results: Vec<ShardVerdicts> = if flat.len() >= opts.parallel_frontier_min {
+                let (flat, nodes, shard_occs, tables) = (&flat, &nodes, &shard_occs, &tables);
+                let worker_out: Vec<Vec<(usize, ShardVerdicts)>> = std::thread::scope(|scope| {
+                    let handles: Vec<_> = (0..threads)
+                        .map(|w| {
+                            scope.spawn(move || {
+                                (w..shards)
+                                    .step_by(threads)
+                                    .map(|sh| {
+                                        (
+                                            sh,
+                                            intern_shard(&shard_occs[sh], &tables[sh], flat, nodes),
+                                        )
+                                    })
+                                    .collect()
+                            })
+                        })
+                        .collect();
+                    handles.into_iter().map(|h| h.join().expect("intern worker")).collect()
+                });
+                let mut results: Vec<Option<(Vec<Interned>, Vec<u32>)>> =
+                    (0..shards).map(|_| None).collect();
+                for (sh, res) in worker_out.into_iter().flatten() {
+                    results[sh] = Some(res);
+                }
+                results.into_iter().map(|r| r.expect("every shard interned")).collect()
+            } else {
+                (0..shards)
+                    .map(|sh| intern_shard(&shard_occs[sh], &tables[sh], &flat, &nodes))
+                    .collect()
+            };
+
+            // 4. Deterministic merge: assign node ids to new states in
+            //    ascending first-occurrence order — the serial discovery
+            //    order — regardless of which shard holds them. States move
+            //    out of the stream; the tables only record ids.
+            let mut news: Vec<(u32, u32, u32)> = Vec::new(); // (first_occ, shard, local)
+            for (sh, (_, first_occ)) in shard_results.iter().enumerate() {
+                for (local, &occ) in first_occ.iter().enumerate() {
+                    news.push((occ, sh as u32, local as u32));
+                }
+            }
+            news.sort_unstable_by_key(|&(occ, _, _)| occ);
+            let mut assigned: Vec<Vec<NodeId>> =
+                shard_results.iter().map(|(_, f)| vec![0; f.len()]).collect();
+            for &(occ, sh, local) in &news {
+                if nodes.len() >= opts.max_states {
+                    return Err(ProtocolError::GraphTooLarge { limit: opts.max_states });
+                }
+                let id = nodes.len() as NodeId;
+                let succ = &mut flat[occ as usize];
+                let hash = succ.hash;
+                let state = std::mem::replace(&mut succ.state, GlobalState::hollow());
+                tables[sh as usize].entry(hash).or_default().push(id);
+                nodes.push(state);
+                out_edges.push(Vec::new());
+                assigned[sh as usize][local as usize] = id;
+            }
+
+            // 5. Resolve every occurrence to its final node id.
+            let mut to_ids: Vec<NodeId> = vec![0; flat.len()];
+            for (sh, (verdicts, _)) in shard_results.iter().enumerate() {
+                for (&occ, &v) in shard_occs[sh].iter().zip(verdicts) {
+                    to_ids[occ as usize] = match v {
+                        Interned::Old(id) => id,
+                        Interned::New(local) => assigned[sh][local as usize],
+                    };
+                }
+            }
+
+            // 6. Materialize the frontier's edge lists in stream order.
+            let mut occ = 0usize;
+            for (k, node_id) in level.clone().enumerate() {
+                let mut edges = Vec::with_capacity(counts[k] as usize);
+                for _ in 0..counts[k] {
+                    let mut e = flat[occ].edge;
+                    e.to = to_ids[occ];
+                    edges.push(e);
+                    occ += 1;
+                }
+                out_edges[node_id] = edges;
+            }
+
+            level = level.end..nodes.len();
+        }
+
+        Ok(Self { nodes, out_edges, initial: 0, classes: class_table(protocol) })
     }
 
     /// Number of reachable global states.
@@ -382,14 +670,90 @@ impl fmt::Display for GraphStats {
     }
 }
 
-fn apply(
+fn initial_global_state(protocol: &Protocol) -> Result<GlobalState, ProtocolError> {
+    Ok(GlobalState {
+        locals: protocol.fsas().iter().map(|f| f.initial()).collect(),
+        msgs: Msgs::from_addrs(protocol.initial_msgs().iter().map(|m| MsgAddr {
+            src: m.src,
+            dst: m.dst,
+            kind: m.kind,
+        }))?,
+    })
+}
+
+fn class_table(protocol: &Protocol) -> Vec<Vec<StateClass>> {
+    protocol.fsas().iter().map(|f| f.states().iter().map(|s| s.class).collect()).collect()
+}
+
+/// Append the ordered successors of one global state to `out` — the
+/// enumeration order (sites ascending, transitions in table order, `Any`
+/// choices in trigger order) is what fixes node ids and edge order, so the
+/// serial and parallel constructions share this single implementation.
+/// Successor hashes are left 0; the parallel expander fills them in.
+fn successors(
+    protocol: &Protocol,
+    state: &GlobalState,
+    out: &mut Vec<Succ>,
+) -> Result<(), ProtocolError> {
+    let n = protocol.n_sites();
+    for i in 0..n {
+        let site = SiteId(i as u32);
+        let fsa = protocol.fsa(site);
+        let local = state.locals[i];
+        for (ti, t) in fsa.outgoing(local) {
+            match &t.consume {
+                Consume::Spontaneous => {
+                    out.push(make_succ(state, i, t.to, &[], &t.emit, site, ti, None)?);
+                }
+                Consume::All(v) => {
+                    let needed: Vec<MsgAddr> =
+                        v.iter().map(|&(src, kind)| MsgAddr { src, dst: site, kind }).collect();
+                    // The guard must honor *multiplicity*, not mere
+                    // containment: a trigger listing the same address twice
+                    // needs two outstanding copies, or consuming them
+                    // would underflow the multiset.
+                    let enabled = needed.iter().all(|&a| {
+                        let required = needed.iter().filter(|&&b| b == a).count();
+                        state.msgs.count(a) as usize >= required
+                    });
+                    if enabled {
+                        out.push(make_succ(state, i, t.to, &needed, &t.emit, site, ti, None)?);
+                    }
+                }
+                Consume::Any(v) => {
+                    for &(src, kind) in v {
+                        let addr = MsgAddr { src, dst: site, kind };
+                        if state.msgs.contains(addr) {
+                            out.push(make_succ(
+                                state,
+                                i,
+                                t.to,
+                                std::slice::from_ref(&addr),
+                                &t.emit,
+                                site,
+                                ti,
+                                Some(src),
+                            )?);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[allow(clippy::too_many_arguments)]
+fn make_succ(
     state: &GlobalState,
     site_ix: usize,
     to: StateId,
     consumed: &[MsgAddr],
     emit: &[crate::fsa::Envelope],
     site: SiteId,
-) -> GlobalState {
+    transition: u32,
+    any_choice: Option<SiteId>,
+) -> Result<Succ, ProtocolError> {
     let mut locals = state.locals.clone();
     locals[site_ix] = to;
     let mut msgs = state.msgs.clone();
@@ -397,45 +761,20 @@ fn apply(
         msgs.remove(a);
     }
     for e in emit {
-        msgs.add(MsgAddr { src: site, dst: e.dst, kind: e.kind });
+        msgs.add(MsgAddr { src: site, dst: e.dst, kind: e.kind })?;
     }
-    GlobalState { locals, msgs }
-}
-
-#[allow(clippy::too_many_arguments)]
-fn push_succ(
-    succ: GlobalState,
-    mut edge: Edge,
-    nodes: &mut Vec<GlobalState>,
-    index: &mut HashMap<GlobalState, NodeId>,
-    out_edges: &mut Vec<Vec<Edge>>,
-    queue: &mut VecDeque<NodeId>,
-    edges: &mut Vec<Edge>,
-    max_states: usize,
-) -> Result<(), ProtocolError> {
-    let to = match index.get(&succ) {
-        Some(&id) => id,
-        None => {
-            if nodes.len() >= max_states {
-                return Err(ProtocolError::GraphTooLarge { limit: max_states });
-            }
-            let id = nodes.len() as NodeId;
-            nodes.push(succ.clone());
-            index.insert(succ, id);
-            out_edges.push(Vec::new());
-            queue.push_back(id);
-            id
-        }
-    };
-    edge.to = to;
-    edges.push(edge);
-    Ok(())
+    let succ = GlobalState { locals, msgs };
+    Ok(Succ { state: succ, hash: 0, edge: Edge { to: 0, site, transition, any_choice } })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::protocols::{central_2pc, central_3pc, decentralized_2pc, decentralized_3pc};
+    use crate::fsa::{Envelope, FsaBuilder};
+    use crate::protocol::Paradigm;
+    use crate::protocols::{
+        catalog, central_2pc, central_3pc, decentralized_2pc, decentralized_3pc,
+    };
 
     #[test]
     fn msgs_multiset_semantics() {
@@ -443,9 +782,9 @@ mod tests {
         let b = MsgAddr { src: SiteId(1), dst: SiteId(0), kind: MsgKind::NO };
         let mut m = Msgs::new();
         assert!(m.is_empty());
-        m.add(a);
-        m.add(a);
-        m.add(b);
+        m.add(a).unwrap();
+        m.add(a).unwrap();
+        m.add(b).unwrap();
         assert_eq!(m.len(), 3);
         assert_eq!(m.count(a), 2);
         assert!(m.contains(b));
@@ -460,9 +799,28 @@ mod tests {
     fn msgs_equality_is_order_independent() {
         let a = MsgAddr { src: SiteId(0), dst: SiteId(1), kind: MsgKind::YES };
         let b = MsgAddr { src: SiteId(1), dst: SiteId(0), kind: MsgKind::NO };
-        let m1 = Msgs::from_addrs([a, b]);
-        let m2 = Msgs::from_addrs([b, a]);
+        let m1 = Msgs::from_addrs([a, b]).unwrap();
+        let m2 = Msgs::from_addrs([b, a]).unwrap();
         assert_eq!(m1, m2);
+    }
+
+    #[test]
+    fn msgs_multiplicity_overflow_is_an_error_not_a_wrap() {
+        // Regression: u16::MAX identical messages used to wrap to 0 on the
+        // next add in release builds, silently emptying the address.
+        let a = MsgAddr { src: SiteId(0), dst: SiteId(1), kind: MsgKind::YES };
+        let mut m = Msgs::new();
+        for _ in 0..u16::MAX {
+            m.add(a).unwrap();
+        }
+        assert_eq!(m.count(a), u16::MAX);
+        let err = m.add(a).unwrap_err();
+        assert_eq!(
+            err,
+            ProtocolError::MsgOverflow { src: SiteId(0), dst: SiteId(1), kind: MsgKind::YES }
+        );
+        // The failed add must leave the multiset untouched.
+        assert_eq!(m.count(a), u16::MAX);
     }
 
     #[test]
@@ -470,6 +828,73 @@ mod tests {
     fn removing_absent_message_panics() {
         let a = MsgAddr { src: SiteId(0), dst: SiteId(1), kind: MsgKind::YES };
         Msgs::new().remove(a);
+    }
+
+    #[test]
+    fn duplicate_address_all_trigger_respects_multiplicity() {
+        // Regression: a `Consume::All` listing the same (src, kind) twice
+        // used to pass the containment guard with a single outstanding copy
+        // and then panic inside `Msgs::remove`. With the multiplicity-aware
+        // guard, one copy must NOT enable the transition...
+        let build = |copies: usize| {
+            let mut coord = FsaBuilder::new("coordinator");
+            let q = coord.state("q", StateClass::Initial);
+            let c = coord.state("c", StateClass::Committed);
+            let a = coord.state("a", StateClass::Aborted);
+            coord.transition(
+                q,
+                c,
+                Consume::All(vec![(SiteId(1), MsgKind::YES), (SiteId(1), MsgKind::YES)]),
+                vec![Envelope::new(SiteId(1), MsgKind::COMMIT)],
+                None,
+                "yes yes / commit",
+            );
+            coord.transition(q, a, Consume::Spontaneous, vec![], None, "(no)");
+            let mut slave = FsaBuilder::new("slave");
+            let q2 = slave.state("q", StateClass::Initial);
+            let c2 = slave.state("c", StateClass::Committed);
+            slave.transition(
+                q2,
+                c2,
+                Consume::one(SiteId(0), MsgKind::COMMIT),
+                vec![],
+                None,
+                "commit /",
+            );
+            let inits = (0..copies)
+                .map(|_| crate::protocol::InitialMsg {
+                    src: SiteId(1),
+                    dst: SiteId(0),
+                    kind: MsgKind::YES,
+                })
+                .collect();
+            Protocol::new(
+                "dup-trigger",
+                Paradigm::Custom,
+                vec![coord.build(), slave.build()],
+                inits,
+            )
+        };
+
+        let g1 = ReachGraph::build(&build(1)).unwrap();
+        // Only the spontaneous abort is enabled from the initial state.
+        assert_eq!(g1.edges(g1.initial()).len(), 1);
+
+        // ...while two copies enable it and both are consumed.
+        let g2 = ReachGraph::build(&build(2)).unwrap();
+        let fired: Vec<_> = g2.edges(g2.initial()).to_vec();
+        assert_eq!(fired.len(), 2, "commit transition and spontaneous abort");
+        let commit_edge = fired.iter().find(|e| e.transition == 0).unwrap();
+        assert!(g2.node(commit_edge.to).msgs.contains(MsgAddr {
+            src: SiteId(0),
+            dst: SiteId(1),
+            kind: MsgKind::COMMIT
+        }));
+        assert!(!g2.node(commit_edge.to).msgs.contains(MsgAddr {
+            src: SiteId(1),
+            dst: SiteId(0),
+            kind: MsgKind::YES
+        }));
     }
 
     #[test]
@@ -534,8 +959,11 @@ mod tests {
     #[test]
     fn graph_limit_enforced() {
         let p = central_3pc(3);
-        let err = ReachGraph::build_with(&p, ReachOptions { max_states: 4 });
-        assert!(matches!(err, Err(ProtocolError::GraphTooLarge { limit: 4 })));
+        for threads in [1, 2, 4] {
+            let opts = ReachOptions { max_states: 4, threads, ..ReachOptions::default() };
+            let err = ReachGraph::build_with(&p, opts);
+            assert!(matches!(err, Err(ProtocolError::GraphTooLarge { limit: 4 })));
+        }
     }
 
     #[test]
@@ -555,5 +983,47 @@ mod tests {
         let init_edges = g.edges(g.initial());
         assert_eq!(init_edges.len(), 1);
         assert_eq!(init_edges[0].site, SiteId(0));
+    }
+
+    /// Node-for-node, edge-for-edge equality of two graphs.
+    fn assert_identical(a: &ReachGraph, b: &ReachGraph, context: &str) {
+        assert_eq!(a.node_count(), b.node_count(), "{context}: node counts differ");
+        assert_eq!(a.initial(), b.initial(), "{context}: initial ids differ");
+        for id in 0..a.node_count() as NodeId {
+            assert_eq!(a.node(id), b.node(id), "{context}: node {id} differs");
+            assert_eq!(a.edges(id), b.edges(id), "{context}: edges of {id} differ");
+        }
+        assert_eq!(a.stats(), b.stats(), "{context}: classification differs");
+    }
+
+    #[test]
+    fn parallel_graph_is_bit_identical_to_serial() {
+        // Every catalog protocol, thread counts 1/2/4, with the inline
+        // threshold forced to 1 so the parallel machinery actually runs on
+        // these small graphs.
+        for n in [2usize, 4] {
+            for p in catalog(n) {
+                let serial = ReachGraph::build_serial(&p, ReachOptions::default()).unwrap();
+                for threads in [1usize, 2, 4] {
+                    let opts = ReachOptions {
+                        threads,
+                        parallel_frontier_min: 1,
+                        ..ReachOptions::default()
+                    };
+                    let par = ReachGraph::build_with(&p, opts).unwrap();
+                    assert_identical(&serial, &par, &format!("{} threads={threads}", p.name));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn default_options_match_serial() {
+        // The auto-threaded default path (whatever this machine resolves it
+        // to) must agree with the reference implementation too.
+        let p = central_3pc(4);
+        let serial = ReachGraph::build_serial(&p, ReachOptions::default()).unwrap();
+        let auto = ReachGraph::build(&p).unwrap();
+        assert_identical(&serial, &auto, "central 3PC n=4 auto");
     }
 }

@@ -488,7 +488,8 @@ impl<'a> Runner<'a> {
             // Make the transition to the backup's state: durable first.
             self.sites[ix]
                 .wal
-                .append_sync(&LogRecord::AlignedTo { txn: self.config.txn_id, class });
+                .append_sync(&LogRecord::AlignedTo { txn: self.config.txn_id, class })
+                .expect("wal record fits");
             self.sites[ix].aligned_class = Some(class);
         }
         self.send(ix, backup, Wire::AlignAck { backup, reported_class: reported });

@@ -187,16 +187,14 @@ impl SiteRt {
 
     /// Log a progress record for entering `state`.
     pub fn log_progress(&mut self, txn: u64, state: StateId, class: nbc_core::StateClass) {
-        self.wal.append_sync(&LogRecord::Progress {
-            txn,
-            state: state.0,
-            class: encode_class(class),
-        });
+        self.wal
+            .append_sync(&LogRecord::Progress { txn, state: state.0, class: encode_class(class) })
+            .expect("wal record fits");
     }
 
     /// Log and adopt a final decision.
     pub fn log_decision(&mut self, txn: u64, commit: bool) {
-        self.wal.append_sync(&LogRecord::Decision { txn, commit });
+        self.wal.append_sync(&LogRecord::Decision { txn, commit }).expect("wal record fits");
         self.outcome = Some(commit);
     }
 }

@@ -450,7 +450,7 @@ impl Pipeline {
         // Write-ahead: Begin + redo images, group-commit batched.
         for (site, touched_here) in touched.iter().enumerate() {
             if *touched_here {
-                self.wals[site].append(&LogRecord::Begin { txn });
+                self.wals[site].append(&LogRecord::Begin { txn }).expect("wal record fits");
                 let store = &self.stores[site];
                 store.log_stage(txn, &mut self.wals[site]);
                 self.wals[site].sync_batched(now);
@@ -543,14 +543,14 @@ impl Pipeline {
     }
 
     fn apply_decision(&mut self, site: usize, txn: u64, commit: bool, now: Time) {
-        self.wals[site].append(&LogRecord::Decision { txn, commit });
+        self.wals[site].append(&LogRecord::Decision { txn, commit }).expect("wal record fits");
         self.wals[site].sync_batched(now);
         if commit {
             self.stores[site].commit(txn);
         } else {
             self.stores[site].abort(txn);
         }
-        self.wals[site].append(&LogRecord::End { txn });
+        self.wals[site].append(&LogRecord::End { txn }).expect("wal record fits");
         self.locks[site].release_all(txn);
     }
 
@@ -563,9 +563,11 @@ impl Pipeline {
             for txn in std::mem::take(&mut self.missed[site]) {
                 match self.ledger.get(&txn).copied() {
                     Some(commit) => {
-                        self.wals[site].append(&LogRecord::Decision { txn, commit });
+                        self.wals[site]
+                            .append(&LogRecord::Decision { txn, commit })
+                            .expect("wal record fits");
                         self.wals[site].sync_batched(now);
-                        self.wals[site].append(&LogRecord::End { txn });
+                        self.wals[site].append(&LogRecord::End { txn }).expect("wal record fits");
                         if commit {
                             let records = Wal::recover(&self.wals[site].full_image())
                                 .expect("pipeline WALs are well-formed");

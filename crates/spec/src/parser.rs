@@ -363,6 +363,21 @@ fn parse_action(text: &str, line: usize) -> Result<Action, ParseError> {
     }
 }
 
+/// Reject a trigger source set that names the same site twice. `Consume::All`
+/// consumes one message per listed pair, so a duplicate would demand two
+/// identical outstanding messages — never what a spec means — and for `Any`
+/// a duplicate is a redundant alternative. Every current [`SiteSet`] resolves
+/// to unique sites, so this guards future set syntax (e.g. unions) from
+/// silently producing a trigger the graph builder can never enable.
+fn unique_sources(sites: Vec<usize>, line: usize, kind: &str) -> Result<Vec<usize>, ParseError> {
+    let mut sorted = sites.clone();
+    sorted.sort_unstable();
+    if let Some(w) = sorted.windows(2).find(|w| w[0] == w[1]) {
+        return err(line, format!("trigger lists source site {} twice for message {kind:?}", w[0]));
+    }
+    Ok(sites)
+}
+
 fn build_fsa(
     spec: &FsaSpec,
     me: usize,
@@ -392,10 +407,16 @@ fn build_fsa(
                     Src::Client => Consume::one(SiteId::CLIENT, k),
                     Src::Site(i) => Consume::one(SiteId(*i as u32), k),
                     Src::All(set) => Consume::All(
-                        set.resolve(n, me).into_iter().map(|j| (SiteId(j as u32), k)).collect(),
+                        unique_sources(set.resolve(n, me), t.line, kind)?
+                            .into_iter()
+                            .map(|j| (SiteId(j as u32), k))
+                            .collect(),
                     ),
                     Src::Any(set) => Consume::Any(
-                        set.resolve(n, me).into_iter().map(|j| (SiteId(j as u32), k)).collect(),
+                        unique_sources(set.resolve(n, me), t.line, kind)?
+                            .into_iter()
+                            .map(|j| (SiteId(j as u32), k))
+                            .collect(),
                     ),
                 }
             }
@@ -509,5 +530,17 @@ fsa b sites 1..
     #[test]
     fn needs_two_sites() {
         assert!(parse(examples::CENTRAL_2PC, 1).is_err());
+    }
+
+    #[test]
+    fn duplicate_trigger_sources_rejected() {
+        // No current SiteSet syntax can resolve to a duplicate, so exercise
+        // the guard directly: it is what keeps future set syntax from
+        // emitting a `Consume::All` that demands the same message twice.
+        let e = unique_sources(vec![2, 1, 2], 7, "yes").unwrap_err();
+        assert_eq!(e.line, 7);
+        assert!(e.message.contains("site 2 twice"), "{}", e.message);
+        assert!(e.message.contains("yes"));
+        assert_eq!(unique_sources(vec![0, 1, 2], 7, "yes").unwrap(), vec![0, 1, 2]);
     }
 }

@@ -75,10 +75,12 @@ impl KvStore {
             for w in writes {
                 match w {
                     TxnWrite::Put(k, v) => {
-                        wal.append(&LogRecord::Put { txn, key: k.clone(), value: v.clone() });
+                        wal.append(&LogRecord::Put { txn, key: k.clone(), value: v.clone() })
+                            .expect("wal record fits");
                     }
                     TxnWrite::Delete(k) => {
-                        wal.append(&LogRecord::Delete { txn, key: k.clone() });
+                        wal.append(&LogRecord::Delete { txn, key: k.clone() })
+                            .expect("wal record fits");
                     }
                 }
             }
@@ -239,8 +241,8 @@ mod tests {
         kv.stage_put(2, b"b".to_vec(), b"2".to_vec());
         kv.log_stage(1, &mut wal);
         kv.log_stage(2, &mut wal);
-        wal.append(&LogRecord::Decision { txn: 1, commit: true });
-        wal.append(&LogRecord::Decision { txn: 2, commit: false });
+        wal.append(&LogRecord::Decision { txn: 1, commit: true }).expect("wal record fits");
+        wal.append(&LogRecord::Decision { txn: 2, commit: false }).expect("wal record fits");
         wal.sync();
 
         let recs = Wal::recover(&wal.crash_image()).unwrap();

@@ -54,6 +54,13 @@ pub enum WalError {
         /// Offset of the bad frame.
         at: Lsn,
     },
+    /// A record to be appended does not fit the frame format: some u32
+    /// length prefix (key/value length, checkpoint pair count, or the
+    /// frame's own tag+payload length) would be silently narrowed.
+    RecordTooLarge {
+        /// Encoded tag+payload size of the offending record.
+        len: u64,
+    },
 }
 
 impl std::fmt::Display for WalError {
@@ -63,6 +70,9 @@ impl std::fmt::Display for WalError {
             Self::BadChecksum { at } => write!(f, "checksum mismatch at lsn {at}"),
             Self::UnknownTag { at, tag } => write!(f, "unknown record tag {tag} at lsn {at}"),
             Self::Truncated { at } => write!(f, "truncated record payload at lsn {at}"),
+            Self::RecordTooLarge { len } => {
+                write!(f, "record of {len} encoded bytes exceeds the u32 frame limit")
+            }
         }
     }
 }
@@ -148,6 +158,43 @@ impl LogRecord {
             Self::End { .. } => 7,
             Self::Checkpoint { .. } => 8,
         }
+    }
+
+    /// Encoded size of tag + payload, computed without encoding — so a
+    /// too-large record can be rejected before any bytes are copied.
+    fn encoded_len(&self) -> u64 {
+        1 + match self {
+            Self::Begin { .. } | Self::End { .. } => 8,
+            Self::Progress { .. } => 13,
+            Self::Decision { .. } | Self::AlignedTo { .. } => 9,
+            Self::Put { key, value, .. } => 16 + key.len() as u64 + value.len() as u64,
+            Self::Delete { key, .. } => 12 + key.len() as u64,
+            Self::Checkpoint { pairs } => {
+                4 + pairs.iter().map(|(k, v)| 8 + k.len() as u64 + v.len() as u64).sum::<u64>()
+            }
+        }
+    }
+
+    /// Check that every u32 length prefix in the frame actually fits:
+    /// individual key/value lengths, the checkpoint pair count, and the
+    /// frame header's tag+payload length. A bare `len as u32` would
+    /// silently truncate and produce a frame that decodes garbage.
+    fn check_fits(&self) -> Result<(), WalError> {
+        const MAX: u64 = u32::MAX as u64;
+        let fits = |n: usize| n as u64 <= MAX;
+        let fields_ok = match self {
+            Self::Put { key, value, .. } => fits(key.len()) && fits(value.len()),
+            Self::Delete { key, .. } => fits(key.len()),
+            Self::Checkpoint { pairs } => {
+                fits(pairs.len()) && pairs.iter().all(|(k, v)| fits(k.len()) && fits(v.len()))
+            }
+            _ => true,
+        };
+        let len = self.encoded_len();
+        if !fields_ok || len > MAX {
+            return Err(WalError::RecordTooLarge { len });
+        }
+        Ok(())
     }
 
     fn encode_payload(&self, out: &mut Vec<u8>) {
@@ -309,7 +356,11 @@ impl Wal {
 
     /// Append a record; returns its LSN. The record is *not* durable until
     /// [`Wal::sync`].
-    pub fn append(&mut self, rec: &LogRecord) -> Lsn {
+    ///
+    /// Fails with [`WalError::RecordTooLarge`] — leaving the log untouched —
+    /// if any u32 length prefix of the frame would be narrowed.
+    pub fn append(&mut self, rec: &LogRecord) -> Result<Lsn, WalError> {
+        rec.check_fits()?;
         let at = self.buf.len() as Lsn;
         let mut payload = Vec::with_capacity(32);
         payload.push(rec.tag());
@@ -317,16 +368,16 @@ impl Wal {
         self.buf.put_u32_le(payload.len() as u32);
         self.buf.put_u32_le(crc32(&payload));
         self.buf.extend_from_slice(&payload);
-        at
+        Ok(at)
     }
 
     /// Append and immediately sync (the common protocol-record path —
     /// write-ahead means the record must be durable before the transition's
     /// messages go out).
-    pub fn append_sync(&mut self, rec: &LogRecord) -> Lsn {
-        let lsn = self.append(rec);
+    pub fn append_sync(&mut self, rec: &LogRecord) -> Result<Lsn, WalError> {
+        let lsn = self.append(rec)?;
         self.sync();
-        lsn
+        Ok(lsn)
     }
 
     /// Make everything appended so far durable.
@@ -441,12 +492,16 @@ impl Wal {
     /// checkpoint of the given committed pairs. Callers must be quiescent —
     /// any in-flight transaction's redo images are discarded with the old
     /// log, so its decision could no longer be replayed.
-    pub fn checkpoint_compact(&mut self, pairs: Vec<(Vec<u8>, Vec<u8>)>) -> Lsn {
+    pub fn checkpoint_compact(&mut self, pairs: Vec<(Vec<u8>, Vec<u8>)>) -> Result<Lsn, WalError> {
+        let rec = LogRecord::Checkpoint { pairs };
+        // Validate before clearing — a failed compaction must not lose the
+        // existing log.
+        rec.check_fits()?;
         self.buf.clear();
         self.durable = 0;
-        let lsn = self.append(&LogRecord::Checkpoint { pairs });
+        let lsn = self.append(&rec).expect("checked above");
         self.sync();
-        lsn
+        Ok(lsn)
     }
 
     /// Restore a `Wal` from a crash image: the image becomes the durable
@@ -487,7 +542,7 @@ mod tests {
     fn roundtrip_all_record_types() {
         let mut wal = Wal::new();
         for r in sample_records() {
-            wal.append(&r);
+            wal.append(&r).unwrap();
         }
         wal.sync();
         let recovered = Wal::recover(&wal.crash_image()).unwrap();
@@ -497,9 +552,9 @@ mod tests {
     #[test]
     fn unsynced_tail_is_lost_on_crash() {
         let mut wal = Wal::new();
-        wal.append(&LogRecord::Begin { txn: 1 });
+        wal.append(&LogRecord::Begin { txn: 1 }).unwrap();
         wal.sync();
-        wal.append(&LogRecord::Decision { txn: 1, commit: true });
+        wal.append(&LogRecord::Decision { txn: 1, commit: true }).unwrap();
         // No sync: the decision is not durable.
         let recovered = Wal::recover(&wal.crash_image()).unwrap();
         assert_eq!(recovered, vec![LogRecord::Begin { txn: 1 }]);
@@ -508,7 +563,7 @@ mod tests {
     #[test]
     fn append_sync_is_durable() {
         let mut wal = Wal::new();
-        wal.append_sync(&LogRecord::Decision { txn: 3, commit: false });
+        wal.append_sync(&LogRecord::Decision { txn: 3, commit: false }).unwrap();
         let recovered = Wal::recover(&wal.crash_image()).unwrap();
         assert_eq!(recovered.len(), 1);
     }
@@ -519,7 +574,7 @@ mod tests {
         wal.set_group_window(3);
         // Three rounds force at t=0..2: one physical force, two batched.
         for t in 0..3u64 {
-            wal.append(&LogRecord::Begin { txn: t });
+            wal.append(&LogRecord::Begin { txn: t }).unwrap();
             let physical = wal.sync_batched(t);
             assert_eq!(physical, t == 0);
         }
@@ -527,7 +582,7 @@ mod tests {
         assert_eq!(wal.durable_len(), wal.len());
         assert_eq!(Wal::recover(&wal.crash_image()).unwrap().len(), 3);
         // Past the window, the next request pays a force again.
-        wal.append(&LogRecord::Begin { txn: 9 });
+        wal.append(&LogRecord::Begin { txn: 9 }).unwrap();
         assert!(wal.sync_batched(3));
         let s = wal.sync_stats();
         assert_eq!(s.requested, 4);
@@ -539,7 +594,7 @@ mod tests {
     fn sync_batched_without_window_forces_every_time() {
         let mut wal = Wal::new();
         for t in 0..3u64 {
-            wal.append(&LogRecord::Begin { txn: t });
+            wal.append(&LogRecord::Begin { txn: t }).unwrap();
             assert!(wal.sync_batched(t), "window 0 must always force");
         }
         // A request with nothing new to force is saved, not physical.
@@ -551,8 +606,8 @@ mod tests {
     #[test]
     fn torn_tail_is_dropped_cleanly() {
         let mut wal = Wal::new();
-        wal.append(&LogRecord::Begin { txn: 1 });
-        wal.append(&LogRecord::Decision { txn: 1, commit: true });
+        wal.append(&LogRecord::Begin { txn: 1 }).unwrap();
+        wal.append(&LogRecord::Decision { txn: 1, commit: true }).unwrap();
         wal.sync();
         let mut image = wal.crash_image();
         // Tear the last record: drop 3 bytes.
@@ -564,8 +619,8 @@ mod tests {
     #[test]
     fn corrupt_interior_detected() {
         let mut wal = Wal::new();
-        wal.append(&LogRecord::Begin { txn: 1 });
-        wal.append(&LogRecord::End { txn: 1 });
+        wal.append(&LogRecord::Begin { txn: 1 }).unwrap();
+        wal.append(&LogRecord::End { txn: 1 }).unwrap();
         wal.sync();
         let mut image = wal.crash_image();
         image[10] ^= 0xFF; // flip a bit inside the first payload
@@ -595,7 +650,7 @@ mod tests {
     fn from_image_restores_durable_log() {
         let mut wal = Wal::new();
         for r in sample_records() {
-            wal.append(&r);
+            wal.append(&r).unwrap();
         }
         wal.sync();
         let image = wal.crash_image();
@@ -604,7 +659,7 @@ mod tests {
         assert_eq!(restored.durable_len(), image.len());
         // And the restored log keeps working.
         let mut restored = restored;
-        restored.append_sync(&LogRecord::End { txn: 99 });
+        restored.append_sync(&LogRecord::End { txn: 99 }).unwrap();
         let again = Wal::recover(&restored.crash_image()).unwrap();
         assert_eq!(again.len(), sample_records().len() + 1);
     }
@@ -612,10 +667,28 @@ mod tests {
     #[test]
     fn lsn_is_byte_offset() {
         let mut wal = Wal::new();
-        let l0 = wal.append(&LogRecord::Begin { txn: 1 });
-        let l1 = wal.append(&LogRecord::Begin { txn: 2 });
+        let l0 = wal.append(&LogRecord::Begin { txn: 1 }).unwrap();
+        let l1 = wal.append(&LogRecord::Begin { txn: 2 }).unwrap();
         assert_eq!(l0, 0);
         assert!(l1 > l0);
+    }
+
+    #[test]
+    fn oversized_record_rejected_before_encoding() {
+        // Regression: `key.len() as u32` used to narrow silently, writing a
+        // frame whose length prefix disagrees with its bytes. The length
+        // check fires before any encoding, so this 4 GiB key is never
+        // copied (and, being lazily zeroed, never faulted in).
+        let key = vec![0u8; u32::MAX as usize + 1];
+        let mut wal = Wal::new();
+        let err = wal.append(&LogRecord::Delete { txn: 1, key }).unwrap_err();
+        assert!(matches!(err, WalError::RecordTooLarge { .. }));
+        assert!(wal.is_empty(), "failed append must leave the log untouched");
+        // A failed compaction must not lose the existing log either.
+        wal.append_sync(&LogRecord::Begin { txn: 1 }).unwrap();
+        let huge = vec![(vec![0u8; u32::MAX as usize + 1], Vec::new())];
+        assert!(matches!(wal.checkpoint_compact(huge), Err(WalError::RecordTooLarge { .. })));
+        assert_eq!(Wal::recover(&wal.crash_image()).unwrap(), vec![LogRecord::Begin { txn: 1 }]);
     }
 
     #[test]
@@ -636,7 +709,7 @@ mod checkpoint_tests {
         for i in 0..5u64 {
             kv.stage_put(i, format!("k{i}").into_bytes(), format!("v{i}").into_bytes());
             kv.log_stage(i, &mut wal);
-            wal.append(&LogRecord::Decision { txn: i, commit: i != 2 });
+            wal.append(&LogRecord::Decision { txn: i, commit: i != 2 }).unwrap();
             if i != 2 {
                 kv.commit(i);
             } else {
@@ -653,7 +726,7 @@ mod checkpoint_tests {
             pairs: vec![(b"a".to_vec(), b"1".to_vec()), (b"b".to_vec(), vec![])],
         };
         let mut wal = Wal::new();
-        wal.append_sync(&rec);
+        wal.append_sync(&rec).unwrap();
         assert_eq!(Wal::recover(&wal.crash_image()).unwrap(), vec![rec]);
     }
 
@@ -662,7 +735,7 @@ mod checkpoint_tests {
         let (mut wal, kv) = populated();
         let before = KvStore::redo_from_log(&Wal::recover(&wal.crash_image()).unwrap());
         let old_len = wal.len();
-        wal.checkpoint_compact(kv.snapshot());
+        wal.checkpoint_compact(kv.snapshot()).unwrap();
         assert!(wal.len() < old_len, "compaction must shrink this log");
         let after = KvStore::redo_from_log(&Wal::recover(&wal.crash_image()).unwrap());
         let b: Vec<_> = before.iter().collect();
@@ -676,11 +749,13 @@ mod checkpoint_tests {
     #[test]
     fn post_checkpoint_records_replay_on_top() {
         let (mut wal, kv) = populated();
-        wal.checkpoint_compact(kv.snapshot());
-        wal.append(&LogRecord::Put { txn: 9, key: b"k0".to_vec(), value: b"new".to_vec() });
-        wal.append(&LogRecord::Decision { txn: 9, commit: true });
-        wal.append(&LogRecord::Put { txn: 10, key: b"k1".to_vec(), value: b"no".to_vec() });
-        wal.append(&LogRecord::Decision { txn: 10, commit: false });
+        wal.checkpoint_compact(kv.snapshot()).unwrap();
+        wal.append(&LogRecord::Put { txn: 9, key: b"k0".to_vec(), value: b"new".to_vec() })
+            .unwrap();
+        wal.append(&LogRecord::Decision { txn: 9, commit: true }).unwrap();
+        wal.append(&LogRecord::Put { txn: 10, key: b"k1".to_vec(), value: b"no".to_vec() })
+            .unwrap();
+        wal.append(&LogRecord::Decision { txn: 10, commit: false }).unwrap();
         wal.sync();
         let rebuilt = KvStore::redo_from_log(&Wal::recover(&wal.crash_image()).unwrap());
         assert_eq!(rebuilt.get(b"k0"), Some(b"new".as_slice()));
@@ -690,7 +765,7 @@ mod checkpoint_tests {
     #[test]
     fn empty_checkpoint_clears_state() {
         let (mut wal, _) = populated();
-        wal.checkpoint_compact(Vec::new());
+        wal.checkpoint_compact(Vec::new()).unwrap();
         let rebuilt = KvStore::redo_from_log(&Wal::recover(&wal.crash_image()).unwrap());
         assert!(rebuilt.is_empty());
     }
@@ -698,7 +773,7 @@ mod checkpoint_tests {
     #[test]
     fn torn_checkpoint_is_detected_as_truncation() {
         let mut wal = Wal::new();
-        wal.checkpoint_compact(vec![(vec![b'x'; 100], vec![b'y'; 100])]);
+        wal.checkpoint_compact(vec![(vec![b'x'; 100], vec![b'y'; 100])]).unwrap();
         let mut image = wal.crash_image();
         image.truncate(image.len() - 10);
         // The frame is torn, so recovery sees an empty clean prefix.

@@ -183,8 +183,10 @@ impl Cluster {
             for txn in std::mem::take(&mut self.missed[site]) {
                 match self.ledger.get(&txn).copied() {
                     Some(commit) => {
-                        self.wals[site].append_sync(&LogRecord::Decision { txn, commit });
-                        self.wals[site].append(&LogRecord::End { txn });
+                        self.wals[site]
+                            .append_sync(&LogRecord::Decision { txn, commit })
+                            .expect("wal record fits");
+                        self.wals[site].append(&LogRecord::End { txn }).expect("wal record fits");
                         if commit {
                             let records = Wal::recover(&self.wals[site].full_image())
                                 .expect("cluster WALs are well-formed");
@@ -239,7 +241,7 @@ impl Cluster {
         // Write-ahead: Begin + redo images, durable before the vote.
         for (site, touched_here) in touched.iter().enumerate() {
             if *touched_here {
-                self.wals[site].append(&LogRecord::Begin { txn });
+                self.wals[site].append(&LogRecord::Begin { txn }).expect("wal record fits");
                 let store = &self.stores[site];
                 store.log_stage(txn, &mut self.wals[site]);
                 self.wals[site].sync();
@@ -306,13 +308,13 @@ impl Cluster {
     }
 
     fn apply_decision(&mut self, site: usize, txn: u64, commit: bool) {
-        self.wals[site].append_sync(&LogRecord::Decision { txn, commit });
+        self.wals[site].append_sync(&LogRecord::Decision { txn, commit }).expect("wal record fits");
         if commit {
             self.stores[site].commit(txn);
         } else {
             self.stores[site].abort(txn);
         }
-        self.wals[site].append(&LogRecord::End { txn });
+        self.wals[site].append(&LogRecord::End { txn }).expect("wal record fits");
         self.locks[site].release_all(txn);
     }
 
@@ -336,8 +338,10 @@ impl Cluster {
             let missed = std::mem::take(&mut self.missed[site]);
             for txn in missed {
                 let commit = *self.ledger.get(&txn).expect("missed txn was decided");
-                self.wals[site].append_sync(&LogRecord::Decision { txn, commit });
-                self.wals[site].append(&LogRecord::End { txn });
+                self.wals[site]
+                    .append_sync(&LogRecord::Decision { txn, commit })
+                    .expect("wal record fits");
+                self.wals[site].append(&LogRecord::End { txn }).expect("wal record fits");
             }
             // Rebuild the store from the durable log: the real recovery
             // path, exercising WAL decode + redo.
@@ -362,7 +366,7 @@ impl Cluster {
         assert!(self.missed.iter().all(Vec::is_empty), "checkpoint requires no missed decisions");
         for site in 0..self.cfg.n_sites {
             let snapshot = self.stores[site].snapshot();
-            self.wals[site].checkpoint_compact(snapshot);
+            self.wals[site].checkpoint_compact(snapshot).expect("wal record fits");
         }
     }
 

@@ -119,7 +119,7 @@ fn wal_roundtrips_arbitrary_records() {
             (0..rng.gen_range(0usize..40)).map(|_| random_record(&mut rng)).collect();
         let mut wal = Wal::new();
         for r in &records {
-            wal.append(r);
+            wal.append(r).unwrap();
         }
         wal.sync();
         let recovered = Wal::recover(&wal.crash_image()).unwrap();
@@ -135,7 +135,7 @@ fn wal_truncation_yields_clean_prefix() {
             (0..rng.gen_range(1usize..30)).map(|_| random_record(&mut rng)).collect();
         let mut wal = Wal::new();
         for r in &records {
-            wal.append(r);
+            wal.append(r).unwrap();
         }
         wal.sync();
         let image = wal.crash_image();
@@ -154,7 +154,7 @@ fn wal_corruption_never_fabricates() {
             (0..rng.gen_range(1usize..20)).map(|_| random_record(&mut rng)).collect();
         let mut wal = Wal::new();
         for r in &records {
-            wal.append(r);
+            wal.append(r).unwrap();
         }
         wal.sync();
         let mut image = wal.crash_image();

@@ -1,0 +1,84 @@
+//! Frozen pre-fusion baselines, kept so benches and experiments can keep
+//! measuring the old cost models after the production code moves on.
+
+use std::collections::BTreeSet;
+
+use nbc_core::{Protocol, ReachGraph, SiteId, StateId, Vote};
+
+/// The pre-fusion concurrency-set analysis (PR 2 and earlier): a post-hoc
+/// O(nodes·n²) re-traversal of the retained graph doing a
+/// `BTreeSet::insert` per (site, state) pair, plus boolean occupancy and
+/// committability tables. Returns a checksum over everything it computed
+/// so the work cannot be optimized away.
+pub fn legacy_concurrency_pass(p: &Protocol, g: &ReachGraph) -> usize {
+    // Yes-voted states per FSA, by fixpoint over yes-free reachability.
+    let yes_voted: Vec<Vec<bool>> = p
+        .fsas()
+        .iter()
+        .map(|fsa| {
+            let mut no_yes = vec![false; fsa.state_count()];
+            no_yes[fsa.initial().index()] = true;
+            let mut changed = true;
+            while changed {
+                changed = false;
+                for t in fsa.transitions() {
+                    if no_yes[t.from.index()] && t.vote != Some(Vote::Yes) && !no_yes[t.to.index()]
+                    {
+                        no_yes[t.to.index()] = true;
+                        changed = true;
+                    }
+                }
+            }
+            no_yes.iter().map(|&r| !r).collect()
+        })
+        .collect();
+
+    let counts: Vec<usize> = p.fsas().iter().map(|f| f.state_count()).collect();
+    let mut cs: Vec<Vec<BTreeSet<(SiteId, StateId)>>> =
+        counts.iter().map(|&c| vec![BTreeSet::new(); c]).collect();
+    let mut occupied: Vec<Vec<bool>> = counts.iter().map(|&c| vec![false; c]).collect();
+    let mut committable: Vec<Vec<bool>> = counts.iter().map(|&c| vec![true; c]).collect();
+
+    for node in g.nodes() {
+        let all_yes = node.locals.iter().enumerate().all(|(j, &t)| yes_voted[j][t.index()]);
+        for (i, &s) in node.locals.iter().enumerate() {
+            occupied[i][s.index()] = true;
+            if !all_yes {
+                committable[i][s.index()] = false;
+            }
+            for (j, &t) in node.locals.iter().enumerate() {
+                if i != j {
+                    cs[i][s.index()].insert((SiteId(j as u32), t));
+                }
+            }
+        }
+    }
+
+    cs.iter().map(|site| site.iter().map(BTreeSet::len).sum::<usize>()).sum::<usize>()
+        + occupied.iter().flatten().filter(|&&b| b).count()
+        + committable.iter().flatten().filter(|&&b| b).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nbc_core::protocols::central_2pc;
+
+    #[test]
+    fn legacy_pass_checksum_matches_fused_analysis() {
+        let p = central_2pc(3);
+        let g = ReachGraph::build(&p).unwrap();
+        let checksum = legacy_concurrency_pass(&p, &g);
+        let a = nbc_core::Analysis::from_graph(&p, g);
+        let mut expect = 0usize;
+        for site in p.sites() {
+            for idx in 0..p.fsa(site).state_count() {
+                let s = StateId(idx as u32);
+                expect += a.concurrency_set(site, s).len();
+                expect += usize::from(a.occupied(site, s));
+                expect += usize::from(a.committable(site, s));
+            }
+        }
+        assert_eq!(checksum, expect);
+    }
+}

@@ -91,17 +91,39 @@ pub fn cmd_list() -> String {
         .to_string()
 }
 
+/// Build the single [`Analysis`] an invocation shares across every
+/// analysis-consuming subcommand (theorem, resilience, sync, termination,
+/// recovery, simulation), honoring `--threads` and `--stream`.
+///
+/// With `stream` set the reachability fold retires node payloads level by
+/// level and retains no graph — graph consumers ([`cmd_verify`],
+/// `--dot`) need the default retaining mode.
+pub fn build_analysis(
+    protocol: &Protocol,
+    threads: usize,
+    stream: bool,
+) -> Result<Analysis, CliError> {
+    let opts = ReachOptions::default().with_threads(threads).with_streaming(stream);
+    Analysis::build_with(protocol, opts).map_err(|e| CliError(e.to_string()))
+}
+
 /// `nbc analyze PROTO`
-pub fn cmd_analyze(protocol: &Protocol) -> Result<String, CliError> {
-    let analysis = Analysis::build(protocol).map_err(|e| CliError(e.to_string()))?;
-    let report = theorem::check_with(protocol, &analysis);
+pub fn cmd_analyze(protocol: &Protocol, analysis: &Analysis) -> Result<String, CliError> {
+    let report = theorem::check_with(protocol, analysis);
     let res = resilience::resilience_with(protocol, &report);
-    let sync = sync_check::check_with(protocol, &analysis, ReachOptions::default());
-    let stats = analysis.graph().stats();
+    let sync = sync_check::check_with(protocol, analysis, ReachOptions::default());
 
     let mut out = String::new();
     let _ = writeln!(out, "{protocol}");
-    let _ = writeln!(out, "reachable state graph: {stats}");
+    match analysis.graph() {
+        Some(g) => {
+            let _ = writeln!(out, "reachable state graph: {}", g.stats());
+        }
+        None => {
+            let st = analysis.stream_stats().expect("streamed analysis carries stream stats");
+            let _ = writeln!(out, "streamed analysis: {st}");
+        }
+    }
     let _ = writeln!(
         out,
         "synchronous within one state transition: {}",
@@ -119,8 +141,11 @@ pub fn cmd_analyze(protocol: &Protocol) -> Result<String, CliError> {
 }
 
 /// `nbc verify PROTO`
-pub fn cmd_verify(protocol: &Protocol) -> Result<String, CliError> {
-    let v = verify::verify_termination(protocol).map_err(|e| CliError(e.to_string()))?;
+pub fn cmd_verify(protocol: &Protocol, analysis: &Analysis) -> Result<String, CliError> {
+    if analysis.graph().is_none() {
+        return fail("verify model-checks the retained reachable graph; rerun without --stream");
+    }
+    let v = verify::verify_termination_with(protocol, analysis);
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -166,8 +191,11 @@ pub fn cmd_graph(
 }
 
 /// `nbc synthesize PROTO`
-pub fn cmd_synthesize(protocol: &Protocol) -> Result<String, CliError> {
-    let before = theorem::check(protocol).map_err(|e| CliError(e.to_string()))?;
+///
+/// The "before" check reuses the invocation's shared analysis; the
+/// synthesized protocol is new, so its "after" check builds its own.
+pub fn cmd_synthesize(protocol: &Protocol, analysis: &Analysis) -> Result<String, CliError> {
+    let before = theorem::check_with(protocol, analysis);
     let fixed = synthesis::make_nonblocking(protocol).map_err(|e| CliError(e.to_string()))?;
     let after = theorem::check(&fixed).map_err(|e| CliError(e.to_string()))?;
     let mut out = String::new();
@@ -251,9 +279,12 @@ impl SimOpts {
 }
 
 /// `nbc simulate PROTO [opts]`
-pub fn cmd_simulate(protocol: &Protocol, opts: &SimOpts) -> Result<String, CliError> {
-    let analysis = Analysis::build(protocol).map_err(|e| CliError(e.to_string()))?;
-    let report = run_with(protocol, &analysis, opts.to_config(protocol.n_sites()));
+pub fn cmd_simulate(
+    protocol: &Protocol,
+    analysis: &Analysis,
+    opts: &SimOpts,
+) -> Result<String, CliError> {
+    let report = run_with(protocol, analysis, opts.to_config(protocol.n_sites()));
     let mut out = String::new();
     for line in &report.trace {
         let _ = writeln!(out, "{line}");
@@ -269,11 +300,14 @@ pub fn cmd_simulate(protocol: &Protocol, opts: &SimOpts) -> Result<String, CliEr
 }
 
 /// `nbc sweep PROTO [opts]`
-pub fn cmd_sweep(protocol: &Protocol, opts: &SimOpts) -> Result<String, CliError> {
-    let analysis = Analysis::build(protocol).map_err(|e| CliError(e.to_string()))?;
+pub fn cmd_sweep(
+    protocol: &Protocol,
+    analysis: &Analysis,
+    opts: &SimOpts,
+) -> Result<String, CliError> {
     let specs = enumerate_crash_specs(protocol, opts.recover);
     let base = opts.to_config(protocol.n_sites());
-    let s = sweep(protocol, &analysis, &base, &specs);
+    let s = sweep(protocol, analysis, &base, &specs);
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -298,11 +332,10 @@ pub fn cmd_sweep(protocol: &Protocol, opts: &SimOpts) -> Result<String, CliError
 }
 
 /// `nbc termination PROTO`
-pub fn cmd_termination(protocol: &Protocol) -> Result<String, CliError> {
-    let analysis = Analysis::build(protocol).map_err(|e| CliError(e.to_string()))?;
+pub fn cmd_termination(protocol: &Protocol, analysis: &Analysis) -> Result<String, CliError> {
     let mut out = String::new();
     let _ = writeln!(out, "{}: backup-coordinator decision table", protocol.name);
-    for row in termination::decision_table(protocol, &analysis) {
+    for row in termination::decision_table(protocol, analysis) {
         let _ = writeln!(
             out,
             "  {} in {:<4} ({}) -> {}",
@@ -316,11 +349,10 @@ pub fn cmd_termination(protocol: &Protocol) -> Result<String, CliError> {
 }
 
 /// `nbc recovery PROTO`
-pub fn cmd_recovery(protocol: &Protocol) -> Result<String, CliError> {
-    let analysis = Analysis::build(protocol).map_err(|e| CliError(e.to_string()))?;
+pub fn cmd_recovery(protocol: &Protocol, analysis: &Analysis) -> Result<String, CliError> {
     let mut out = String::new();
     let _ = writeln!(out, "{}: independent recovery classification", protocol.name);
-    for row in recovery_analysis::classify(protocol, &analysis) {
+    for row in recovery_analysis::classify(protocol, analysis) {
         let _ = writeln!(out, "  {} in {:<4} -> {}", row.site, row.state_name, row.class);
     }
     Ok(out)
@@ -493,29 +525,57 @@ mod tests {
         assert!(resolve_protocol("/does/not/exist.nbc", 3).is_err());
     }
 
+    fn retained(p: &Protocol) -> Analysis {
+        build_analysis(p, 0, false).unwrap()
+    }
+
     #[test]
     fn analyze_reports_verdicts() {
         let p = resolve_protocol("2pc", 3).unwrap();
-        let out = cmd_analyze(&p).unwrap();
+        let out = cmd_analyze(&p, &retained(&p)).unwrap();
         assert!(out.contains("BLOCKING"));
         assert!(out.contains("1 clean site(s) of 3"));
         let p = resolve_protocol("3pc", 3).unwrap();
-        let out = cmd_analyze(&p).unwrap();
+        let out = cmd_analyze(&p, &retained(&p)).unwrap();
         assert!(out.contains("NONBLOCKING"));
+    }
+
+    #[test]
+    fn streamed_analyze_matches_retained_verdicts() {
+        for (name, verdict) in [("2pc", "BLOCKING"), ("3pc", "NONBLOCKING")] {
+            let p = resolve_protocol(name, 3).unwrap();
+            let streamed = build_analysis(&p, 2, true).unwrap();
+            let out = cmd_analyze(&p, &streamed).unwrap();
+            assert!(out.contains(verdict), "{name}: {out}");
+            assert!(out.contains("streamed analysis:"), "{name}: {out}");
+            assert!(out.contains("graph not retained"), "{name}: {out}");
+            // Everything below the stats line is identical to the retained run.
+            let retained_out = cmd_analyze(&p, &retained(&p)).unwrap();
+            let tail = |s: &str| s.lines().skip_while(|l| !l.starts_with("synchronous")).count();
+            assert_eq!(tail(&out), tail(&retained_out));
+        }
     }
 
     #[test]
     fn verify_distinguishes_blocking() {
         let p = resolve_protocol("3pc", 3).unwrap();
-        assert!(cmd_verify(&p).unwrap().contains("HOLDS — nonblocking"));
+        assert!(cmd_verify(&p, &retained(&p)).unwrap().contains("HOLDS — nonblocking"));
         let p = resolve_protocol("2pc", 3).unwrap();
-        assert!(cmd_verify(&p).unwrap().contains("blocking"));
+        assert!(cmd_verify(&p, &retained(&p)).unwrap().contains("blocking"));
+    }
+
+    #[test]
+    fn verify_rejects_streamed_analysis() {
+        let p = resolve_protocol("3pc", 3).unwrap();
+        let streamed = build_analysis(&p, 0, true).unwrap();
+        let err = cmd_verify(&p, &streamed).unwrap_err();
+        assert!(err.0.contains("--stream"), "{err}");
     }
 
     #[test]
     fn simulate_happy_path() {
         let p = resolve_protocol("3pc", 3).unwrap();
-        let out = cmd_simulate(&p, &SimOpts::default()).unwrap();
+        let out = cmd_simulate(&p, &retained(&p), &SimOpts::default()).unwrap();
         assert!(out.contains("committed"));
         assert!(out.contains("preserved"));
     }
@@ -525,7 +585,7 @@ mod tests {
         let p = resolve_protocol("3pc", 3).unwrap();
         let opts =
             SimOpts { crash: Some((0, 3, Some(1))), recover: Some(300), ..SimOpts::default() };
-        let out = cmd_simulate(&p, &opts).unwrap();
+        let out = cmd_simulate(&p, &retained(&p), &opts).unwrap();
         assert!(out.contains("preserved"), "{out}");
     }
 
@@ -536,7 +596,7 @@ mod tests {
         // (alignment) before deciding, so the whole termination protocol
         // shows up in the trace.
         let opts = SimOpts { crash: Some((0, 2, Some(1))), trace: true, ..SimOpts::default() };
-        let out = cmd_simulate(&p, &opts).unwrap();
+        let out = cmd_simulate(&p, &retained(&p), &opts).unwrap();
         assert!(out.contains("CRASH"), "{out}");
         assert!(out.contains("align-to"), "{out}");
         assert!(out.contains("align-ack"), "{out}");
@@ -547,30 +607,46 @@ mod tests {
     #[test]
     fn sweep_verdicts() {
         let p = resolve_protocol("3pc", 3).unwrap();
-        assert!(cmd_sweep(&p, &SimOpts::default()).unwrap().contains("nonblocking"));
+        assert!(cmd_sweep(&p, &retained(&p), &SimOpts::default()).unwrap().contains("nonblocking"));
         let p = resolve_protocol("2pc", 3).unwrap();
+        let a = retained(&p);
         let opts = SimOpts { rule: TerminationRule::Cooperative, ..SimOpts::default() };
-        assert!(cmd_sweep(&p, &opts).unwrap().contains("blocking window"));
+        assert!(cmd_sweep(&p, &a, &opts).unwrap().contains("blocking window"));
         let opts =
             SimOpts { rule: TerminationRule::NaiveCs, no_voters: vec![0], ..SimOpts::default() };
-        assert!(cmd_sweep(&p, &opts).unwrap().contains("ATOMICITY VIOLATED"));
+        assert!(cmd_sweep(&p, &a, &opts).unwrap().contains("ATOMICITY VIOLATED"));
     }
 
     #[test]
     fn synthesize_2pc() {
         let p = resolve_protocol("2pc", 3).unwrap();
-        let out = cmd_synthesize(&p).unwrap();
+        let out = cmd_synthesize(&p, &retained(&p)).unwrap();
         assert!(out.contains("after:  0 violation(s), 3 phase(s)"), "{out}");
     }
 
     #[test]
     fn tables_render() {
         let p = resolve_protocol("3pc", 3).unwrap();
-        assert!(cmd_termination(&p).unwrap().contains("commit"));
-        assert!(cmd_recovery(&p).unwrap().contains("must ask"));
+        let a = retained(&p);
+        assert!(cmd_termination(&p, &a).unwrap().contains("commit"));
+        assert!(cmd_recovery(&p, &a).unwrap().contains("must ask"));
         assert!(cmd_graph(&p, false, 0).unwrap().contains("global states"));
         assert!(cmd_graph(&p, true, 0).unwrap().contains("digraph"));
         assert_eq!(cmd_graph(&p, false, 1).unwrap(), cmd_graph(&p, false, 4).unwrap());
+    }
+
+    #[test]
+    fn tables_identical_under_streaming() {
+        // Termination and recovery tables are pure concurrency-set
+        // queries, so the streamed analysis must produce byte-identical
+        // output at any thread count.
+        let p = resolve_protocol("3pc", 3).unwrap();
+        let a = retained(&p);
+        for threads in [1, 2, 4] {
+            let s = build_analysis(&p, threads, true).unwrap();
+            assert_eq!(cmd_termination(&p, &a).unwrap(), cmd_termination(&p, &s).unwrap());
+            assert_eq!(cmd_recovery(&p, &a).unwrap(), cmd_recovery(&p, &s).unwrap());
+        }
     }
 
     #[test]

@@ -8,16 +8,17 @@ nbc — nonblocking commit protocols (Skeen, SIGMOD 1981)
 
 USAGE:
   nbc list
-  nbc analyze     PROTO [-n N]
-  nbc verify      PROTO [-n N]
+  nbc analyze     PROTO [-n N] [--threads T] [--stream]
+  nbc verify      PROTO [-n N] [--threads T]
   nbc graph       PROTO [-n N] [--dot] [--threads T]
-  nbc synthesize  PROTO [-n N]
-  nbc simulate    PROTO [-n N] [--crash SITE:ORDINAL:MSGS] [--recover T]
+  nbc synthesize  PROTO [-n N] [--threads T] [--stream]
+  nbc simulate    PROTO [-n N] [--threads T] [--stream]
+                  [--crash SITE:ORDINAL:MSGS] [--recover T]
                   [--no-voter K]... [--rule skeen|cooperative|naive|quorum]
                   [--latency LO..HI] [--seed S] [--trace]
-  nbc sweep       PROTO [-n N] [--recover T] [--rule ...]
-  nbc termination PROTO [-n N]
-  nbc recovery    PROTO [-n N]
+  nbc sweep       PROTO [-n N] [--threads T] [--stream] [--recover T] [--rule ...]
+  nbc termination PROTO [-n N] [--threads T] [--stream]
+  nbc recovery    PROTO [-n N] [--threads T] [--stream]
   nbc pipeline    PROTO [-n N] [--txns T] [--crash-pct P] [--in-flight K]
                   [--window W] [--reap T] [--seed S]
 
@@ -26,6 +27,11 @@ PROTO: central-2pc | central-3pc | decentralized-2pc | decentralized-3pc |
 
 MSGS in --crash: a number (messages sent before dying) or `log`
 (crash before the write-ahead record).
+
+--threads T: worker threads for the reachability analysis (0 = auto).
+--stream: fold the analysis level by level without retaining the state
+graph — lower memory, but graph consumers (`verify`, `--dot`) need the
+retaining default.
 ";
 
 fn main() {
@@ -62,6 +68,7 @@ fn run(args: &[String]) -> Result<String, CliError> {
     let mut n = 3usize;
     let mut dot = false;
     let mut threads = 0usize; // 0 = auto
+    let mut stream = false;
     let mut opts = SimOpts::default();
     let mut i = 2;
     while i < args.len() {
@@ -70,6 +77,7 @@ fn run(args: &[String]) -> Result<String, CliError> {
                 n = next_val(args, &mut i)?.parse().map_err(|_| CliError("bad -n value".into()))?;
             }
             "--dot" => dot = true,
+            "--stream" => stream = true,
             "--threads" => {
                 threads = next_val(args, &mut i)?
                     .parse()
@@ -101,17 +109,30 @@ fn run(args: &[String]) -> Result<String, CliError> {
         i += 1;
     }
 
+    const ANALYSIS_CMDS: &[&str] =
+        ["analyze", "verify", "synthesize", "simulate", "sweep", "termination", "recovery"]
+            .as_slice();
+    if cmd != "graph" && !ANALYSIS_CMDS.contains(&cmd.as_str()) {
+        return Err(CliError(format!("unknown command {cmd:?}")));
+    }
+
     let protocol = resolve_protocol(proto_arg, n)?;
+    if cmd == "graph" {
+        return cmd_graph(&protocol, dot, threads);
+    }
+
+    // Every remaining command consumes the analysis; build it once and
+    // share it across the theorem/resilience/termination/report subpaths.
+    let analysis = build_analysis(&protocol, threads, stream)?;
     match cmd.as_str() {
-        "analyze" => cmd_analyze(&protocol),
-        "verify" => cmd_verify(&protocol),
-        "graph" => cmd_graph(&protocol, dot, threads),
-        "synthesize" => cmd_synthesize(&protocol),
-        "simulate" => cmd_simulate(&protocol, &opts),
-        "sweep" => cmd_sweep(&protocol, &opts),
-        "termination" => cmd_termination(&protocol),
-        "recovery" => cmd_recovery(&protocol),
-        other => Err(CliError(format!("unknown command {other:?}"))),
+        "analyze" => cmd_analyze(&protocol, &analysis),
+        "verify" => cmd_verify(&protocol, &analysis),
+        "synthesize" => cmd_synthesize(&protocol, &analysis),
+        "simulate" => cmd_simulate(&protocol, &analysis, &opts),
+        "sweep" => cmd_sweep(&protocol, &analysis, &opts),
+        "termination" => cmd_termination(&protocol, &analysis),
+        "recovery" => cmd_recovery(&protocol, &analysis),
+        _ => unreachable!("command validated above"),
     }
 }
 

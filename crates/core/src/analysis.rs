@@ -23,32 +23,72 @@
 //! only shrink the committable set, never grow it — and it is exact for
 //! every protocol in the catalog.
 //!
+//! ## Fused, bitset-backed computation
+//!
+//! All facts are stored as packed bitsets over *(site, state) slots* (see
+//! [`crate::facts`](self)) and are accumulated **inside** the reachability
+//! BFS via the `StateFolder` hook in [`crate::reach`], not in a post-hoc
+//! pass over the finished node vector. Queries like [`cs_has_commit`] are
+//! word-wise intersections against a precomputed commit mask instead of
+//! `BTreeSet` scans. The `BTreeSet` form of a concurrency set is still
+//! available through [`concurrency_set`] and is materialized lazily, once,
+//! on first request.
+//!
+//! With [`ReachOptions::stream`] set, [`Analysis::build_with`] *streams*
+//! the fold: node payloads are retired as soon as their BFS level has been
+//! expanded, only the current frontier stays resident, and no
+//! [`ReachGraph`] is kept — [`Analysis::graph`] returns `None`. Graph
+//! consumers (DOT rendering, termination verification, transition-lead
+//! measurement) need the default retaining mode.
+//!
 //! [`Vote`]: crate::fsa::Vote
+//! [`cs_has_commit`]: Analysis::cs_has_commit
+//! [`concurrency_set`]: Analysis::concurrency_set
 
 use std::collections::BTreeSet;
+use std::sync::OnceLock;
 
 use crate::error::ProtocolError;
-use crate::fsa::{Fsa, StateClass, Vote};
+use crate::facts::{
+    bit_clear, bit_get, bit_set, first_common, intersects, iter_ones, ConcurrencyFacts, SlotMap,
+};
+use crate::fsa::StateClass;
 use crate::ids::{SiteId, StateId};
 use crate::protocol::Protocol;
-use crate::reach::{NodeId, ReachGraph, ReachOptions};
+use crate::reach::{self, NodeId, ReachGraph, ReachOptions, StateFolder, StreamStats};
 
-/// All per-state facts the theorem and termination rules need, computed in
-/// one pass over the reachable state graph.
+/// A concurrency-set member serving as a theorem witness: the occupied
+/// `(site, state)` pair that puts a commit or abort state in the set.
+pub type Witness = (SiteId, StateId);
+
+/// All per-state facts the theorem and termination rules need, accumulated
+/// in one fused pass during reachable-graph construction.
 pub struct Analysis {
     n_sites: usize,
-    /// `cs[i][s]` = concurrency set of state `s` of site `i`.
-    cs: Vec<Vec<BTreeSet<(SiteId, StateId)>>>,
-    /// `occupied[i][s]` = `s` appears in some reachable global state.
-    occupied: Vec<Vec<bool>>,
-    /// `yes_voted[i][s]` = every path to `s` casts a yes vote.
-    yes_voted: Vec<Vec<bool>>,
-    /// `committable[i][s]` per the paper's definition (occupied states only;
-    /// unoccupied states are vacuously committable but also irrelevant).
-    committable: Vec<Vec<bool>>,
+    slots: SlotMap,
+    /// Bitset row width in 64-bit words.
+    words: usize,
+    /// Row-major concurrency bits, own-site slots already masked out:
+    /// `cs[slot * words ..][..words]` = concurrency set of `slot`.
+    cs: Vec<u64>,
+    /// `occupied` bit per slot: appears in some reachable global state.
+    occupied: Vec<u64>,
+    /// `yes_voted` bit per slot: every FSA path casts a yes vote.
+    yes_voted: Vec<u64>,
+    /// `committable` bit per slot (unoccupied states keep their vacuous
+    /// default of set).
+    committable: Vec<u64>,
+    /// Slots whose class is [`StateClass::Committed`] / [`StateClass::Aborted`].
+    commit_mask: Vec<u64>,
+    abort_mask: Vec<u64>,
     /// `classes[i][s]` = state class, for commit/abort queries.
     classes: Vec<Vec<StateClass>>,
-    graph: ReachGraph,
+    /// Lazily materialized `BTreeSet` view of each slot's concurrency row.
+    cs_views: Vec<OnceLock<BTreeSet<(SiteId, StateId)>>>,
+    /// The retained graph, unless the analysis was streamed.
+    graph: Option<ReachGraph>,
+    /// Streaming statistics, when the analysis was streamed.
+    stream: Option<StreamStats>,
 }
 
 impl Analysis {
@@ -58,50 +98,115 @@ impl Analysis {
     }
 
     /// As [`Analysis::build`] with explicit graph options.
+    ///
+    /// The analysis facts are folded *during* construction (per-worker
+    /// accumulators OR-merged at each BFS level barrier — bit-identical
+    /// for any thread count). With [`ReachOptions::stream`] set, node
+    /// payloads are retired level by level and no graph is retained.
     pub fn build_with(protocol: &Protocol, opts: ReachOptions) -> Result<Self, ProtocolError> {
-        let graph = ReachGraph::build_with(protocol, opts)?;
-        Ok(Self::from_graph(protocol, graph))
+        let mut facts = ConcurrencyFacts::new(protocol);
+        if opts.stream {
+            let stats = reach::fold_reachable(protocol, opts, &mut facts)?;
+            Ok(Self::finish(protocol, facts, None, Some(stats)))
+        } else {
+            let graph = ReachGraph::build_with_folder(protocol, opts, &mut facts)?;
+            Ok(Self::finish(protocol, facts, Some(graph), None))
+        }
     }
 
-    /// Run the analysis over an already-built graph.
+    /// Run the analysis post hoc over an already-built graph — the
+    /// reference path the fused fold is property-tested against (and the
+    /// baseline the `analysis_throughput` bench compares with).
     pub fn from_graph(protocol: &Protocol, graph: ReachGraph) -> Self {
-        let n = protocol.n_sites();
-        let state_counts: Vec<usize> = protocol.fsas().iter().map(Fsa::state_count).collect();
-
-        let yes_voted: Vec<Vec<bool>> = protocol.fsas().iter().map(yes_voted_states).collect();
-
-        let mut cs: Vec<Vec<BTreeSet<(SiteId, StateId)>>> =
-            state_counts.iter().map(|&c| vec![BTreeSet::new(); c]).collect();
-        let mut occupied: Vec<Vec<bool>> = state_counts.iter().map(|&c| vec![false; c]).collect();
-        // Start from "all committable", knock out states seen in a
-        // not-all-yes global state.
-        let mut committable: Vec<Vec<bool>> = state_counts.iter().map(|&c| vec![true; c]).collect();
-
+        let mut facts = ConcurrencyFacts::new(protocol);
         for id in 0..graph.node_count() as NodeId {
-            let g = graph.node(id);
-            let all_yes = g.locals.iter().enumerate().all(|(j, &t)| yes_voted[j][t.index()]);
-            for (i, &s) in g.locals.iter().enumerate() {
-                occupied[i][s.index()] = true;
-                if !all_yes {
-                    committable[i][s.index()] = false;
-                }
-                for (j, &t) in g.locals.iter().enumerate() {
-                    if i != j {
-                        cs[i][s.index()].insert((SiteId(j as u32), t));
-                    }
+            facts.fold(graph.node(id));
+        }
+        Self::finish(protocol, facts, Some(graph), None)
+    }
+
+    /// Turn the raw accumulator into the queryable analysis: build the
+    /// class masks, mask each site's own slots out of its rows, and invert
+    /// noncommittability.
+    fn finish(
+        protocol: &Protocol,
+        facts: ConcurrencyFacts,
+        graph: Option<ReachGraph>,
+        stream: Option<StreamStats>,
+    ) -> Self {
+        let (slots, yes_voted, mut cs, occupied, noncommittable, _folded) = facts.into_parts();
+        let words = slots.words();
+        let total = slots.total();
+
+        let classes: Vec<Vec<StateClass>> =
+            protocol.fsas().iter().map(|f| f.states().iter().map(|s| s.class).collect()).collect();
+
+        let mut commit_mask = vec![0u64; words];
+        let mut abort_mask = vec![0u64; words];
+        for (i, fsa) in protocol.fsas().iter().enumerate() {
+            for (s, info) in fsa.states().iter().enumerate() {
+                let slot = slots.slot(SiteId(i as u32), StateId(s as u32));
+                match info.class {
+                    StateClass::Committed => bit_set(&mut commit_mask, slot),
+                    StateClass::Aborted => bit_set(&mut abort_mask, slot),
+                    _ => {}
                 }
             }
         }
 
-        let classes =
-            protocol.fsas().iter().map(|f| f.states().iter().map(|s| s.class).collect()).collect();
+        // The accumulator records full co-occupancy (a state is trivially
+        // concurrent with its own site); the paper's C(s) ranges over
+        // *other* sites only, so clear each site's slot range from its own
+        // rows once, here, rather than branching in the hot fold.
+        for i in 0..protocol.n_sites() {
+            let range = slots.site_range(SiteId(i as u32));
+            for slot in range.clone() {
+                let row = &mut cs[slot as usize * words..(slot as usize + 1) * words];
+                for b in range.clone() {
+                    bit_clear(row, b);
+                }
+            }
+        }
 
-        Self { n_sites: n, cs, occupied, yes_voted, committable, classes, graph }
+        let mut committable: Vec<u64> = noncommittable.iter().map(|&w| !w).collect();
+        let tail = total % 64;
+        if tail != 0 {
+            *committable.last_mut().expect("at least one word") &= (1u64 << tail) - 1;
+        }
+
+        Self {
+            n_sites: protocol.n_sites(),
+            words,
+            cs,
+            occupied,
+            yes_voted,
+            committable,
+            commit_mask,
+            abort_mask,
+            classes,
+            cs_views: (0..total).map(|_| OnceLock::new()).collect(),
+            graph,
+            stream,
+            slots,
+        }
     }
 
-    /// The underlying reachable state graph.
-    pub fn graph(&self) -> &ReachGraph {
-        &self.graph
+    /// One slot's concurrency row.
+    #[inline]
+    fn cs_row(&self, slot: u32) -> &[u64] {
+        &self.cs[slot as usize * self.words..(slot as usize + 1) * self.words]
+    }
+
+    /// The underlying reachable state graph, unless this analysis was
+    /// built in streaming mode (in which case no graph was retained).
+    pub fn graph(&self) -> Option<&ReachGraph> {
+        self.graph.as_ref()
+    }
+
+    /// Streaming statistics, when this analysis was built with
+    /// [`ReachOptions::stream`].
+    pub fn stream_stats(&self) -> Option<&StreamStats> {
+        self.stream.as_ref()
     }
 
     /// Number of sites of the analyzed protocol.
@@ -110,18 +215,38 @@ impl Analysis {
     }
 
     /// The concurrency set of `(site, state)` as `(other_site, state)` pairs.
+    ///
+    /// Materialized lazily from the bitset row on first request and cached;
+    /// queries that only need membership or witnesses should prefer
+    /// [`concurrency_slots`](Self::concurrency_slots),
+    /// [`cs_has_commit`](Self::cs_has_commit) /
+    /// [`cs_has_abort`](Self::cs_has_abort), or
+    /// [`cs_witnesses`](Self::cs_witnesses), which never allocate.
     pub fn concurrency_set(&self, site: SiteId, s: StateId) -> &BTreeSet<(SiteId, StateId)> {
-        &self.cs[site.index()][s.index()]
+        let slot = self.slots.slot(site, s);
+        self.cs_views[slot as usize]
+            .get_or_init(|| iter_ones(self.cs_row(slot)).map(|b| self.slots.unslot(b)).collect())
+    }
+
+    /// Iterate the concurrency set of `(site, s)` in ascending
+    /// `(SiteId, StateId)` order straight off the bitset row, without
+    /// materializing a `BTreeSet`.
+    pub fn concurrency_slots(
+        &self,
+        site: SiteId,
+        s: StateId,
+    ) -> impl Iterator<Item = (SiteId, StateId)> + '_ {
+        iter_ones(self.cs_row(self.slots.slot(site, s))).map(move |b| self.slots.unslot(b))
     }
 
     /// True if the state occurs in some reachable global state.
     pub fn occupied(&self, site: SiteId, s: StateId) -> bool {
-        self.occupied[site.index()][s.index()]
+        bit_get(&self.occupied, self.slots.slot(site, s))
     }
 
     /// True if every path to this state casts a yes vote.
     pub fn yes_voted(&self, site: SiteId, s: StateId) -> bool {
-        self.yes_voted[site.index()][s.index()]
+        bit_get(&self.yes_voted, self.slots.slot(site, s))
     }
 
     /// True if occupancy of this state implies all sites voted yes.
@@ -129,7 +254,7 @@ impl Analysis {
     /// Meaningful only for occupied states (unoccupied states return their
     /// vacuous default of `true`).
     pub fn committable(&self, site: SiteId, s: StateId) -> bool {
-        self.committable[site.index()][s.index()]
+        bit_get(&self.committable, self.slots.slot(site, s))
     }
 
     /// Class of a local state.
@@ -138,42 +263,34 @@ impl Analysis {
     }
 
     /// Does the concurrency set of `(site, s)` contain a commit state?
+    /// One word-wise intersection against the commit mask.
     pub fn cs_has_commit(&self, site: SiteId, s: StateId) -> bool {
-        self.concurrency_set(site, s)
-            .iter()
-            .any(|&(j, t)| self.class_of(j, t) == StateClass::Committed)
+        intersects(self.cs_row(self.slots.slot(site, s)), &self.commit_mask)
     }
 
     /// Does the concurrency set of `(site, s)` contain an abort state?
+    /// One word-wise intersection against the abort mask.
     pub fn cs_has_abort(&self, site: SiteId, s: StateId) -> bool {
-        self.concurrency_set(site, s)
-            .iter()
-            .any(|&(j, t)| self.class_of(j, t) == StateClass::Aborted)
+        intersects(self.cs_row(self.slots.slot(site, s)), &self.abort_mask)
+    }
+
+    /// Both theorem witnesses of `(site, s)` in a single pass over its
+    /// concurrency row: the minimum commit-state member and the minimum
+    /// abort-state member (each in `(SiteId, StateId)` order — the same
+    /// elements a linear scan of [`concurrency_set`](Self::concurrency_set)
+    /// would find first).
+    pub fn cs_witnesses(&self, site: SiteId, s: StateId) -> (Option<Witness>, Option<Witness>) {
+        let row = self.cs_row(self.slots.slot(site, s));
+        let commit = first_common(row, &self.commit_mask).map(|b| self.slots.unslot(b));
+        let abort = first_common(row, &self.abort_mask).map(|b| self.slots.unslot(b));
+        (commit, abort)
     }
 
     /// The concurrency set projected to state *classes* — the form the
     /// paper's tables use (e.g. `CS(w) = {q, w, a, c}`).
     pub fn concurrency_classes(&self, site: SiteId, s: StateId) -> BTreeSet<StateClass> {
-        self.concurrency_set(site, s).iter().map(|&(j, t)| self.class_of(j, t)).collect()
+        self.concurrency_slots(site, s).map(|(j, t)| self.class_of(j, t)).collect()
     }
-}
-
-/// Compute, for one FSA, which states are yes-voted: state `t` is yes-voted
-/// iff `t` is unreachable from the initial state using only transitions that
-/// do not cast a yes vote.
-fn yes_voted_states(fsa: &Fsa) -> Vec<bool> {
-    let mut yes_free_reachable = vec![false; fsa.state_count()];
-    let mut stack = vec![fsa.initial()];
-    yes_free_reachable[fsa.initial().index()] = true;
-    while let Some(s) = stack.pop() {
-        for (_, t) in fsa.outgoing(s) {
-            if t.vote != Some(Vote::Yes) && !yes_free_reachable[t.to.index()] {
-                yes_free_reachable[t.to.index()] = true;
-                stack.push(t.to);
-            }
-        }
-    }
-    yes_free_reachable.iter().map(|&r| !r).collect()
 }
 
 #[cfg(test)]
@@ -351,6 +468,51 @@ mod tests {
         for i in 0..p.fsa(s0).state_count() {
             for &(j, _) in a.concurrency_set(s0, StateId(i as u32)) {
                 assert_ne!(j, s0);
+            }
+        }
+    }
+
+    #[test]
+    fn lazy_set_view_matches_slot_iterator_and_witnesses() {
+        let p = central_3pc(3);
+        let a = Analysis::build(&p).unwrap();
+        for site in p.sites() {
+            for i in 0..p.fsa(site).state_count() {
+                let s = StateId(i as u32);
+                let set = a.concurrency_set(site, s);
+                let from_slots: BTreeSet<_> = a.concurrency_slots(site, s).collect();
+                assert_eq!(*set, from_slots);
+                let (commit, abort) = a.cs_witnesses(site, s);
+                let want_commit =
+                    set.iter().find(|&&(j, t)| a.class_of(j, t) == StateClass::Committed).copied();
+                let want_abort =
+                    set.iter().find(|&&(j, t)| a.class_of(j, t) == StateClass::Aborted).copied();
+                assert_eq!(commit, want_commit);
+                assert_eq!(abort, want_abort);
+                assert_eq!(a.cs_has_commit(site, s), commit.is_some());
+                assert_eq!(a.cs_has_abort(site, s), abort.is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_build_retains_no_graph_but_same_facts() {
+        let p = central_2pc(3);
+        let retained = Analysis::build(&p).unwrap();
+        let streamed =
+            Analysis::build_with(&p, ReachOptions::default().with_streaming(true)).unwrap();
+        assert!(retained.graph().is_some() && retained.stream_stats().is_none());
+        assert!(streamed.graph().is_none());
+        let stats = streamed.stream_stats().unwrap();
+        assert_eq!(stats.distinct_states, retained.graph().unwrap().node_count());
+        assert!(stats.levels > 1 && stats.peak_resident >= 1);
+        for site in p.sites() {
+            for i in 0..p.fsa(site).state_count() {
+                let s = StateId(i as u32);
+                assert_eq!(retained.concurrency_set(site, s), streamed.concurrency_set(site, s));
+                assert_eq!(retained.occupied(site, s), streamed.occupied(site, s));
+                assert_eq!(retained.committable(site, s), streamed.committable(site, s));
+                assert_eq!(retained.yes_voted(site, s), streamed.yes_voted(site, s));
             }
         }
     }

@@ -57,6 +57,7 @@ pub mod analysis;
 pub mod canonical;
 pub mod dot;
 pub mod error;
+mod facts;
 pub mod fsa;
 pub mod ids;
 pub mod kpc;
@@ -76,6 +77,6 @@ pub use error::ProtocolError;
 pub use fsa::{Consume, Envelope, Fsa, FsaBuilder, StateClass, StateInfo, Transition, Vote};
 pub use ids::{MsgKind, SiteId, StateId};
 pub use protocol::{InitialMsg, Paradigm, Protocol};
-pub use reach::{GlobalState, GraphStats, ReachGraph, ReachOptions};
+pub use reach::{GlobalState, GraphStats, ReachGraph, ReachOptions, StreamStats};
 pub use termination::Decision;
 pub use theorem::{TheoremReport, Violation};

@@ -37,7 +37,7 @@
 //! determinism tests assert this across the whole catalog.
 
 use std::collections::hash_map::DefaultHasher;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::fmt;
 use std::hash::{Hash, Hasher};
 use std::ops::Range;
@@ -189,11 +189,20 @@ pub struct ReachOptions {
     /// allows fan-out — thread spawn overhead dwarfs the work on the
     /// shallow levels every graph starts with.
     pub parallel_frontier_min: usize,
+    /// Stream the reachability fold instead of retaining the graph:
+    /// [`crate::Analysis::build_with`] folds its facts level by level and
+    /// retires node payloads as soon as a level has been expanded, keeping
+    /// only the current frontier resident. The resulting analysis has no
+    /// [`ReachGraph`] (`Analysis::graph()` returns `None`), so graph
+    /// consumers (`dot`, termination verification, lead measurement) need
+    /// the default retaining mode. Ignored by [`ReachGraph::build_with`]
+    /// itself — a graph is inherently retained.
+    pub stream: bool,
 }
 
 impl Default for ReachOptions {
     fn default() -> Self {
-        Self { max_states: 1 << 22, threads: 0, parallel_frontier_min: 512 }
+        Self { max_states: 1 << 22, threads: 0, parallel_frontier_min: 512, stream: false }
     }
 }
 
@@ -201,6 +210,12 @@ impl ReachOptions {
     /// Same options with an explicit thread count.
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// Same options with streaming (non-retaining) analysis toggled.
+    pub fn with_streaming(mut self, stream: bool) -> Self {
+        self.stream = stream;
         self
     }
 
@@ -214,6 +229,7 @@ impl ReachOptions {
 }
 
 /// The reachable state graph of a protocol (in the absence of failures).
+#[derive(Clone)]
 pub struct ReachGraph {
     nodes: Vec<GlobalState>,
     out_edges: Vec<Vec<Edge>>,
@@ -221,6 +237,43 @@ pub struct ReachGraph {
     /// `classes[i][s]` = class of state `s` of site `i` (copied from the
     /// protocol so the graph is self-contained for classification).
     classes: Vec<Vec<StateClass>>,
+}
+
+/// A hook folded over every distinct reachable global state during BFS
+/// construction — the fusion point for analyses that would otherwise need
+/// a post-hoc pass over the finished node vector.
+///
+/// Every distinct state belongs to exactly one BFS frontier and is folded
+/// exactly once, when that frontier is expanded (the serial path folds on
+/// dequeue, which visits the same set). The contract that keeps parallel
+/// folding bit-identical to serial: `fold` must only accumulate *monotone,
+/// order-independent* facts (set-once bits), `split` must return an empty
+/// accumulator sharing only read-only inputs, and `absorb` must merge with
+/// a commutative, associative, idempotent operation (bit-OR for the
+/// concurrency facts). Then any chunking of the frontier and any absorb
+/// order produce identical bits.
+pub(crate) trait StateFolder: Send {
+    /// Fold one distinct reachable global state.
+    fn fold(&mut self, state: &GlobalState);
+    /// An empty accumulator for a worker thread to fold its chunk into.
+    fn split(&self) -> Self
+    where
+        Self: Sized;
+    /// Merge a worker's accumulator back at the level barrier.
+    fn absorb(&mut self, other: Self)
+    where
+        Self: Sized;
+}
+
+/// The no-op folder behind the plain graph-building entry points.
+pub(crate) struct NoFolder;
+
+impl StateFolder for NoFolder {
+    fn fold(&mut self, _: &GlobalState) {}
+    fn split(&self) -> Self {
+        NoFolder
+    }
+    fn absorb(&mut self, _: Self) {}
 }
 
 /// A successor produced during frontier expansion, before interning: the
@@ -332,17 +385,37 @@ impl ReachGraph {
     /// runs the frontier-parallel construction; the output is bit-identical
     /// to [`ReachGraph::build_serial`] in every case.
     pub fn build_with(protocol: &Protocol, opts: ReachOptions) -> Result<Self, ProtocolError> {
+        Self::build_with_folder(protocol, opts, &mut NoFolder)
+    }
+
+    /// Build with explicit options, folding `folder` over every distinct
+    /// state as it is discovered (each exactly once) — the fused-analysis
+    /// entry point.
+    pub(crate) fn build_with_folder<F: StateFolder>(
+        protocol: &Protocol,
+        opts: ReachOptions,
+        folder: &mut F,
+    ) -> Result<Self, ProtocolError> {
         let threads = opts.resolved_threads();
         if threads <= 1 {
-            return Self::build_serial(protocol, opts);
+            return Self::build_serial_folding(protocol, opts, folder);
         }
-        Self::build_parallel(protocol, opts, threads)
+        Self::build_parallel(protocol, opts, threads, folder)
     }
 
     /// The serial reference implementation: a FIFO BFS over a single
     /// intern table. Kept as the ground truth the parallel construction is
     /// tested (and benchmarked) against.
     pub fn build_serial(protocol: &Protocol, opts: ReachOptions) -> Result<Self, ProtocolError> {
+        Self::build_serial_folding(protocol, opts, &mut NoFolder)
+    }
+
+    /// Serial build folding `folder` over each state as it is dequeued.
+    pub(crate) fn build_serial_folding<F: StateFolder>(
+        protocol: &Protocol,
+        opts: ReachOptions,
+        folder: &mut F,
+    ) -> Result<Self, ProtocolError> {
         let initial_state = initial_global_state(protocol)?;
         let mut nodes: Vec<GlobalState> = vec![initial_state.clone()];
         let mut index: HashMap<GlobalState, NodeId> = HashMap::new();
@@ -353,6 +426,7 @@ impl ReachGraph {
         let mut scratch: Vec<Succ> = Vec::new();
         while let Some(id) = queue.pop_front() {
             let state = nodes[id as usize].clone();
+            folder.fold(&state);
             scratch.clear();
             successors(protocol, &state, &mut scratch)?;
             let mut edges = Vec::with_capacity(scratch.len());
@@ -382,11 +456,14 @@ impl ReachGraph {
     }
 
     /// Frontier-parallel construction (see the module docs for the scheme
-    /// and the determinism argument).
-    fn build_parallel(
+    /// and the determinism argument). Each expansion worker folds its
+    /// frontier chunk into a [`StateFolder::split`] of `folder`, absorbed
+    /// back at the level barrier — OR-merge order cannot change the bits.
+    fn build_parallel<F: StateFolder>(
         protocol: &Protocol,
         opts: ReachOptions,
         threads: usize,
+        folder: &mut F,
     ) -> Result<Self, ProtocolError> {
         // Power-of-two shard count a few times the worker count keeps the
         // per-shard tables small and the interning fan-out balanced.
@@ -408,40 +485,49 @@ impl ReachGraph {
             //    is exactly the serial BFS's discovery scan order. This is
             //    the hot part (state cloning, multiset edits, hashing) and
             //    parallelizes embarrassingly.
-            let expand_chunk =
-                |chunk: &[GlobalState]| -> Result<(Vec<Succ>, Vec<u32>), ProtocolError> {
-                    let mut flat = Vec::with_capacity(chunk.len() * 4);
-                    let mut counts = Vec::with_capacity(chunk.len());
-                    for s in chunk {
-                        let start = flat.len();
-                        successors(protocol, s, &mut flat)?;
-                        for succ in &mut flat[start..] {
-                            succ.hash = state_hash(&succ.state);
-                        }
-                        counts.push((flat.len() - start) as u32);
+            let expand_chunk = |chunk: &[GlobalState],
+                                fold: &mut F|
+             -> Result<(Vec<Succ>, Vec<u32>), ProtocolError> {
+                let mut flat = Vec::with_capacity(chunk.len() * 4);
+                let mut counts = Vec::with_capacity(chunk.len());
+                for s in chunk {
+                    fold.fold(s);
+                    let start = flat.len();
+                    successors(protocol, s, &mut flat)?;
+                    for succ in &mut flat[start..] {
+                        succ.hash = state_hash(&succ.state);
                     }
-                    Ok((flat, counts))
-                };
+                    counts.push((flat.len() - start) as u32);
+                }
+                Ok((flat, counts))
+            };
             let (mut flat, mut counts) = (Vec::new(), Vec::new());
             {
                 let frontier = &nodes[level.clone()];
                 if frontier.len() >= opts.parallel_frontier_min {
                     let chunk_len = frontier.len().div_ceil(threads);
                     let expand_chunk = &expand_chunk;
-                    let results: Vec<ExpandedChunk> = std::thread::scope(|scope| {
+                    let results: Vec<(F, ExpandedChunk)> = std::thread::scope(|scope| {
                         let handles: Vec<_> = frontier
                             .chunks(chunk_len)
-                            .map(|chunk| scope.spawn(move || expand_chunk(chunk)))
+                            .map(|chunk| {
+                                let mut fold = folder.split();
+                                scope.spawn(move || {
+                                    let r = expand_chunk(chunk, &mut fold);
+                                    (fold, r)
+                                })
+                            })
                             .collect();
                         handles.into_iter().map(|h| h.join().expect("expand worker")).collect()
                     });
-                    for r in results {
+                    for (fold, r) in results {
+                        folder.absorb(fold);
                         let (f, c) = r?;
                         flat.extend(f);
                         counts.extend(c);
                     }
                 } else {
-                    (flat, counts) = expand_chunk(frontier)?;
+                    (flat, counts) = expand_chunk(frontier, folder)?;
                 }
             }
 
@@ -668,6 +754,140 @@ impl fmt::Display for GraphStats {
             self.inconsistent_states
         )
     }
+}
+
+/// Statistics of a streaming (non-retaining) reachability fold.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StreamStats {
+    /// Distinct reachable global states folded.
+    pub distinct_states: usize,
+    /// BFS levels expanded (graph depth + 1).
+    pub levels: usize,
+    /// Peak number of simultaneously resident state payloads: a frontier
+    /// plus its successor stream, the latter already filtered against the
+    /// prior levels' fingerprints — the streaming analogue of the retained
+    /// path's full node vector, and the memory-headroom figure of merit.
+    pub peak_resident: usize,
+}
+
+impl fmt::Display for StreamStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} global states across {} levels; peak resident {} states (graph not retained)",
+            self.distinct_states, self.levels, self.peak_resident
+        )
+    }
+}
+
+/// A 128-bit state fingerprint for the streaming deduplicator: the shard
+/// hash concatenated with a second, domain-separated 64-bit hash. The
+/// streaming path cannot compare candidate states against retained payloads
+/// the way the interning tables do, so it relies on hash compaction; at
+/// 128 bits the collision probability for a graph of `N` states is about
+/// `N² / 2^129` — far below 1e-18 even at the 2^22 default node bound.
+fn state_fingerprint(state: &GlobalState) -> u128 {
+    let mut h2 = DefaultHasher::new();
+    h2.write_u64(0x9e37_79b9_7f4a_7c15);
+    state.hash(&mut h2);
+    ((state_hash(state) as u128) << 64) | h2.finish() as u128
+}
+
+/// Fold `folder` over every distinct reachable global state *without*
+/// retaining the graph: only the current frontier and its successor stream
+/// are ever resident, and states are deduplicated by 128-bit fingerprint
+/// (see [`state_fingerprint`]). Frontiers at least
+/// [`ReachOptions::parallel_frontier_min`] wide are expanded by scoped
+/// workers folding into [`StateFolder::split`]s, OR-merged at the level
+/// barrier — same determinism argument as the retained parallel build.
+///
+/// Returns the fold's [`StreamStats`]; fails with
+/// [`ProtocolError::GraphTooLarge`] at `opts.max_states` distinct states,
+/// exactly like the retained builders.
+pub(crate) fn fold_reachable<F: StateFolder>(
+    protocol: &Protocol,
+    opts: ReachOptions,
+    folder: &mut F,
+) -> Result<StreamStats, ProtocolError> {
+    let threads = opts.resolved_threads();
+    let initial = initial_global_state(protocol)?;
+    let mut seen: HashSet<u128> = HashSet::new();
+    seen.insert(state_fingerprint(&initial));
+    let mut frontier = vec![initial];
+    let mut stats = StreamStats { distinct_states: 1, levels: 0, peak_resident: 1 };
+
+    // Workers filter successors against the prior levels' `seen` set
+    // (immutable while a level is in flight) and a chunk-local dedup set,
+    // so the successor stream holds only states plausibly new at this
+    // level — without it, high-multiplicity levels would make the stream
+    // outgrow the retained node vector it is meant to undercut. Cross-chunk
+    // duplicates (the same state discovered by two workers) survive to the
+    // merge below, which is the arbiter of `distinct_states`.
+    type Stream = Result<Vec<(GlobalState, u128)>, ProtocolError>;
+    let expand = |chunk: &[GlobalState], fold: &mut F, seen: &HashSet<u128>| -> Stream {
+        let mut scratch: Vec<Succ> = Vec::new();
+        let mut local: HashSet<u128> = HashSet::new();
+        let mut out = Vec::with_capacity(chunk.len() * 4);
+        for s in chunk {
+            fold.fold(s);
+            scratch.clear();
+            successors(protocol, s, &mut scratch)?;
+            for succ in scratch.drain(..) {
+                let fp = state_fingerprint(&succ.state);
+                if !seen.contains(&fp) && local.insert(fp) {
+                    out.push((succ.state, fp));
+                }
+            }
+        }
+        Ok(out)
+    };
+
+    while !frontier.is_empty() {
+        stats.levels += 1;
+        let streams: Vec<Vec<(GlobalState, u128)>> =
+            if threads > 1 && frontier.len() >= opts.parallel_frontier_min {
+                let chunk_len = frontier.len().div_ceil(threads);
+                let expand = &expand;
+                let seen_ref = &seen;
+                let results: Vec<(F, Stream)> = std::thread::scope(|scope| {
+                    let handles: Vec<_> = frontier
+                        .chunks(chunk_len)
+                        .map(|chunk| {
+                            let mut fold = folder.split();
+                            scope.spawn(move || {
+                                let r = expand(chunk, &mut fold, seen_ref);
+                                (fold, r)
+                            })
+                        })
+                        .collect();
+                    handles.into_iter().map(|h| h.join().expect("stream worker")).collect()
+                });
+                let mut streams = Vec::new();
+                for (fold, r) in results {
+                    folder.absorb(fold);
+                    streams.push(r?);
+                }
+                streams
+            } else {
+                vec![expand(&frontier, folder, &seen)?]
+            };
+        let streamed: usize = streams.iter().map(Vec::len).sum();
+        stats.peak_resident = stats.peak_resident.max(frontier.len() + streamed);
+
+        // Retire the expanded frontier; keep only this level's new states.
+        let mut next = Vec::new();
+        for (state, fp) in streams.into_iter().flatten() {
+            if seen.insert(fp) {
+                if stats.distinct_states >= opts.max_states {
+                    return Err(ProtocolError::GraphTooLarge { limit: opts.max_states });
+                }
+                stats.distinct_states += 1;
+                next.push(state);
+            }
+        }
+        frontier = next;
+    }
+    Ok(stats)
 }
 
 fn initial_global_state(protocol: &Protocol) -> Result<GlobalState, ProtocolError> {
@@ -1014,6 +1234,60 @@ mod tests {
                     assert_identical(&serial, &par, &format!("{} threads={threads}", p.name));
                 }
             }
+        }
+    }
+
+    /// Counts folds — the simplest possible [`StateFolder`], used to pin
+    /// the "every distinct state is folded exactly once" invariant that
+    /// the fused analysis relies on.
+    struct CountFolder(usize);
+
+    impl StateFolder for CountFolder {
+        fn fold(&mut self, _: &GlobalState) {
+            self.0 += 1;
+        }
+        fn split(&self) -> Self {
+            CountFolder(0)
+        }
+        fn absorb(&mut self, other: Self) {
+            self.0 += other.0;
+        }
+    }
+
+    #[test]
+    fn folders_visit_every_distinct_state_exactly_once() {
+        for p in catalog(3) {
+            let expect =
+                ReachGraph::build_serial(&p, ReachOptions::default()).unwrap().node_count();
+            for threads in [1usize, 2, 4] {
+                let opts =
+                    ReachOptions { threads, parallel_frontier_min: 1, ..ReachOptions::default() };
+                let mut c = CountFolder(0);
+                let g = ReachGraph::build_with_folder(&p, opts, &mut c).unwrap();
+                assert_eq!(g.node_count(), expect, "{} retained threads={threads}", p.name);
+                assert_eq!(c.0, expect, "{} retained folds threads={threads}", p.name);
+
+                let mut c = CountFolder(0);
+                let st = fold_reachable(&p, opts, &mut c).unwrap();
+                assert_eq!(st.distinct_states, expect, "{} stream count threads={threads}", p.name);
+                assert_eq!(c.0, expect, "{} stream folds threads={threads}", p.name);
+                assert!(st.levels > 1 && st.peak_resident >= 1, "{}", p.name);
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_limit_enforced() {
+        let p = central_3pc(3);
+        for threads in [1, 2, 4] {
+            let opts = ReachOptions {
+                max_states: 4,
+                threads,
+                parallel_frontier_min: 1,
+                ..ReachOptions::default()
+            };
+            let err = fold_reachable(&p, opts, &mut NoFolder);
+            assert!(matches!(err, Err(ProtocolError::GraphTooLarge { limit: 4 })));
         }
     }
 

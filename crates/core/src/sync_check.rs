@@ -103,7 +103,7 @@ pub fn check_with(protocol: &Protocol, analysis: &Analysis, opts: ReachOptions) 
                 continue;
             }
             let s_class = fsa.state(s).class;
-            for &(j, t) in analysis.concurrency_set(site, s) {
+            for (j, t) in analysis.concurrency_slots(site, s) {
                 let cls = analysis.class_of(j, t);
                 if !adjacent(s_class, cls) {
                     escapes.push(AdjacencyEscape { site, state: s, other_site: j, other_state: t });
@@ -112,7 +112,13 @@ pub fn check_with(protocol: &Protocol, analysis: &Analysis, opts: ReachOptions) 
         }
     }
 
-    let (max_lead, witness) = max_transition_lead(protocol, analysis.graph(), opts);
+    // The raw lead measurement walks the retained graph; a streamed
+    // analysis has none, so the adjacency verdict stands alone and the
+    // lead is reported as zero with an empty witness.
+    let (max_lead, witness) = match analysis.graph() {
+        Some(graph) => max_transition_lead(protocol, graph, opts),
+        None => (0, Vec::new()),
+    };
 
     SyncReport { protocol: protocol.name.clone(), escapes, max_lead, witness }
 }

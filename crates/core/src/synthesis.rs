@@ -359,7 +359,7 @@ mod tests {
         use crate::reach::NodeId;
         let p = make_nonblocking(&central_2pc(3)).unwrap();
         let a = Analysis::build(&p).unwrap();
-        let g = a.graph();
+        let g = a.graph().unwrap();
         let mut commit = false;
         let mut abort = false;
         for id in 0..g.node_count() as NodeId {

@@ -126,8 +126,6 @@ pub fn check(protocol: &Protocol) -> Result<TheoremReport, ProtocolError> {
 
 /// Check against a precomputed [`Analysis`] (reusable across checks).
 pub fn check_with(protocol: &Protocol, analysis: &Analysis) -> TheoremReport {
-    use crate::fsa::StateClass;
-
     let mut violations = Vec::new();
     let mut clean = vec![true; protocol.n_sites()];
 
@@ -138,13 +136,10 @@ pub fn check_with(protocol: &Protocol, analysis: &Analysis) -> TheoremReport {
             if !analysis.occupied(site, s) {
                 continue;
             }
-            let cs = analysis.concurrency_set(site, s);
-            let commit_witness = cs
-                .iter()
-                .find(|&&(j, t)| analysis.class_of(j, t) == StateClass::Committed)
-                .copied();
-            let abort_witness =
-                cs.iter().find(|&&(j, t)| analysis.class_of(j, t) == StateClass::Aborted).copied();
+            // Both witnesses in one pass over the bitset row (minimum
+            // commit-class and abort-class members — the same elements the
+            // old two linear scans of the BTreeSet found).
+            let (commit_witness, abort_witness) = analysis.cs_witnesses(site, s);
 
             if let (Some(cw), Some(aw)) = (commit_witness, abort_witness) {
                 violations.push(Violation::MixedConcurrency {

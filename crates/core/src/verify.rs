@@ -113,7 +113,8 @@ pub fn verify_termination_with(
     analysis: &Analysis,
 ) -> TerminationVerification {
     let decisions = class_decisions(protocol, analysis);
-    let graph = analysis.graph();
+    let graph =
+        analysis.graph().expect("termination verification requires a graph-retaining analysis");
     let n = protocol.n_sites();
     assert!(n < usize::BITS as usize, "subset enumeration uses a bitmask");
 
@@ -239,9 +240,10 @@ mod tests {
             let TerminationWitness::Stuck { node, survivors } = w else {
                 panic!("unexpected witness kind {w}");
             };
-            let g = a.graph().node(*node);
+            let graph = a.graph().unwrap();
+            let g = graph.node(*node);
             for &i in survivors {
-                assert_eq!(a.graph().class_of(SiteId(i as u32), g.locals[i]), StateClass::Wait);
+                assert_eq!(graph.class_of(SiteId(i as u32), g.locals[i]), StateClass::Wait);
             }
         }
     }

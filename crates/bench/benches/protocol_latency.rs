@@ -57,7 +57,35 @@ fn bench_termination_round() {
     }
 }
 
+fn bench_tracing_overhead() {
+    // The observability tax: the same commit round with tracing disabled
+    // (the default — one `None` branch per emission point), with events
+    // collected into a memory sink, and with the full JSONL render on top.
+    use nbc_engine::run_traced;
+    use nbc_obs::export::to_jsonl;
+    use nbc_obs::{MemorySink, SharedSink, Tracer};
+    let mut g = BenchGroup::new("tracing_overhead");
+    g.sample_size(50);
+    for n in [3usize, 5] {
+        let p = central_3pc(n);
+        let a = Analysis::build(&p).unwrap();
+        g.bench(&format!("off/{n}"), || run_with(black_box(&p), &a, RunConfig::happy(n)).msgs_sent);
+        g.bench(&format!("memory_sink/{n}"), || {
+            let sink = SharedSink::new(MemorySink::default());
+            let r =
+                run_traced(black_box(&p), &a, RunConfig::happy(n), Tracer::to_sink(sink.clone()));
+            r.msgs_sent + sink.with(|s| s.events.len() as u64)
+        });
+        g.bench(&format!("jsonl/{n}"), || {
+            let sink = SharedSink::new(MemorySink::default());
+            run_traced(black_box(&p), &a, RunConfig::happy(n), Tracer::to_sink(sink.clone()));
+            sink.with(|s| to_jsonl(&s.events).len() as u64)
+        });
+    }
+}
+
 fn main() {
     bench_commit_round();
     bench_termination_round();
+    bench_tracing_overhead();
 }

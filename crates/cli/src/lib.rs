@@ -28,12 +28,14 @@ use nbc_core::kpc::k_phase_central;
 use nbc_core::protocols::{central_2pc, central_3pc, decentralized_2pc, decentralized_3pc, one_pc};
 use nbc_core::{
     dot, recovery_analysis, resilience, sync_check, synthesis, termination, theorem, verify,
-    Analysis, Protocol, ReachGraph, ReachOptions,
+    Analysis, LevelProgress, Protocol, ReachGraph, ReachOptions,
 };
 use nbc_engine::{
-    enumerate_crash_specs, run_with, sweep, CrashPoint, CrashSpec, RunConfig, TerminationRule,
-    TransitionProgress,
+    enumerate_crash_specs, run_traced, run_with, sweep, sweep_traced, CrashPoint, CrashSpec,
+    RunConfig, RunReport, TerminationRule, TransitionProgress,
 };
+use nbc_obs::export::{to_chrome, to_jsonl};
+use nbc_obs::{Event, MemorySink, Metrics, SharedSink, Tracer};
 use nbc_simnet::LatencyModel;
 
 /// A CLI failure with a user-facing message.
@@ -93,7 +95,8 @@ pub fn cmd_list() -> String {
 
 /// Build the single [`Analysis`] an invocation shares across every
 /// analysis-consuming subcommand (theorem, resilience, sync, termination,
-/// recovery, simulation), honoring `--threads` and `--stream`.
+/// recovery, simulation), honoring `--threads`, `--stream`, and
+/// `--progress`.
 ///
 /// With `stream` set the reachability fold retires node payloads level by
 /// level and retains no graph — graph consumers ([`cmd_verify`],
@@ -102,9 +105,37 @@ pub fn build_analysis(
     protocol: &Protocol,
     threads: usize,
     stream: bool,
+    progress: bool,
 ) -> Result<Analysis, CliError> {
-    let opts = ReachOptions::default().with_threads(threads).with_streaming(stream);
+    let mut opts = ReachOptions::default().with_threads(threads).with_streaming(stream);
+    if progress {
+        opts = opts.with_progress(print_progress);
+    }
     Analysis::build_with(protocol, opts).map_err(|e| CliError(e.to_string()))
+}
+
+/// The `--progress` hook: one stderr line per completed BFS level, with a
+/// nodes/sec rate derived from a thread-local clock (stderr only — stdout
+/// and all results stay byte-identical with or without it).
+fn print_progress(p: &LevelProgress) {
+    use std::cell::Cell;
+    use std::time::Instant;
+    thread_local! {
+        static LAST: Cell<Option<Instant>> = const { Cell::new(None) };
+    }
+    let now = Instant::now();
+    let rate = LAST.with(|last| {
+        let prev = last.replace(Some(now));
+        prev.map(|p0| now.duration_since(p0).as_secs_f64()).filter(|dt| *dt > 0.0)
+    });
+    let rate = match rate {
+        Some(dt) => format!(" ({:.0} states/s)", p.new_states as f64 / dt),
+        None => String::new(),
+    };
+    eprintln!(
+        "level {:>3}: frontier {:>7}  new {:>7}  dedup {:>8}  total {:>8}{rate}",
+        p.level, p.frontier, p.new_states, p.dedup_hits, p.total
+    );
 }
 
 /// `nbc analyze PROTO`
@@ -175,13 +206,17 @@ pub fn cmd_verify(protocol: &Protocol, analysis: &Analysis) -> Result<String, Cl
     Ok(out)
 }
 
-/// `nbc graph PROTO [--dot]`
+/// `nbc graph PROTO [--dot] [--progress]`
 pub fn cmd_graph(
     protocol: &Protocol,
     dot_output: bool,
     threads: usize,
+    progress: bool,
 ) -> Result<String, CliError> {
-    let opts = ReachOptions::default().with_threads(threads);
+    let mut opts = ReachOptions::default().with_threads(threads);
+    if progress {
+        opts = opts.with_progress(print_progress);
+    }
     let g = ReachGraph::build_with(protocol, opts).map_err(|e| CliError(e.to_string()))?;
     if dot_output {
         Ok(dot::reach_graph_to_dot(&g, protocol, true))
@@ -230,8 +265,18 @@ pub struct SimOpts {
     pub latency: Option<(u64, u64)>,
     /// RNG seed for the latency model.
     pub seed: u64,
-    /// Record and print the execution trace.
+    /// Record and print the human-readable execution story (`--story`).
     pub trace: bool,
+    /// Write the structured event trace to this path (`--trace PATH`).
+    pub trace_path: Option<String>,
+    /// Export the trace as Chrome trace-event JSON instead of JSONL
+    /// (`--trace-format chrome`).
+    pub trace_chrome: bool,
+    /// Print the metrics table after the run (`--metrics`).
+    pub metrics: bool,
+    /// Print the machine-readable JSON report instead of the human text
+    /// (`--json`).
+    pub json: bool,
 }
 
 impl Default for SimOpts {
@@ -244,6 +289,10 @@ impl Default for SimOpts {
             latency: None,
             seed: 0,
             trace: false,
+            trace_path: None,
+            trace_chrome: false,
+            metrics: false,
+            json: false,
         }
     }
 }
@@ -278,14 +327,61 @@ impl SimOpts {
     }
 }
 
+impl SimOpts {
+    /// True when the run must be executed through a tracer (a structured
+    /// trace or the metrics table was requested).
+    fn wants_events(&self) -> bool {
+        self.trace_path.is_some() || self.metrics
+    }
+}
+
+/// Serialize `events` to `path` in the requested format (`--trace` /
+/// `--trace-format`).
+fn write_trace(path: &str, chrome: bool, events: &[Event]) -> Result<(), CliError> {
+    let data = if chrome { to_chrome(events) } else { to_jsonl(events) };
+    std::fs::write(path, data).map_err(|e| CliError(format!("cannot write {path}: {e}")))
+}
+
+/// Execute one run through a tracer, honoring the trace/metrics options:
+/// writes the trace file (if requested) and returns the report together
+/// with the rendered metrics table (if requested).
+fn run_observed(
+    protocol: &Protocol,
+    analysis: &Analysis,
+    cfg: RunConfig,
+    opts: &SimOpts,
+) -> Result<(RunReport, Option<Metrics>), CliError> {
+    let events = SharedSink::new(MemorySink::default());
+    let metrics = SharedSink::new(Metrics::default());
+    let mut tracer = Tracer::to_sink(events.clone());
+    if opts.metrics {
+        tracer.attach(metrics.clone());
+    }
+    let report = run_traced(protocol, analysis, cfg, tracer);
+    if let Some(path) = &opts.trace_path {
+        events.with(|s| write_trace(path, opts.trace_chrome, &s.events))?;
+    }
+    let metrics = opts.metrics.then(|| metrics.with(|m| m.clone()));
+    Ok((report, metrics))
+}
+
 /// `nbc simulate PROTO [opts]`
 pub fn cmd_simulate(
     protocol: &Protocol,
     analysis: &Analysis,
     opts: &SimOpts,
 ) -> Result<String, CliError> {
-    let report = run_with(protocol, analysis, opts.to_config(protocol.n_sites()));
+    let cfg = opts.to_config(protocol.n_sites());
+    let (report, metrics) = if opts.wants_events() {
+        run_observed(protocol, analysis, cfg, opts)?
+    } else {
+        (run_with(protocol, analysis, cfg), None)
+    };
     let mut out = String::new();
+    if opts.json {
+        let _ = writeln!(out, "{}", report.to_json());
+        return Ok(out);
+    }
     for line in &report.trace {
         let _ = writeln!(out, "{line}");
     }
@@ -296,6 +392,9 @@ pub fn cmd_simulate(
         if report.consistent { "preserved" } else { "VIOLATED" },
         report.all_operational_decided
     );
+    if let Some(m) = metrics {
+        let _ = write!(out, "{m}");
+    }
     Ok(out)
 }
 
@@ -307,7 +406,28 @@ pub fn cmd_sweep(
 ) -> Result<String, CliError> {
     let specs = enumerate_crash_specs(protocol, opts.recover);
     let base = opts.to_config(protocol.n_sites());
-    let s = sweep(protocol, analysis, &base, &specs);
+    let mut metrics_table = None;
+    let s = if opts.wants_events() {
+        let events = SharedSink::new(MemorySink::default());
+        let metrics = SharedSink::new(Metrics::default());
+        let mut tracer = Tracer::to_sink(events.clone());
+        if opts.metrics {
+            tracer.attach(metrics.clone());
+        }
+        let s = sweep_traced(protocol, analysis, &base, &specs, tracer);
+        if let Some(path) = &opts.trace_path {
+            events.with(|sink| write_trace(path, opts.trace_chrome, &sink.events))?;
+        }
+        if opts.metrics {
+            metrics_table = Some(metrics.with(|m| m.clone()));
+        }
+        s
+    } else {
+        sweep(protocol, analysis, &base, &specs)
+    };
+    if opts.json {
+        return Ok(format!("{}\n", s.to_json()));
+    }
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -328,11 +448,58 @@ pub fn cmd_sweep(
             "blocking window present"
         }
     );
+    if let Some(m) = metrics_table {
+        let _ = write!(out, "{m}");
+    }
     Ok(out)
 }
 
+/// Append an instrumented exemplar run to a table command's output when
+/// `--trace`/`--metrics` asked for one: the coordinator crashes mid-way
+/// through its decision broadcast (one message sent), which drives the
+/// full termination protocol — election, alignment, backup decision —
+/// through the tracer. With `recover` the crashed site comes back and runs
+/// the recovery protocol too.
+fn demo_run(
+    protocol: &Protocol,
+    analysis: &Analysis,
+    opts: &SimOpts,
+    recover: bool,
+    out: &mut String,
+) -> Result<(), CliError> {
+    if !opts.wants_events() {
+        return Ok(());
+    }
+    let mut cfg = opts.to_config(protocol.n_sites());
+    if cfg.crashes.is_empty() {
+        cfg.crashes.push(CrashSpec {
+            site: 0,
+            point: CrashPoint::OnTransition {
+                ordinal: 2,
+                progress: TransitionProgress::AfterMsgs(1),
+            },
+            recover_at: opts.recover.or(if recover { Some(300) } else { None }),
+        });
+    }
+    let _ = writeln!(
+        out,
+        "exemplar run: site 0 crashes at ordinal 2 after 1 message{}",
+        if recover { ", recovers" } else { "" }
+    );
+    let (report, metrics) = run_observed(protocol, analysis, cfg, opts)?;
+    let _ = writeln!(out, "{report}");
+    if let Some(m) = metrics {
+        let _ = write!(out, "{m}");
+    }
+    Ok(())
+}
+
 /// `nbc termination PROTO`
-pub fn cmd_termination(protocol: &Protocol, analysis: &Analysis) -> Result<String, CliError> {
+pub fn cmd_termination(
+    protocol: &Protocol,
+    analysis: &Analysis,
+    opts: &SimOpts,
+) -> Result<String, CliError> {
     let mut out = String::new();
     let _ = writeln!(out, "{}: backup-coordinator decision table", protocol.name);
     for row in termination::decision_table(protocol, analysis) {
@@ -345,16 +512,22 @@ pub fn cmd_termination(protocol: &Protocol, analysis: &Analysis) -> Result<Strin
             row.backup
         );
     }
+    demo_run(protocol, analysis, opts, false, &mut out)?;
     Ok(out)
 }
 
 /// `nbc recovery PROTO`
-pub fn cmd_recovery(protocol: &Protocol, analysis: &Analysis) -> Result<String, CliError> {
+pub fn cmd_recovery(
+    protocol: &Protocol,
+    analysis: &Analysis,
+    opts: &SimOpts,
+) -> Result<String, CliError> {
     let mut out = String::new();
     let _ = writeln!(out, "{}: independent recovery classification", protocol.name);
     for row in recovery_analysis::classify(protocol, analysis) {
         let _ = writeln!(out, "  {} in {:<4} -> {}", row.site, row.state_name, row.class);
     }
+    demo_run(protocol, analysis, opts, true, &mut out)?;
     Ok(out)
 }
 
@@ -394,6 +567,9 @@ pub fn cmd_pipeline(args: &[String]) -> Result<String, CliError> {
     let mut window = 2u64;
     let mut reap = 200u64;
     let mut seed = 42u64;
+    let mut trace_path: Option<String> = None;
+    let mut trace_chrome = false;
+    let mut metrics = false;
     let mut i = 1;
     while i < args.len() {
         let flag = args[i].as_str();
@@ -414,6 +590,9 @@ pub fn cmd_pipeline(args: &[String]) -> Result<String, CliError> {
             "--window" => window = parse_num(&val("--window")?, "--window")?,
             "--reap" => reap = parse_num(&val("--reap")?, "--reap")?,
             "--seed" => seed = parse_num(&val("--seed")?, "--seed")?,
+            "--trace" => trace_path = Some(val("--trace")?),
+            "--trace-format" => trace_chrome = parse_trace_format(&val("--trace-format")?)?,
+            "--metrics" => metrics = true,
             other => return fail(format!("unknown flag {other:?}")),
         }
         i += 1;
@@ -427,7 +606,7 @@ pub fn cmd_pipeline(args: &[String]) -> Result<String, CliError> {
     let mut rng = SimRng::seed_from_u64(seed);
     let batch = bank_transfer_txns(&mut w, txns, crash_pct, &mut rng);
 
-    let run_with = |max_in_flight: usize, group_window: u64| {
+    let run_with = |max_in_flight: usize, group_window: u64, tracer: Option<Tracer>| {
         let mut p = Pipeline::new(
             PipelineConfig::new(n, kind)
                 .with_in_flight(max_in_flight)
@@ -435,14 +614,31 @@ pub fn cmd_pipeline(args: &[String]) -> Result<String, CliError> {
                 .with_reap_after(reap),
         );
         p.run(vec![PipelineTxn::from_ops(&w.setup_ops())]);
+        // Attach only after the setup transaction: the trace covers the
+        // measured batch, not the workload bootstrap.
+        if let Some(t) = tracer {
+            p.set_tracer(t);
+        }
         let start = p.now();
         let r = p.run(batch.clone());
         let conserved = p.total_balance(&w) == w.expected_total() && p.locked_keys() == 0;
         let ticks = r.finished_at - start;
         (r, ticks, conserved)
     };
-    let (serial, serial_ticks, serial_ok) = run_with(1, 0);
-    let (report, pipe_ticks, pipe_ok) = run_with(in_flight, window);
+    let (serial, serial_ticks, serial_ok) = run_with(1, 0, None);
+    let events = SharedSink::new(MemorySink::default());
+    let metrics_sink = SharedSink::new(Metrics::default());
+    let tracer = (trace_path.is_some() || metrics).then(|| {
+        let mut t = Tracer::to_sink(events.clone());
+        if metrics {
+            t.attach(metrics_sink.clone());
+        }
+        t
+    });
+    let (report, pipe_ticks, pipe_ok) = run_with(in_flight, window, tracer);
+    if let Some(path) = &trace_path {
+        events.with(|s| write_trace(path, trace_chrome, &s.events))?;
+    }
 
     let mut out = String::new();
     let _ = writeln!(
@@ -465,6 +661,9 @@ pub fn cmd_pipeline(args: &[String]) -> Result<String, CliError> {
         "speedup over serial: {speedup:.2}x; conservation: {}",
         if serial_ok && pipe_ok { "ok" } else { "VIOLATED" }
     );
+    if metrics {
+        let _ = write!(out, "{}", metrics_sink.with(|m| m.clone()));
+    }
     Ok(out)
 }
 
@@ -500,6 +699,15 @@ pub fn parse_latency_arg(arg: &str) -> Result<(u64, u64), CliError> {
     Ok((lo, hi))
 }
 
+/// Parse a `--trace-format` value; `true` selects Chrome trace-event JSON.
+pub fn parse_trace_format(arg: &str) -> Result<bool, CliError> {
+    match arg {
+        "jsonl" => Ok(false),
+        "chrome" => Ok(true),
+        _ => fail(format!("unknown trace format {arg:?} (jsonl | chrome)")),
+    }
+}
+
 /// Parse a termination-rule name.
 pub fn parse_rule_arg(arg: &str) -> Result<TerminationRule, CliError> {
     match arg {
@@ -526,7 +734,7 @@ mod tests {
     }
 
     fn retained(p: &Protocol) -> Analysis {
-        build_analysis(p, 0, false).unwrap()
+        build_analysis(p, 0, false, false).unwrap()
     }
 
     #[test]
@@ -544,7 +752,7 @@ mod tests {
     fn streamed_analyze_matches_retained_verdicts() {
         for (name, verdict) in [("2pc", "BLOCKING"), ("3pc", "NONBLOCKING")] {
             let p = resolve_protocol(name, 3).unwrap();
-            let streamed = build_analysis(&p, 2, true).unwrap();
+            let streamed = build_analysis(&p, 2, true, false).unwrap();
             let out = cmd_analyze(&p, &streamed).unwrap();
             assert!(out.contains(verdict), "{name}: {out}");
             assert!(out.contains("streamed analysis:"), "{name}: {out}");
@@ -567,7 +775,7 @@ mod tests {
     #[test]
     fn verify_rejects_streamed_analysis() {
         let p = resolve_protocol("3pc", 3).unwrap();
-        let streamed = build_analysis(&p, 0, true).unwrap();
+        let streamed = build_analysis(&p, 0, true, false).unwrap();
         let err = cmd_verify(&p, &streamed).unwrap_err();
         assert!(err.0.contains("--stream"), "{err}");
     }
@@ -628,11 +836,15 @@ mod tests {
     fn tables_render() {
         let p = resolve_protocol("3pc", 3).unwrap();
         let a = retained(&p);
-        assert!(cmd_termination(&p, &a).unwrap().contains("commit"));
-        assert!(cmd_recovery(&p, &a).unwrap().contains("must ask"));
-        assert!(cmd_graph(&p, false, 0).unwrap().contains("global states"));
-        assert!(cmd_graph(&p, true, 0).unwrap().contains("digraph"));
-        assert_eq!(cmd_graph(&p, false, 1).unwrap(), cmd_graph(&p, false, 4).unwrap());
+        let o = SimOpts::default();
+        assert!(cmd_termination(&p, &a, &o).unwrap().contains("commit"));
+        assert!(cmd_recovery(&p, &a, &o).unwrap().contains("must ask"));
+        assert!(cmd_graph(&p, false, 0, false).unwrap().contains("global states"));
+        assert!(cmd_graph(&p, true, 0, false).unwrap().contains("digraph"));
+        assert_eq!(
+            cmd_graph(&p, false, 1, false).unwrap(),
+            cmd_graph(&p, false, 4, false).unwrap()
+        );
     }
 
     #[test]
@@ -642,10 +854,11 @@ mod tests {
         // output at any thread count.
         let p = resolve_protocol("3pc", 3).unwrap();
         let a = retained(&p);
+        let o = SimOpts::default();
         for threads in [1, 2, 4] {
-            let s = build_analysis(&p, threads, true).unwrap();
-            assert_eq!(cmd_termination(&p, &a).unwrap(), cmd_termination(&p, &s).unwrap());
-            assert_eq!(cmd_recovery(&p, &a).unwrap(), cmd_recovery(&p, &s).unwrap());
+            let s = build_analysis(&p, threads, true, false).unwrap();
+            assert_eq!(cmd_termination(&p, &a, &o).unwrap(), cmd_termination(&p, &s, &o).unwrap());
+            assert_eq!(cmd_recovery(&p, &a, &o).unwrap(), cmd_recovery(&p, &s, &o).unwrap());
         }
     }
 
@@ -675,6 +888,93 @@ mod tests {
     }
 
     #[test]
+    fn simulate_json_and_metrics() {
+        let p = resolve_protocol("3pc", 3).unwrap();
+        let a = retained(&p);
+        let out = cmd_simulate(&p, &a, &SimOpts { json: true, ..SimOpts::default() }).unwrap();
+        nbc_obs::json::validate(out.trim()).unwrap();
+        assert!(out.contains("\"decision\":true"), "{out}");
+
+        let out = cmd_simulate(&p, &a, &SimOpts { metrics: true, ..SimOpts::default() }).unwrap();
+        assert!(out.contains("metrics ("), "{out}");
+        assert!(out.contains("messages"), "{out}");
+        assert!(out.contains("preserved"), "{out}");
+    }
+
+    #[test]
+    fn simulate_writes_trace_files() {
+        let p = resolve_protocol("3pc", 3).unwrap();
+        let a = retained(&p);
+        let dir = std::env::temp_dir();
+        let jsonl = dir.join("nbc-cli-test-trace.jsonl");
+        let chrome = dir.join("nbc-cli-test-trace.chrome.json");
+
+        let opts = SimOpts {
+            trace_path: Some(jsonl.to_string_lossy().into_owned()),
+            ..SimOpts::default()
+        };
+        cmd_simulate(&p, &a, &opts).unwrap();
+        let data = std::fs::read_to_string(&jsonl).unwrap();
+        assert!(!data.is_empty());
+        for line in data.lines() {
+            nbc_obs::json::validate(line).unwrap();
+        }
+
+        let opts = SimOpts {
+            trace_path: Some(chrome.to_string_lossy().into_owned()),
+            trace_chrome: true,
+            ..SimOpts::default()
+        };
+        cmd_simulate(&p, &a, &opts).unwrap();
+        let data = std::fs::read_to_string(&chrome).unwrap();
+        nbc_obs::json::validate(&data).unwrap();
+        assert!(data.starts_with("{\"traceEvents\":["), "{data}");
+
+        let _ = std::fs::remove_file(&jsonl);
+        let _ = std::fs::remove_file(&chrome);
+    }
+
+    #[test]
+    fn sweep_json_is_valid() {
+        let p = resolve_protocol("3pc", 3).unwrap();
+        let a = retained(&p);
+        let out = cmd_sweep(&p, &a, &SimOpts { json: true, ..SimOpts::default() }).unwrap();
+        nbc_obs::json::validate(out.trim()).unwrap();
+        assert!(out.contains("\"nonblocking\":true"), "{out}");
+    }
+
+    #[test]
+    fn tables_append_exemplar_run_when_observed() {
+        let p = resolve_protocol("3pc", 3).unwrap();
+        let a = retained(&p);
+        let opts = SimOpts { metrics: true, ..SimOpts::default() };
+        let out = cmd_termination(&p, &a, &opts).unwrap();
+        assert!(out.contains("exemplar run"), "{out}");
+        assert!(out.contains("metrics ("), "{out}");
+        let out = cmd_recovery(&p, &a, &opts).unwrap();
+        assert!(out.contains("recovers"), "{out}");
+        assert!(out.contains("recoveries=1"), "{out}");
+    }
+
+    #[test]
+    fn pipeline_trace_and_metrics() {
+        let path = std::env::temp_dir().join("nbc-cli-test-pipeline.jsonl");
+        let args: Vec<String> =
+            ["3pc", "--txns", "16", "--seed", "7", "--metrics", "--trace", path.to_str().unwrap()]
+                .iter()
+                .map(|s| s.to_string())
+                .collect();
+        let out = cmd_pipeline(&args).unwrap();
+        assert!(out.contains("scheduler"), "{out}");
+        assert!(out.contains("admits="), "{out}");
+        let data = std::fs::read_to_string(&path).unwrap();
+        for line in data.lines() {
+            nbc_obs::json::validate(line).unwrap();
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
     fn arg_parsers() {
         assert_eq!(parse_crash_arg("0:3:1").unwrap(), (0, 3, Some(1)));
         assert_eq!(parse_crash_arg("2:1:log").unwrap(), (2, 1, None));
@@ -683,5 +983,8 @@ mod tests {
         assert!(parse_latency_arg("9..2").is_err());
         assert!(parse_rule_arg("cooperative").is_ok());
         assert!(parse_rule_arg("yolo").is_err());
+        assert!(!parse_trace_format("jsonl").unwrap());
+        assert!(parse_trace_format("chrome").unwrap());
+        assert!(parse_trace_format("svg").is_err());
     }
 }

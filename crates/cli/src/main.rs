@@ -8,19 +8,24 @@ nbc — nonblocking commit protocols (Skeen, SIGMOD 1981)
 
 USAGE:
   nbc list
-  nbc analyze     PROTO [-n N] [--threads T] [--stream]
-  nbc verify      PROTO [-n N] [--threads T]
-  nbc graph       PROTO [-n N] [--dot] [--threads T]
-  nbc synthesize  PROTO [-n N] [--threads T] [--stream]
+  nbc analyze     PROTO [-n N] [--threads T] [--stream] [--progress]
+  nbc verify      PROTO [-n N] [--threads T] [--progress]
+  nbc graph       PROTO [-n N] [--dot] [--threads T] [--progress]
+  nbc synthesize  PROTO [-n N] [--threads T] [--stream] [--progress]
   nbc simulate    PROTO [-n N] [--threads T] [--stream]
                   [--crash SITE:ORDINAL:MSGS] [--recover T]
                   [--no-voter K]... [--rule skeen|cooperative|naive|quorum]
-                  [--latency LO..HI] [--seed S] [--trace]
+                  [--latency LO..HI] [--seed S] [--story]
+                  [--trace PATH] [--trace-format jsonl|chrome] [--metrics] [--json]
   nbc sweep       PROTO [-n N] [--threads T] [--stream] [--recover T] [--rule ...]
+                  [--trace PATH] [--trace-format jsonl|chrome] [--metrics] [--json]
   nbc termination PROTO [-n N] [--threads T] [--stream]
+                  [--trace PATH] [--trace-format jsonl|chrome] [--metrics]
   nbc recovery    PROTO [-n N] [--threads T] [--stream]
+                  [--trace PATH] [--trace-format jsonl|chrome] [--metrics]
   nbc pipeline    PROTO [-n N] [--txns T] [--crash-pct P] [--in-flight K]
                   [--window W] [--reap T] [--seed S]
+                  [--trace PATH] [--trace-format jsonl|chrome] [--metrics]
 
 PROTO: central-2pc | central-3pc | decentralized-2pc | decentralized-3pc |
        1pc | kpc:K | a .nbc spec file (see the nbc-spec crate docs)
@@ -32,6 +37,14 @@ MSGS in --crash: a number (messages sent before dying) or `log`
 --stream: fold the analysis level by level without retaining the state
 graph — lower memory, but graph consumers (`verify`, `--dot`) need the
 retaining default.
+--progress: per-level BFS progress (frontier, new states, dedup hits,
+states/sec) on stderr while the analysis builds.
+--story: print the run's human-readable execution trace.
+--trace PATH: write the structured event trace to PATH; --trace-format
+picks JSONL (one event object per line, the default) or Chrome
+trace-event JSON for chrome://tracing / Perfetto.
+--metrics: print message/WAL/latency counters after the run.
+--json: emit the run report or sweep summary as JSON on stdout.
 ";
 
 fn main() {
@@ -69,6 +82,7 @@ fn run(args: &[String]) -> Result<String, CliError> {
     let mut dot = false;
     let mut threads = 0usize; // 0 = auto
     let mut stream = false;
+    let mut progress = false;
     let mut opts = SimOpts::default();
     let mut i = 2;
     while i < args.len() {
@@ -78,12 +92,17 @@ fn run(args: &[String]) -> Result<String, CliError> {
             }
             "--dot" => dot = true,
             "--stream" => stream = true,
+            "--progress" => progress = true,
             "--threads" => {
                 threads = next_val(args, &mut i)?
                     .parse()
                     .map_err(|_| CliError("bad --threads value".into()))?
             }
-            "--trace" => opts.trace = true,
+            "--story" => opts.trace = true,
+            "--trace" => opts.trace_path = Some(next_val(args, &mut i)?),
+            "--trace-format" => opts.trace_chrome = parse_trace_format(&next_val(args, &mut i)?)?,
+            "--metrics" => opts.metrics = true,
+            "--json" => opts.json = true,
             "--crash" => opts.crash = Some(parse_crash_arg(&next_val(args, &mut i)?)?),
             "--recover" => {
                 opts.recover = Some(
@@ -118,20 +137,20 @@ fn run(args: &[String]) -> Result<String, CliError> {
 
     let protocol = resolve_protocol(proto_arg, n)?;
     if cmd == "graph" {
-        return cmd_graph(&protocol, dot, threads);
+        return cmd_graph(&protocol, dot, threads, progress);
     }
 
     // Every remaining command consumes the analysis; build it once and
     // share it across the theorem/resilience/termination/report subpaths.
-    let analysis = build_analysis(&protocol, threads, stream)?;
+    let analysis = build_analysis(&protocol, threads, stream, progress)?;
     match cmd.as_str() {
         "analyze" => cmd_analyze(&protocol, &analysis),
         "verify" => cmd_verify(&protocol, &analysis),
         "synthesize" => cmd_synthesize(&protocol, &analysis),
         "simulate" => cmd_simulate(&protocol, &analysis, &opts),
         "sweep" => cmd_sweep(&protocol, &analysis, &opts),
-        "termination" => cmd_termination(&protocol, &analysis),
-        "recovery" => cmd_recovery(&protocol, &analysis),
+        "termination" => cmd_termination(&protocol, &analysis, &opts),
+        "recovery" => cmd_recovery(&protocol, &analysis, &opts),
         _ => unreachable!("command validated above"),
     }
 }

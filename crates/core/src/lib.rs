@@ -77,6 +77,6 @@ pub use error::ProtocolError;
 pub use fsa::{Consume, Envelope, Fsa, FsaBuilder, StateClass, StateInfo, Transition, Vote};
 pub use ids::{MsgKind, SiteId, StateId};
 pub use protocol::{InitialMsg, Paradigm, Protocol};
-pub use reach::{GlobalState, GraphStats, ReachGraph, ReachOptions, StreamStats};
+pub use reach::{GlobalState, GraphStats, LevelProgress, ReachGraph, ReachOptions, StreamStats};
 pub use termination::Decision;
 pub use theorem::{TheoremReport, Violation};

@@ -176,6 +176,25 @@ pub struct Edge {
     pub any_choice: Option<SiteId>,
 }
 
+/// A per-level progress snapshot reported by graph construction when
+/// [`ReachOptions::progress`] is set. One snapshot is delivered (from the
+/// coordinating thread, after the level barrier) for every completed BFS
+/// level; the hook observes the build but cannot perturb it — node ids,
+/// edge order, and fold results are identical with or without it.
+#[derive(Copy, Clone, Debug)]
+pub struct LevelProgress {
+    /// The completed BFS level (`0` holds only the initial state).
+    pub level: usize,
+    /// States expanded at this level (the frontier width).
+    pub frontier: usize,
+    /// Distinct new states this level's expansion discovered.
+    pub new_states: usize,
+    /// Successor occurrences that resolved to already-known states.
+    pub dedup_hits: u64,
+    /// Distinct states discovered so far, this level included.
+    pub total: usize,
+}
+
 /// Options for graph construction.
 #[derive(Copy, Clone, Debug)]
 pub struct ReachOptions {
@@ -198,11 +217,21 @@ pub struct ReachOptions {
     /// the default retaining mode. Ignored by [`ReachGraph::build_with`]
     /// itself — a graph is inherently retained.
     pub stream: bool,
+    /// Called once per completed BFS level with a [`LevelProgress`]
+    /// snapshot. A plain `fn` pointer (not a closure) so the options stay
+    /// `Copy`; `None` (the default) costs nothing.
+    pub progress: Option<fn(&LevelProgress)>,
 }
 
 impl Default for ReachOptions {
     fn default() -> Self {
-        Self { max_states: 1 << 22, threads: 0, parallel_frontier_min: 512, stream: false }
+        Self {
+            max_states: 1 << 22,
+            threads: 0,
+            parallel_frontier_min: 512,
+            stream: false,
+            progress: None,
+        }
     }
 }
 
@@ -216,6 +245,12 @@ impl ReachOptions {
     /// Same options with streaming (non-retaining) analysis toggled.
     pub fn with_streaming(mut self, stream: bool) -> Self {
         self.stream = stream;
+        self
+    }
+
+    /// Same options with a per-level progress hook installed.
+    pub fn with_progress(mut self, hook: fn(&LevelProgress)) -> Self {
+        self.progress = Some(hook);
         self
     }
 
@@ -423,8 +458,29 @@ impl ReachGraph {
         let mut out_edges: Vec<Vec<Edge>> = vec![Vec::new()];
         let mut queue: VecDeque<NodeId> = VecDeque::from([0]);
 
+        // The FIFO queue dequeues ids in discovery order, so the level
+        // structure is implicit: when the dequeued id crosses `level_end`
+        // the previous frontier has been fully expanded.
+        let (mut level, mut level_start, mut level_end) = (0usize, 0usize, 1usize);
+        let mut dedup_hits = 0u64;
+
         let mut scratch: Vec<Succ> = Vec::new();
         while let Some(id) = queue.pop_front() {
+            if let Some(hook) = opts.progress {
+                if id as usize >= level_end {
+                    hook(&LevelProgress {
+                        level,
+                        frontier: level_end - level_start,
+                        new_states: nodes.len() - level_end,
+                        dedup_hits,
+                        total: nodes.len(),
+                    });
+                    level += 1;
+                    level_start = level_end;
+                    level_end = nodes.len();
+                    dedup_hits = 0;
+                }
+            }
             let state = nodes[id as usize].clone();
             folder.fold(&state);
             scratch.clear();
@@ -433,7 +489,10 @@ impl ReachGraph {
             for succ in scratch.drain(..) {
                 let Succ { state: succ_state, mut edge, .. } = succ;
                 let to = match index.get(&succ_state) {
-                    Some(&id) => id,
+                    Some(&id) => {
+                        dedup_hits += 1;
+                        id
+                    }
                     None => {
                         if nodes.len() >= opts.max_states {
                             return Err(ProtocolError::GraphTooLarge { limit: opts.max_states });
@@ -450,6 +509,15 @@ impl ReachGraph {
                 edges.push(edge);
             }
             out_edges[id as usize] = edges;
+        }
+        if let Some(hook) = opts.progress {
+            hook(&LevelProgress {
+                level,
+                frontier: level_end - level_start,
+                new_states: nodes.len() - level_end,
+                dedup_hits,
+                total: nodes.len(),
+            });
         }
 
         Ok(Self { nodes, out_edges, initial: 0, classes: class_table(protocol) })
@@ -477,6 +545,7 @@ impl ReachGraph {
         let mut nodes: Vec<GlobalState> = vec![initial_state];
         let mut out_edges: Vec<Vec<Edge>> = vec![Vec::new()];
         let mut level: Range<usize> = 0..1;
+        let mut level_no = 0usize;
 
         while !level.is_empty() {
             // 1. Expand the frontier into the level's successor stream
@@ -625,6 +694,16 @@ impl ReachGraph {
                 out_edges[node_id] = edges;
             }
 
+            if let Some(hook) = opts.progress {
+                hook(&LevelProgress {
+                    level: level_no,
+                    frontier: level.len(),
+                    new_states: nodes.len() - level.end,
+                    dedup_hits: (flat.len() - news.len()) as u64,
+                    total: nodes.len(),
+                });
+            }
+            level_no += 1;
             level = level.end..nodes.len();
         }
 
@@ -823,11 +902,12 @@ pub(crate) fn fold_reachable<F: StateFolder>(
     // outgrow the retained node vector it is meant to undercut. Cross-chunk
     // duplicates (the same state discovered by two workers) survive to the
     // merge below, which is the arbiter of `distinct_states`.
-    type Stream = Result<Vec<(GlobalState, u128)>, ProtocolError>;
+    type Stream = Result<(Vec<(GlobalState, u128)>, u64), ProtocolError>;
     let expand = |chunk: &[GlobalState], fold: &mut F, seen: &HashSet<u128>| -> Stream {
         let mut scratch: Vec<Succ> = Vec::new();
         let mut local: HashSet<u128> = HashSet::new();
         let mut out = Vec::with_capacity(chunk.len() * 4);
+        let mut dupes = 0u64;
         for s in chunk {
             fold.fold(s);
             scratch.clear();
@@ -836,14 +916,17 @@ pub(crate) fn fold_reachable<F: StateFolder>(
                 let fp = state_fingerprint(&succ.state);
                 if !seen.contains(&fp) && local.insert(fp) {
                     out.push((succ.state, fp));
+                } else {
+                    dupes += 1;
                 }
             }
         }
-        Ok(out)
+        Ok((out, dupes))
     };
 
     while !frontier.is_empty() {
         stats.levels += 1;
+        let mut dedup_hits = 0u64;
         let streams: Vec<Vec<(GlobalState, u128)>> =
             if threads > 1 && frontier.len() >= opts.parallel_frontier_min {
                 let chunk_len = frontier.len().div_ceil(threads);
@@ -865,11 +948,15 @@ pub(crate) fn fold_reachable<F: StateFolder>(
                 let mut streams = Vec::new();
                 for (fold, r) in results {
                     folder.absorb(fold);
-                    streams.push(r?);
+                    let (stream, dupes) = r?;
+                    dedup_hits += dupes;
+                    streams.push(stream);
                 }
                 streams
             } else {
-                vec![expand(&frontier, folder, &seen)?]
+                let (stream, dupes) = expand(&frontier, folder, &seen)?;
+                dedup_hits += dupes;
+                vec![stream]
             };
         let streamed: usize = streams.iter().map(Vec::len).sum();
         stats.peak_resident = stats.peak_resident.max(frontier.len() + streamed);
@@ -883,7 +970,20 @@ pub(crate) fn fold_reachable<F: StateFolder>(
                 }
                 stats.distinct_states += 1;
                 next.push(state);
+            } else {
+                // Cross-chunk duplicate: the same state surfaced from two
+                // workers' chunk-local streams.
+                dedup_hits += 1;
             }
+        }
+        if let Some(hook) = opts.progress {
+            hook(&LevelProgress {
+                level: stats.levels - 1,
+                frontier: frontier.len(),
+                new_states: next.len(),
+                dedup_hits,
+                total: stats.distinct_states,
+            });
         }
         frontier = next;
     }
@@ -1273,6 +1373,40 @@ mod tests {
                 assert_eq!(c.0, expect, "{} stream folds threads={threads}", p.name);
                 assert!(st.levels > 1 && st.peak_resident >= 1, "{}", p.name);
             }
+        }
+    }
+
+    #[test]
+    fn progress_snapshots_identical_across_all_build_paths() {
+        use std::sync::Mutex;
+        type Snap = (usize, usize, usize, u64, usize);
+        static SNAPS: Mutex<Vec<Snap>> = Mutex::new(Vec::new());
+        fn hook(p: &LevelProgress) {
+            SNAPS.lock().unwrap().push((p.level, p.frontier, p.new_states, p.dedup_hits, p.total));
+        }
+        let take = || std::mem::take(&mut *SNAPS.lock().unwrap());
+
+        let p = central_3pc(3);
+        let serial =
+            ReachGraph::build_serial(&p, ReachOptions::default().with_progress(hook)).unwrap();
+        let reference = take();
+        assert!(reference.len() > 2, "expected several levels, got {reference:?}");
+        for (i, s) in reference.iter().enumerate() {
+            assert_eq!(s.0, i, "levels are numbered consecutively");
+        }
+        assert_eq!(reference.last().unwrap().4, serial.node_count());
+        assert_eq!(reference.last().unwrap().2, 0, "final level discovers nothing");
+
+        for threads in [2usize, 4] {
+            let opts = ReachOptions { threads, parallel_frontier_min: 1, ..Default::default() }
+                .with_progress(hook);
+            let par = ReachGraph::build_with(&p, opts).unwrap();
+            assert_eq!(par.node_count(), serial.node_count());
+            assert_eq!(take(), reference, "parallel threads={threads}");
+
+            let st = fold_reachable(&p, opts, &mut NoFolder).unwrap();
+            assert_eq!(st.distinct_states, serial.node_count());
+            assert_eq!(take(), reference, "streaming threads={threads}");
         }
     }
 

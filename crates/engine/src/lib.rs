@@ -45,6 +45,6 @@ pub use config::{
 };
 pub use decide::ClassDecisions;
 pub use report::{RunReport, SiteOutcome};
-pub use run::{run_one, run_with, Runner};
-pub use sweep::{enumerate_crash_specs, sweep, SweepSummary};
+pub use run::{run_one, run_traced, run_with, Runner};
+pub use sweep::{enumerate_crash_specs, sweep, sweep_traced, SweepSummary};
 pub use wire::Wire;

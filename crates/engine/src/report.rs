@@ -2,6 +2,7 @@
 
 use std::fmt;
 
+use nbc_obs::json::{array, string, Obj};
 use nbc_simnet::Time;
 
 /// The fate of one site at the end of a run.
@@ -145,6 +146,29 @@ impl RunReport {
     pub fn committed_count(&self) -> usize {
         self.outcomes.iter().filter(|o| o.decision() == Some(true)).count()
     }
+
+    /// Encode the report as a JSON object (for `--json` CLI output). The
+    /// trace, when recorded, is included as an array of its lines.
+    pub fn to_json(&self) -> String {
+        let outcomes = array(self.outcomes.iter().map(|o| string(&o.to_string())));
+        let mut o = Obj::new()
+            .raw("outcomes", &outcomes)
+            .bool("consistent", self.consistent)
+            .bool("any_blocked", self.any_blocked)
+            .bool("all_operational_decided", self.all_operational_decided)
+            .num("msgs_sent", self.msgs_sent)
+            .num("finished_at", self.finished_at)
+            .num("events", self.events as u64)
+            .bool("truncated", self.truncated);
+        o = match self.decision() {
+            Some(commit) => o.bool("decision", commit),
+            None => o.raw("decision", "null"),
+        };
+        if !self.trace.is_empty() {
+            o = o.raw("trace", &array(self.trace.iter().map(|l| string(l))));
+        }
+        o.build()
+    }
 }
 
 impl fmt::Display for RunReport {
@@ -229,5 +253,28 @@ mod tests {
         let s = r.to_string();
         assert!(s.contains("site0=committed"));
         assert!(s.contains("consistent=true"));
+    }
+
+    #[test]
+    fn json_roundtrips_structure() {
+        let r = RunReport::assemble_with_trace(
+            vec![SiteOutcome::Committed, SiteOutcome::DownUndecided],
+            7,
+            9,
+            4,
+            false,
+            vec!["t=0    site0: q1 -> w1 (logged)".to_string()],
+        );
+        let j = r.to_json();
+        nbc_obs::json::validate(&j).unwrap();
+        assert!(j.contains("\"outcomes\":[\"committed\",\"down(undecided)\"]"), "{j}");
+        assert!(j.contains("\"decision\":true"), "{j}");
+        assert!(j.contains("\"trace\":["), "{j}");
+
+        let blocked = RunReport::assemble(vec![SiteOutcome::Blocked], 0, 0, 0, false);
+        let j = blocked.to_json();
+        nbc_obs::json::validate(&j).unwrap();
+        assert!(j.contains("\"decision\":null"), "{j}");
+        assert!(!j.contains("\"trace\""), "{j}");
     }
 }

@@ -31,7 +31,8 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 use nbc_core::recovery_analysis::{classify, RecoveryClass};
-use nbc_core::{Analysis, Protocol, StateClass, StateId};
+use nbc_core::{Analysis, Protocol, StateClass, StateId, Vote};
+use nbc_obs::{Event, EventKind, LinesSink, SharedSink, Tracer};
 use nbc_simnet::{NetEvent, Network, Time};
 use nbc_storage::recovery::{summarize, TxnOutcome};
 use nbc_storage::LogRecord;
@@ -70,7 +71,13 @@ pub struct Runner<'a> {
     now: Time,
     events: usize,
     truncated: bool,
-    trace: Vec<String>,
+    /// Observability handle; every protocol action is emitted through it
+    /// as a typed event (no-op when no sink is attached).
+    tracer: Tracer,
+    /// When `config.record_trace`, a [`LinesSink`] attached to the tracer
+    /// that re-renders the human-readable trace lines for
+    /// [`RunReport::trace`] in their historical format.
+    legacy: Option<SharedSink<LinesSink>>,
 }
 
 impl<'a> Runner<'a> {
@@ -80,9 +87,30 @@ impl<'a> Runner<'a> {
     /// Panics if `config.votes.len()` differs from the protocol's site
     /// count.
     pub fn new(protocol: &'a Protocol, analysis: &'a Analysis, config: RunConfig) -> Self {
+        Self::with_tracer(protocol, analysis, config, Tracer::off())
+    }
+
+    /// As [`Runner::new`], emitting every protocol action through `tracer`
+    /// as typed [`Event`]s (state transitions, votes, message traffic, WAL
+    /// activity, elections, decisions, crashes). The tracer is also handed
+    /// to the network, which reports partition drops through it.
+    pub fn with_tracer(
+        protocol: &'a Protocol,
+        analysis: &'a Analysis,
+        config: RunConfig,
+        mut tracer: Tracer,
+    ) -> Self {
         let n = protocol.n_sites();
         assert_eq!(config.votes.len(), n, "one vote per site required");
-        let net = Network::new(n, config.latency.clone(), config.detect_delay);
+        let legacy = if config.record_trace {
+            let sink = SharedSink::new(LinesSink::default());
+            tracer.attach(sink.clone());
+            Some(sink)
+        } else {
+            None
+        };
+        let mut net = Network::new(n, config.latency.clone(), config.detect_delay);
+        net.set_tracer(tracer.clone());
         let sites =
             (0..n).map(|i| SiteRt::new(i, protocol.fsa(nbc_core::SiteId(i as u32)), n)).collect();
         let mut timers = BinaryHeap::new();
@@ -123,7 +151,8 @@ impl<'a> Runner<'a> {
             now: start_at,
             events: 0,
             truncated: false,
-            trace: Vec::new(),
+            tracer,
+            legacy,
         };
         // Seed the client stimuli and let every site take its first steps,
         // so the run is steppable from the moment it is constructed.
@@ -191,7 +220,9 @@ impl<'a> Runner<'a> {
                     Timer::Partition => {
                         let spec =
                             self.config.partition.clone().expect("partition timer implies a spec");
-                        self.note(|| format!("PARTITION {:?}", spec.groups));
+                        self.tracer.emit(|| {
+                            self.ev(EventKind::Partition { groups: format!("{:?}", spec.groups) })
+                        });
                         self.net.partition(self.now, spec.groups);
                     }
                 }
@@ -204,19 +235,18 @@ impl<'a> Runner<'a> {
     // Tracing
     // ------------------------------------------------------------------
 
-    fn note(&mut self, text: impl FnOnce() -> String) {
-        if self.config.record_trace {
-            let line = format!("t={:<4} {}", self.now, text());
-            self.trace.push(line);
-        }
+    /// Event skeleton: current simulation time, this run's transaction.
+    fn ev(&self, kind: EventKind) -> Event {
+        Event::new(self.now, kind).for_txn(self.config.txn_id)
     }
 
-    /// Send with tracing.
+    /// Send with tracing. The send event is emitted even when a partition
+    /// swallows the message — the site *did* send it; the network follows
+    /// up with a drop event.
     fn send(&mut self, src: usize, dst: usize, wire: Wire) {
-        if self.config.record_trace {
-            let line = format!("t={:<4} site{src} -> site{dst} : {wire}", self.now);
-            self.trace.push(line);
-        }
+        self.tracer.emit(|| {
+            self.ev(EventKind::MsgSend { dst: dst as u32, label: wire.to_string() }).at_site(src)
+        });
         self.net.send(self.now, src, dst, wire);
     }
 
@@ -233,7 +263,7 @@ impl<'a> Runner<'a> {
                 return;
             };
             let t = &fsa.transitions()[ti as usize];
-            let (to, emits) = (t.to, t.emit.clone());
+            let (to, emits, vote_cast) = (t.to, t.emit.clone(), t.vote);
             let to_class = fsa.state(to).class;
 
             // Crash-point check: is this the transition we die in?
@@ -247,7 +277,7 @@ impl<'a> Runner<'a> {
                             // Nothing durable, nothing sent.
                         }
                         TransitionProgress::AfterMsgs(k) => {
-                            self.apply_transition_state(ix, to, to_class, &consumed);
+                            self.apply_transition_state(ix, to, to_class, &consumed, vote_cast);
                             for e in emits.iter().take(k as usize) {
                                 self.send(ix, e.dst.index(), Wire::Proto(e.kind));
                             }
@@ -261,7 +291,7 @@ impl<'a> Runner<'a> {
                 }
             }
 
-            self.apply_transition_state(ix, to, to_class, &consumed);
+            self.apply_transition_state(ix, to, to_class, &consumed, vote_cast);
             for e in &emits {
                 self.send(ix, e.dst.index(), Wire::Proto(e.kind));
             }
@@ -279,24 +309,36 @@ impl<'a> Runner<'a> {
         to: StateId,
         to_class: StateClass,
         consumed: &[(usize, nbc_core::MsgKind)],
+        vote_cast: Option<Vote>,
     ) {
         for &(src, kind) in consumed {
             let taken = self.sites[ix].take_msg(src, kind);
             debug_assert!(taken, "chosen transition must be satisfiable");
         }
-        if self.config.record_trace {
+        let txn = self.config.txn_id;
+        self.tracer.emit(|| {
             let from = self.sites[ix].state;
             let fsa = self.protocol.fsa(nbc_core::SiteId(ix as u32));
-            let line = format!(
-                "t={:<4} site{ix}: {} -> {} (logged)",
-                self.now,
-                fsa.state(from).name,
-                fsa.state(to).name
-            );
-            self.trace.push(line);
+            self.ev(EventKind::Transition {
+                from: fsa.state(from).name.clone(),
+                to: fsa.state(to).name.clone(),
+            })
+            .at_site(ix)
+        });
+        if let Some(v) = vote_cast {
+            self.tracer.emit(|| self.ev(EventKind::Vote { yes: v == Vote::Yes }).at_site(ix));
         }
-        let txn = self.config.txn_id;
         self.sites[ix].log_progress(txn, to, to_class);
+        self.tracer.emit(|| {
+            let rec = LogRecord::Progress {
+                txn,
+                state: to.0,
+                class: crate::class_map::encode_class(to_class),
+            };
+            self.ev(EventKind::WalAppend { bytes: rec.frame_len(), record: "progress".into() })
+                .at_site(ix)
+        });
+        self.tracer.emit(|| self.ev(EventKind::WalFsync { physical: true }).at_site(ix));
         self.sites[ix].state = to;
     }
 
@@ -305,7 +347,13 @@ impl<'a> Runner<'a> {
         if self.sites[ix].outcome.is_none() {
             let txn = self.config.txn_id;
             self.sites[ix].log_decision(txn, commit);
-            self.note(|| format!("site{ix}: DECIDED {}", if commit { "COMMIT" } else { "ABORT" }));
+            self.tracer.emit(|| {
+                let rec = LogRecord::Decision { txn, commit };
+                self.ev(EventKind::WalAppend { bytes: rec.frame_len(), record: "decision".into() })
+                    .at_site(ix)
+            });
+            self.tracer.emit(|| self.ev(EventKind::WalFsync { physical: true }).at_site(ix));
+            self.tracer.emit(|| self.ev(EventKind::Decision { commit }).at_site(ix));
         }
         self.sites[ix].mode = Mode::Done;
         self.answer_pending_queries(ix);
@@ -318,6 +366,13 @@ impl<'a> Runner<'a> {
     fn handle_net(&mut self, ev: NetEvent<Wire>) {
         match ev {
             NetEvent::Deliver { src, dst, msg } => {
+                // Delivery is traced even to a down site — the network did
+                // its job; the dead site just never reads the message. This
+                // keeps sent == delivered + dropped at quiescence.
+                self.tracer.emit(|| {
+                    self.ev(EventKind::MsgDeliver { src: src as u32, label: msg.to_string() })
+                        .at_site(dst)
+                });
                 if self.sites[dst].mode == Mode::Down {
                     return; // lost with the site
                 }
@@ -327,12 +382,19 @@ impl<'a> Runner<'a> {
                 if self.sites[observer].mode == Mode::Down {
                     return;
                 }
+                self.tracer.emit(|| {
+                    self.ev(EventKind::FailureNotice { crashed: crashed as u32 }).at_site(observer)
+                });
                 self.on_failure_notice(observer, crashed);
             }
             NetEvent::RecoveryNotice { observer, recovered } => {
                 if self.sites[observer].mode == Mode::Down {
                     return;
                 }
+                self.tracer.emit(|| {
+                    self.ev(EventKind::RecoveryNotice { recovered: recovered as u32 })
+                        .at_site(observer)
+                });
                 self.sites[observer].recovered_peers.insert(recovered);
                 // Blocked and recovering sites probe recovered peers.
                 if matches!(self.sites[observer].mode, Mode::Blocked | Mode::Recovering) {
@@ -425,6 +487,7 @@ impl<'a> Runner<'a> {
     /// (Re)enter the termination protocol after a view change.
     fn enter_termination(&mut self, ix: usize) {
         let backup = self.sites[ix].elected_backup();
+        self.tracer.emit(|| self.ev(EventKind::Election { backup: backup as u32 }).at_site(ix));
         self.sites[ix].mode = Mode::Terminating { backup };
         if backup == ix {
             self.start_backup(ix);
@@ -486,11 +549,25 @@ impl<'a> Runner<'a> {
         let fsa = self.protocol.fsa(nbc_core::SiteId(ix as u32));
         if !fsa.state(self.sites[ix].state).class.is_final() {
             // Make the transition to the backup's state: durable first.
+            let txn = self.config.txn_id;
             self.sites[ix]
                 .wal
-                .append_sync(&LogRecord::AlignedTo { txn: self.config.txn_id, class })
+                .append_sync(&LogRecord::AlignedTo { txn, class })
                 .expect("wal record fits");
             self.sites[ix].aligned_class = Some(class);
+            self.tracer.emit(|| {
+                let rec = LogRecord::AlignedTo { txn, class };
+                self.ev(EventKind::WalAppend {
+                    bytes: rec.frame_len(),
+                    record: "aligned-to".into(),
+                })
+                .at_site(ix)
+            });
+            self.tracer.emit(|| self.ev(EventKind::WalFsync { physical: true }).at_site(ix));
+            self.tracer.emit(|| {
+                let letter = crate::class_map::decode_class(class).letter();
+                self.ev(EventKind::Aligned { class: letter.to_string() }).at_site(ix)
+            });
         }
         self.send(ix, backup, Wire::AlignAck { backup, reported_class: reported });
     }
@@ -565,6 +642,7 @@ impl<'a> Runner<'a> {
                 self.broadcast_decision(ix, false);
             }
             Decision::Blocked => {
+                self.tracer.emit(|| self.ev(EventKind::Blocked { backup: ix as u32 }).at_site(ix));
                 self.sites[ix].mode = Mode::Blocked;
                 let peers: Vec<usize> =
                     (0..self.sites.len()).filter(|&j| j != ix && self.sites[ix].view[j]).collect();
@@ -602,7 +680,7 @@ impl<'a> Runner<'a> {
         self.sites[ix].pending_queries.clear();
         self.sites[ix].recovery_replies.clear();
         self.sites[ix].mode = Mode::Down;
-        self.note(|| format!("site{ix}: CRASH"));
+        self.tracer.emit(|| self.ev(EventKind::Crash).at_site(ix));
         self.net.crash(self.now, ix);
     }
 
@@ -618,7 +696,7 @@ impl<'a> Runner<'a> {
         let n = self.sites.len();
         self.sites[ix].view = vec![true; n];
         self.sites[ix].recovery_replies.clear();
-        self.note(|| format!("site{ix}: RECOVER"));
+        self.tracer.emit(|| self.ev(EventKind::Recover).at_site(ix));
         self.net.recover(self.now, ix);
 
         match summary.map(|s| &s.outcome) {
@@ -788,13 +866,14 @@ impl<'a> Runner<'a> {
             };
             outcomes.push(o);
         }
+        let trace = self.legacy.as_ref().map(|l| l.with(|s| s.lines.clone())).unwrap_or_default();
         RunReport::assemble_with_trace(
             outcomes,
             self.net.stats().sent(),
             self.now,
             self.events,
             self.truncated,
-            self.trace.clone(),
+            trace,
         )
     }
 }
@@ -808,4 +887,14 @@ pub fn run_one(protocol: &Protocol, config: RunConfig) -> RunReport {
 /// As [`run_one`] with a shared analysis (for sweeps).
 pub fn run_with(protocol: &Protocol, analysis: &Analysis, config: RunConfig) -> RunReport {
     Runner::new(protocol, analysis, config).run()
+}
+
+/// As [`run_with`], emitting typed events through `tracer`.
+pub fn run_traced(
+    protocol: &Protocol,
+    analysis: &Analysis,
+    config: RunConfig,
+    tracer: Tracer,
+) -> RunReport {
+    Runner::with_tracer(protocol, analysis, config, tracer).run()
 }

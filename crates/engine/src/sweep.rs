@@ -11,10 +11,12 @@
 //! finds actual atomicity violations.
 
 use nbc_core::{Analysis, Protocol};
+use nbc_obs::json::{array, string, Obj};
+use nbc_obs::Tracer;
 use nbc_simnet::Time;
 
 use crate::config::{CrashPoint, CrashSpec, RunConfig, TransitionProgress};
-use crate::run::run_with;
+use crate::run::{run_traced, run_with};
 
 /// Every single-site crash point of the protocol, bounded by each site's
 /// maximum transition count and maximum fan-out.
@@ -104,6 +106,21 @@ impl SweepSummary {
         }
     }
 
+    /// Encode the summary as a JSON object (for `--json` CLI output).
+    pub fn to_json(&self) -> String {
+        Obj::new()
+            .num("total", self.total as u64)
+            .num("consistent", self.consistent as u64)
+            .num("blocked", self.blocked as u64)
+            .num("fully_decided", self.fully_decided as u64)
+            .num("truncated", self.truncated as u64)
+            .bool("all_consistent", self.all_consistent())
+            .bool("nonblocking", self.nonblocking())
+            .float("blocking_rate", self.blocking_rate())
+            .raw("inconsistent_runs", &array(self.inconsistent_runs.iter().map(|r| string(r))))
+            .build()
+    }
+
     /// Fold another partial summary in (chunk merge for parallel sweeps).
     fn merge(&mut self, other: SweepSummary) {
         self.total += other.total;
@@ -158,6 +175,28 @@ fn sweep_serial(
         let mut cfg = base.clone();
         cfg.crashes = vec![*spec];
         let report = run_with(protocol, analysis, cfg);
+        summary.absorb(format!("{spec:?}"), &report);
+    }
+    summary
+}
+
+/// As [`sweep`], emitting every run's events through `tracer`. Runs
+/// serially in spec order (a deterministic trace requires a deterministic
+/// interleaving), stamping run `i` with transaction id `i + 1` so the
+/// events of different crash schedules are distinguishable in the trace.
+pub fn sweep_traced(
+    protocol: &Protocol,
+    analysis: &Analysis,
+    base: &RunConfig,
+    specs: &[CrashSpec],
+    tracer: Tracer,
+) -> SweepSummary {
+    let mut summary = SweepSummary::default();
+    for (i, spec) in specs.iter().enumerate() {
+        let mut cfg = base.clone();
+        cfg.crashes = vec![*spec];
+        cfg.txn_id = i as u64 + 1;
+        let report = run_traced(protocol, analysis, cfg, tracer.clone());
         summary.absorb(format!("{spec:?}"), &report);
     }
     summary
@@ -225,6 +264,37 @@ mod tests {
         assert_eq!(par.fully_decided, ser.fully_decided);
         assert_eq!(par.truncated, ser.truncated);
         assert_eq!(par.inconsistent_runs, ser.inconsistent_runs);
+    }
+
+    #[test]
+    fn traced_sweep_matches_untraced_summary() {
+        use nbc_obs::{MemorySink, SharedSink};
+        let p = central_3pc(3);
+        let a = Analysis::build(&p).unwrap();
+        let base = RunConfig::happy(3);
+        let specs = enumerate_crash_specs(&p, None);
+        let plain = sweep(&p, &a, &base, &specs);
+        let sink = SharedSink::new(MemorySink::default());
+        let traced = sweep_traced(&p, &a, &base, &specs, Tracer::to_sink(sink.clone()));
+        assert_eq!(traced.total, plain.total);
+        assert_eq!(traced.consistent, plain.consistent);
+        assert_eq!(traced.blocked, plain.blocked);
+        assert_eq!(traced.inconsistent_runs, plain.inconsistent_runs);
+        // Every run is distinguishable by its txn id.
+        let max_txn = sink.with(|s| s.events.iter().filter_map(|e| e.txn).max());
+        assert_eq!(max_txn, Some(specs.len() as u64));
+    }
+
+    #[test]
+    fn summary_json_is_valid() {
+        let p = central_3pc(3);
+        let a = Analysis::build(&p).unwrap();
+        let base = RunConfig::happy(3);
+        let specs = enumerate_crash_specs(&p, None);
+        let j = sweep(&p, &a, &base, &specs).to_json();
+        nbc_obs::json::validate(&j).unwrap();
+        assert!(j.contains("\"all_consistent\":true"), "{j}");
+        assert!(j.contains("\"nonblocking\":true"), "{j}");
     }
 
     #[test]

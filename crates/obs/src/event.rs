@@ -1,0 +1,228 @@
+//! The typed event taxonomy.
+//!
+//! Each variant of [`EventKind`] corresponds to a concept from the paper
+//! (or from the throughput machinery built on top of it):
+//!
+//! | event | paper concept |
+//! |---|---|
+//! | [`Transition`](EventKind::Transition) | a site's FSA makes a local state transition (`q_i → w_i`), persisted write-ahead |
+//! | [`Vote`](EventKind::Vote) | the transition embodies the site's yes/no vote |
+//! | [`MsgSend`](EventKind::MsgSend) / [`MsgDeliver`](EventKind::MsgDeliver) | point-to-point messages of the commit/termination/recovery protocols |
+//! | [`MsgDrop`](EventKind::MsgDrop) | a partition swallowed a message (deliberate assumption violation) |
+//! | [`Decision`](EventKind::Decision) | a site reaches/adopts commit or abort |
+//! | [`Crash`](EventKind::Crash) / [`Recover`](EventKind::Recover) | site failure and restart |
+//! | [`FailureNotice`](EventKind::FailureNotice) / [`RecoveryNotice`](EventKind::RecoveryNotice) | the perfect failure detector reporting |
+//! | [`Election`](EventKind::Election) | a site (re-)elects a backup coordinator (termination protocol) |
+//! | [`Aligned`](EventKind::Aligned) | termination phase 1: durable alignment to the backup's state class |
+//! | [`Blocked`](EventKind::Blocked) | the backup cannot decide — the protocol blocks |
+//! | [`WalAppend`](EventKind::WalAppend) / [`WalFsync`](EventKind::WalFsync) / [`WalCompact`](EventKind::WalCompact) | the DT log: stable writes and forces |
+//! | [`Admit`](EventKind::Admit) / [`Park`](EventKind::Park) / [`Die`](EventKind::Die) / [`Reap`](EventKind::Reap) | pipeline scheduler: wait-die admission and blocked-round reaping |
+//! | [`Partition`](EventKind::Partition) | scheduled network partition |
+//! | [`Note`](EventKind::Note) | free-form diagnostic routed through the sink layer |
+
+/// What happened (see the module table for the paper mapping).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// A site's FSA moved `from` → `to` (logged write-ahead).
+    Transition {
+        /// State name left.
+        from: String,
+        /// State name entered.
+        to: String,
+    },
+    /// The firing transition embodied the site's vote.
+    Vote {
+        /// `true` = yes vote.
+        yes: bool,
+    },
+    /// A message was handed to the network.
+    MsgSend {
+        /// Destination site.
+        dst: u32,
+        /// Human-readable payload label (wire format rendering).
+        label: String,
+    },
+    /// A message arrived at its destination.
+    MsgDeliver {
+        /// Source site.
+        src: u32,
+        /// Human-readable payload label.
+        label: String,
+    },
+    /// A partition swallowed a message (at send time or in flight).
+    MsgDrop {
+        /// Intended destination site.
+        dst: u32,
+    },
+    /// A site reached or adopted a final decision.
+    Decision {
+        /// `true` = commit.
+        commit: bool,
+    },
+    /// The site crashed; volatile state lost, synced WAL prefix survives.
+    Crash,
+    /// The site restarted and entered the recovery protocol.
+    Recover,
+    /// The failure detector told this site that `crashed` failed.
+    FailureNotice {
+        /// The site reported as failed.
+        crashed: u32,
+    },
+    /// The failure detector told this site that `recovered` is back.
+    RecoveryNotice {
+        /// The site reported as recovered.
+        recovered: u32,
+    },
+    /// The site (re-)entered the termination protocol recognizing `backup`.
+    Election {
+        /// The elected backup coordinator.
+        backup: u32,
+    },
+    /// Termination phase 1: this site durably aligned to the backup's
+    /// state class.
+    Aligned {
+        /// Class letter aligned to (q/w/p/a/c).
+        class: String,
+    },
+    /// The backup coordinator could not decide: the round is blocked.
+    Blocked {
+        /// The blocked backup.
+        backup: u32,
+    },
+    /// A record was appended to the write-ahead log.
+    WalAppend {
+        /// Full frame size in bytes (header + tag + payload).
+        bytes: u64,
+        /// Record kind (`progress`, `decision`, `aligned-to`, ...).
+        record: String,
+    },
+    /// A durability request on the WAL.
+    WalFsync {
+        /// `true` if the request paid a physical force; `false` if it rode
+        /// an open group-commit batch.
+        physical: bool,
+    },
+    /// The WAL was checkpoint-compacted.
+    WalCompact {
+        /// Log bytes before compaction.
+        before: u64,
+        /// Log bytes after compaction.
+        after: u64,
+    },
+    /// Pipeline scheduler admitted this transaction's commit round.
+    Admit,
+    /// Pipeline scheduler parked this transaction (older than a
+    /// conflicting lock holder; wait-die "wait").
+    Park,
+    /// Pipeline scheduler killed this transaction's admission attempt
+    /// (younger than a conflicting holder; wait-die "die", will retry).
+    Die,
+    /// Pipeline scheduler reaped a blocked round via the recovery
+    /// decision, freeing its strand-locks.
+    Reap {
+        /// `true` if the reap adopted a durable commit.
+        commit: bool,
+    },
+    /// The network partitioned into the given groups.
+    Partition {
+        /// Debug rendering of the group assignment.
+        groups: String,
+    },
+    /// Free-form diagnostic text.
+    Note {
+        /// The message.
+        text: String,
+    },
+}
+
+impl EventKind {
+    /// Stable kebab-case name of the kind (the `kind` field of the JSONL
+    /// encoding).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::Transition { .. } => "transition",
+            Self::Vote { .. } => "vote",
+            Self::MsgSend { .. } => "msg-send",
+            Self::MsgDeliver { .. } => "msg-deliver",
+            Self::MsgDrop { .. } => "msg-drop",
+            Self::Decision { .. } => "decision",
+            Self::Crash => "crash",
+            Self::Recover => "recover",
+            Self::FailureNotice { .. } => "failure-notice",
+            Self::RecoveryNotice { .. } => "recovery-notice",
+            Self::Election { .. } => "election",
+            Self::Aligned { .. } => "aligned",
+            Self::Blocked { .. } => "blocked",
+            Self::WalAppend { .. } => "wal-append",
+            Self::WalFsync { .. } => "wal-fsync",
+            Self::WalCompact { .. } => "wal-compact",
+            Self::Admit => "admit",
+            Self::Park => "park",
+            Self::Die => "die",
+            Self::Reap { .. } => "reap",
+            Self::Partition { .. } => "partition",
+            Self::Note { .. } => "note",
+        }
+    }
+}
+
+/// One traced occurrence: a kind stamped with simulation time and, where
+/// meaningful, the acting site and the transaction id.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Event {
+    /// Simulation time (never wall-clock — traces must be deterministic).
+    pub time: u64,
+    /// The acting site, if the event is site-local.
+    pub site: Option<u32>,
+    /// The distributed transaction the event belongs to, if any.
+    pub txn: Option<u64>,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+impl Event {
+    /// An event at `time` with no site/txn attribution.
+    pub fn new(time: u64, kind: EventKind) -> Self {
+        Self { time, site: None, txn: None, kind }
+    }
+
+    /// Attribute the event to a site.
+    pub fn at_site(mut self, site: usize) -> Self {
+        self.site = Some(site as u32);
+        self
+    }
+
+    /// Attribute the event to a transaction.
+    pub fn for_txn(mut self, txn: u64) -> Self {
+        self.txn = Some(txn);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_attributes() {
+        let e = Event::new(7, EventKind::Crash).at_site(2).for_txn(5);
+        assert_eq!(e.time, 7);
+        assert_eq!(e.site, Some(2));
+        assert_eq!(e.txn, Some(5));
+        assert_eq!(e.kind.name(), "crash");
+    }
+
+    #[test]
+    fn kind_names_are_kebab() {
+        let kinds = [
+            EventKind::Transition { from: "q".into(), to: "w".into() },
+            EventKind::MsgSend { dst: 0, label: "yes".into() },
+            EventKind::WalFsync { physical: true },
+            EventKind::Reap { commit: false },
+        ];
+        for k in kinds {
+            let n = k.name();
+            assert!(n.chars().all(|c| c.is_ascii_lowercase() || c == '-'), "{n}");
+        }
+    }
+}

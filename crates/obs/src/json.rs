@@ -1,0 +1,338 @@
+//! A hand-rolled JSON layer: string escaping, an object/array builder,
+//! and a strict well-formedness validator.
+//!
+//! The workspace takes no external dependencies, so the exporters and the
+//! machine-readable CLI output (`--json`) build their JSON through these
+//! helpers. Key order is the insertion order — callers keep it fixed so
+//! output is deterministic and diffable.
+
+/// Escape `s` for inclusion in a JSON string literal (without the quotes).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Quote and escape `s` as a JSON string literal.
+pub fn string(s: &str) -> String {
+    format!("\"{}\"", escape(s))
+}
+
+/// Incremental JSON object builder; fields appear in call order.
+#[derive(Debug, Default)]
+pub struct Obj {
+    buf: String,
+}
+
+impl Obj {
+    /// Start an empty object.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn push_key(&mut self, key: &str) {
+        if !self.buf.is_empty() {
+            self.buf.push(',');
+        }
+        self.buf.push_str(&string(key));
+        self.buf.push(':');
+    }
+
+    /// Add a string field.
+    pub fn str(mut self, key: &str, value: &str) -> Self {
+        self.push_key(key);
+        self.buf.push_str(&string(value));
+        self
+    }
+
+    /// Add an unsigned integer field.
+    pub fn num(mut self, key: &str, value: u64) -> Self {
+        self.push_key(key);
+        self.buf.push_str(&value.to_string());
+        self
+    }
+
+    /// Add a float field (rendered with Rust's shortest-roundtrip
+    /// formatting, which is deterministic).
+    pub fn float(mut self, key: &str, value: f64) -> Self {
+        self.push_key(key);
+        if value.is_finite() {
+            self.buf.push_str(&value.to_string());
+        } else {
+            self.buf.push_str("null");
+        }
+        self
+    }
+
+    /// Add a boolean field.
+    pub fn bool(mut self, key: &str, value: bool) -> Self {
+        self.push_key(key);
+        self.buf.push_str(if value { "true" } else { "false" });
+        self
+    }
+
+    /// Add a field whose value is already-encoded JSON.
+    pub fn raw(mut self, key: &str, json: &str) -> Self {
+        self.push_key(key);
+        self.buf.push_str(json);
+        self
+    }
+
+    /// Finish: the complete `{...}` text.
+    pub fn build(self) -> String {
+        format!("{{{}}}", self.buf)
+    }
+}
+
+/// Encode an iterator of already-encoded JSON values as an array.
+pub fn array(items: impl IntoIterator<Item = String>) -> String {
+    let mut buf = String::from("[");
+    for (i, item) in items.into_iter().enumerate() {
+        if i > 0 {
+            buf.push(',');
+        }
+        buf.push_str(&item);
+    }
+    buf.push(']');
+    buf
+}
+
+/// Strictly validate that `input` is one well-formed JSON value (with
+/// optional surrounding whitespace). Returns the byte offset and a
+/// message on failure. Used by the trace tests and the CI smoke step to
+/// check every exported line without an external JSON library.
+pub fn validate(input: &str) -> Result<(), String> {
+    let mut p = Parser { bytes: input.as_bytes(), pos: 0 };
+    p.skip_ws();
+    p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing data at byte {}", p.pos));
+    }
+    Ok(())
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err<T>(&self, msg: &str) -> Result<T, String> {
+        Err(format!("{msg} at byte {}", self.pos))
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            self.err(&format!("expected {:?}", b as char))
+        }
+    }
+
+    fn literal(&mut self, lit: &str) -> Result<(), String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(())
+        } else {
+            self.err(&format!("expected {lit:?}"))
+        }
+    }
+
+    fn value(&mut self) -> Result<(), String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => self.string(),
+            Some(b't') => self.literal("true"),
+            Some(b'f') => self.literal("false"),
+            Some(b'n') => self.literal("null"),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => self.err("expected a JSON value"),
+        }
+    }
+
+    fn object(&mut self) -> Result<(), String> {
+        self.expect(b'{')?;
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(());
+        }
+        loop {
+            self.skip_ws();
+            self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            self.value()?;
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                _ => return self.err("expected ',' or '}'"),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<(), String> {
+        self.expect(b'[')?;
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(());
+        }
+        loop {
+            self.skip_ws();
+            self.value()?;
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                _ => return self.err("expected ',' or ']'"),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<(), String> {
+        self.expect(b'"')?;
+        loop {
+            match self.peek() {
+                None => return self.err("unterminated string"),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => {
+                            self.pos += 1;
+                        }
+                        Some(b'u') => {
+                            self.pos += 1;
+                            for _ in 0..4 {
+                                match self.peek() {
+                                    Some(c) if c.is_ascii_hexdigit() => self.pos += 1,
+                                    _ => return self.err("bad \\u escape"),
+                                }
+                            }
+                        }
+                        _ => return self.err("bad escape"),
+                    }
+                }
+                Some(c) if c < 0x20 => return self.err("raw control character in string"),
+                Some(_) => self.pos += 1,
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<(), String> {
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let digits = |p: &mut Self| -> Result<(), String> {
+            let start = p.pos;
+            while matches!(p.peek(), Some(b'0'..=b'9')) {
+                p.pos += 1;
+            }
+            if p.pos == start {
+                p.err("expected digits")
+            } else {
+                Ok(())
+            }
+        };
+        digits(self)?;
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            digits(self)?;
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            digits(self)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping_covers_specials() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+        assert_eq!(string("hi"), "\"hi\"");
+    }
+
+    #[test]
+    fn builder_orders_fields() {
+        let j = Obj::new().num("t", 5).str("kind", "crash").bool("ok", true).build();
+        assert_eq!(j, "{\"t\":5,\"kind\":\"crash\",\"ok\":true}");
+        validate(&j).unwrap();
+    }
+
+    #[test]
+    fn arrays_and_raw_nest() {
+        let inner = Obj::new().num("x", 1).build();
+        let j = Obj::new().raw("items", &array([inner, "2".to_string()])).build();
+        assert_eq!(j, "{\"items\":[{\"x\":1},2]}");
+        validate(&j).unwrap();
+    }
+
+    #[test]
+    fn validator_accepts_valid() {
+        for ok in
+            ["{}", "[]", "null", "-3.25e+2", "\"a\\u00e9b\"", " { \"a\" : [ 1 , true , { } ] } "]
+        {
+            validate(ok).unwrap_or_else(|e| panic!("{ok:?}: {e}"));
+        }
+    }
+
+    #[test]
+    fn validator_rejects_invalid() {
+        for bad in ["{", "{\"a\":}", "[1,]", "01x", "\"unterminated", "{} {}", "{\"a\" 1}"] {
+            assert!(validate(bad).is_err(), "{bad:?} should be rejected");
+        }
+    }
+
+    #[test]
+    fn float_formatting_is_plain() {
+        let j = Obj::new().float("v", 2.5).float("bad", f64::NAN).build();
+        assert_eq!(j, "{\"v\":2.5,\"bad\":null}");
+        validate(&j).unwrap();
+    }
+}

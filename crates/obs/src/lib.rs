@@ -1,0 +1,45 @@
+//! # nbc-obs — structured observability for the execution stack
+//!
+//! The rest of the workspace *runs* commit protocols; this crate lets you
+//! *see* a run. It is a dependency-free tracing and metrics layer with
+//! three design rules:
+//!
+//! * **Typed events, keyed to paper concepts.** Every [`Event`] carries
+//!   simulation [`Event::time`], the acting site, the transaction id, and
+//!   an [`EventKind`] drawn from the taxonomy of Skeen's SIGMOD 1981 paper
+//!   and its companions: local state transitions (`q_i → w_i`), message
+//!   send/deliver/drop, votes, decisions, crashes and recoveries,
+//!   backup-election rounds, WAL appends/fsyncs/compactions, and scheduler
+//!   admission events. Gray & Lamport's *Consensus on Transaction Commit*
+//!   compares commit protocols by messages, delays, and stable writes per
+//!   transaction — exactly the counts this taxonomy makes recoverable.
+//!
+//! * **Zero overhead when disabled.** A [`Tracer`] is either off (a
+//!   `None`, one branch per call-site) or holds a list of [`Sink`]s.
+//!   [`Tracer::emit`] takes a closure, so the event — and every string in
+//!   it — is only constructed when a sink is attached.
+//!
+//! * **Deterministic output.** Events are stamped with simulation time,
+//!   never wall-clock time, and sinks record them in emission order. The
+//!   same protocol, seed, and configuration produce a byte-identical
+//!   [`export::to_jsonl`] log at any analysis thread count.
+//!
+//! Exporters: [`export::to_jsonl`] (one JSON object per line),
+//! [`export::to_chrome`] (Chrome trace-event format — load the file in
+//! Perfetto or `chrome://tracing` to see the run as a timeline), and the
+//! [`Metrics`] registry's stdout table (decision latency per site,
+//! messages and stable writes per transaction, WAL traffic, election
+//! rounds).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod event;
+pub mod export;
+pub mod json;
+pub mod metrics;
+pub mod sink;
+
+pub use event::{Event, EventKind};
+pub use metrics::{Histogram, Metrics, TxnStats};
+pub use sink::{LinesSink, MemorySink, SharedSink, Sink, Tracer};

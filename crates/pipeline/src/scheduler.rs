@@ -38,6 +38,7 @@ use std::collections::{BTreeMap, VecDeque};
 
 use nbc_core::{Analysis, Protocol};
 use nbc_engine::{RunConfig, Runner};
+use nbc_obs::{Event, EventKind, Tracer};
 use nbc_simnet::{LatencyModel, Time};
 use nbc_storage::{KvStore, LogRecord, SyncStats, Wal};
 use nbc_txn::{BankWorkload, LockManager, LockMode, LockOutcome, ProtocolKind};
@@ -156,6 +157,10 @@ pub struct Pipeline {
     /// Persistent simulation clock: a second `run` continues where the
     /// first left off.
     clock: Time,
+    /// Observability handle: the scheduler emits admission events
+    /// (admit/park/die/reap) and data-WAL activity; each admitted round's
+    /// [`Runner`] inherits a clone and emits the protocol events.
+    tracer: Tracer,
 }
 
 impl Pipeline {
@@ -179,7 +184,14 @@ impl Pipeline {
             ledger: BTreeMap::new(),
             missed: vec![Vec::new(); n],
             clock: 0,
+            tracer: Tracer::off(),
         }
+    }
+
+    /// Attach an observability tracer: scheduler admission and data-WAL
+    /// events, plus every round's protocol events, flow through it.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// Number of sites.
@@ -415,12 +427,17 @@ impl Pipeline {
             };
             match self.locks[site].request(txn, op.key(), mode) {
                 LockOutcome::Granted => {}
-                LockOutcome::Wait if !give_up => return Admission::Parked,
+                LockOutcome::Wait if !give_up => {
+                    self.tracer
+                        .emit(|| Event::new(now, EventKind::Park).at_site(site).for_txn(txn));
+                    return Admission::Parked;
+                }
                 LockOutcome::Die if !give_up => {
                     let released = self.locks.iter().map(|l| l.held_by(txn)).sum::<usize>() > 0;
                     for l in &mut self.locks {
                         l.release_all(txn);
                     }
+                    self.tracer.emit(|| Event::new(now, EventKind::Die).at_site(site).for_txn(txn));
                     return Admission::Died { released };
                 }
                 _ => votes[site] = false,
@@ -450,10 +467,23 @@ impl Pipeline {
         // Write-ahead: Begin + redo images, group-commit batched.
         for (site, touched_here) in touched.iter().enumerate() {
             if *touched_here {
+                let before = self.wals[site].len() as u64;
                 self.wals[site].append(&LogRecord::Begin { txn }).expect("wal record fits");
                 let store = &self.stores[site];
                 store.log_stage(txn, &mut self.wals[site]);
-                self.wals[site].sync_batched(now);
+                let appended = self.wals[site].len() as u64 - before;
+                let physical = self.wals[site].sync_batched(now);
+                self.tracer.emit(|| {
+                    Event::new(
+                        now,
+                        EventKind::WalAppend { bytes: appended, record: "begin".into() },
+                    )
+                    .at_site(site)
+                    .for_txn(txn)
+                });
+                self.tracer.emit(|| {
+                    Event::new(now, EventKind::WalFsync { physical }).at_site(site).for_txn(txn)
+                });
             }
         }
 
@@ -464,12 +494,13 @@ impl Pipeline {
         rc.latency = LatencyModel::constant(self.cfg.latency);
         rc.detect_delay = self.cfg.detect_delay;
         let rc = rc.with_txn_id(txn).with_start_at(now);
+        self.tracer.emit(|| Event::new(now, EventKind::Admit).for_txn(txn));
         Admission::Started(Box::new(Round {
             txn,
             admitted_at: now,
             touched,
             done: false,
-            runner: Runner::new(protocol, analysis, rc),
+            runner: Runner::with_tracer(protocol, analysis, rc, self.tracer.clone()),
         }))
     }
 
@@ -536,6 +567,7 @@ impl Pipeline {
     fn reap(&mut self, txn: u64, now: Time) -> bool {
         let commit = self.ledger.get(&txn).copied().unwrap_or(false);
         self.ledger.insert(txn, commit);
+        self.tracer.emit(|| Event::new(now, EventKind::Reap { commit }).for_txn(txn));
         for site in 0..self.cfg.n_sites {
             self.apply_decision(site, txn, commit, now);
         }
@@ -543,14 +575,31 @@ impl Pipeline {
     }
 
     fn apply_decision(&mut self, site: usize, txn: u64, commit: bool, now: Time) {
-        self.wals[site].append(&LogRecord::Decision { txn, commit }).expect("wal record fits");
-        self.wals[site].sync_batched(now);
+        let decision = LogRecord::Decision { txn, commit };
+        self.wals[site].append(&decision).expect("wal record fits");
+        let physical = self.wals[site].sync_batched(now);
+        self.tracer.emit(|| {
+            Event::new(
+                now,
+                EventKind::WalAppend { bytes: decision.frame_len(), record: "decision".into() },
+            )
+            .at_site(site)
+            .for_txn(txn)
+        });
+        self.tracer
+            .emit(|| Event::new(now, EventKind::WalFsync { physical }).at_site(site).for_txn(txn));
         if commit {
             self.stores[site].commit(txn);
         } else {
             self.stores[site].abort(txn);
         }
-        self.wals[site].append(&LogRecord::End { txn }).expect("wal record fits");
+        let end = LogRecord::End { txn };
+        self.wals[site].append(&end).expect("wal record fits");
+        self.tracer.emit(|| {
+            Event::new(now, EventKind::WalAppend { bytes: end.frame_len(), record: "end".into() })
+                .at_site(site)
+                .for_txn(txn)
+        });
         self.locks[site].release_all(txn);
     }
 
@@ -563,11 +612,27 @@ impl Pipeline {
             for txn in std::mem::take(&mut self.missed[site]) {
                 match self.ledger.get(&txn).copied() {
                     Some(commit) => {
-                        self.wals[site]
-                            .append(&LogRecord::Decision { txn, commit })
-                            .expect("wal record fits");
-                        self.wals[site].sync_batched(now);
-                        self.wals[site].append(&LogRecord::End { txn }).expect("wal record fits");
+                        let decision = LogRecord::Decision { txn, commit };
+                        let end = LogRecord::End { txn };
+                        self.wals[site].append(&decision).expect("wal record fits");
+                        let physical = self.wals[site].sync_batched(now);
+                        self.wals[site].append(&end).expect("wal record fits");
+                        self.tracer.emit(|| {
+                            Event::new(
+                                now,
+                                EventKind::WalAppend {
+                                    bytes: decision.frame_len() + end.frame_len(),
+                                    record: "catch-up".into(),
+                                },
+                            )
+                            .at_site(site)
+                            .for_txn(txn)
+                        });
+                        self.tracer.emit(|| {
+                            Event::new(now, EventKind::WalFsync { physical })
+                                .at_site(site)
+                                .for_txn(txn)
+                        });
                         if commit {
                             let records = Wal::recover(&self.wals[site].full_image())
                                 .expect("pipeline WALs are well-formed");
@@ -679,6 +744,27 @@ mod tests {
         assert!(r.blocked >= 1, "2PC coordinator crash must block: {r}");
         assert_eq!(p.locked_keys(), 0, "reaper must free strand-locks");
         assert_eq!(p.total_balance(&w), w.expected_total());
+    }
+
+    #[test]
+    fn traced_batch_emits_admissions_deterministically() {
+        use nbc_obs::{MemorySink, SharedSink};
+        let run_traced = || {
+            let (mut p, mut w) = seeded_pipeline(ProtocolKind::Central3pc, 2);
+            let sink = SharedSink::new(MemorySink::default());
+            p.set_tracer(Tracer::to_sink(sink.clone()));
+            let mut rng = SimRng::seed_from_u64(11);
+            let r = p.run(bank_transfer_txns(&mut w, 12, 0, &mut rng));
+            assert_eq!(r.decided(), 12);
+            sink.with(|s| s.events.clone())
+        };
+        let a = run_traced();
+        let b = run_traced();
+        assert_eq!(a, b, "same seed must produce an identical event stream");
+        let admits = a.iter().filter(|e| matches!(e.kind, EventKind::Admit)).count();
+        assert_eq!(admits, 12);
+        // Every admitted round produced protocol traffic under its txn id.
+        assert!(a.iter().any(|e| matches!(e.kind, EventKind::MsgSend { .. }) && e.txn == Some(12)));
     }
 
     #[test]

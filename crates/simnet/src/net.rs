@@ -4,6 +4,8 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
+use nbc_obs::{Event, EventKind, Tracer};
+
 use crate::latency::LatencyModel;
 use crate::stats::NetStats;
 
@@ -102,6 +104,11 @@ pub struct Network<M> {
     /// that assumption buys (see the `x3` experiment).
     groups: Option<Vec<usize>>,
     stats: NetStats,
+    /// Observability handle. The network reports only what it alone can
+    /// see — messages swallowed by a partition ([`EventKind::MsgDrop`]);
+    /// sends and deliveries are emitted by the driver, which knows the
+    /// transaction and payload context.
+    tracer: Tracer,
 }
 
 impl<M> Network<M> {
@@ -116,7 +123,13 @@ impl<M> Network<M> {
             last_delivery: vec![0; n * n],
             groups: None,
             stats: NetStats::new(n),
+            tracer: Tracer::off(),
         }
+    }
+
+    /// Attach an observability tracer (drop events are emitted through it).
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// Number of sites.
@@ -137,6 +150,8 @@ impl<M> Network<M> {
             if groups[src] != groups[dst] {
                 self.stats.record_send(src, dst);
                 self.stats.record_drop();
+                self.tracer
+                    .emit(|| Event::new(now, EventKind::MsgDrop { dst: dst as u32 }).at_site(src));
                 return None;
             }
         }
@@ -158,11 +173,15 @@ impl<M> Network<M> {
     pub fn partition(&mut self, now: Time, assignment: Vec<usize>) {
         assert_eq!(assignment.len(), self.n);
         // In-flight messages crossing the cut die with the link.
+        let tracer = self.tracer.clone();
         let retained: Vec<Reverse<Scheduled<M>>> = std::mem::take(&mut self.heap)
             .into_iter()
             .filter(|Reverse(sch)| match &sch.event {
                 NetEvent::Deliver { src, dst, .. } if assignment[*src] != assignment[*dst] => {
                     self.stats.record_drop();
+                    tracer.emit(|| {
+                        Event::new(now, EventKind::MsgDrop { dst: *dst as u32 }).at_site(*src)
+                    });
                     false
                 }
                 _ => true,
@@ -375,6 +394,21 @@ mod tests {
         n.heal();
         assert!(!n.is_partitioned());
         assert!(n.send(1, 0, 1, "through").is_some());
+    }
+
+    #[test]
+    fn partition_drops_are_traced() {
+        use nbc_obs::{MemorySink, SharedSink};
+        let sink = SharedSink::new(MemorySink::default());
+        let mut n = net(3);
+        n.set_tracer(Tracer::to_sink(sink.clone()));
+        n.send(0, 0, 1, "in flight across the cut");
+        n.partition(1, vec![0, 1, 1]);
+        assert_eq!(n.send(2, 0, 2, "swallowed at send"), None);
+        let drops = sink.with(|s| {
+            s.events.iter().filter(|e| matches!(e.kind, EventKind::MsgDrop { .. })).count()
+        });
+        assert_eq!(drops, 2, "one in-flight cut + one swallowed send");
     }
 
     #[test]

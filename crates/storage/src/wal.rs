@@ -175,6 +175,15 @@ impl LogRecord {
         }
     }
 
+    /// Size in bytes of the full on-log frame for this record: the 4-byte
+    /// length prefix, the 4-byte CRC, and the tag + payload. This is what
+    /// an append grows the log by — exposed so callers can account for WAL
+    /// traffic (e.g. bytes-per-transaction metrics) without re-deriving
+    /// the frame layout.
+    pub fn frame_len(&self) -> u64 {
+        8 + self.encoded_len()
+    }
+
     /// Check that every u32 length prefix in the frame actually fits:
     /// individual key/value lengths, the checkpoint pair count, and the
     /// frame header's tag+payload length. A bare `len as u32` would
@@ -547,6 +556,16 @@ mod tests {
         wal.sync();
         let recovered = Wal::recover(&wal.crash_image()).unwrap();
         assert_eq!(recovered, sample_records());
+    }
+
+    #[test]
+    fn frame_len_matches_actual_log_growth() {
+        let mut wal = Wal::new();
+        for r in sample_records() {
+            let before = wal.len() as u64;
+            wal.append(&r).unwrap();
+            assert_eq!(wal.len() as u64 - before, r.frame_len(), "{r:?}");
+        }
     }
 
     #[test]

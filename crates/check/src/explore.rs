@@ -1,0 +1,489 @@
+//! The schedule explorer: bounded, deterministic DFS over every
+//! interleaving of message delivery, message loss, site crash and site
+//! recovery that the budgets allow.
+//!
+//! ## State space
+//!
+//! Exploration runs the real engine [`Runner`] in **lockstep**
+//! configuration (zero latency, zero detection delay): every scheduled
+//! event sits at the same instant, so *which event fires next* is pure
+//! scheduler choice and logical time vanishes from the state. The explored
+//! actions are:
+//!
+//! * **deliver** the head of one FIFO channel (per-link message order and
+//!   per-observer detector order are preserved; only heads are legal);
+//! * **crash** an up site, losing a *suffix* of its undelivered sends —
+//!   one branch per suffix length, which is the explorer-granularity form
+//!   of the paper's non-atomic transition failure (crash after sending
+//!   only a prefix of a transition's messages);
+//! * **recover** a down site (budgeted separately), which replays its WAL
+//!   and runs the paper's recovery protocol;
+//! * **drop** the most recently sent in-flight message of a link — a
+//!   deliberate *assumption violation* (the paper assumes a reliable
+//!   network), budgeted separately and off by default.
+//!
+//! ## Deduplication and pruning
+//!
+//! States are deduplicated by the engine's behavioral
+//! [`digest`](Runner::digest) (a 128-bit fingerprint via the same
+//! double-hash construction as [`nbc_core::fingerprint128`]) mixed with
+//! the remaining budgets. The map stores the best remaining depth a state
+//! was reached with; a revisit with less remaining depth is pruned, a
+//! revisit with more is re-expanded (so the depth bound never hides states
+//! a shallower path could reach).
+//!
+//! When every fault budget is exhausted and every pending event targets a
+//! distinct site, all pending heads are **fused** into one macro-step:
+//! handlers of distinct destination sites commute as state transformers,
+//! nothing can interleave between them, and decisions are monotone (an
+//! oracle violation visible in a skipped intermediate state is still
+//! visible in the fused successor — outcomes never unset and the visited
+//! monitors are cumulative). Two further sound reductions: events
+//! addressed to a permanently-down site (no recovery budget left) are
+//! pure no-ops and are drained eagerly rather than branched over, and the
+//! behavioral digest canonicalizes arrival-order collections whose
+//! consumers are order-independent. Together these make full-plan-set
+//! exhaustive checking sub-second at n=3 and a few seconds at n=4; at
+//! n=5 a single vote plan takes tens of seconds (fault-free n=5 is
+//! milliseconds — the crash-point × interleaving product is what grows).
+
+use std::collections::HashMap;
+
+use nbc_core::{fingerprint128, Analysis, Protocol};
+use nbc_engine::{channel_of, Channel, RunConfig, Runner, TerminationRule, Wire};
+use nbc_simnet::NetEvent;
+
+use crate::oracle::Oracles;
+use crate::schedule::{channel_head, channel_tail, Step};
+
+/// Knobs of one check run.
+#[derive(Debug, Clone)]
+pub struct CheckOptions {
+    /// Maximum scheduler actions per execution.
+    pub depth: u32,
+    /// Crash budget per execution.
+    pub faults: u32,
+    /// Recovery budget per execution.
+    pub recoveries: u32,
+    /// Lossy-network drop budget per execution (assumption violation;
+    /// default 0).
+    pub drops: u32,
+    /// Termination rule the engine runs under.
+    pub rule: TerminationRule,
+    /// Seed permuting the exploration order (the verdict is order
+    /// independent; the seed varies which witness is found first).
+    pub seed: u64,
+    /// Check only this vote plan instead of all `2^n`.
+    pub vote_plan: Option<Vec<bool>>,
+    /// Safety valve: stop (and report truncation) past this many distinct
+    /// states per vote plan.
+    pub max_states: usize,
+}
+
+impl Default for CheckOptions {
+    fn default() -> Self {
+        Self {
+            depth: 64,
+            faults: 1,
+            recoveries: 0,
+            drops: 0,
+            rule: TerminationRule::Skeen,
+            seed: 0,
+            vote_plan: None,
+            max_states: 1 << 21,
+        }
+    }
+}
+
+/// Remaining fault budgets along one path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Budgets {
+    faults: u32,
+    recoveries: u32,
+    drops: u32,
+}
+
+/// One branchable scheduler action.
+#[derive(Debug, Clone)]
+enum Action {
+    /// Deliver the head of this channel.
+    Fire(Channel),
+    /// Deliver the heads of all these channels as one commuting
+    /// macro-step.
+    Fuse(Vec<Channel>),
+    /// Crash `site` and lose the last `lose` of its undelivered sends.
+    CrashSuffix { site: usize, lose: usize },
+    /// Restart a down site.
+    Recover { site: usize },
+    /// Lose the most recently sent in-flight message of this link.
+    DropTail { src: usize, dst: usize },
+}
+
+impl Action {
+    /// Depth cost: the number of schedule steps the action expands to.
+    fn cost(&self) -> u32 {
+        match self {
+            Action::Fire(_) | Action::Recover { .. } | Action::DropTail { .. } => 1,
+            Action::Fuse(chs) => chs.len() as u32,
+            Action::CrashSuffix { lose, .. } => 1 + *lose as u32,
+        }
+    }
+}
+
+/// Exploration counters.
+#[derive(Debug, Clone, Default)]
+pub struct ExploreStats {
+    /// Distinct `(behavioral digest, budgets)` states, summed over plans.
+    pub distinct_states: usize,
+    /// Scheduler actions applied (branch executions, not schedule steps).
+    pub actions: u64,
+    /// Commuting macro-steps taken.
+    pub fused: u64,
+    /// Vote plans explored.
+    pub plans: usize,
+    /// True if the depth bound or state cap cut any branch short — the
+    /// exploration was *not* exhaustive.
+    pub truncated: bool,
+}
+
+/// Result of exploring one protocol under one option set.
+pub struct Exploration<'a> {
+    /// Accumulated oracle state (witness bitmap and recovery checks).
+    pub oracles: Oracles<'a>,
+    /// Counters.
+    pub stats: ExploreStats,
+    /// The path to the first blocked quiescent state found, with the vote
+    /// plan it occurred under. Unshrunk.
+    pub blocking_witness: Option<(Vec<bool>, Vec<Step>)>,
+    /// First hard oracle violation: `(oracle, detail, vote plan, path)`.
+    /// Unshrunk.
+    pub violation: Option<(&'static str, String, Vec<bool>, Vec<Step>)>,
+}
+
+/// The transaction id every checked execution runs under.
+pub const CHECK_TXN: u64 = 1;
+
+/// Destination site of a pending event — the only site its handler
+/// mutates.
+fn dest_of(ev: &NetEvent<Wire>) -> usize {
+    match ev {
+        NetEvent::Deliver { dst, .. } => *dst,
+        NetEvent::FailureNotice { observer, .. } | NetEvent::RecoveryNotice { observer, .. } => {
+            *observer
+        }
+    }
+}
+
+/// The schedule step that delivers `ev`.
+fn step_for(ev: &NetEvent<Wire>) -> Step {
+    match ev {
+        NetEvent::Deliver { src, dst, .. } => Step::Deliver { src: *src, dst: *dst },
+        NetEvent::FailureNotice { observer, crashed } => {
+            Step::FailNotice { observer: *observer, crashed: *crashed }
+        }
+        NetEvent::RecoveryNotice { observer, recovered } => {
+            Step::RecoveryNotice { observer: *observer, recovered: *recovered }
+        }
+    }
+}
+
+struct Explorer<'a> {
+    protocol: &'a Protocol,
+    analysis: &'a Analysis,
+    opts: CheckOptions,
+    /// Fingerprint → best remaining depth it was expanded with.
+    seen: HashMap<u128, u32>,
+    votes: Vec<bool>,
+    path: Vec<Step>,
+    oracles: Oracles<'a>,
+    stats: ExploreStats,
+    blocking_witness: Option<(Vec<bool>, Vec<Step>)>,
+    violation: Option<(&'static str, String, Vec<bool>, Vec<Step>)>,
+}
+
+/// Explore every schedule of `protocol` within `opts`' budgets, for every
+/// vote plan (or the one plan `opts.vote_plan` fixes).
+pub fn explore<'a>(
+    protocol: &'a Protocol,
+    analysis: &'a Analysis,
+    opts: &CheckOptions,
+) -> Exploration<'a> {
+    let n = protocol.n_sites();
+    let mut ex = Explorer {
+        protocol,
+        analysis,
+        opts: opts.clone(),
+        seen: HashMap::new(),
+        votes: Vec::new(),
+        path: Vec::new(),
+        oracles: Oracles::new(protocol, analysis, CHECK_TXN),
+        stats: ExploreStats::default(),
+        blocking_witness: None,
+        violation: None,
+    };
+    let plans: Vec<Vec<bool>> = match &opts.vote_plan {
+        Some(p) => vec![p.clone()],
+        // All 2^n plans, all-yes first (the plan where commit — and hence
+        // commit-blocking — lives).
+        None => (0..1u32 << n).map(|bits| (0..n).map(|i| bits & (1 << i) == 0).collect()).collect(),
+    };
+    for votes in plans {
+        ex.explore_plan(votes);
+        if ex.violation.is_some() {
+            break;
+        }
+    }
+    Exploration {
+        oracles: ex.oracles,
+        stats: ex.stats,
+        blocking_witness: ex.blocking_witness,
+        violation: ex.violation,
+    }
+}
+
+/// Build the lockstep engine configuration for one vote plan.
+pub fn plan_config(n: usize, votes: &[bool], rule: TerminationRule) -> RunConfig {
+    let mut config = RunConfig::lockstep(n);
+    config.votes = votes.to_vec();
+    config.rule = rule;
+    config.txn_id = CHECK_TXN;
+    config
+}
+
+impl<'a> Explorer<'a> {
+    fn explore_plan(&mut self, votes: Vec<bool>) {
+        // The behavioral digest deliberately excludes the vote plan (votes
+        // drive behavior but are config, not state), so the seen-set must
+        // be per plan: identical digests under different plans are
+        // different futures.
+        self.seen.clear();
+        self.votes = votes;
+        self.stats.plans += 1;
+        let config = plan_config(self.protocol.n_sites(), &self.votes, self.opts.rule);
+        let runner = Runner::new(self.protocol, self.analysis, config);
+        let budgets = Budgets {
+            faults: self.opts.faults,
+            recoveries: self.opts.recoveries,
+            drops: self.opts.drops,
+        };
+        self.dfs(&runner, self.opts.depth, budgets);
+    }
+
+    fn dfs(&mut self, runner: &Runner<'a>, depth_left: u32, b: Budgets) {
+        if self.violation.is_some() {
+            return;
+        }
+        if let Err((oracle, detail)) = self.oracles.observe_state(runner) {
+            self.violation = Some((oracle, detail, self.votes.clone(), self.path.clone()));
+            return;
+        }
+        if runner.net_quiescent()
+            && self.blocking_witness.is_none()
+            && !Oracles::blocked_sites(runner).is_empty()
+        {
+            self.blocking_witness = Some((self.votes.clone(), self.path.clone()));
+        }
+
+        let fp = fingerprint128(&(runner.digest(), b.faults, b.recoveries, b.drops));
+        match self.seen.get(&fp) {
+            Some(&best) if best >= depth_left => return,
+            _ => {}
+        }
+        if self.seen.len() >= self.opts.max_states {
+            self.stats.truncated = true;
+            return;
+        }
+        if self.seen.insert(fp, depth_left).is_none() {
+            self.stats.distinct_states += 1;
+        }
+
+        let mut actions = self.enumerate(runner, b);
+        if actions.is_empty() {
+            return;
+        }
+        if depth_left == 0 {
+            self.stats.truncated = true;
+            return;
+        }
+        if self.opts.seed != 0 && actions.len() > 1 {
+            let rot = fingerprint128(&(self.opts.seed, runner.digest(), depth_left)) as usize;
+            let len = actions.len();
+            actions.rotate_left(rot % len);
+        }
+        let mark = self.path.len();
+        for action in actions {
+            let cost = action.cost();
+            if cost > depth_left {
+                self.stats.truncated = true;
+                continue;
+            }
+            let mut next = runner.clone();
+            let Some(b2) = self.apply(&mut next, &action, b) else {
+                self.path.truncate(mark);
+                return; // recovery-oracle violation recorded
+            };
+            self.stats.actions += 1;
+            self.dfs(&next, depth_left - cost, b2);
+            self.path.truncate(mark);
+            if self.violation.is_some() {
+                return;
+            }
+        }
+    }
+
+    /// All branchable actions in `runner` under remaining budgets `b`, in
+    /// deterministic order.
+    fn enumerate(&self, runner: &Runner<'a>, b: Budgets) -> Vec<Action> {
+        let pending = runner.pending_events();
+        // First (head) and last (tail) pending event per channel, in
+        // ascending send order.
+        let mut channels: Vec<Channel> = Vec::new();
+        for (_, ev) in &pending {
+            let ch = channel_of(ev);
+            if !channels.contains(&ch) {
+                channels.push(ch);
+            }
+        }
+        channels.sort_unstable();
+
+        let no_faults = b.faults == 0 && b.recoveries == 0 && b.drops == 0;
+        if no_faults && !pending.is_empty() {
+            let mut dests: Vec<usize> = pending.iter().map(|(_, ev)| dest_of(ev)).collect();
+            dests.sort_unstable();
+            let distinct = dests.windows(2).all(|w| w[0] != w[1]);
+            if distinct {
+                // Every pending event is its channel's head and targets
+                // its own site: all interleavings commute, and no fault
+                // can intervene — fire them all as one macro-step.
+                return vec![Action::Fuse(channels)];
+            }
+        }
+
+        // Events to a down site are still fired (the dead site simply
+        // never reads them) — leaving them pending would stall quiescence
+        // detection forever.
+        let mut actions: Vec<Action> = channels.iter().map(|&ch| Action::Fire(ch)).collect();
+        if b.drops > 0 {
+            for &ch in &channels {
+                if let Channel::Link(src, dst) = ch {
+                    actions.push(Action::DropTail { src, dst });
+                }
+            }
+        }
+        if b.faults > 0 {
+            for (site, s) in runner.sites().iter().enumerate() {
+                if !s.is_up() {
+                    continue;
+                }
+                let in_flight = pending
+                    .iter()
+                    .filter(|(_, ev)| matches!(ev, NetEvent::Deliver { src, .. } if *src == site))
+                    .count();
+                for lose in 0..=in_flight {
+                    actions.push(Action::CrashSuffix { site, lose });
+                }
+            }
+        }
+        if b.recoveries > 0 {
+            for (site, s) in runner.sites().iter().enumerate() {
+                if !s.is_up() {
+                    actions.push(Action::Recover { site });
+                }
+            }
+        }
+        actions
+    }
+
+    /// Apply one action, appending its schedule steps to the path and
+    /// returning the remaining budgets. Returns `None` when the recovery
+    /// oracle rejected a `Recover` (the violation has been recorded).
+    fn apply(&mut self, runner: &mut Runner<'a>, action: &Action, b: Budgets) -> Option<Budgets> {
+        let b2 = self.apply_inner(runner, action, b)?;
+        // Events addressed to a down site are pure no-ops (the engine
+        // discards them before touching any state), and once the recovery
+        // budget is spent the site stays down forever — so fire them
+        // eagerly instead of branching over every position they could
+        // occupy in the schedule. Recovering sites are *not* drained:
+        // their protocol traffic is live.
+        if b2.recoveries == 0 {
+            loop {
+                let dead = runner.pending_events().into_iter().find_map(|(seq, ev)| {
+                    (!runner.sites()[dest_of(&ev)].is_up()).then(|| (seq, step_for(&ev)))
+                });
+                let Some((seq, step)) = dead else { break };
+                self.path.push(step);
+                runner.fire_scheduled(seq);
+            }
+        }
+        Some(b2)
+    }
+
+    fn apply_inner(
+        &mut self,
+        runner: &mut Runner<'a>,
+        action: &Action,
+        b: Budgets,
+    ) -> Option<Budgets> {
+        match action {
+            Action::Fire(ch) => {
+                let (seq, ev) = channel_head(runner, *ch).expect("enumerated channel has a head");
+                self.path.push(step_for(&ev));
+                runner.fire_scheduled(seq);
+                Some(b)
+            }
+            Action::Fuse(chs) => {
+                self.stats.fused += 1;
+                // Snapshot the heads first: a fired handler's new sends
+                // must not join this macro-step.
+                let heads: Vec<(u64, NetEvent<Wire>)> =
+                    chs.iter().map(|&ch| channel_head(runner, ch).expect("head")).collect();
+                for (seq, ev) in heads {
+                    self.path.push(step_for(&ev));
+                    runner.fire_scheduled(seq);
+                }
+                Some(b)
+            }
+            Action::CrashSuffix { site, lose } => {
+                self.path.push(Step::Crash { site: *site });
+                // Identify the suffix before crashing: the notices the
+                // crash schedules are not deliveries and never match, but
+                // snapshotting first keeps the intent obvious.
+                let mut sends: Vec<(u64, usize)> = runner
+                    .pending_events()
+                    .iter()
+                    .filter_map(|(seq, ev)| match ev {
+                        NetEvent::Deliver { src, dst, .. } if src == site => Some((*seq, *dst)),
+                        _ => None,
+                    })
+                    .collect();
+                runner.crash_now(*site);
+                // Lose the `lose` most recent sends, newest first — each
+                // is the current tail of its link, which is what the
+                // `Drop` step replays.
+                sends.sort_unstable_by_key(|&(seq, _)| std::cmp::Reverse(seq));
+                for &(seq, dst) in sends.iter().take(*lose) {
+                    self.path.push(Step::Drop { src: *site, dst });
+                    runner.drop_scheduled(seq);
+                }
+                Some(Budgets { faults: b.faults - 1, ..b })
+            }
+            Action::Recover { site } => {
+                self.path.push(Step::Recover { site: *site });
+                if let Err(detail) = self.oracles.check_recovery(runner, *site) {
+                    self.violation =
+                        Some(("recovery", detail, self.votes.clone(), self.path.clone()));
+                    return None;
+                }
+                runner.recover_now(*site);
+                Some(Budgets { recoveries: b.recoveries - 1, ..b })
+            }
+            Action::DropTail { src, dst } => {
+                self.path.push(Step::Drop { src: *src, dst: *dst });
+                let (seq, _) =
+                    channel_tail(runner, Channel::Link(*src, *dst)).expect("link has tail");
+                runner.drop_scheduled(seq);
+                Some(Budgets { drops: b.drops - 1, ..b })
+            }
+        }
+    }
+}

@@ -1,0 +1,384 @@
+//! # nbc-check — a schedule-exploring model checker for the engine
+//!
+//! `nbc-core` *predicts* how a commit protocol behaves (reachable state
+//! graph, concurrency sets, the fundamental nonblocking theorem);
+//! `nbc-engine` *executes* it. This crate drives the real engine
+//! [`Runner`](nbc_engine::Runner) through **every** interleaving of
+//! message delivery, message loss, site crash and site recovery within
+//! configurable budgets, and cross-validates the two against each other
+//! with four oracles:
+//!
+//! 1. **consistency** — no execution mixes commit and abort;
+//! 2. **prediction** — every local state a site operationally occupies is
+//!    analytically reachable, and (at full depth, over all vote plans)
+//!    every analytically reachable state is operationally witnessed;
+//! 3. **nonblocking** — protocols the theorem certifies nonblocking never
+//!    leave an operational site blocked within their resilience bound,
+//!    while blocking protocols must yield a blocking witness;
+//! 4. **recovery** — at every crash-recovery point the WAL replays
+//!    cleanly into a position compatible with the already-taken decision.
+//!
+//! Witnesses and violations are shrunk to 1-minimal schedules and emitted
+//! as replayable JSONL (see [`schedule`]) that `nbc simulate --schedule`
+//! re-executes byte-for-byte. The whole pipeline is deterministic: the
+//! same protocol, options and seed produce the same report, byte for
+//! byte.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod explore;
+pub mod oracle;
+pub mod schedule;
+pub mod shrink;
+
+use nbc_core::{resilience, theorem, Analysis, Protocol, ProtocolError, SiteId, StateId};
+use nbc_engine::{Runner, TerminationRule};
+
+pub use explore::{CheckOptions, ExploreStats, CHECK_TXN};
+pub use oracle::Oracles;
+pub use schedule::{apply_step, replay_lenient, replay_strict, ReplayError, Schedule, Step};
+pub use shrink::{drain, shrink};
+
+/// The CLI name of a termination rule (shared vocabulary with `nbc run
+/// --rule` and schedule headers).
+pub fn rule_name(rule: TerminationRule) -> &'static str {
+    match rule {
+        TerminationRule::Skeen => "skeen",
+        TerminationRule::NaiveCs => "naive",
+        TerminationRule::Cooperative => "cooperative",
+        TerminationRule::QuorumSkeen => "quorum",
+    }
+}
+
+/// Parse a termination rule name (inverse of [`rule_name`]).
+pub fn rule_from_name(name: &str) -> Option<TerminationRule> {
+    match name {
+        "skeen" => Some(TerminationRule::Skeen),
+        "naive" => Some(TerminationRule::NaiveCs),
+        "cooperative" => Some(TerminationRule::Cooperative),
+        "quorum" => Some(TerminationRule::QuorumSkeen),
+        _ => None,
+    }
+}
+
+/// One oracle failure, with its shrunk, strictly replayable counterexample.
+#[derive(Debug)]
+pub struct OracleFailure {
+    /// Which oracle: `consistency`, `prediction`, `nonblocking`, `recovery`.
+    pub oracle: &'static str,
+    /// What went wrong.
+    pub detail: String,
+    /// Shrunk counterexample, when the failure has one (coverage-style
+    /// failures like an unwitnessed slot do not).
+    pub counterexample: Option<Schedule>,
+}
+
+/// The complete result of one check run.
+pub struct CheckReport {
+    /// Protocol name.
+    pub protocol: String,
+    /// Site count.
+    pub n: usize,
+    /// Options the check ran under.
+    pub options: CheckOptions,
+    /// Did the fundamental nonblocking theorem certify the protocol?
+    pub certified_nonblocking: bool,
+    /// The k-resiliency bound from the theorem's per-site conditions.
+    pub max_tolerated_failures: usize,
+    /// Was the fault budget within the certified resilience bound (and
+    /// the network assumption unviolated)? Only then does the theorem
+    /// promise no blocking.
+    pub within_resilience: bool,
+    /// Exploration counters.
+    pub stats: ExploreStats,
+    /// Analytic `(site, state)` slot names never operationally witnessed.
+    /// Meaningful only for an untruncated all-plans exploration.
+    pub unwitnessed: Vec<String>,
+    /// Prediction completeness: exploration was exhaustive over all vote
+    /// plans and every analytic slot was witnessed.
+    pub prediction_complete: bool,
+    /// Shrunk path to a quiescent state with a blocked operational site,
+    /// if one exists. For a blocking protocol this is the *expected*
+    /// theorem witness; for a certified protocol within resilience it is
+    /// also listed under `failures`.
+    pub blocking_witness: Option<Schedule>,
+    /// All oracle failures (empty for a fully passing check).
+    pub failures: Vec<OracleFailure>,
+}
+
+impl CheckReport {
+    /// Did every oracle pass?
+    pub fn ok(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// Deterministic human-readable report.
+    pub fn render(&self) -> String {
+        let o = &self.options;
+        let mut out = String::new();
+        out.push_str(&format!(
+            "nbc-check: {} (n={}, rule={})\n",
+            self.protocol,
+            self.n,
+            rule_name(o.rule)
+        ));
+        out.push_str(&format!(
+            "  theorem: {} (tolerates {} simultaneous failure{})\n",
+            if self.certified_nonblocking { "NONBLOCKING" } else { "BLOCKING" },
+            self.max_tolerated_failures,
+            if self.max_tolerated_failures == 1 { "" } else { "s" },
+        ));
+        out.push_str(&format!(
+            "  budgets: depth={} faults={} recoveries={} drops={} seed={}\n",
+            o.depth, o.faults, o.recoveries, o.drops, o.seed
+        ));
+        out.push_str(&format!(
+            "  explored: {} vote plan{}, {} distinct states, {} actions ({} fused), {}\n",
+            self.stats.plans,
+            if self.stats.plans == 1 { "" } else { "s" },
+            self.stats.distinct_states,
+            self.stats.actions,
+            self.stats.fused,
+            if self.stats.truncated { "TRUNCATED" } else { "exhaustive" },
+        ));
+        let failed = |oracle: &str| self.failures.iter().any(|f| f.oracle == oracle);
+        out.push_str(&format!(
+            "  oracle consistency: {}\n",
+            if failed("consistency") { "FAIL" } else { "PASS" }
+        ));
+        let prediction = if failed("prediction") {
+            "FAIL".to_string()
+        } else if self.prediction_complete {
+            "PASS (sound and complete: every analytic state witnessed)".to_string()
+        } else if !self.unwitnessed.is_empty() {
+            format!("PASS (sound; {} analytic slots unwitnessed)", self.unwitnessed.len())
+        } else {
+            "PASS (sound)".to_string()
+        };
+        out.push_str(&format!("  oracle prediction: {prediction}\n"));
+        let nonblocking = if failed("nonblocking") {
+            "FAIL".to_string()
+        } else if !self.certified_nonblocking {
+            match &self.blocking_witness {
+                Some(w) => format!("PASS (blocking confirmed; witness of {} steps)", w.steps.len()),
+                None => "PASS (blocking; no witness within budgets)".to_string(),
+            }
+        } else if !self.within_resilience {
+            match &self.blocking_witness {
+                Some(_) => "PASS (blocked beyond resilience bound, as permitted)".to_string(),
+                None => "PASS (no blocking even beyond resilience bound)".to_string(),
+            }
+        } else {
+            "PASS (no operational site ever blocked)".to_string()
+        };
+        out.push_str(&format!("  oracle nonblocking: {nonblocking}\n"));
+        out.push_str(&format!(
+            "  oracle recovery: {}\n",
+            if failed("recovery") { "FAIL" } else { "PASS" }
+        ));
+        for slot in &self.unwitnessed {
+            out.push_str(&format!("  unwitnessed: {slot}\n"));
+        }
+        for f in &self.failures {
+            out.push_str(&format!("  FAILURE [{}]: {}\n", f.oracle, f.detail));
+        }
+        if let Some(w) = &self.blocking_witness {
+            out.push_str("  blocking witness (replayable with `nbc simulate --schedule`):\n");
+            for line in w.to_jsonl().lines() {
+                out.push_str(&format!("    {line}\n"));
+            }
+        }
+        for f in &self.failures {
+            if let Some(cx) = &f.counterexample {
+                out.push_str(&format!("  counterexample [{}]:\n", f.oracle));
+                for line in cx.to_jsonl().lines() {
+                    out.push_str(&format!("    {line}\n"));
+                }
+            }
+        }
+        out.push_str(&format!("  verdict: {}\n", if self.ok() { "OK" } else { "FAIL" }));
+        out
+    }
+
+    /// Deterministic single-line JSON summary (schedules reported by step
+    /// count; the full JSONL goes to `--counterexample` files).
+    pub fn to_json(&self) -> String {
+        let o = &self.options;
+        let failures: Vec<String> = self
+            .failures
+            .iter()
+            .map(|f| {
+                format!(
+                    "{{\"oracle\":\"{}\",\"detail\":\"{}\",\"counterexample_steps\":{}}}",
+                    f.oracle,
+                    f.detail.replace('\\', "\\\\").replace('"', "\\\""),
+                    f.counterexample
+                        .as_ref()
+                        .map_or("null".to_string(), |c| c.steps.len().to_string()),
+                )
+            })
+            .collect();
+        let unwitnessed: Vec<String> =
+            self.unwitnessed.iter().map(|s| format!("\"{s}\"")).collect();
+        format!(
+            "{{\"protocol\":\"{}\",\"n\":{},\"rule\":\"{}\",\"depth\":{},\"faults\":{},\
+             \"recoveries\":{},\"drops\":{},\"seed\":{},\"certified_nonblocking\":{},\
+             \"max_tolerated_failures\":{},\"within_resilience\":{},\"plans\":{},\
+             \"distinct_states\":{},\"actions\":{},\"fused\":{},\"truncated\":{},\
+             \"prediction_complete\":{},\"unwitnessed\":[{}],\"blocking_witness_steps\":{},\
+             \"failures\":[{}],\"ok\":{}}}",
+            self.protocol.replace('\\', "\\\\").replace('"', "\\\""),
+            self.n,
+            rule_name(o.rule),
+            o.depth,
+            o.faults,
+            o.recoveries,
+            o.drops,
+            o.seed,
+            self.certified_nonblocking,
+            self.max_tolerated_failures,
+            self.within_resilience,
+            self.stats.plans,
+            self.stats.distinct_states,
+            self.stats.actions,
+            self.stats.fused,
+            self.stats.truncated,
+            self.prediction_complete,
+            unwitnessed.join(","),
+            self.blocking_witness
+                .as_ref()
+                .map_or("null".to_string(), |w| w.steps.len().to_string()),
+            failures.join(","),
+            self.ok(),
+        )
+    }
+}
+
+/// A shrink predicate: does the runner (after lenient replay + drain)
+/// still exhibit the violation? The flag reports whether some `Recover`
+/// step failed its recovery-oracle check during replay.
+type ShrinkPredicate<'a> = Box<dyn Fn(&Runner<'_>, bool) -> bool + 'a>;
+
+/// Run the full check: build the analysis, explore every schedule within
+/// the budgets, evaluate the four oracles, and shrink whatever witnesses
+/// or violations turned up.
+pub fn run_check(protocol: &Protocol, options: CheckOptions) -> Result<CheckReport, ProtocolError> {
+    let analysis = Analysis::build(protocol)?;
+    let theorem = theorem::check_with(protocol, &analysis);
+    let resil = resilience::resilience_with(protocol, &theorem);
+    let certified = theorem.nonblocking();
+    // The theorem's resilience bound assumes Skeen's termination rule.
+    // The quorum variant deliberately trades availability for partition
+    // safety: it only promises progress while a majority survives, so
+    // beyond that the nonblocking oracle must not expect termination.
+    let rule_tolerates = match options.rule {
+        TerminationRule::QuorumSkeen => {
+            let n = protocol.n_sites();
+            (options.faults as usize) < n - n / 2
+        }
+        _ => true,
+    };
+    let within_resilience =
+        resil.tolerates(options.faults as usize) && rule_tolerates && options.drops == 0;
+
+    let exploration = explore::explore(protocol, &analysis, &options);
+    let stats = exploration.stats.clone();
+    let all_plans = options.vote_plan.is_none();
+
+    let mut failures = Vec::new();
+
+    // Hard per-state / per-recovery oracle violations, shrunk with the
+    // predicate that re-detects the same class of violation.
+    if let Some((oracle, detail, votes, path)) = &exploration.violation {
+        let analysis_ref = &analysis;
+        let predicate: ShrinkPredicate<'_> = match *oracle {
+            "consistency" => Box::new(|r: &Runner<'_>, _| {
+                let outcomes: Vec<_> = r.sites().iter().filter_map(|s| s.outcome).collect();
+                outcomes.contains(&true) && outcomes.contains(&false)
+            }),
+            "prediction" => Box::new(move |r: &Runner<'_>, _| {
+                r.sites().iter().enumerate().any(|(i, s)| {
+                    s.visited.iter().enumerate().any(|(st, &v)| {
+                        v && !analysis_ref.occupied(SiteId(i as u32), StateId(st as u32))
+                    })
+                })
+            }),
+            _ => Box::new(|_: &Runner<'_>, recovery_failed| recovery_failed),
+        };
+        let shrunk = shrink::shrink(protocol, &analysis, &options, votes, path, predicate);
+        failures.push(OracleFailure {
+            oracle,
+            detail: detail.clone(),
+            counterexample: Some(shrunk),
+        });
+    }
+
+    // The blocking witness, shrunk to its minimal schedule.
+    let blocking_witness = exploration.blocking_witness.as_ref().map(|(votes, path)| {
+        shrink::shrink(protocol, &analysis, &options, votes, path, |r, _| {
+            !Oracles::blocked_sites(r).is_empty()
+        })
+    });
+
+    // Nonblocking oracle verdicts.
+    if certified && within_resilience {
+        if let Some(w) = &blocking_witness {
+            failures.push(OracleFailure {
+                oracle: "nonblocking",
+                detail: format!(
+                    "theorem-certified protocol blocked an operational site within its \
+                     resilience bound ({} steps)",
+                    w.steps.len()
+                ),
+                counterexample: Some(w.clone()),
+            });
+        }
+    } else if !certified
+        && blocking_witness.is_none()
+        && options.faults >= 1
+        && all_plans
+        && !stats.truncated
+    {
+        failures.push(OracleFailure {
+            oracle: "nonblocking",
+            detail: "theorem says BLOCKING but exhaustive exploration found no blocked \
+                     operational site"
+                .to_string(),
+            counterexample: None,
+        });
+    }
+
+    // Prediction completeness (only judged for exhaustive all-plan runs).
+    let unwitnessed: Vec<String> = exploration
+        .oracles
+        .unwitnessed()
+        .into_iter()
+        .map(|(site, state)| exploration.oracles.slot_name(site, state))
+        .collect();
+    let prediction_complete = all_plans && !stats.truncated && unwitnessed.is_empty();
+    if all_plans && !stats.truncated && !unwitnessed.is_empty() {
+        failures.push(OracleFailure {
+            oracle: "prediction",
+            detail: format!(
+                "analytic slots never witnessed operationally at full depth: {}",
+                unwitnessed.join(", ")
+            ),
+            counterexample: None,
+        });
+    }
+
+    Ok(CheckReport {
+        protocol: protocol.name.clone(),
+        n: protocol.n_sites(),
+        options,
+        certified_nonblocking: certified,
+        max_tolerated_failures: resil.max_tolerated_failures,
+        within_resilience,
+        stats,
+        unwitnessed,
+        prediction_complete,
+        blocking_witness,
+        failures,
+    })
+}

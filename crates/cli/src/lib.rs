@@ -24,6 +24,7 @@
 
 use std::fmt::Write as _;
 
+use nbc_check::{CheckOptions, Schedule};
 use nbc_core::kpc::k_phase_central;
 use nbc_core::protocols::{central_2pc, central_3pc, decentralized_2pc, decentralized_3pc, one_pc};
 use nbc_core::{
@@ -32,7 +33,7 @@ use nbc_core::{
 };
 use nbc_engine::{
     enumerate_crash_specs, run_traced, run_with, sweep, sweep_traced, CrashPoint, CrashSpec,
-    RunConfig, RunReport, TerminationRule, TransitionProgress,
+    RunConfig, RunReport, Runner, TerminationRule, TransitionProgress,
 };
 use nbc_obs::export::{to_chrome, to_jsonl};
 use nbc_obs::{Event, MemorySink, Metrics, SharedSink, Tracer};
@@ -277,6 +278,10 @@ pub struct SimOpts {
     /// Print the machine-readable JSON report instead of the human text
     /// (`--json`).
     pub json: bool,
+    /// Replay a recorded `nbc-check` JSONL schedule instead of running the
+    /// timed simulation (`--schedule PATH`). Overrides crash/latency/vote
+    /// options — the schedule carries its own.
+    pub schedule: Option<String>,
 }
 
 impl Default for SimOpts {
@@ -293,6 +298,7 @@ impl Default for SimOpts {
             trace_chrome: false,
             metrics: false,
             json: false,
+            schedule: None,
         }
     }
 }
@@ -371,6 +377,9 @@ pub fn cmd_simulate(
     analysis: &Analysis,
     opts: &SimOpts,
 ) -> Result<String, CliError> {
+    if let Some(path) = &opts.schedule {
+        return cmd_replay(protocol, analysis, path, opts);
+    }
     let cfg = opts.to_config(protocol.n_sites());
     let (report, metrics) = if opts.wants_events() {
         run_observed(protocol, analysis, cfg, opts)?
@@ -396,6 +405,156 @@ pub fn cmd_simulate(
         let _ = write!(out, "{m}");
     }
     Ok(out)
+}
+
+/// `nbc simulate PROTO --schedule FILE`: strictly replay a recorded
+/// `nbc-check` JSONL schedule against the engine in lockstep mode. The
+/// schedule header carries the vote plan and termination rule; the
+/// protocol on the command line must match the one the schedule was
+/// recorded against.
+pub fn cmd_replay(
+    protocol: &Protocol,
+    analysis: &Analysis,
+    path: &str,
+    opts: &SimOpts,
+) -> Result<String, CliError> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| CliError(format!("cannot read {path}: {e}")))?;
+    let sched = Schedule::from_jsonl(&text).map_err(|e| CliError(format!("{path}: {e}")))?;
+    if sched.n != protocol.n_sites() {
+        return fail(format!(
+            "{path}: schedule is for n={}, resolved protocol has n={}",
+            sched.n,
+            protocol.n_sites()
+        ));
+    }
+    if sched.protocol != protocol.name {
+        return fail(format!(
+            "{path}: schedule was recorded against {:?}, not {:?}",
+            sched.protocol, protocol.name
+        ));
+    }
+    let rule = nbc_check::rule_from_name(&sched.rule)
+        .ok_or_else(|| CliError(format!("{path}: unknown termination rule {:?}", sched.rule)))?;
+    let mut cfg = nbc_check::explore::plan_config(sched.n, &sched.votes, rule);
+    cfg.record_trace = opts.trace;
+    let mut runner = Runner::new(protocol, analysis, cfg);
+    nbc_check::replay_strict(&mut runner, &sched.steps)
+        .map_err(|e| CliError(format!("{path}: replay failed at {e}")))?;
+    let report = runner.report();
+    if opts.json {
+        return Ok(format!("{}\n", report.to_json()));
+    }
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "replayed {} steps from {path} (rule={}, votes={})",
+        sched.steps.len(),
+        sched.rule,
+        sched.votes.iter().map(|&v| if v { 'y' } else { 'n' }).collect::<String>(),
+    );
+    for line in &report.trace {
+        let _ = writeln!(out, "{line}");
+    }
+    let _ = writeln!(out, "{report}");
+    let _ = writeln!(
+        out,
+        "atomicity: {}   all operational decided: {}",
+        if report.consistent { "preserved" } else { "VIOLATED" },
+        report.all_operational_decided
+    );
+    Ok(out)
+}
+
+/// `nbc check PROTO [opts]` — run the schedule-exploring model checker.
+pub fn cmd_check(args: &[String]) -> Result<String, CliError> {
+    fn val(args: &[String], i: &mut usize) -> Result<String, CliError> {
+        *i += 1;
+        args.get(*i).cloned().ok_or_else(|| CliError(format!("{} needs a value", args[*i - 1])))
+    }
+    let Some(proto_arg) = args.first() else {
+        return fail("check: missing protocol argument");
+    };
+    let mut n = 3usize;
+    let mut opts = CheckOptions::default();
+    let mut json = false;
+    let mut trace = false;
+    let mut cx_path: Option<String> = None;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "-n" => n = parse_num(&val(args, &mut i)?, "-n")?,
+            "--depth" => opts.depth = parse_num(&val(args, &mut i)?, "--depth")?,
+            "--faults" => opts.faults = parse_num(&val(args, &mut i)?, "--faults")?,
+            "--recoveries" => opts.recoveries = parse_num(&val(args, &mut i)?, "--recoveries")?,
+            "--drops" => opts.drops = parse_num(&val(args, &mut i)?, "--drops")?,
+            "--seed" => opts.seed = parse_num(&val(args, &mut i)?, "--seed")?,
+            "--max-states" => opts.max_states = parse_num(&val(args, &mut i)?, "--max-states")?,
+            "--rule" => opts.rule = parse_rule_arg(&val(args, &mut i)?)?,
+            "--votes" => opts.vote_plan = Some(parse_votes_arg(&val(args, &mut i)?)?),
+            "--json" => json = true,
+            "--trace" => trace = true,
+            "--counterexample" => cx_path = Some(val(args, &mut i)?),
+            other => return fail(format!("check: unknown flag {other:?}")),
+        }
+        i += 1;
+    }
+    let protocol = resolve_protocol(proto_arg, n)?;
+    if let Some(plan) = &opts.vote_plan {
+        if plan.len() != protocol.n_sites() {
+            return fail(format!(
+                "--votes names {} sites, protocol has {}",
+                plan.len(),
+                protocol.n_sites()
+            ));
+        }
+    }
+    let report = nbc_check::run_check(&protocol, opts).map_err(|e| CliError(e.to_string()))?;
+    if let Some(path) = cx_path {
+        let sched = report
+            .failures
+            .iter()
+            .find_map(|f| f.counterexample.as_ref())
+            .or(report.blocking_witness.as_ref());
+        match sched {
+            Some(s) => std::fs::write(&path, s.to_jsonl())
+                .map_err(|e| CliError(format!("cannot write {path}: {e}")))?,
+            None => eprintln!("note: no counterexample or witness to write to {path}"),
+        }
+    }
+    if json {
+        return Ok(format!("{}\n", report.to_json()));
+    }
+    let mut out = report.render();
+    if trace {
+        let mut listing = |label: &str, sched: &Schedule| {
+            let _ = writeln!(out, "  {label} steps:");
+            for (ix, step) in sched.steps.iter().enumerate() {
+                let _ = writeln!(out, "    {ix:3}. {step}");
+            }
+        };
+        if let Some(w) = &report.blocking_witness {
+            listing("witness", w);
+        }
+        for f in &report.failures {
+            if let Some(cx) = &f.counterexample {
+                listing(f.oracle, cx);
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Parse a `--votes` plan: one `y`/`1` (yes) or `n`/`0` (no) per site,
+/// e.g. `yyn`.
+pub fn parse_votes_arg(arg: &str) -> Result<Vec<bool>, CliError> {
+    arg.chars()
+        .map(|c| match c {
+            'y' | '1' => Ok(true),
+            'n' | '0' => Ok(false),
+            _ => fail(format!("bad --votes character {c:?} (want y/n or 1/0)")),
+        })
+        .collect()
 }
 
 /// `nbc sweep PROTO [opts]`

@@ -16,7 +16,12 @@ USAGE:
                   [--crash SITE:ORDINAL:MSGS] [--recover T]
                   [--no-voter K]... [--rule skeen|cooperative|naive|quorum]
                   [--latency LO..HI] [--seed S] [--story]
+                  [--schedule FILE]
                   [--trace PATH] [--trace-format jsonl|chrome] [--metrics] [--json]
+  nbc check       PROTO [-n N] [--depth D] [--faults F] [--recoveries R]
+                  [--drops K] [--seed S] [--rule skeen|cooperative|naive|quorum]
+                  [--votes yyn] [--max-states M] [--counterexample FILE]
+                  [--trace] [--json]
   nbc sweep       PROTO [-n N] [--threads T] [--stream] [--recover T] [--rule ...]
                   [--trace PATH] [--trace-format jsonl|chrome] [--metrics] [--json]
   nbc termination PROTO [-n N] [--threads T] [--stream]
@@ -45,6 +50,11 @@ picks JSONL (one event object per line, the default) or Chrome
 trace-event JSON for chrome://tracing / Perfetto.
 --metrics: print message/WAL/latency counters after the run.
 --json: emit the run report or sweep summary as JSON on stdout.
+
+check: exhaustively explore every schedule (delivery order, crashes,
+recoveries, drops) within the budgets and cross-validate the engine
+against the paper's state-graph analysis with four oracles; shrunk
+counterexamples replay with `nbc simulate PROTO --schedule FILE`.
 ";
 
 fn main() {
@@ -71,6 +81,9 @@ fn run(args: &[String]) -> Result<String, CliError> {
     }
     if cmd == "pipeline" {
         return cmd_pipeline(&args[1..]);
+    }
+    if cmd == "check" {
+        return cmd_check(&args[1..]);
     }
 
     let Some(proto_arg) = args.get(1) else {
@@ -99,6 +112,7 @@ fn run(args: &[String]) -> Result<String, CliError> {
                     .map_err(|_| CliError("bad --threads value".into()))?
             }
             "--story" => opts.trace = true,
+            "--schedule" => opts.schedule = Some(next_val(args, &mut i)?),
             "--trace" => opts.trace_path = Some(next_val(args, &mut i)?),
             "--trace-format" => opts.trace_chrome = parse_trace_format(&next_val(args, &mut i)?)?,
             "--metrics" => opts.metrics = true,

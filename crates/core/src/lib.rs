@@ -77,6 +77,8 @@ pub use error::ProtocolError;
 pub use fsa::{Consume, Envelope, Fsa, FsaBuilder, StateClass, StateInfo, Transition, Vote};
 pub use ids::{MsgKind, SiteId, StateId};
 pub use protocol::{InitialMsg, Paradigm, Protocol};
-pub use reach::{GlobalState, GraphStats, LevelProgress, ReachGraph, ReachOptions, StreamStats};
+pub use reach::{
+    fingerprint128, GlobalState, GraphStats, LevelProgress, ReachGraph, ReachOptions, StreamStats,
+};
 pub use termination::Decision;
 pub use theorem::{TheoremReport, Violation};

@@ -10,7 +10,7 @@
 //!
 //! [`Protocol::validate_strict`]: crate::protocol::Protocol::validate_strict
 
-use crate::fsa::{Consume, Envelope, FsaBuilder, StateClass};
+use crate::fsa::{Consume, Envelope, FsaBuilder, StateClass, Vote};
 use crate::ids::{MsgKind, SiteId};
 use crate::protocol::{InitialMsg, Paradigm, Protocol};
 
@@ -29,12 +29,16 @@ pub fn one_pc(n: usize) -> Protocol {
     let q1 = cb.state("q1", StateClass::Initial);
     let a1 = cb.state("a1", StateClass::Aborted);
     let c1 = cb.state("c1", StateClass::Committed);
+    // The client's commit-or-abort decision is the coordinator's own vote,
+    // tagged like every other central protocol so an operational run can
+    // steer it (untagged nondeterminism would leave the abort branch
+    // unreachable in execution while still reachable analytically).
     cb.transition(
         q1,
         c1,
         Consume::one(SiteId::CLIENT, MsgKind::REQUEST),
         slaves.iter().map(|&s| Envelope::new(s, MsgKind::COMMIT)).collect(),
-        None,
+        Some(Vote::Yes),
         "request(commit) / commit_2..commit_n",
     );
     cb.transition(
@@ -42,7 +46,7 @@ pub fn one_pc(n: usize) -> Protocol {
         a1,
         Consume::one(SiteId::CLIENT, MsgKind::REQUEST),
         slaves.iter().map(|&s| Envelope::new(s, MsgKind::ABORT)).collect(),
-        None,
+        Some(Vote::No),
         "request(abort) / abort_2..abort_n",
     );
 

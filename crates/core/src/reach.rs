@@ -859,17 +859,28 @@ impl fmt::Display for StreamStats {
     }
 }
 
-/// A 128-bit state fingerprint for the streaming deduplicator: the shard
-/// hash concatenated with a second, domain-separated 64-bit hash. The
-/// streaming path cannot compare candidate states against retained payloads
-/// the way the interning tables do, so it relies on hash compaction; at
-/// 128 bits the collision probability for a graph of `N` states is about
-/// `N² / 2^129` — far below 1e-18 even at the 2^22 default node bound.
-fn state_fingerprint(state: &GlobalState) -> u128 {
+/// A 128-bit fingerprint of any hashable value: a plain 64-bit hash
+/// concatenated with a second, domain-separated one. Dedup by fingerprint
+/// cannot compare candidates against retained payloads the way interning
+/// tables do, so it relies on hash compaction; at 128 bits the collision
+/// probability for `N` distinct values is about `N² / 2^129` — far below
+/// 1e-18 even at the streaming builder's 2^22 default node bound. Shared
+/// by the streaming reachability fold and the `nbc-check` model checker's
+/// explored-state set.
+pub fn fingerprint128<T: Hash + ?Sized>(value: &T) -> u128 {
+    let mut h1 = DefaultHasher::new();
+    value.hash(&mut h1);
     let mut h2 = DefaultHasher::new();
     h2.write_u64(0x9e37_79b9_7f4a_7c15);
-    state.hash(&mut h2);
-    ((state_hash(state) as u128) << 64) | h2.finish() as u128
+    value.hash(&mut h2);
+    ((h1.finish() as u128) << 64) | h2.finish() as u128
+}
+
+/// [`fingerprint128`] of a global state. The high half equals
+/// [`state_hash`], so the streaming dedup set and the interning tables'
+/// shard routing agree on the 64-bit prefix.
+fn state_fingerprint(state: &GlobalState) -> u128 {
+    fingerprint128(state)
 }
 
 /// Fold `folder` over every distinct reachable global state *without*

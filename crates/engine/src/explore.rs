@@ -1,0 +1,265 @@
+//! Deterministic single-step hooks for schedule-exploring model checkers.
+//!
+//! The normal driver ([`Runner::step`]) pops events in simulation-time
+//! order — one fixed interleaving per configuration. A model checker wants
+//! the opposite: at every point, *enumerate* the events that could arrive
+//! next and branch on each. This module exposes exactly that surface on
+//! [`Runner`], without touching the time-ordered path:
+//!
+//! * [`Runner::pending_events`] — every scheduled network event with its
+//!   stable sequence handle, in deterministic order;
+//! * [`Runner::fire_scheduled`] / [`Runner::drop_scheduled`] — deliver or
+//!   lose one chosen event, out of time order (per-link FIFO is the
+//!   checker's responsibility: it should only fire a link's *head* event,
+//!   which [`channel_of`] makes easy to compute);
+//! * [`Runner::crash_now`] / [`Runner::recover_now`] /
+//!   [`Runner::partition_now`] — inject a fault at the current instant
+//!   instead of a pre-scheduled timer;
+//! * [`Runner::digest`] — a canonical 128-bit fingerprint of the
+//!   behavioral global state (sites, WALs, in-flight messages), the
+//!   dedup key for explored-state sets. The digest deliberately excludes
+//!   simulation time, event counts, and monitor-only data (the
+//!   visited-state bitmaps), so two interleavings that converge to the
+//!   same behavioral state merge.
+//!
+//! Exploration should run with zero latency and zero detection delay
+//! (e.g. [`RunConfig::lockstep`](crate::RunConfig::lockstep)): then every
+//! scheduled event sits at the same instant and *which one fires next* is
+//! pure scheduler choice — logical time disappears from the state, which
+//! is what makes the digest converge across interleavings.
+
+use std::cmp::Reverse;
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+use nbc_simnet::NetEvent;
+
+use crate::config::RunConfig;
+use crate::run::Runner;
+use crate::site::{Mode, SiteRt};
+use crate::wire::Wire;
+
+/// The FIFO channel an event belongs to. Protocol and control messages
+/// travel ordered per `(src, dst)` link; failure/recovery notices form one
+/// ordered feed from the (perfect) detector to each observer. A model
+/// checker must deliver events of one channel in order — only each
+/// channel's head is a legal next delivery — while events of different
+/// channels commute freely.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Channel {
+    /// The `(src, dst)` message link.
+    Link(usize, usize),
+    /// The failure detector's feed to one observer.
+    Detector(usize),
+}
+
+/// The channel of a scheduled event.
+pub fn channel_of(ev: &NetEvent<Wire>) -> Channel {
+    match ev {
+        NetEvent::Deliver { src, dst, .. } => Channel::Link(*src, *dst),
+        NetEvent::FailureNotice { observer, .. } | NetEvent::RecoveryNotice { observer, .. } => {
+            Channel::Detector(*observer)
+        }
+    }
+}
+
+impl RunConfig {
+    /// Zero-latency, zero-detection-delay configuration for model-checked
+    /// exploration: every consequence of an action is scheduled at the
+    /// current instant, so event *order* is entirely the explorer's
+    /// choice and the behavioral digest carries no timing residue.
+    pub fn lockstep(n: usize) -> Self {
+        let mut c = Self::happy(n);
+        c.latency = nbc_simnet::LatencyModel::constant(0);
+        c.detect_delay = 0;
+        c
+    }
+}
+
+impl<'a> Runner<'a> {
+    /// Read-only view of the per-site runtimes (states, inboxes, WALs,
+    /// modes, visited-state monitors).
+    pub fn sites(&self) -> &[SiteRt] {
+        &self.sites
+    }
+
+    /// The protocol this run executes.
+    pub fn protocol(&self) -> &'a nbc_core::Protocol {
+        self.protocol
+    }
+
+    /// Every pending network event as `(sequence handle, event)`, in
+    /// deterministic `(time, send order)` order.
+    pub fn pending_events(&self) -> Vec<(u64, NetEvent<Wire>)> {
+        self.net.scheduled().into_iter().map(|(_, seq, ev)| (seq, ev.clone())).collect()
+    }
+
+    /// Deliver one specific pending event now, identified by the sequence
+    /// handle from [`Runner::pending_events`], and run every site reaction
+    /// it triggers to quiescence. Returns `false` if no such event is
+    /// pending.
+    pub fn fire_scheduled(&mut self, seq: u64) -> bool {
+        let Some((_, ev)) = self.net.take_seq(seq) else {
+            return false;
+        };
+        self.events += 1;
+        self.handle_net(ev);
+        true
+    }
+
+    /// Lose one specific pending event: it is removed and never arrives
+    /// (counted as a drop in the network stats). Returns `false` if no
+    /// such event is pending.
+    pub fn drop_scheduled(&mut self, seq: u64) -> bool {
+        self.events += 1;
+        self.net.drop_seq(self.now, seq).is_some()
+    }
+
+    /// Crash `site` at the current instant: volatile state is lost, the
+    /// synced WAL prefix survives, and failure notices are scheduled to
+    /// every other site (after the configured detection delay; zero under
+    /// [`RunConfig::lockstep`]). No-op if the site is already down.
+    pub fn crash_now(&mut self, site: usize) {
+        self.events += 1;
+        self.crash_site(site);
+    }
+
+    /// Restart `site` at the current instant: it replays its durable WAL
+    /// and runs the paper's recovery protocol. No-op unless the site is
+    /// down.
+    pub fn recover_now(&mut self, site: usize) {
+        self.events += 1;
+        self.recover_site(site);
+    }
+
+    /// Partition the network at the current instant (`groups[i]` = site
+    /// `i`'s group): in-flight cross-group messages are dropped, future
+    /// ones too, and every site is told the other side "failed" — the
+    /// deliberate assumption violation of experiment X3.
+    pub fn partition_now(&mut self, groups: Vec<usize>) {
+        self.events += 1;
+        self.net.partition(self.now, groups);
+    }
+
+    /// Heal a partition at the current instant.
+    pub fn heal_now(&mut self) {
+        self.events += 1;
+        self.net.heal();
+    }
+
+    /// True when no network event is pending — with no fault injection
+    /// forthcoming, the run can change state no further.
+    pub fn net_quiescent(&self) -> bool {
+        self.net.pending() == 0
+    }
+
+    /// Canonical 128-bit fingerprint of the behavioral global state: per
+    /// site its mode, local FSA state, inbox (as a multiset), full WAL
+    /// image with durable watermark, operational view, alignment, backup
+    /// bookkeeping, outcome and recovery-protocol bookkeeping; plus the
+    /// in-flight messages of every FIFO channel in order, pending timers,
+    /// and the partition assignment. Excluded on purpose: simulation time,
+    /// event counts, per-site transition-attempt counters (crash-point
+    /// bookkeeping) and the visited-state monitors — none of them alter
+    /// future behavior under exploration, and including them would stop
+    /// converging interleavings from deduplicating.
+    pub fn digest(&self) -> u128 {
+        let mut h1 = DefaultHasher::new();
+        self.digest_into(&mut h1);
+        let mut h2 = DefaultHasher::new();
+        h2.write_u64(0x9e37_79b9_7f4a_7c15);
+        self.digest_into(&mut h2);
+        ((h1.finish() as u128) << 64) | h2.finish() as u128
+    }
+
+    fn digest_into(&self, h: &mut impl Hasher) {
+        for s in &self.sites {
+            match &s.mode {
+                Mode::Normal => h.write_u8(0),
+                Mode::Terminating { backup } => {
+                    h.write_u8(1);
+                    h.write_usize(*backup);
+                }
+                Mode::Blocked => h.write_u8(2),
+                Mode::Down => h.write_u8(3),
+                Mode::Recovering => h.write_u8(4),
+                Mode::Done => h.write_u8(5),
+            }
+            h.write_u32(s.state.0);
+            let mut inbox = s.inbox.clone();
+            inbox.sort_unstable_by_key(|&(src, kind)| (src, kind));
+            inbox.hash(h);
+            s.wal.full_image().hash(h);
+            h.write_usize(s.wal.durable_len());
+            s.view.hash(h);
+            s.aligned_class.hash(h);
+            s.outcome.hash(h);
+            s.backup_state.phase1_sent.hash(h);
+            s.backup_state.pending_acks.hash(h);
+            // Arrival-order collections whose every consumer is
+            // order-independent (set membership, counts, sends to
+            // distinct sites): hash them canonically sorted so states
+            // differing only in arrival order merge.
+            let mut collected = s.backup_state.collected.clone();
+            collected.sort_unstable();
+            collected.hash(h);
+            let mut queries = s.pending_queries.clone();
+            queries.sort_unstable();
+            queries.hash(h);
+            let mut replies = s.recovery_replies.clone();
+            replies.sort_unstable();
+            replies.hash(h);
+            s.recovered_peers.hash(h);
+        }
+        // In-flight messages, canonicalized per FIFO channel: channel
+        // order is irrelevant (sorted), order *within* a channel is the
+        // delivery order and is preserved.
+        let scheduled = self.net.scheduled();
+        let mut channels: Vec<(Channel, Vec<&NetEvent<Wire>>)> = Vec::new();
+        for (_, _, ev) in &scheduled {
+            let ch = channel_of(ev);
+            match channels.iter_mut().find(|(c, _)| *c == ch) {
+                Some((_, q)) => q.push(ev),
+                None => channels.push((ch, vec![ev])),
+            }
+        }
+        channels.sort_by_key(|&(c, _)| c);
+        for (ch, queue) in channels {
+            ch.hash(h);
+            for ev in queue {
+                match ev {
+                    NetEvent::Deliver { msg, .. } => {
+                        h.write_u8(0);
+                        msg.hash(h);
+                    }
+                    NetEvent::FailureNotice { crashed, .. } => {
+                        h.write_u8(1);
+                        h.write_usize(*crashed);
+                    }
+                    NetEvent::RecoveryNotice { recovered, .. } => {
+                        h.write_u8(2);
+                        h.write_usize(*recovered);
+                    }
+                }
+            }
+        }
+        let mut timers: Vec<_> = self.timers.iter().map(|Reverse(t)| *t).collect();
+        timers.sort_unstable();
+        h.write_usize(timers.len());
+        for (at, timer) in timers {
+            h.write_u64(at);
+            match timer {
+                crate::run::Timer::Crash(s) => {
+                    h.write_u8(0);
+                    h.write_usize(s);
+                }
+                crate::run::Timer::Recover(s) => {
+                    h.write_u8(1);
+                    h.write_usize(s);
+                }
+                crate::run::Timer::Partition => h.write_u8(2),
+            }
+        }
+        self.net.partition_groups().hash(h);
+    }
+}

@@ -34,6 +34,7 @@
 pub mod class_map;
 pub mod config;
 pub mod decide;
+pub mod explore;
 pub mod report;
 pub mod run;
 pub mod site;
@@ -44,6 +45,7 @@ pub use config::{
     CrashPoint, CrashSpec, PartitionSpec, RunConfig, TerminationRule, TransitionProgress,
 };
 pub use decide::ClassDecisions;
+pub use explore::{channel_of, Channel};
 pub use report::{RunReport, SiteOutcome};
 pub use run::{run_one, run_traced, run_with, Runner};
 pub use sweep::{enumerate_crash_specs, sweep, sweep_traced, SweepSummary};

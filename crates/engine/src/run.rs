@@ -47,29 +47,36 @@ use crate::wire::Wire;
 pub const TXN: u64 = 1;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
-enum Timer {
+pub(crate) enum Timer {
     Crash(usize),
     Recover(usize),
     Partition,
 }
 
 /// One in-flight simulation.
+///
+/// `Clone` forks the entire run — sites, WALs, in-flight messages, timers —
+/// which is how the model checker (`nbc-check`) branches an execution at a
+/// nondeterministic choice point. A cloned runner shares the (reference-
+/// counted) tracer sinks of its parent, so clone-heavy exploration should
+/// run untraced.
+#[derive(Clone)]
 pub struct Runner<'a> {
-    protocol: &'a Protocol,
-    analysis: &'a Analysis,
+    pub(crate) protocol: &'a Protocol,
+    pub(crate) analysis: &'a Analysis,
     decisions: ClassDecisions,
     /// `recovery_classes[site][state]`: what a recovered site may conclude
     /// from its durable state alone (see `nbc_core::recovery_analysis`).
     recovery_classes: Vec<Vec<RecoveryClass>>,
-    config: RunConfig,
-    net: Network<Wire>,
-    sites: Vec<SiteRt>,
-    timers: BinaryHeap<Reverse<(Time, Timer)>>,
+    pub(crate) config: RunConfig,
+    pub(crate) net: Network<Wire>,
+    pub(crate) sites: Vec<SiteRt>,
+    pub(crate) timers: BinaryHeap<Reverse<(Time, Timer)>>,
     /// Pending `OnTransition` crash points, per site.
     transition_crashes: Vec<Option<(u32, TransitionProgress, Option<Time>)>>,
     /// Recovery times for timed crashes, per site.
-    now: Time,
-    events: usize,
+    pub(crate) now: Time,
+    pub(crate) events: usize,
     truncated: bool,
     /// Observability handle; every protocol action is emitted through it
     /// as a typed event (no-op when no sink is attached).
@@ -339,7 +346,7 @@ impl<'a> Runner<'a> {
                 .at_site(ix)
         });
         self.tracer.emit(|| self.ev(EventKind::WalFsync { physical: true }).at_site(ix));
-        self.sites[ix].state = to;
+        self.sites[ix].enter_state(to);
     }
 
     /// Reach a final outcome at `ix` (via the protocol or a decision).
@@ -363,7 +370,7 @@ impl<'a> Runner<'a> {
     // Event handling
     // ------------------------------------------------------------------
 
-    fn handle_net(&mut self, ev: NetEvent<Wire>) {
+    pub(crate) fn handle_net(&mut self, ev: NetEvent<Wire>) {
         match ev {
             NetEvent::Deliver { src, dst, msg } => {
                 // Delivery is traced even to a down site — the network did
@@ -539,8 +546,21 @@ impl<'a> Runner<'a> {
             }
             Mode::Normal | Mode::Terminating { .. } | Mode::Blocked => {}
         }
+        // The sender elected itself backup only after observing every
+        // lower-ranked site crash. Under crash-stop failures its directive
+        // is therefore also evidence of those crashes, so adopt the view
+        // change even if this site's own failure notice has not arrived
+        // yet (skipping peers known to have recovered since — their
+        // notices postdate the sender's election). Dropping the directive
+        // instead would deadlock the backup's round: it waits for an ack
+        // this site would never send.
+        for j in 0..backup {
+            if j != ix && !self.sites[ix].recovered_peers.contains(&j) {
+                self.sites[ix].view[j] = false;
+            }
+        }
         // Only obey the currently elected backup; stale directives from a
-        // previous (now crashed) backup are ignored.
+        // previous (now crashed or superseded) backup are ignored.
         if self.sites[ix].elected_backup() != backup {
             return;
         }
@@ -666,7 +686,7 @@ impl<'a> Runner<'a> {
     // Crash and recovery
     // ------------------------------------------------------------------
 
-    fn crash_site(&mut self, ix: usize) {
+    pub(crate) fn crash_site(&mut self, ix: usize) {
         if self.sites[ix].mode == Mode::Down {
             return;
         }
@@ -684,7 +704,7 @@ impl<'a> Runner<'a> {
         self.net.crash(self.now, ix);
     }
 
-    fn recover_site(&mut self, ix: usize) {
+    pub(crate) fn recover_site(&mut self, ix: usize) {
         if self.sites[ix].mode != Mode::Down {
             return;
         }
@@ -715,7 +735,7 @@ impl<'a> Runner<'a> {
                 self.sites[ix].mode = Mode::Done;
             }
             Some(TxnOutcome::MustAsk { state, aligned_class, .. }) => {
-                self.sites[ix].state = StateId(*state);
+                self.sites[ix].enter_state(StateId(*state));
                 self.sites[ix].aligned_class = *aligned_class;
                 self.sites[ix].mode = Mode::Recovering;
                 // Independent recovery (nbc-core::recovery_analysis): a

@@ -71,11 +71,19 @@ pub struct SiteRt {
     pub recovery_replies: Vec<(usize, Option<bool>, u8)>,
     /// Sites known (via recovery notices) to be up again.
     pub recovered_peers: BTreeSet<usize>,
+    /// Monitor only: `visited[s]` is true once this site has occupied local
+    /// state `s` at any point of the run (including states passed through
+    /// inside one delivery's transition cascade). The model checker's
+    /// prediction oracle compares this against the analytic (site, state)
+    /// occupancy; it is not part of the behavioral state.
+    pub visited: Vec<bool>,
 }
 
 impl SiteRt {
     /// Fresh site at the FSA's initial state.
     pub fn new(id: usize, fsa: &Fsa, n: usize) -> Self {
+        let mut visited = vec![false; fsa.state_count()];
+        visited[fsa.initial().index()] = true;
         Self {
             id,
             state: fsa.initial(),
@@ -90,7 +98,14 @@ impl SiteRt {
             pending_queries: Vec::new(),
             recovery_replies: Vec::new(),
             recovered_peers: BTreeSet::new(),
+            visited,
         }
+    }
+
+    /// Move to local state `s`, recording it in the visited-state monitor.
+    pub fn enter_state(&mut self, s: StateId) {
+        self.state = s;
+        self.visited[s.index()] = true;
     }
 
     /// The site id as a core [`SiteId`].

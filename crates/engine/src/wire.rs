@@ -6,7 +6,7 @@ use std::fmt;
 use nbc_core::MsgKind;
 
 /// Everything that travels between sites during a run.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Wire {
     /// A commit-protocol message (read/written by the site FSAs).
     Proto(MsgKind),

@@ -51,7 +51,7 @@ pub enum NetEvent<M> {
 }
 
 /// Internal scheduled entry.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Scheduled<M> {
     at: Time,
     seq: u64,
@@ -89,6 +89,7 @@ impl<M> Ord for Scheduled<M> {
 ///   delivery time are suppressed by the driver loop (see
 ///   [`Network::next_event`] — the network cannot know the future, so the
 ///   *driver* passes current liveness in).
+#[derive(Clone)]
 pub struct Network<M> {
     n: usize,
     latency: LatencyModel,
@@ -211,6 +212,13 @@ impl<M> Network<M> {
         self.groups.is_some()
     }
 
+    /// Current partition assignment (`groups[i]` = site `i`'s group), if
+    /// partitioned. Part of the network's behavioral state, so the model
+    /// checker folds it into its global-state digest.
+    pub fn partition_groups(&self) -> Option<&[usize]> {
+        self.groups.as_deref()
+    }
+
     /// Report that `site` crashed at `now`: schedules failure notices to
     /// every other site at `now + detect_delay`.
     pub fn crash(&mut self, now: Time, site: SiteIx) {
@@ -254,6 +262,63 @@ impl<M> Network<M> {
     /// Number of undelivered events still scheduled.
     pub fn pending(&self) -> usize {
         self.heap.len()
+    }
+
+    /// Every scheduled event in deterministic `(at, seq)` order, with its
+    /// sequence number. The sequence number is the handle for
+    /// [`Network::take_seq`] / [`Network::drop_seq`]; a model checker uses
+    /// this to enumerate the per-channel head events it may deliver next
+    /// (FIFO order on one `(src, dst)` link is exactly ascending `(at,
+    /// seq)` order among that link's entries).
+    pub fn scheduled(&self) -> Vec<(Time, u64, &NetEvent<M>)> {
+        let mut out: Vec<_> = self.heap.iter().map(|Reverse(s)| (s.at, s.seq, &s.event)).collect();
+        out.sort_by_key(|&(at, seq, _)| (at, seq));
+        out
+    }
+
+    /// Remove and return one specific scheduled event by sequence number,
+    /// out of time order — the model checker's "deliver this one next"
+    /// hook. Counts as a delivery for [`NetStats`] when it is a
+    /// [`NetEvent::Deliver`]. Returns `None` if no such event is pending.
+    pub fn take_seq(&mut self, seq: u64) -> Option<(Time, NetEvent<M>)> {
+        let mut taken = None;
+        let retained: Vec<Reverse<Scheduled<M>>> = std::mem::take(&mut self.heap)
+            .into_iter()
+            .filter_map(|Reverse(s)| {
+                if s.seq == seq {
+                    taken = Some((s.at, s.event));
+                    None
+                } else {
+                    Some(Reverse(s))
+                }
+            })
+            .collect();
+        self.heap = retained.into();
+        if let Some((_, ev)) = &taken {
+            if matches!(ev, NetEvent::Deliver { .. }) {
+                self.stats.record_delivery();
+            }
+        }
+        taken
+    }
+
+    /// Remove one specific scheduled event by sequence number *as a loss*:
+    /// the message never arrives. Counts as a drop for [`NetStats`] and is
+    /// reported through the tracer. The model checker uses this to explore
+    /// message-loss faults (in particular, in-flight messages of a crashed
+    /// sender — the paper's non-atomic transition failure seen from the
+    /// network side). Returns the dropped event, `None` if not pending.
+    pub fn drop_seq(&mut self, now: Time, seq: u64) -> Option<NetEvent<M>> {
+        let (_, ev) = self.take_seq(seq)?;
+        if let NetEvent::Deliver { src, dst, .. } = &ev {
+            // take_seq counted it as delivered; reclassify as dropped.
+            self.stats.undo_delivery();
+            self.stats.record_drop();
+            let (src, dst) = (*src, *dst);
+            self.tracer
+                .emit(|| Event::new(now, EventKind::MsgDrop { dst: dst as u32 }).at_site(src));
+        }
+        Some(ev)
     }
 
     fn push(&mut self, at: Time, event: NetEvent<M>) {

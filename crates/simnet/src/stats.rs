@@ -33,6 +33,10 @@ impl NetStats {
         self.dropped += 1;
     }
 
+    pub(crate) fn undo_delivery(&mut self) {
+        self.delivered -= 1;
+    }
+
     /// Messages swallowed by a partition.
     pub fn dropped(&self) -> u64 {
         self.dropped

@@ -114,6 +114,11 @@ pub fn all() -> Vec<Experiment> {
             run: perf::b6_pipeline_group_commit,
         },
         Experiment {
+            id: "b8",
+            title: "Paxos Commit: goodput vs acceptor-fault tolerance F under acceptor crashes",
+            run: perf::b8_paxos_resilience,
+        },
+        Experiment {
             id: "x1",
             title: "Extension/ablation: the k-phase commit family (is one buffer state enough?)",
             run: extensions::x1_kpc_ablation,
@@ -152,7 +157,7 @@ mod tests {
         ids.sort_unstable();
         ids.dedup();
         assert_eq!(ids.len(), exps.len());
-        assert_eq!(exps.len(), 22);
+        assert_eq!(exps.len(), 23);
     }
 
     #[test]

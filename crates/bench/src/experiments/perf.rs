@@ -320,6 +320,128 @@ pub fn b6_pipeline_group_commit() -> String {
     )
 }
 
+/// B8 — Paxos Commit resilience: goodput and per-round cost vs the
+/// acceptor-fault tolerance F under injected acceptor crashes, plus the
+/// Gray–Lamport cost table. Shape: F=0 has a 1-of-1 quorum and blocks
+/// like 2PC the moment its lone acceptor dies mid-relay; F>=1 absorbs one
+/// crashed acceptor per round with goodput intact, paying a linear
+/// message premium per extra acceptor pair.
+pub fn b8_paxos_resilience() -> String {
+    use nbc_paxos::{central_2pc_cost, central_3pc_cost, gl_2pc_cost, gl_paxos_cost, paxos_cost};
+
+    let n = 3usize;
+    let mut t = Table::new([
+        "F",
+        "acceptors",
+        "crash rate",
+        "txns",
+        "committed",
+        "aborted",
+        "blocked",
+        "goodput",
+        "msgs/txn",
+        "ticks/txn",
+    ]);
+    for f in [0usize, 1, 2] {
+        let acceptors = 2 * f + 1;
+        for crash_pct in [0u32, 25, 50] {
+            let mut rng = SimRng::seed_from_u64(0xB8 + f as u64);
+            let w0 = BankWorkload::new(n, 12, 1_000, 31);
+            let mut c = Cluster::new(ClusterConfig::new(n, ProtocolKind::Paxos { f }));
+            assert_eq!(c.execute(&w0.setup_ops()), TxnResult::Committed);
+            let mut w = w0.clone();
+            let total = 120u32;
+            for _ in 0..total {
+                let (from, to, amt) = w.random_transfer();
+                let crashes = if rng.gen_ratio(crash_pct, 100) {
+                    // One random acceptor dies before relaying its verdict
+                    // to the leader — the crash the quorum exists to absorb.
+                    vec![CrashSpec {
+                        site: n + rng.gen_range(0..acceptors),
+                        point: CrashPoint::OnTransition {
+                            ordinal: 1,
+                            progress: TransitionProgress::AfterMsgs(0),
+                        },
+                        recover_at: None,
+                    }]
+                } else {
+                    vec![]
+                };
+                let _ = c.transfer_with_crashes(&w, from, to, amt, &crashes);
+            }
+            let stats = c.stats.clone();
+            let rounds = (total + 1) as f64; // incl. the setup txn
+            if f >= 1 {
+                assert_eq!(
+                    stats.blocked, 0,
+                    "f={f} @ {crash_pct}%: a quorum must absorb one acceptor crash"
+                );
+            }
+            t.row([
+                f.to_string(),
+                acceptors.to_string(),
+                format!("{crash_pct}%"),
+                total.to_string(),
+                (stats.committed - 1).to_string(), // minus the setup txn
+                stats.aborted.to_string(),
+                stats.blocked.to_string(),
+                format!("{:.2}", (stats.committed - 1) as f64 / total as f64),
+                format!("{:.1}", stats.messages as f64 / rounds),
+                format!("{:.1}", stats.sim_time as f64 / rounds),
+            ]);
+            c.recover_all();
+            assert_eq!(
+                c.total_balance(&w),
+                w.expected_total(),
+                "f={f} @ {crash_pct}%: conservation after recovery"
+            );
+        }
+    }
+
+    let mut cost = Table::new([
+        "protocol",
+        "msgs/txn",
+        "stable writes",
+        "delays",
+        "GL msgs",
+        "GL writes",
+        "GL delays",
+    ]);
+    let gl = |r: nbc_paxos::CostRow| {
+        [r.messages.to_string(), r.stable_writes.to_string(), r.delays.to_string()]
+    };
+    let mut push = |name: String, m: nbc_paxos::CostRow, g: Option<nbc_paxos::CostRow>| {
+        let [gm, gw, gd] = g.map(gl).unwrap_or_else(|| ["-".into(), "-".into(), "-".into()]);
+        cost.row([
+            name,
+            m.messages.to_string(),
+            m.stable_writes.to_string(),
+            m.delays.to_string(),
+            gm,
+            gw,
+            gd,
+        ]);
+    };
+    push("central-2pc".into(), central_2pc_cost(n), Some(gl_2pc_cost(n)));
+    push("central-3pc".into(), central_3pc_cost(n), None);
+    for f in [0usize, 1, 2] {
+        push(format!("paxos-commit f={f}"), paxos_cost(n, f), Some(gl_paxos_cost(n, f)));
+    }
+
+    format!(
+        "{}\nShape: at F=0 goodput collapses with the acceptor crash rate \
+         exactly like 2PC under coordinator crashes (the stranded rounds \
+         hold locks and poison successors); at F>=1 every round decides and \
+         goodput stays near 1.0, bought with (n-1)+2 extra messages per \
+         acceptor pair.\n\nCost per committed transaction at n={n} \
+         (measured model vs Gray-Lamport analytic; GL colocate acceptors \
+         with RMs, eliding the relay messages and the 3 log forces each \
+         distinct acceptor site pays here):\n{}\n",
+        t.render(),
+        cost.render()
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -224,8 +224,16 @@ pub fn explore<'a>(
     let plans: Vec<Vec<bool>> = match &opts.vote_plan {
         Some(p) => vec![p.clone()],
         // All 2^n plans, all-yes first (the plan where commit — and hence
-        // commit-blocking — lives).
-        None => (0..1u32 << n).map(|bits| (0..n).map(|i| bits & (1 << i) == 0).collect()).collect(),
+        // commit-blocking — lives). Quorum-based protocols enumerate over
+        // participants only: acceptor transitions are untagged (acceptors
+        // hold no vote), so acceptor plan bits would only replicate each
+        // execution 2^(2f+1) times.
+        None => {
+            let np = protocol.n_participants();
+            (0..1u32 << np)
+                .map(|bits| (0..n).map(|i| i >= np || bits & (1 << i) == 0).collect())
+                .collect()
+        }
     };
     for votes in plans {
         ex.explore_plan(votes);
@@ -373,6 +381,13 @@ impl<'a> Explorer<'a> {
         if b.faults > 0 {
             for (site, s) in runner.sites().iter().enumerate() {
                 if !s.is_up() {
+                    continue;
+                }
+                // Quorum-based protocols promise nonblocking only against
+                // acceptor crashes; participant crashes are outside the
+                // verified fault model, so the budget is spent on the
+                // crashes the quorum must absorb.
+                if self.protocol.quorum().is_some() && !self.protocol.is_acceptor(site) {
                     continue;
                 }
                 let in_flight = pending

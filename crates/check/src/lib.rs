@@ -88,8 +88,12 @@ pub struct CheckReport {
     pub max_tolerated_failures: usize,
     /// Was the fault budget within the certified resilience bound (and
     /// the network assumption unviolated)? Only then does the theorem
-    /// promise no blocking.
+    /// promise no blocking. For quorum-based protocols this is instead
+    /// the quorum's own bound: at most `f` acceptor crashes, no drops.
     pub within_resilience: bool,
+    /// `Some(f)` for quorum-based protocols (2f+1 acceptors, nonblocking
+    /// promised for up to `f` acceptor crashes); `None` otherwise.
+    pub quorum_f: Option<usize>,
     /// Exploration counters.
     pub stats: ExploreStats,
     /// Analytic `(site, state)` slot names never operationally witnessed.
@@ -129,6 +133,14 @@ impl CheckReport {
             self.max_tolerated_failures,
             if self.max_tolerated_failures == 1 { "" } else { "s" },
         ));
+        if let Some(f) = self.quorum_f {
+            out.push_str(&format!(
+                "  quorum: f={f} ({} acceptors; nonblocking promised for <= {f} acceptor \
+                 crash{})\n",
+                2 * f + 1,
+                if f == 1 { "" } else { "es" },
+            ));
+        }
         out.push_str(&format!(
             "  budgets: depth={} faults={} recoveries={} drops={} seed={}\n",
             o.depth, o.faults, o.recoveries, o.drops, o.seed
@@ -159,6 +171,15 @@ impl CheckReport {
         out.push_str(&format!("  oracle prediction: {prediction}\n"));
         let nonblocking = if failed("nonblocking") {
             "FAIL".to_string()
+        } else if let Some(f) = self.quorum_f {
+            if self.within_resilience {
+                format!("PASS (no blocking with <= {f} acceptor crashes)")
+            } else {
+                match &self.blocking_witness {
+                    Some(_) => "PASS (blocked beyond quorum resilience, as permitted)".to_string(),
+                    None => "PASS (no blocking even beyond quorum resilience)".to_string(),
+                }
+            }
         } else if !self.certified_nonblocking {
             match &self.blocking_witness {
                 Some(w) => format!("PASS (blocking confirmed; witness of {} steps)", w.steps.len()),
@@ -224,7 +245,7 @@ impl CheckReport {
         format!(
             "{{\"protocol\":\"{}\",\"n\":{},\"rule\":\"{}\",\"depth\":{},\"faults\":{},\
              \"recoveries\":{},\"drops\":{},\"seed\":{},\"certified_nonblocking\":{},\
-             \"max_tolerated_failures\":{},\"within_resilience\":{},\"plans\":{},\
+             \"max_tolerated_failures\":{},\"quorum_f\":{},\"within_resilience\":{},\"plans\":{},\
              \"distinct_states\":{},\"actions\":{},\"fused\":{},\"truncated\":{},\
              \"prediction_complete\":{},\"unwitnessed\":[{}],\"blocking_witness_steps\":{},\
              \"failures\":[{}],\"ok\":{}}}",
@@ -238,6 +259,7 @@ impl CheckReport {
             o.seed,
             self.certified_nonblocking,
             self.max_tolerated_failures,
+            self.quorum_f.map_or("null".to_string(), |f| f.to_string()),
             self.within_resilience,
             self.stats.plans,
             self.stats.distinct_states,
@@ -279,8 +301,14 @@ pub fn run_check(protocol: &Protocol, options: CheckOptions) -> Result<CheckRepo
         }
         _ => true,
     };
-    let within_resilience =
-        resil.tolerates(options.faults as usize) && rule_tolerates && options.drops == 0;
+    // A quorum-based protocol's nonblocking guarantee is conditional on
+    // its own fault model — at most f *acceptor* crashes on a reliable
+    // network — not on the theorem's unconditional resilience bound.
+    let quorum = protocol.quorum();
+    let within_resilience = match quorum {
+        Some(q) => options.faults as usize <= q.f && options.drops == 0,
+        None => resil.tolerates(options.faults as usize) && rule_tolerates && options.drops == 0,
+    };
 
     let exploration = explore::explore(protocol, &analysis, &options);
     let stats = exploration.stats.clone();
@@ -322,7 +350,26 @@ pub fn run_check(protocol: &Protocol, options: CheckOptions) -> Result<CheckRepo
     });
 
     // Nonblocking oracle verdicts.
-    if certified && within_resilience {
+    if let Some(q) = quorum {
+        // The theorem (correctly) calls the protocol BLOCKING under
+        // unrestricted crashes; what the oracle verifies instead is the
+        // quorum guarantee: no blocking while at most f acceptors crash.
+        // Beyond f, blocking is permitted and no witness is demanded.
+        if within_resilience {
+            if let Some(w) = &blocking_witness {
+                failures.push(OracleFailure {
+                    oracle: "nonblocking",
+                    detail: format!(
+                        "quorum protocol blocked an operational site with at most f={} \
+                         acceptor crashes ({} steps)",
+                        q.f,
+                        w.steps.len()
+                    ),
+                    counterexample: Some(w.clone()),
+                });
+            }
+        }
+    } else if certified && within_resilience {
         if let Some(w) = &blocking_witness {
             failures.push(OracleFailure {
                 oracle: "nonblocking",
@@ -374,6 +421,7 @@ pub fn run_check(protocol: &Protocol, options: CheckOptions) -> Result<CheckRepo
         options,
         certified_nonblocking: certified,
         max_tolerated_failures: resil.max_tolerated_failures,
+        quorum_f: quorum.map(|q| q.f),
         within_resilience,
         stats,
         unwitnessed,

@@ -129,15 +129,23 @@ impl<'a> Oracles<'a> {
     ///   class;
     /// * a durable termination alignment to the committed (aborted) class
     ///   forbids `d = abort` (`d = commit`).
+    ///
+    /// Acceptors of a quorum-based protocol are exempt from the
+    /// never-voted conditions: a commit is justified by the surviving
+    /// quorum, not by this acceptor's (nonexistent) vote, so an acceptor
+    /// may recover with an empty or pre-relay log after the transaction
+    /// committed through the other acceptors. Its durable *decisions*
+    /// still must not contradict the global one.
     pub fn check_recovery(&self, runner: &Runner<'_>, site: usize) -> Result<(), String> {
         let s = &runner.sites()[site];
         let records = Wal::recover(&s.wal.full_image())
             .map_err(|e| format!("site{site} WAL replay failed on recovery: {e:?}"))?;
         let d = Self::global_decision(runner);
+        let acceptor = self.protocol.is_acceptor(site);
         let Some(txn) = summarize(&records).into_iter().find(|t| t.txn == self.txn) else {
             // Nothing durable: the site never began, so it never voted
             // yes, so a global commit would be unjustified.
-            if d == Some(true) {
+            if d == Some(true) && !acceptor {
                 return Err(format!(
                     "site{site} recovers with an empty log while the transaction committed"
                 ));
@@ -160,14 +168,16 @@ impl<'a> Oracles<'a> {
                 }
             }
             TxnOutcome::AbortOnRecovery => {
-                if d == Some(true) {
+                if d == Some(true) && !acceptor {
                     return Err(format!(
                         "site{site} recovers not having voted yes while the transaction committed"
                     ));
                 }
             }
             TxnOutcome::MustAsk { state, class, aligned_class } => {
-                if d == Some(true) && !self.analysis.yes_voted(SiteId(site as u32), StateId(state))
+                if d == Some(true)
+                    && !acceptor
+                    && !self.analysis.yes_voted(SiteId(site as u32), StateId(state))
                 {
                     return Err(format!(
                         "site{site} recovers in a non-yes-voted state (id {state}) while the \

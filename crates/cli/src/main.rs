@@ -31,9 +31,10 @@ USAGE:
   nbc pipeline    PROTO [-n N] [--txns T] [--crash-pct P] [--in-flight K]
                   [--window W] [--reap T] [--seed S]
                   [--trace PATH] [--trace-format jsonl|chrome] [--metrics]
+  nbc paxos       [--sites N] [--faults F] [--metrics] [--json]
 
 PROTO: central-2pc | central-3pc | decentralized-2pc | decentralized-3pc |
-       1pc | kpc:K | a .nbc spec file (see the nbc-spec crate docs)
+       1pc | kpc:K | paxos:F | a .nbc spec file (see the nbc-spec crate docs)
 
 MSGS in --crash: a number (messages sent before dying) or `log`
 (crash before the write-ahead record).
@@ -50,6 +51,11 @@ picks JSONL (one event object per line, the default) or Chrome
 trace-event JSON for chrome://tracing / Perfetto.
 --metrics: print message/WAL/latency counters after the run.
 --json: emit the run report or sweep summary as JSON on stdout.
+
+paxos: run one happy-path Paxos Commit transaction (N participants,
+2F+1 acceptors) and print the Gray–Lamport cost table — messages,
+stable writes, and message delays per transaction — next to central
+2PC/3PC and the paper's analytic predictions.
 
 check: exhaustively explore every schedule (delivery order, crashes,
 recoveries, drops) within the budgets and cross-validate the engine
@@ -84,6 +90,9 @@ fn run(args: &[String]) -> Result<String, CliError> {
     }
     if cmd == "check" {
         return cmd_check(&args[1..]);
+    }
+    if cmd == "paxos" {
+        return cmd_paxos(&args[1..]);
     }
 
     let Some(proto_arg) = args.get(1) else {

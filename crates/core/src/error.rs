@@ -34,6 +34,14 @@ pub enum ProtocolError {
     /// requires each transition to read a nonempty string of messages
     /// (spontaneous internal decisions use `Consume::Spontaneous`).
     EmptyTrigger { site: SiteId, state: StateId },
+    /// A `Consume::Quorum` trigger is malformed: `k` is zero, exceeds the
+    /// number of listed sources, or the source list contains duplicates
+    /// (a quorum counts *distinct* respondents).
+    BadQuorum { site: SiteId, state: StateId },
+    /// A protocol's quorum spec is inconsistent with its site count: the
+    /// acceptor tail must hold exactly `2f + 1` sites and leave at least
+    /// one participant.
+    BadQuorumSpec { f: usize, acceptors_from: usize, n_sites: usize },
     /// Reachable-state-graph construction exceeded the configured bound.
     GraphTooLarge { limit: usize },
     /// The FSA is not leveled (two paths from the initial state to the same
@@ -75,6 +83,20 @@ impl fmt::Display for ProtocolError {
             Self::NoSites => write!(f, "protocol has no participating sites"),
             Self::EmptyTrigger { site, state } => {
                 write!(f, "{site}: transition out of {state:?} consumes an empty message string")
+            }
+            Self::BadQuorum { site, state } => {
+                write!(
+                    f,
+                    "{site}: quorum trigger out of {state:?} needs 1 <= k <= sources \
+                     and distinct sources"
+                )
+            }
+            Self::BadQuorumSpec { f: faults, acceptors_from, n_sites } => {
+                write!(
+                    f,
+                    "quorum spec wants 2*{faults}+1 acceptors from site {acceptors_from} \
+                     but the protocol has {n_sites} site(s)"
+                )
             }
             Self::GraphTooLarge { limit } => {
                 write!(f, "reachable state graph exceeds limit of {limit} global states")

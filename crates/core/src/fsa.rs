@@ -125,6 +125,20 @@ pub enum Consume {
     /// consumes exactly the one that fired. This models e.g. the
     /// coordinator aborting upon the first no vote.
     Any(Vec<(SiteId, MsgKind)>),
+    /// Enabled when at least `k` of the listed `(source, kind)` messages
+    /// are outstanding and addressed to this site; consumes exactly `k` of
+    /// them. This models consensus-style quorum collection — e.g. the
+    /// Paxos Commit leader committing once F+1 of the 2F+1 acceptors have
+    /// relayed a unanimous-yes acknowledgement (Gray & Lamport, "Consensus
+    /// on Transaction Commit"). `Quorum { k: v.len(), .. }` is `All`;
+    /// `Quorum { k: 1, .. }` is `Any`.
+    Quorum {
+        /// How many of the listed messages must be present (and are
+        /// consumed).
+        k: u32,
+        /// The candidate `(source, kind)` pairs; must be distinct.
+        srcs: Vec<(SiteId, MsgKind)>,
+    },
 }
 
 impl Consume {
@@ -138,6 +152,7 @@ impl Consume {
         match self {
             Self::Spontaneous => 0,
             Self::All(v) | Self::Any(v) => v.len(),
+            Self::Quorum { srcs, .. } => srcs.len(),
         }
     }
 }
@@ -348,6 +363,24 @@ impl Fsa {
                         return Err(ProtocolError::EmptyTrigger { site, state: t.from });
                     }
                     for (src, _) in v {
+                        if !src.is_client() && src.index() >= n_sites {
+                            return Err(ProtocolError::BadSiteRef { site, referenced: *src });
+                        }
+                    }
+                }
+                Consume::Quorum { k, srcs } => {
+                    if srcs.is_empty() {
+                        return Err(ProtocolError::EmptyTrigger { site, state: t.from });
+                    }
+                    if *k == 0 || *k as usize > srcs.len() {
+                        return Err(ProtocolError::BadQuorum { site, state: t.from });
+                    }
+                    let mut sorted = srcs.clone();
+                    sorted.sort();
+                    if sorted.windows(2).any(|w| w[0] == w[1]) {
+                        return Err(ProtocolError::BadQuorum { site, state: t.from });
+                    }
+                    for (src, _) in srcs {
                         if !src.is_client() && src.index() >= n_sites {
                             return Err(ProtocolError::BadSiteRef { site, referenced: *src });
                         }

@@ -49,6 +49,21 @@ pub struct InitialMsg {
     pub kind: MsgKind,
 }
 
+/// Quorum structure of a consensus-based protocol: the trailing
+/// `2f + 1` sites are *acceptors* whose only job is making the decision
+/// durable; any `f` of them may crash without blocking the participants.
+///
+/// The participants (transaction manager / resource managers in
+/// Gray–Lamport terms) are the sites `0..acceptors_from`; the acceptors
+/// are `acceptors_from..n_sites`.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct QuorumSpec {
+    /// Number of acceptor crashes the protocol absorbs without blocking.
+    pub f: usize,
+    /// First acceptor site index; acceptors are `acceptors_from..n_sites`.
+    pub acceptors_from: usize,
+}
+
 /// A fully instantiated commit protocol for a fixed set of sites.
 #[derive(Clone, Debug)]
 pub struct Protocol {
@@ -59,6 +74,7 @@ pub struct Protocol {
     fsas: Vec<Fsa>,
     initial_msgs: Vec<InitialMsg>,
     msg_names: BTreeMap<MsgKind, String>,
+    quorum: Option<QuorumSpec>,
 }
 
 impl Protocol {
@@ -69,7 +85,42 @@ impl Protocol {
         fsas: Vec<Fsa>,
         initial_msgs: Vec<InitialMsg>,
     ) -> Self {
-        Self { name: name.into(), paradigm, fsas, initial_msgs, msg_names: BTreeMap::new() }
+        Self {
+            name: name.into(),
+            paradigm,
+            fsas,
+            initial_msgs,
+            msg_names: BTreeMap::new(),
+            quorum: None,
+        }
+    }
+
+    /// Declare this protocol quorum-based (see [`QuorumSpec`]).
+    pub fn set_quorum(&mut self, spec: QuorumSpec) {
+        self.quorum = Some(spec);
+    }
+
+    /// Builder-style [`Protocol::set_quorum`].
+    pub fn with_quorum(mut self, spec: QuorumSpec) -> Self {
+        self.set_quorum(spec);
+        self
+    }
+
+    /// The quorum structure, if this is a consensus-based protocol.
+    #[inline]
+    pub fn quorum(&self) -> Option<QuorumSpec> {
+        self.quorum
+    }
+
+    /// True if `site` is an acceptor of a quorum-based protocol.
+    pub fn is_acceptor(&self, site: usize) -> bool {
+        self.quorum.is_some_and(|q| site >= q.acceptors_from)
+    }
+
+    /// Number of participant (non-acceptor) sites. Equals
+    /// [`Protocol::n_sites`] for non-quorum protocols.
+    pub fn n_participants(&self) -> usize {
+        self.quorum.map_or(self.n_sites(), |q| q.acceptors_from)
     }
 
     /// Number of participating sites.
@@ -132,6 +183,20 @@ impl Protocol {
         for m in &self.initial_msgs {
             if !m.dst.is_client() && m.dst.index() >= self.n_sites() {
                 return Err(ProtocolError::BadSiteRef { site: m.src, referenced: m.dst });
+            }
+        }
+        if let Some(q) = self.quorum {
+            // 2f+1 acceptors in the contiguous tail, at least one
+            // participant in front of them.
+            if q.acceptors_from == 0
+                || q.acceptors_from >= self.n_sites()
+                || self.n_sites() - q.acceptors_from != 2 * q.f + 1
+            {
+                return Err(ProtocolError::BadQuorumSpec {
+                    f: q.f,
+                    acceptors_from: q.acceptors_from,
+                    n_sites: self.n_sites(),
+                });
             }
         }
         Ok(())

@@ -1068,10 +1068,56 @@ fn successors(
                         }
                     }
                 }
+                Consume::Quorum { k, srcs } => {
+                    // One successor per k-subset of the *available* listed
+                    // messages (sources are distinct by validation, so
+                    // multiplicity is not a concern). Subsets enumerate in
+                    // lexicographic index order — deterministic, like the
+                    // `Any` choice order above.
+                    let avail: Vec<MsgAddr> = srcs
+                        .iter()
+                        .map(|&(src, kind)| MsgAddr { src, dst: site, kind })
+                        .filter(|&a| state.msgs.contains(a))
+                        .collect();
+                    let k = *k as usize;
+                    if avail.len() >= k {
+                        for combo in k_subsets(avail.len(), k) {
+                            let consumed: Vec<MsgAddr> =
+                                combo.iter().map(|&ix| avail[ix]).collect();
+                            out.push(make_succ(
+                                state, i, t.to, &consumed, &t.emit, site, ti, None,
+                            )?);
+                        }
+                    }
+                }
             }
         }
     }
     Ok(())
+}
+
+/// All `k`-element index subsets of `0..len`, in lexicographic order.
+fn k_subsets(len: usize, k: usize) -> Vec<Vec<usize>> {
+    let mut out = Vec::new();
+    let mut combo: Vec<usize> = (0..k).collect();
+    loop {
+        out.push(combo.clone());
+        // Advance to the next combination.
+        let mut i = k;
+        loop {
+            if i == 0 {
+                return out;
+            }
+            i -= 1;
+            if combo[i] != i + len - k {
+                break;
+            }
+        }
+        combo[i] += 1;
+        for j in i + 1..k {
+            combo[j] = combo[j - 1] + 1;
+        }
+    }
 }
 
 #[allow(clippy::too_many_arguments)]

@@ -118,7 +118,7 @@ fn fresh_kinds(protocol: &Protocol) -> (MsgKind, MsgKind) {
         for t in fsa.transitions() {
             match &t.consume {
                 Consume::Spontaneous => {}
-                Consume::All(v) | Consume::Any(v) => {
+                Consume::All(v) | Consume::Any(v) | Consume::Quorum { srcs: v, .. } => {
                     for &(_, k) in v {
                         note(k);
                     }
@@ -258,6 +258,13 @@ fn retarget_enter_consume(fsa: &Fsa, from_kind: MsgKind, to_kind: MsgKind) -> Fs
                 Consume::Any(v) => Consume::Any(
                     v.iter().map(|&(s, k)| (s, if k == from_kind { to_kind } else { k })).collect(),
                 ),
+                Consume::Quorum { k: quorum, srcs } => Consume::Quorum {
+                    k: *quorum,
+                    srcs: srcs
+                        .iter()
+                        .map(|&(s, k)| (s, if k == from_kind { to_kind } else { k }))
+                        .collect(),
+                },
             }
         } else {
             t.consume.clone()

@@ -474,6 +474,17 @@ impl<'a> Runner<'a> {
     fn on_failure_notice(&mut self, observer: usize, crashed: usize) {
         self.sites[observer].view[crashed] = false;
         self.sites[observer].recovered_peers.remove(&crashed);
+        if self.protocol.quorum().is_some()
+            && (self.protocol.is_acceptor(crashed) || self.protocol.is_acceptor(observer))
+        {
+            // Quorum-based protocol: an acceptor crash is absorbed by the
+            // quorum (the leader can still assemble f+1 relays), so no one
+            // abandons the commit protocol over it; and acceptors never run
+            // the termination protocol themselves — when a participant
+            // crashes they keep relaying and learn the outcome from the
+            // participants' decision broadcast.
+            return;
+        }
         match self.sites[observer].mode {
             Mode::Down | Mode::Recovering => {}
             Mode::Done => {
@@ -521,8 +532,7 @@ impl<'a> Runner<'a> {
             return;
         }
 
-        let peers: Vec<usize> =
-            (0..self.sites.len()).filter(|&j| j != ix && self.sites[ix].view[j]).collect();
+        let peers = self.term_peers(ix);
         let my_class = self.reported_class_of(ix);
         self.sites[ix].backup_state.pending_acks = peers.iter().copied().collect();
         self.sites[ix].backup_state.collected.clear();
@@ -664,14 +674,20 @@ impl<'a> Runner<'a> {
             Decision::Blocked => {
                 self.tracer.emit(|| self.ev(EventKind::Blocked { backup: ix as u32 }).at_site(ix));
                 self.sites[ix].mode = Mode::Blocked;
-                let peers: Vec<usize> =
-                    (0..self.sites.len()).filter(|&j| j != ix && self.sites[ix].view[j]).collect();
-                for j in peers {
+                for j in self.term_peers(ix) {
                     self.send(ix, j, Wire::TermBlocked { backup: ix });
                 }
                 self.answer_pending_queries(ix);
             }
         }
+    }
+
+    /// The sites a backup coordinator aligns with: every other operational
+    /// site — restricted to participants for quorum-based protocols,
+    /// whose acceptors do not align (they adopt the final decision from
+    /// [`Runner::broadcast_decision`], which still addresses everyone).
+    fn term_peers(&self, ix: usize) -> Vec<usize> {
+        (0..self.protocol.n_participants()).filter(|&j| j != ix && self.sites[ix].view[j]).collect()
     }
 
     fn broadcast_decision(&mut self, ix: usize, commit: bool) {
@@ -719,8 +735,9 @@ impl<'a> Runner<'a> {
         self.tracer.emit(|| self.ev(EventKind::Recover).at_site(ix));
         self.net.recover(self.now, ix);
 
+        let acceptor = self.protocol.is_acceptor(ix);
         match summary.map(|s| &s.outcome) {
-            None | Some(TxnOutcome::AbortOnRecovery) => {
+            None | Some(TxnOutcome::AbortOnRecovery) if !acceptor => {
                 // Crashed before voting (or before the transaction reached
                 // it): abort unilaterally upon recovering.
                 self.sites[ix].mode = Mode::Recovering;
@@ -734,21 +751,32 @@ impl<'a> Runner<'a> {
                 self.sites[ix].outcome = Some(false);
                 self.sites[ix].mode = Mode::Done;
             }
-            Some(TxnOutcome::MustAsk { state, aligned_class, .. }) => {
-                self.sites[ix].enter_state(StateId(*state));
-                self.sites[ix].aligned_class = *aligned_class;
-                self.sites[ix].mode = Mode::Recovering;
-                // Independent recovery (nbc-core::recovery_analysis): a
-                // durable state that provably never cast a yes vote lets
-                // the site abort unilaterally — no commit can exist or
-                // ever arise, because committable states require every
-                // site's vote. Only applicable when no termination-phase
-                // alignment intervened (alignment may carry another
-                // site's progress).
-                let rc = self.recovery_classes[ix][*state as usize];
-                if aligned_class.is_none() && rc == RecoveryClass::IndependentAbort {
-                    self.finish(ix, false);
-                    return;
+            other => {
+                // MustAsk from any site — or any undecided acceptor log.
+                // An acceptor never decides unilaterally: its local log
+                // says nothing about whether the participants already
+                // committed through the other acceptors, and its decision
+                // record must mirror theirs, so it always asks.
+                if let Some(TxnOutcome::MustAsk { state, aligned_class, .. }) = other {
+                    self.sites[ix].enter_state(StateId(*state));
+                    self.sites[ix].aligned_class = *aligned_class;
+                    self.sites[ix].mode = Mode::Recovering;
+                    // Independent recovery (nbc-core::recovery_analysis): a
+                    // durable state that provably never cast a yes vote lets
+                    // the site abort unilaterally — no commit can exist or
+                    // ever arise, because committable states require every
+                    // site's vote. Only applicable when no termination-phase
+                    // alignment intervened (alignment may carry another
+                    // site's progress) — and never to an acceptor, whose
+                    // vote is not part of that argument.
+                    let rc = self.recovery_classes[ix][*state as usize];
+                    if !acceptor && aligned_class.is_none() && rc == RecoveryClass::IndependentAbort
+                    {
+                        self.finish(ix, false);
+                        return;
+                    }
+                } else {
+                    self.sites[ix].mode = Mode::Recovering;
                 }
                 for j in 0..n {
                     if j != ix {

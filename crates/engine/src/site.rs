@@ -168,6 +168,22 @@ impl SiteRt {
                 .map(|&(src, kind)| (src_index(src), kind))
                 .find(|item| self.inbox.contains(item))
                 .map(|item| vec![item]),
+            Consume::Quorum { k, srcs } => {
+                // Take the first k listed messages present, each source at
+                // most once, in list order — a deterministic choice among
+                // the k-subsets the analysis enumerates.
+                let mut take: Vec<(usize, MsgKind)> = Vec::with_capacity(*k as usize);
+                for &(src, kind) in srcs {
+                    let item = (src_index(src), kind);
+                    if self.inbox.contains(&item) && !take.contains(&item) {
+                        take.push(item);
+                        if take.len() == *k as usize {
+                            return Some(take);
+                        }
+                    }
+                }
+                None
+            }
         }
     }
 

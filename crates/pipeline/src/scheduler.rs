@@ -487,8 +487,10 @@ impl Pipeline {
             }
         }
 
-        let mut rc = RunConfig::happy(n);
-        rc.votes = votes;
+        // Quorum protocols bring extra acceptor sites along; they carry
+        // no data and always "vote" yes.
+        let mut rc = RunConfig::happy(protocol.n_sites());
+        rc.votes[..n].copy_from_slice(&votes);
         rc.crashes = spec.crashes.clone();
         rc.rule = self.cfg.kind.rule();
         rc.latency = LatencyModel::constant(self.cfg.latency);

@@ -200,6 +200,12 @@ pub fn parse(text: &str, n_sites: usize) -> Result<Protocol, ParseError> {
                     }
                     other => return err(line_no, format!("unknown state class {other:?}")),
                 };
+                if fsa.states.iter().any(|(nm, _)| nm == words[1]) {
+                    return err(
+                        line_no,
+                        format!("duplicate state name {:?} in fsa {:?}", words[1], fsa.role),
+                    );
+                }
                 fsa.states.push((words[1].to_string(), class));
             }
             _ if line.contains("->") => {
@@ -323,6 +329,7 @@ fn parse_transition(line: &str, line_no: usize) -> Result<TransitionSpec, ParseE
 fn parse_trigger(text: &str, line: usize) -> Result<Option<(String, Src)>, ParseError> {
     let words: Vec<&str> = text.split_whitespace().collect();
     match words.as_slice() {
+        [] => err(line, "transition has an empty rule body (want `spontaneous` or `recv ...`)"),
         ["spontaneous"] => Ok(None),
         ["recv", kind, "from", "client"] => Ok(Some((kind.to_string(), Src::Client))),
         ["recv", kind, "from", "site", n] => {
@@ -378,6 +385,15 @@ fn unique_sources(sites: Vec<usize>, line: usize, kind: &str) -> Result<Vec<usiz
     Ok(sites)
 }
 
+/// Reject site indices outside `0..n` with a line-attributed error instead of
+/// letting them surface later as panics or dead protocol edges.
+fn check_sites(sites: &[usize], n: usize, line: usize, what: &str) -> Result<(), ParseError> {
+    if let Some(i) = sites.iter().find(|i| **i >= n) {
+        return err(line, format!("{what} names site {i}, but the protocol has sites 0..{n}"));
+    }
+    Ok(())
+}
+
 fn build_fsa(
     spec: &FsaSpec,
     me: usize,
@@ -405,19 +421,30 @@ fn build_fsa(
                 let k = kinds.intern(kind);
                 match src {
                     Src::Client => Consume::one(SiteId::CLIENT, k),
-                    Src::Site(i) => Consume::one(SiteId(*i as u32), k),
-                    Src::All(set) => Consume::All(
-                        unique_sources(set.resolve(n, me), t.line, kind)?
-                            .into_iter()
-                            .map(|j| (SiteId(j as u32), k))
-                            .collect(),
-                    ),
-                    Src::Any(set) => Consume::Any(
-                        unique_sources(set.resolve(n, me), t.line, kind)?
-                            .into_iter()
-                            .map(|j| (SiteId(j as u32), k))
-                            .collect(),
-                    ),
+                    Src::Site(i) => {
+                        check_sites(&[*i], n, t.line, "trigger")?;
+                        Consume::one(SiteId(*i as u32), k)
+                    }
+                    Src::All(set) => {
+                        let sites = set.resolve(n, me);
+                        check_sites(&sites, n, t.line, "trigger")?;
+                        Consume::All(
+                            unique_sources(sites, t.line, kind)?
+                                .into_iter()
+                                .map(|j| (SiteId(j as u32), k))
+                                .collect(),
+                        )
+                    }
+                    Src::Any(set) => {
+                        let sites = set.resolve(n, me);
+                        check_sites(&sites, n, t.line, "trigger")?;
+                        Consume::Any(
+                            unique_sources(sites, t.line, kind)?
+                                .into_iter()
+                                .map(|j| (SiteId(j as u32), k))
+                                .collect(),
+                        )
+                    }
                 }
             }
         };
@@ -427,7 +454,9 @@ fn build_fsa(
             match a {
                 Action::Send { kind, to } => {
                     let k = kinds.intern(kind);
-                    for j in to.resolve(n, me) {
+                    let sites = to.resolve(n, me);
+                    check_sites(&sites, n, t.line, "send target")?;
+                    for j in sites {
                         emit.push(Envelope::new(SiteId(j as u32), k));
                     }
                 }
@@ -530,6 +559,51 @@ fsa b sites 1..
     #[test]
     fn needs_two_sites() {
         assert!(parse(examples::CENTRAL_2PC, 1).is_err());
+    }
+
+    #[test]
+    fn rejects_duplicate_state_name() {
+        let text = "protocol x\nfsa a all\n  state q initial\n  state q committed\n";
+        let e = parse(text, 2).unwrap_err();
+        assert_eq!(e.line, 4);
+        assert!(e.message.contains("duplicate state name \"q\""), "{e}");
+    }
+
+    #[test]
+    fn rejects_unknown_trigger_site() {
+        let text = "\
+protocol x
+fsa a all
+  state q initial
+  state c committed
+  q -> c : recv yes from site 9
+";
+        let e = parse(text, 3).unwrap_err();
+        assert_eq!(e.line, 5);
+        assert!(e.message.contains("site 9"), "{e}");
+        assert!(e.message.contains("0..3"), "{e}");
+    }
+
+    #[test]
+    fn rejects_out_of_range_send_target() {
+        let text = "\
+protocol x
+fsa a all
+  state q initial
+  state c committed
+  q -> c : spontaneous ; send yes to site 5
+";
+        let e = parse(text, 2).unwrap_err();
+        assert_eq!(e.line, 5);
+        assert!(e.message.contains("send target names site 5"), "{e}");
+    }
+
+    #[test]
+    fn rejects_empty_rule_body() {
+        let text = "protocol x\nfsa a all\n  state q initial\n  state c committed\n  q -> c :\n";
+        let e = parse(text, 2).unwrap_err();
+        assert_eq!(e.line, 5);
+        assert!(e.message.contains("empty rule body"), "{e}");
     }
 
     #[test]

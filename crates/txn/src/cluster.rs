@@ -36,6 +36,14 @@ pub enum ProtocolKind {
     Decentralized2pc,
     /// Decentralized three-phase commit (nonblocking).
     Decentralized3pc,
+    /// Paxos Commit with `2f + 1` acceptor sites riding on top of the
+    /// data sites. The data sites are the protocol's participants; the
+    /// acceptors carry no keys, locks, or WAL — they exist only inside
+    /// the commit round.
+    Paxos {
+        /// Tolerated acceptor crashes.
+        f: usize,
+    },
 }
 
 impl ProtocolKind {
@@ -46,15 +54,19 @@ impl ProtocolKind {
             Self::Central3pc => central_3pc(n),
             Self::Decentralized2pc => decentralized_2pc(n),
             Self::Decentralized3pc => decentralized_3pc(n),
+            Self::Paxos { f } => nbc_paxos::paxos_commit(n, f),
         }
     }
 
     /// The termination rule a deployment of this protocol would use:
     /// cooperative termination for the blocking protocols, the paper's
-    /// rule for the nonblocking ones.
+    /// rule for the nonblocking ones. Paxos Commit participants behave
+    /// like 2PC slaves, so they terminate cooperatively.
     pub fn rule(self) -> TerminationRule {
         match self {
-            Self::Central2pc | Self::Decentralized2pc => TerminationRule::Cooperative,
+            Self::Central2pc | Self::Decentralized2pc | Self::Paxos { .. } => {
+                TerminationRule::Cooperative
+            }
             Self::Central3pc | Self::Decentralized3pc => TerminationRule::Skeen,
         }
     }
@@ -66,6 +78,7 @@ impl ProtocolKind {
             Self::Central3pc => "central 3PC",
             Self::Decentralized2pc => "decentralized 2PC",
             Self::Decentralized3pc => "decentralized 3PC",
+            Self::Paxos { .. } => "paxos commit",
         }
     }
 }
@@ -248,9 +261,10 @@ impl Cluster {
             }
         }
 
-        // Run the commit round.
-        let mut rc = RunConfig::happy(n);
-        rc.votes = votes;
+        // Run the commit round. Quorum protocols bring extra acceptor
+        // sites along; they carry no data and always "vote" yes.
+        let mut rc = RunConfig::happy(self.protocol.n_sites());
+        rc.votes[..n].copy_from_slice(&votes);
         rc.crashes = crashes.to_vec();
         rc.rule = self.cfg.kind.rule();
         rc.latency = LatencyModel::constant(self.cfg.latency);

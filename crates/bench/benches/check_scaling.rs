@@ -1,0 +1,78 @@
+//! B9: parallel model-checking throughput — `nbc check` wall-clock and
+//! distinct-state rate at 1/2/4 worker threads, plus the exhaustive
+//! envelope the parallel sweep makes reachable (central protocols at
+//! n=5).
+//!
+//! Every row first asserts the determinism contract (identical verdict,
+//! `distinct_states` and `actions` at every thread count) and then
+//! reports the wall-clock of each worker count. On a single-CPU host the
+//! multi-thread rows measure orchestration overhead (queue + shard-lock
+//! traffic), not speedup — EXPERIMENTS.md records which one a given table
+//! was.
+
+use std::time::{Duration, Instant};
+
+use nbc_check::{run_check, CheckOptions};
+use nbc_core::protocols::{central_2pc, central_3pc};
+use nbc_core::Protocol;
+use nbc_paxos::paxos_commit;
+
+fn timed_check(protocol: &Protocol, threads: usize) -> (Duration, usize, u64, bool, bool) {
+    let t = Instant::now();
+    let report = run_check(protocol, CheckOptions { threads, ..CheckOptions::default() }).unwrap();
+    (
+        t.elapsed(),
+        report.stats.distinct_states,
+        report.stats.actions,
+        report.ok(),
+        report.stats.truncated,
+    )
+}
+
+fn scaling_table() {
+    println!("== check_scaling (full check wall-clock by worker threads) ==");
+    let specs: Vec<(&str, Protocol)> = vec![
+        ("central_2pc/4", central_2pc(4)),
+        ("central_3pc/4", central_3pc(4)),
+        ("paxos_commit/2+3", paxos_commit(2, 1)),
+    ];
+    for (label, protocol) in &specs {
+        let mut base: Option<(usize, u64, bool)> = None;
+        for threads in [1usize, 2, 4] {
+            let (elapsed, states, actions, ok, truncated) = timed_check(protocol, threads);
+            assert!(!truncated, "{label}: scaling row must be exhaustive");
+            match base {
+                None => base = Some((states, actions, ok)),
+                Some(b) => assert_eq!(
+                    b,
+                    (states, actions, ok),
+                    "{label}: results diverged at {threads} threads"
+                ),
+            }
+            println!(
+                "{label:<18} threads {threads}  states {states:>9}  actions {actions:>10}  \
+                 {elapsed:>9.2?}  ({:>9.0} states/s)  verdict {}",
+                states as f64 / elapsed.as_secs_f64(),
+                if ok { "OK" } else { "FAIL" },
+            );
+        }
+    }
+}
+
+fn envelope_table() {
+    println!("\n== check_envelope (exhaustive n=5, default budgets) ==");
+    for (label, protocol) in [("central_2pc/5", central_2pc(5)), ("central_3pc/5", central_3pc(5))]
+    {
+        let (elapsed, states, actions, ok, truncated) = timed_check(&protocol, 1);
+        println!(
+            "{label:<18} states {states:>9}  actions {actions:>10}  {elapsed:>9.2?}  verdict {}  {}",
+            if ok { "OK" } else { "FAIL" },
+            if truncated { "TRUNCATED" } else { "exhaustive" },
+        );
+    }
+}
+
+fn main() {
+    scaling_table();
+    envelope_table();
+}

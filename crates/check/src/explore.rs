@@ -1,6 +1,6 @@
-//! The schedule explorer: bounded, deterministic DFS over every
-//! interleaving of message delivery, message loss, site crash and site
-//! recovery that the budgets allow.
+//! The schedule explorer: bounded, deterministic, parallel exploration of
+//! every interleaving of message delivery, message loss, site crash and
+//! site recovery that the budgets allow.
 //!
 //! ## State space
 //!
@@ -42,12 +42,52 @@
 //! addressed to a permanently-down site (no recovery budget left) are
 //! pure no-ops and are drained eagerly rather than branched over, and the
 //! behavioral digest canonicalizes arrival-order collections whose
-//! consumers are order-independent. Together these make full-plan-set
-//! exhaustive checking sub-second at n=3 and a few seconds at n=4; at
-//! n=5 a single vote plan takes tens of seconds (fault-free n=5 is
-//! milliseconds — the crash-point × interleaving product is what grows).
+//! consumers are order-independent.
+//!
+//! ## Parallel exploration and determinism
+//!
+//! The walk is an **explicit work-stack DFS** (no recursion — `--depth`
+//! bounds the schedule, not the call stack) fanned out over
+//! [`std::thread::scope`]: the subtrees rooted at (vote plan × root
+//! action) seed a shared task queue, and a worker whose neighbor goes
+//! idle donates the shallowest untried branch of its own stack as a fresh
+//! task. Each vote plan owns a **sharded fingerprint map** (the digest
+//! deliberately excludes the vote plan, so identical digests under
+//! different plans are different futures and must not merge).
+//!
+//! Every *reported* quantity is a function of the exploration's
+//! order-independent fixpoint, never of scheduling:
+//!
+//! * the set of visited states — and hence the witnessed-state bitmaps,
+//!   per-plan violation flags and per-plan blocking flags — is invariant
+//!   (a state is expanded whenever reached with more remaining depth than
+//!   any prior expansion, so the final map is the same whatever the
+//!   interleaving);
+//! * `distinct_states` counts that map's entries; `actions`, `fused` and
+//!   the depth-side of `truncated` are recomputed *per entry at its
+//!   deepest expansion* rather than accumulated per traversal event
+//!   (re-expansions would otherwise double-count, differently per run);
+//! * concrete witnesses are **not** taken from the parallel sweep at all:
+//!   a second, serial, canonical-order search of the lexicographically
+//!   least flagged plan reproduces the first violation (and, separately,
+//!   the first blocking state) it reaches — the least (plan, branch
+//!   path) under the canonical enumeration order, byte-identical at any
+//!   thread count and any seed.
+//!
+//! The one exception is the `max_states` safety valve: once it trips,
+//! *which* states fell inside the cap depends on scheduling, so truncated
+//! parallel runs keep a deterministic verdict discipline (they are
+//! flagged `TRUNCATED` and completeness is never judged) but their counts
+//! are only reproducible at a fixed thread count of 1.
+//!
+//! Previously the sweep also stopped at the first hard violation, which
+//! left later plans unexplored while still reporting "exhaustive"; the
+//! sweep now always runs to its fixpoint and the `truncated` flag means
+//! exactly what it says.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
 
 use nbc_core::{fingerprint128, Analysis, Protocol};
 use nbc_engine::{channel_of, Channel, RunConfig, Runner, TerminationRule, Wire};
@@ -70,14 +110,27 @@ pub struct CheckOptions {
     pub drops: u32,
     /// Termination rule the engine runs under.
     pub rule: TerminationRule,
-    /// Seed permuting the exploration order (the verdict is order
-    /// independent; the seed varies which witness is found first).
-    pub seed: u64,
+    /// Optional traversal-order perturbation. `None` (the default) keeps
+    /// the canonical enumeration order; `Some(s)` rotates each state's
+    /// action list by a hash of `s` — including `Some(0)`, which was
+    /// formerly a silent "no shuffle" sentinel. Verdicts, stats and
+    /// witnesses are order-independent, so the seed only affects
+    /// traversal order (and, under a `max_states` truncation, which
+    /// states fall inside the cap).
+    pub seed: Option<u64>,
     /// Check only this vote plan instead of all `2^n`.
     pub vote_plan: Option<Vec<bool>>,
     /// Safety valve: stop (and report truncation) past this many distinct
     /// states per vote plan.
     pub max_states: usize,
+    /// Worker threads for the parallel sweep. `0` = auto (available
+    /// parallelism, capped at 8); the default is 1 — results are
+    /// identical at any thread count, so threads buy wall-clock only.
+    pub threads: usize,
+    /// Progress hook, invoked periodically from worker threads with a
+    /// snapshot of the exploration counters (stderr-style reporting; all
+    /// results stay byte-identical with or without it).
+    pub progress: Option<fn(&CheckProgress)>,
 }
 
 impl Default for CheckOptions {
@@ -88,11 +141,28 @@ impl Default for CheckOptions {
             recoveries: 0,
             drops: 0,
             rule: TerminationRule::Skeen,
-            seed: 0,
+            seed: None,
             vote_plan: None,
             max_states: 1 << 21,
+            threads: 1,
+            progress: None,
         }
     }
+}
+
+/// A progress snapshot handed to the [`CheckOptions::progress`] hook.
+#[derive(Debug, Clone, Copy)]
+pub struct CheckProgress {
+    /// Vote plans whose subtree is fully explored.
+    pub plans_done: usize,
+    /// Vote plans in this run.
+    pub plans_total: usize,
+    /// Distinct `(digest, budgets)` states inserted so far, over all
+    /// plans.
+    pub distinct_states: usize,
+    /// State expansions performed so far (traversal events, not the
+    /// deduplicated `actions` stat of the final report).
+    pub expansions: u64,
 }
 
 /// Remaining fault budgets along one path.
@@ -130,19 +200,23 @@ impl Action {
     }
 }
 
-/// Exploration counters.
+/// Exploration counters. Every field is a function of the exploration's
+/// order-independent fixpoint (see the module docs), so untruncated runs
+/// report identical counters at any thread count and any seed.
 #[derive(Debug, Clone, Default)]
 pub struct ExploreStats {
     /// Distinct `(behavioral digest, budgets)` states, summed over plans.
     pub distinct_states: usize,
-    /// Scheduler actions applied (branch executions, not schedule steps).
+    /// Edges of the deduplicated exploration graph: scheduler actions
+    /// applied from each distinct state at its deepest expansion.
     pub actions: u64,
-    /// Commuting macro-steps taken.
+    /// Distinct states whose commuting macro-step was taken.
     pub fused: u64,
     /// Vote plans explored.
     pub plans: usize,
-    /// True if the depth bound or state cap cut any branch short — the
-    /// exploration was *not* exhaustive.
+    /// True if the depth bound (judged at each state's deepest expansion)
+    /// or the state cap cut any branch short — the exploration was *not*
+    /// exhaustive.
     pub truncated: bool,
 }
 
@@ -152,11 +226,12 @@ pub struct Exploration<'a> {
     pub oracles: Oracles<'a>,
     /// Counters.
     pub stats: ExploreStats,
-    /// The path to the first blocked quiescent state found, with the vote
-    /// plan it occurred under. Unshrunk.
+    /// The canonical path to a blocked quiescent state, with the vote
+    /// plan it occurred under: the first such state the canonical-order
+    /// serial search reaches in the least plan containing one. Unshrunk.
     pub blocking_witness: Option<(Vec<bool>, Vec<Step>)>,
-    /// First hard oracle violation: `(oracle, detail, vote plan, path)`.
-    /// Unshrunk.
+    /// Canonical first hard oracle violation: `(oracle, detail, vote
+    /// plan, path)`, selected the same way. Unshrunk.
     pub violation: Option<(&'static str, String, Vec<bool>, Vec<Step>)>,
 }
 
@@ -187,68 +262,6 @@ fn step_for(ev: &NetEvent<Wire>) -> Step {
     }
 }
 
-struct Explorer<'a> {
-    protocol: &'a Protocol,
-    analysis: &'a Analysis,
-    opts: CheckOptions,
-    /// Fingerprint → best remaining depth it was expanded with.
-    seen: HashMap<u128, u32>,
-    votes: Vec<bool>,
-    path: Vec<Step>,
-    oracles: Oracles<'a>,
-    stats: ExploreStats,
-    blocking_witness: Option<(Vec<bool>, Vec<Step>)>,
-    violation: Option<(&'static str, String, Vec<bool>, Vec<Step>)>,
-}
-
-/// Explore every schedule of `protocol` within `opts`' budgets, for every
-/// vote plan (or the one plan `opts.vote_plan` fixes).
-pub fn explore<'a>(
-    protocol: &'a Protocol,
-    analysis: &'a Analysis,
-    opts: &CheckOptions,
-) -> Exploration<'a> {
-    let n = protocol.n_sites();
-    let mut ex = Explorer {
-        protocol,
-        analysis,
-        opts: opts.clone(),
-        seen: HashMap::new(),
-        votes: Vec::new(),
-        path: Vec::new(),
-        oracles: Oracles::new(protocol, analysis, CHECK_TXN),
-        stats: ExploreStats::default(),
-        blocking_witness: None,
-        violation: None,
-    };
-    let plans: Vec<Vec<bool>> = match &opts.vote_plan {
-        Some(p) => vec![p.clone()],
-        // All 2^n plans, all-yes first (the plan where commit — and hence
-        // commit-blocking — lives). Quorum-based protocols enumerate over
-        // participants only: acceptor transitions are untagged (acceptors
-        // hold no vote), so acceptor plan bits would only replicate each
-        // execution 2^(2f+1) times.
-        None => {
-            let np = protocol.n_participants();
-            (0..1u32 << np)
-                .map(|bits| (0..n).map(|i| i >= np || bits & (1 << i) == 0).collect())
-                .collect()
-        }
-    };
-    for votes in plans {
-        ex.explore_plan(votes);
-        if ex.violation.is_some() {
-            break;
-        }
-    }
-    Exploration {
-        oracles: ex.oracles,
-        stats: ex.stats,
-        blocking_witness: ex.blocking_witness,
-        violation: ex.violation,
-    }
-}
-
 /// Build the lockstep engine configuration for one vote plan.
 pub fn plan_config(n: usize, votes: &[bool], rule: TerminationRule) -> RunConfig {
     let mut config = RunConfig::lockstep(n);
@@ -258,85 +271,170 @@ pub fn plan_config(n: usize, votes: &[bool], rule: TerminationRule) -> RunConfig
     config
 }
 
-impl<'a> Explorer<'a> {
-    fn explore_plan(&mut self, votes: Vec<bool>) {
-        // The behavioral digest deliberately excludes the vote plan (votes
-        // drive behavior but are config, not state), so the seen-set must
-        // be per plan: identical digests under different plans are
-        // different futures.
-        self.seen.clear();
-        self.votes = votes;
-        self.stats.plans += 1;
-        let config = plan_config(self.protocol.n_sites(), &self.votes, self.opts.rule);
-        let runner = Runner::new(self.protocol, self.analysis, config);
-        let budgets = Budgets {
-            faults: self.opts.faults,
-            recoveries: self.opts.recoveries,
-            drops: self.opts.drops,
-        };
-        self.dfs(&runner, self.opts.depth, budgets);
+/// Worker-thread count for an options value (0 = auto).
+fn resolved_threads(threads: usize) -> usize {
+    if threads == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(8)
+    } else {
+        threads
+    }
+}
+
+// ---------------------------------------------------------------------
+// Shared exploration state
+// ---------------------------------------------------------------------
+
+/// Violated-oracle bits (per plan, OR over the plan's visited states —
+/// order-independent).
+const V_CONSISTENCY: u8 = 1;
+const V_PREDICTION: u8 = 2;
+const V_RECOVERY: u8 = 4;
+
+fn violation_bit(oracle: &str) -> u8 {
+    match oracle {
+        "consistency" => V_CONSISTENCY,
+        "prediction" => V_PREDICTION,
+        _ => V_RECOVERY,
+    }
+}
+
+/// One dedup entry: the deepest remaining depth the state was expanded
+/// with, plus the edge statistics recomputed at that depth (`stats_depth`
+/// guards against a shallower racing expansion publishing last).
+struct Entry {
+    best: u32,
+    stats_depth: u32,
+    edges: u32,
+    fused: bool,
+    cut: bool,
+}
+
+/// Per-plan stats folded once the plan's last task finishes.
+#[derive(Default)]
+struct PlanStats {
+    distinct: usize,
+    edges: u64,
+    fused: u64,
+    cut: bool,
+}
+
+/// Per-vote-plan shared exploration state. The fingerprint shards are
+/// freed (folded into [`PlanStats`]) as soon as the plan's outstanding
+/// task count hits zero, so peak memory tracks the plans in flight, not
+/// the whole plan set.
+struct PlanShared {
+    shards: Vec<Mutex<HashMap<u128, Entry>>>,
+    /// Distinct states inserted (drives the per-plan `max_states` valve).
+    inserted: AtomicUsize,
+    /// Outstanding tasks of this plan (seeded tasks + donations).
+    pending: AtomicUsize,
+    /// The state cap cut this plan short.
+    cap_hit: AtomicBool,
+    /// OR of [`violation_bit`]s over the plan's visited states.
+    violated: AtomicU8,
+    /// Some non-violating quiescent state of this plan has a blocked
+    /// operational site.
+    blocking: AtomicBool,
+    folded: Mutex<Option<PlanStats>>,
+}
+
+impl PlanShared {
+    fn new(shards: usize) -> Self {
+        Self {
+            shards: (0..shards).map(|_| Mutex::new(HashMap::new())).collect(),
+            inserted: AtomicUsize::new(0),
+            pending: AtomicUsize::new(0),
+            cap_hit: AtomicBool::new(false),
+            violated: AtomicU8::new(0),
+            blocking: AtomicBool::new(false),
+            folded: Mutex::new(None),
+        }
     }
 
-    fn dfs(&mut self, runner: &Runner<'a>, depth_left: u32, b: Budgets) {
-        if self.violation.is_some() {
-            return;
-        }
-        if let Err((oracle, detail)) = self.oracles.observe_state(runner) {
-            self.violation = Some((oracle, detail, self.votes.clone(), self.path.clone()));
-            return;
-        }
-        if runner.net_quiescent()
-            && self.blocking_witness.is_none()
-            && !Oracles::blocked_sites(runner).is_empty()
-        {
-            self.blocking_witness = Some((self.votes.clone(), self.path.clone()));
-        }
-
-        let fp = fingerprint128(&(runner.digest(), b.faults, b.recoveries, b.drops));
-        match self.seen.get(&fp) {
-            Some(&best) if best >= depth_left => return,
-            _ => {}
-        }
-        if self.seen.len() >= self.opts.max_states {
-            self.stats.truncated = true;
-            return;
-        }
-        if self.seen.insert(fp, depth_left).is_none() {
-            self.stats.distinct_states += 1;
-        }
-
-        let mut actions = self.enumerate(runner, b);
-        if actions.is_empty() {
-            return;
-        }
-        if depth_left == 0 {
-            self.stats.truncated = true;
-            return;
-        }
-        if self.opts.seed != 0 && actions.len() > 1 {
-            let rot = fingerprint128(&(self.opts.seed, runner.digest(), depth_left)) as usize;
-            let len = actions.len();
-            actions.rotate_left(rot % len);
-        }
-        let mark = self.path.len();
-        for action in actions {
-            let cost = action.cost();
-            if cost > depth_left {
-                self.stats.truncated = true;
-                continue;
-            }
-            let mut next = runner.clone();
-            let Some(b2) = self.apply(&mut next, &action, b) else {
-                self.path.truncate(mark);
-                return; // recovery-oracle violation recorded
-            };
-            self.stats.actions += 1;
-            self.dfs(&next, depth_left - cost, b2);
-            self.path.truncate(mark);
-            if self.violation.is_some() {
-                return;
+    /// Sum the shard entries into the final per-plan stats and free the
+    /// maps. Called exactly once, after the plan's last task finished.
+    fn fold(&self) {
+        let mut stats =
+            PlanStats { cut: self.cap_hit.load(Ordering::Acquire), ..Default::default() };
+        for shard in &self.shards {
+            let map = std::mem::take(&mut *shard.lock().expect("shard poisoned"));
+            for e in map.values() {
+                stats.distinct += 1;
+                stats.edges += u64::from(e.edges);
+                stats.fused += u64::from(e.fused);
+                stats.cut |= e.cut;
             }
         }
+        *self.folded.lock().expect("fold poisoned") = Some(stats);
+    }
+}
+
+/// One unit of queued work: apply `action` to `runner` (already at
+/// `path`, with `depth_left`/`budgets` remaining) and exhaust the
+/// resulting subtree.
+struct Task<'a> {
+    plan: usize,
+    runner: Runner<'a>,
+    path: Vec<Step>,
+    depth_left: u32,
+    budgets: Budgets,
+    action: Action,
+}
+
+struct Shared<'a> {
+    protocol: &'a Protocol,
+    analysis: &'a Analysis,
+    opts: CheckOptions,
+    shard_mask: usize,
+    plan_shared: Vec<PlanShared>,
+    queue: Mutex<VecDeque<Task<'a>>>,
+    available: Condvar,
+    /// Workers currently blocked on the queue — the donation signal.
+    idle: AtomicUsize,
+    /// Unfinished tasks over all plans; 0 = exploration complete.
+    outstanding: AtomicUsize,
+    done: AtomicBool,
+    // Progress counters (reporting only; final stats come from the
+    // per-plan folds).
+    plans_done: AtomicUsize,
+    distinct: AtomicUsize,
+    expansions: AtomicU64,
+}
+
+impl<'a> Shared<'a> {
+    /// Mark one task of `plan` finished; fold the plan when it was the
+    /// last one and flip the global done flag when nothing is left.
+    fn finish_task(&self, plan: usize) {
+        let ps = &self.plan_shared[plan];
+        if ps.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+            ps.fold();
+            self.plans_done.fetch_add(1, Ordering::Relaxed);
+        }
+        if self.outstanding.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let guard = self.queue.lock().expect("queue poisoned");
+            self.done.store(true, Ordering::Release);
+            drop(guard);
+            self.available.notify_all();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The stepper: action enumeration and application, shared by the
+// parallel sweep and the canonical witness search
+// ---------------------------------------------------------------------
+
+/// Enumerates and applies scheduler actions while maintaining the current
+/// schedule path and the per-walker oracle accumulators.
+struct Stepper<'a> {
+    protocol: &'a Protocol,
+    oracles: Oracles<'a>,
+    path: Vec<Step>,
+}
+
+impl<'a> Stepper<'a> {
+    fn new(protocol: &'a Protocol, analysis: &'a Analysis) -> Self {
+        Self { protocol, oracles: Oracles::new(protocol, analysis, CHECK_TXN), path: Vec::new() }
     }
 
     /// All branchable actions in `runner` under remaining budgets `b`, in
@@ -410,9 +508,14 @@ impl<'a> Explorer<'a> {
     }
 
     /// Apply one action, appending its schedule steps to the path and
-    /// returning the remaining budgets. Returns `None` when the recovery
-    /// oracle rejected a `Recover` (the violation has been recorded).
-    fn apply(&mut self, runner: &mut Runner<'a>, action: &Action, b: Budgets) -> Option<Budgets> {
+    /// returning the remaining budgets. `Err(detail)` means the recovery
+    /// oracle rejected a `Recover` (the path ends at the rejected step).
+    fn apply(
+        &mut self,
+        runner: &mut Runner<'a>,
+        action: &Action,
+        b: Budgets,
+    ) -> Result<Budgets, String> {
         let b2 = self.apply_inner(runner, action, b)?;
         // Events addressed to a down site are pure no-ops (the engine
         // discards them before touching any state), and once the recovery
@@ -430,7 +533,7 @@ impl<'a> Explorer<'a> {
                 runner.fire_scheduled(seq);
             }
         }
-        Some(b2)
+        Ok(b2)
     }
 
     fn apply_inner(
@@ -438,16 +541,15 @@ impl<'a> Explorer<'a> {
         runner: &mut Runner<'a>,
         action: &Action,
         b: Budgets,
-    ) -> Option<Budgets> {
+    ) -> Result<Budgets, String> {
         match action {
             Action::Fire(ch) => {
                 let (seq, ev) = channel_head(runner, *ch).expect("enumerated channel has a head");
                 self.path.push(step_for(&ev));
                 runner.fire_scheduled(seq);
-                Some(b)
+                Ok(b)
             }
             Action::Fuse(chs) => {
-                self.stats.fused += 1;
                 // Snapshot the heads first: a fired handler's new sends
                 // must not join this macro-step.
                 let heads: Vec<(u64, NetEvent<Wire>)> =
@@ -456,7 +558,7 @@ impl<'a> Explorer<'a> {
                     self.path.push(step_for(&ev));
                     runner.fire_scheduled(seq);
                 }
-                Some(b)
+                Ok(b)
             }
             Action::CrashSuffix { site, lose } => {
                 self.path.push(Step::Crash { site: *site });
@@ -480,25 +582,558 @@ impl<'a> Explorer<'a> {
                     self.path.push(Step::Drop { src: *site, dst });
                     runner.drop_scheduled(seq);
                 }
-                Some(Budgets { faults: b.faults - 1, ..b })
+                Ok(Budgets { faults: b.faults - 1, ..b })
             }
             Action::Recover { site } => {
                 self.path.push(Step::Recover { site: *site });
-                if let Err(detail) = self.oracles.check_recovery(runner, *site) {
-                    self.violation =
-                        Some(("recovery", detail, self.votes.clone(), self.path.clone()));
-                    return None;
-                }
+                self.oracles.check_recovery(runner, *site)?;
                 runner.recover_now(*site);
-                Some(Budgets { recoveries: b.recoveries - 1, ..b })
+                Ok(Budgets { recoveries: b.recoveries - 1, ..b })
             }
             Action::DropTail { src, dst } => {
                 self.path.push(Step::Drop { src: *src, dst: *dst });
                 let (seq, _) =
                     channel_tail(runner, Channel::Link(*src, *dst)).expect("link has tail");
                 runner.drop_scheduled(seq);
-                Some(Budgets { drops: b.drops - 1, ..b })
+                Ok(Budgets { drops: b.drops - 1, ..b })
             }
         }
     }
+}
+
+/// One node of the explicit DFS stack: a state, its remaining depth and
+/// budgets, and the (cost-filtered) actions not yet branched on.
+struct Frame<'a> {
+    runner: Runner<'a>,
+    depth_left: u32,
+    budgets: Budgets,
+    actions: Vec<Action>,
+    next: usize,
+    /// `path.len()` at this node; truncating to it re-anchors the path
+    /// before each sibling branch.
+    mark: usize,
+}
+
+// ---------------------------------------------------------------------
+// Phase 1: the parallel sweep
+// ---------------------------------------------------------------------
+
+struct Worker<'w, 'a> {
+    shared: &'w Shared<'a>,
+    stepper: Stepper<'a>,
+    stack: Vec<Frame<'a>>,
+    plan: usize,
+}
+
+impl<'w, 'a> Worker<'w, 'a> {
+    fn new(shared: &'w Shared<'a>) -> Self {
+        Self {
+            shared,
+            stepper: Stepper::new(shared.protocol, shared.analysis),
+            stack: Vec::new(),
+            plan: 0,
+        }
+    }
+
+    fn run(mut self) -> Oracles<'a> {
+        while let Some(task) = self.next_task() {
+            let plan = task.plan;
+            self.run_task(task);
+            self.shared.finish_task(plan);
+        }
+        self.stepper.oracles
+    }
+
+    fn next_task(&self) -> Option<Task<'a>> {
+        let mut q = self.shared.queue.lock().expect("queue poisoned");
+        loop {
+            if let Some(t) = q.pop_front() {
+                return Some(t);
+            }
+            if self.shared.done.load(Ordering::Acquire) {
+                return None;
+            }
+            self.shared.idle.fetch_add(1, Ordering::Release);
+            q = self.shared.available.wait(q).expect("queue poisoned");
+            self.shared.idle.fetch_sub(1, Ordering::Release);
+        }
+    }
+
+    fn run_task(&mut self, task: Task<'a>) {
+        self.plan = task.plan;
+        self.stepper.path = task.path;
+        let mut runner = task.runner;
+        let cost = task.action.cost();
+        match self.stepper.apply(&mut runner, &task.action, task.budgets) {
+            Err(_) => {
+                self.flag_violation("recovery");
+            }
+            Ok(b2) => {
+                self.visit(runner, task.depth_left - cost, b2);
+                self.drain_stack();
+            }
+        }
+        self.stepper.path.clear();
+        self.stack.clear();
+    }
+
+    fn flag_violation(&self, oracle: &str) {
+        self.shared.plan_shared[self.plan]
+            .violated
+            .fetch_or(violation_bit(oracle), Ordering::AcqRel);
+    }
+
+    /// Exhaust the explicit DFS stack, donating the shallowest untried
+    /// branch whenever another worker is starved.
+    fn drain_stack(&mut self) {
+        loop {
+            self.maybe_donate();
+            let step = {
+                let Some(f) = self.stack.last_mut() else { break };
+                if f.next >= f.actions.len() {
+                    None
+                } else {
+                    // Re-anchor the path before each sibling branch.
+                    self.stepper.path.truncate(f.mark);
+                    let action = f.actions[f.next].clone();
+                    f.next += 1;
+                    Some((action, f.depth_left, f.budgets, f.runner.clone()))
+                }
+            };
+            match step {
+                None => {
+                    let f = self.stack.pop().expect("checked non-empty");
+                    self.stepper.path.truncate(f.mark);
+                }
+                Some((action, depth_left, budgets, mut next)) => {
+                    let cost = action.cost();
+                    match self.stepper.apply(&mut next, &action, budgets) {
+                        Err(_) => self.flag_violation("recovery"),
+                        Ok(b2) => self.visit(next, depth_left - cost, b2),
+                    }
+                }
+            }
+        }
+    }
+
+    /// Hand the shallowest untried branch of this stack to an idle worker
+    /// as a fresh task. Donation only reorders the traversal, which no
+    /// reported quantity depends on.
+    fn maybe_donate(&mut self) {
+        if self.shared.idle.load(Ordering::Relaxed) == 0 {
+            return;
+        }
+        let top = self.stack.len().wrapping_sub(1);
+        for (i, f) in self.stack.iter_mut().enumerate() {
+            if f.next >= f.actions.len() {
+                continue;
+            }
+            if i == top && f.actions.len() - f.next <= 1 {
+                // Keep the last branch of the top frame for ourselves —
+                // donating it would just move this worker to the queue.
+                return;
+            }
+            let action = f.actions[f.next].clone();
+            f.next += 1;
+            let task = Task {
+                plan: self.plan,
+                runner: f.runner.clone(),
+                path: self.stepper.path[..f.mark].to_vec(),
+                depth_left: f.depth_left,
+                budgets: f.budgets,
+                action,
+            };
+            let ps = &self.shared.plan_shared[self.plan];
+            ps.pending.fetch_add(1, Ordering::AcqRel);
+            self.shared.outstanding.fetch_add(1, Ordering::AcqRel);
+            self.shared.queue.lock().expect("queue poisoned").push_back(task);
+            self.shared.available.notify_one();
+            return;
+        }
+    }
+
+    /// Observe one reached state, claim it in the plan's fingerprint map,
+    /// and push its expansion frame if it survived dedup and the caps.
+    fn visit(&mut self, runner: Runner<'a>, depth_left: u32, b: Budgets) {
+        let ps = &self.shared.plan_shared[self.plan];
+        if let Err((oracle, _detail)) = self.stepper.oracles.observe_state(&runner) {
+            // Violating states are never expanded (and never counted);
+            // the canonical search re-derives the witness path.
+            self.flag_violation(oracle);
+            return;
+        }
+        if runner.net_quiescent() && !Oracles::blocked_sites(&runner).is_empty() {
+            ps.blocking.store(true, Ordering::Release);
+        }
+
+        let fp = fingerprint128(&(runner.digest(), b.faults, b.recoveries, b.drops));
+        let shard = &ps.shards[(fp as usize) & self.shared.shard_mask];
+        {
+            let mut map = shard.lock().expect("shard poisoned");
+            let known = match map.get_mut(&fp) {
+                Some(e) if e.best >= depth_left => return,
+                Some(e) => Some(e),
+                None => None,
+            };
+            if ps.inserted.load(Ordering::Relaxed) >= self.shared.opts.max_states {
+                ps.cap_hit.store(true, Ordering::Release);
+                return;
+            }
+            match known {
+                Some(e) => e.best = depth_left,
+                None => {
+                    map.insert(
+                        fp,
+                        Entry {
+                            best: depth_left,
+                            stats_depth: 0,
+                            edges: 0,
+                            fused: false,
+                            cut: false,
+                        },
+                    );
+                    ps.inserted.fetch_add(1, Ordering::Relaxed);
+                    self.shared.distinct.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+
+        let mut actions = self.stepper.enumerate(&runner, b);
+        if let Some(seed) = self.shared.opts.seed {
+            if actions.len() > 1 {
+                let rot = fingerprint128(&(seed, runner.digest(), depth_left)) as usize;
+                let len = actions.len();
+                actions.rotate_left(rot % len);
+            }
+        }
+        // Edge stats at *this* depth; published under the stats_depth
+        // guard so the deepest expansion's numbers win whatever order the
+        // racing expansions finish in.
+        let mut edges = 0u32;
+        let mut fused = false;
+        let mut cut = false;
+        actions.retain(|a| {
+            if a.cost() <= depth_left {
+                edges += 1;
+                fused |= matches!(a, Action::Fuse(_));
+                true
+            } else {
+                cut = true;
+                false
+            }
+        });
+        {
+            let mut map = shard.lock().expect("shard poisoned");
+            let e = map.get_mut(&fp).expect("entry was just claimed");
+            if depth_left >= e.stats_depth {
+                e.stats_depth = depth_left;
+                e.edges = edges;
+                e.fused = fused;
+                e.cut = cut;
+            }
+        }
+        self.progress_tick();
+        if !actions.is_empty() {
+            self.stack.push(Frame {
+                mark: self.stepper.path.len(),
+                runner,
+                depth_left,
+                budgets: b,
+                actions,
+                next: 0,
+            });
+        }
+    }
+
+    fn progress_tick(&self) {
+        let e = self.shared.expansions.fetch_add(1, Ordering::Relaxed) + 1;
+        if e.is_multiple_of(1 << 16) {
+            if let Some(hook) = self.shared.opts.progress {
+                hook(&CheckProgress {
+                    plans_done: self.shared.plans_done.load(Ordering::Relaxed),
+                    plans_total: self.shared.plan_shared.len(),
+                    distinct_states: self.shared.distinct.load(Ordering::Relaxed),
+                    expansions: e,
+                });
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Phase 2: the canonical witness search
+// ---------------------------------------------------------------------
+
+/// What the canonical search is looking for.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Target {
+    Violation,
+    Blocking,
+}
+
+/// Serial, canonical-order (unseeded) explicit-stack DFS over one vote
+/// plan, stopping at the first state (or rejected `Recover` edge, for
+/// [`Target::Violation`]) exhibiting the target. Because the visited set
+/// is order-independent, a plan flagged by the parallel sweep is
+/// guaranteed to yield a witness here — unless the `max_states` valve
+/// truncated the sweep, in which case this search gives up at the same
+/// cap and returns `None`.
+struct Search<'a, 'o> {
+    stepper: Stepper<'a>,
+    seen: HashMap<u128, u32>,
+    stack: Vec<Frame<'a>>,
+    opts: &'o CheckOptions,
+    target: Target,
+}
+
+type WitnessFound = Option<(&'static str, String, Vec<Step>)>;
+
+impl<'a> Search<'a, '_> {
+    /// Shared visit logic for the root and every expanded child.
+    fn visit(&mut self, runner: Runner<'a>, depth_left: u32, b: Budgets) -> WitnessFound {
+        if let Err((oracle, detail)) = self.stepper.oracles.observe_state(&runner) {
+            return match self.target {
+                Target::Violation => Some((oracle, detail, self.stepper.path.clone())),
+                // A violating state is pruned, exactly as in the sweep —
+                // blocking candidates exclude it.
+                Target::Blocking => None,
+            };
+        }
+        if self.target == Target::Blocking
+            && runner.net_quiescent()
+            && !Oracles::blocked_sites(&runner).is_empty()
+        {
+            return Some(("", String::new(), self.stepper.path.clone()));
+        }
+        let fp = fingerprint128(&(runner.digest(), b.faults, b.recoveries, b.drops));
+        if let Some(&best) = self.seen.get(&fp) {
+            if best >= depth_left {
+                return None;
+            }
+        }
+        if self.seen.len() >= self.opts.max_states {
+            return None;
+        }
+        self.seen.insert(fp, depth_left);
+        let mut actions = self.stepper.enumerate(&runner, b);
+        actions.retain(|a| a.cost() <= depth_left);
+        if !actions.is_empty() {
+            self.stack.push(Frame {
+                mark: self.stepper.path.len(),
+                runner,
+                depth_left,
+                budgets: b,
+                actions,
+                next: 0,
+            });
+        }
+        None
+    }
+
+    fn run(&mut self, root: Runner<'a>, depth: u32, budgets: Budgets) -> WitnessFound {
+        if let Some(w) = self.visit(root, depth, budgets) {
+            return Some(w);
+        }
+        loop {
+            let step = {
+                let f = self.stack.last_mut()?;
+                if f.next >= f.actions.len() {
+                    None
+                } else {
+                    self.stepper.path.truncate(f.mark);
+                    let action = f.actions[f.next].clone();
+                    f.next += 1;
+                    Some((action, f.depth_left, f.budgets, f.runner.clone()))
+                }
+            };
+            match step {
+                None => {
+                    let f = self.stack.pop().expect("checked non-empty");
+                    self.stepper.path.truncate(f.mark);
+                }
+                Some((action, depth_left, budgets, mut next)) => {
+                    let cost = action.cost();
+                    match self.stepper.apply(&mut next, &action, budgets) {
+                        Err(detail) => {
+                            if self.target == Target::Violation {
+                                return Some(("recovery", detail, self.stepper.path.clone()));
+                            }
+                        }
+                        Ok(b2) => {
+                            if let Some(w) = self.visit(next, depth_left - cost, b2) {
+                                return Some(w);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn canonical_witness<'a>(
+    protocol: &'a Protocol,
+    analysis: &'a Analysis,
+    opts: &CheckOptions,
+    votes: &[bool],
+    target: Target,
+) -> WitnessFound {
+    let budgets = Budgets { faults: opts.faults, recoveries: opts.recoveries, drops: opts.drops };
+    let root = Runner::new(protocol, analysis, plan_config(protocol.n_sites(), votes, opts.rule));
+    let mut search = Search {
+        stepper: Stepper::new(protocol, analysis),
+        seen: HashMap::new(),
+        stack: Vec::new(),
+        opts,
+        target,
+    };
+    search.run(root, opts.depth, budgets)
+}
+
+// ---------------------------------------------------------------------
+// Entry point
+// ---------------------------------------------------------------------
+
+/// Explore every schedule of `protocol` within `opts`' budgets, for every
+/// vote plan (or the one plan `opts.vote_plan` fixes), fanning the
+/// subtrees out over `opts.threads` workers. See the module docs for the
+/// determinism contract.
+pub fn explore<'a>(
+    protocol: &'a Protocol,
+    analysis: &'a Analysis,
+    opts: &CheckOptions,
+) -> Exploration<'a> {
+    let n = protocol.n_sites();
+    let plans: Vec<Vec<bool>> = match &opts.vote_plan {
+        Some(p) => vec![p.clone()],
+        // All 2^n plans, all-yes first (the plan where commit — and hence
+        // commit-blocking — lives). Quorum-based protocols enumerate over
+        // participants only: acceptor transitions are untagged (acceptors
+        // hold no vote), so acceptor plan bits would only replicate each
+        // execution 2^(2f+1) times.
+        None => {
+            let np = protocol.n_participants();
+            (0..1u32 << np)
+                .map(|bits| (0..n).map(|i| i >= np || bits & (1 << i) == 0).collect())
+                .collect()
+        }
+    };
+
+    let threads = resolved_threads(opts.threads);
+    let shards = (threads * 4).next_power_of_two().min(64);
+    let shared = Shared {
+        protocol,
+        analysis,
+        opts: opts.clone(),
+        shard_mask: shards - 1,
+        plan_shared: (0..plans.len()).map(|_| PlanShared::new(shards)).collect(),
+        queue: Mutex::new(VecDeque::new()),
+        available: Condvar::new(),
+        idle: AtomicUsize::new(0),
+        outstanding: AtomicUsize::new(0),
+        done: AtomicBool::new(false),
+        plans_done: AtomicUsize::new(0),
+        distinct: AtomicUsize::new(0),
+        expansions: AtomicU64::new(0),
+    };
+    let budgets = Budgets { faults: opts.faults, recoveries: opts.recoveries, drops: opts.drops };
+
+    // Seed: expand each plan's root on this thread (observing it and
+    // claiming it in the plan's map), then queue one task per root
+    // action. The seeder reuses the worker machinery, so root handling
+    // and inner-node handling cannot drift apart.
+    let mut seeder = Worker::new(&shared);
+    {
+        let mut queue = shared.queue.lock().expect("queue poisoned");
+        for (idx, votes) in plans.iter().enumerate() {
+            seeder.plan = idx;
+            let root = Runner::new(protocol, analysis, plan_config(n, votes, opts.rule));
+            seeder.visit(root, opts.depth, budgets);
+            match seeder.stack.pop() {
+                Some(f) => {
+                    let k = f.actions.len();
+                    shared.plan_shared[idx].pending.store(k, Ordering::Release);
+                    shared.outstanding.fetch_add(k, Ordering::AcqRel);
+                    for action in f.actions {
+                        queue.push_back(Task {
+                            plan: idx,
+                            runner: f.runner.clone(),
+                            path: Vec::new(),
+                            depth_left: f.depth_left,
+                            budgets: f.budgets,
+                            action,
+                        });
+                    }
+                }
+                // Root is terminal (or violating): the plan is already
+                // fully explored.
+                None => {
+                    shared.plan_shared[idx].fold();
+                    shared.plans_done.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            seeder.stack.clear();
+            seeder.stepper.path.clear();
+        }
+        if shared.outstanding.load(Ordering::Acquire) == 0 {
+            shared.done.store(true, Ordering::Release);
+        }
+    }
+    let mut oracles = seeder.stepper.oracles;
+
+    let worker_oracles: Vec<Oracles<'a>> = std::thread::scope(|s| {
+        let handles: Vec<_> =
+            (0..threads).map(|_| s.spawn(|| Worker::new(&shared).run())).collect();
+        handles.into_iter().map(|h| h.join().expect("explorer worker panicked")).collect()
+    });
+    for o in &worker_oracles {
+        oracles.merge(o);
+    }
+
+    // Assemble the order-independent stats from the per-plan folds.
+    let mut stats = ExploreStats { plans: plans.len(), ..ExploreStats::default() };
+    for ps in &shared.plan_shared {
+        let folded = ps.folded.lock().expect("fold poisoned").take().expect("plan not folded");
+        stats.distinct_states += folded.distinct;
+        stats.actions += folded.edges;
+        stats.fused += folded.fused;
+        stats.truncated |= folded.cut;
+    }
+
+    // Phase 2: canonical witnesses for the least flagged plans.
+    let violation =
+        shared.plan_shared.iter().position(|ps| ps.violated.load(Ordering::Acquire) != 0).map(
+            |idx| {
+                let votes = plans[idx].clone();
+                match canonical_witness(protocol, analysis, opts, &votes, Target::Violation) {
+                    Some((oracle, detail, path)) => (oracle, detail, votes, path),
+                    // Only reachable when the state cap truncated the sweep:
+                    // an uncapped sweep's visited set equals this search's.
+                    None => {
+                        let bits = shared.plan_shared[idx].violated.load(Ordering::Acquire);
+                        let oracle = if bits & V_CONSISTENCY != 0 {
+                            "consistency"
+                        } else if bits & V_PREDICTION != 0 {
+                            "prediction"
+                        } else {
+                            "recovery"
+                        };
+                        let detail = "violation observed during a state-cap-truncated \
+                                  exploration; raise --max-states for a replayable witness"
+                            .to_string();
+                        (oracle, detail, votes, Vec::new())
+                    }
+                }
+            },
+        );
+    let blocking_witness =
+        shared.plan_shared.iter().position(|ps| ps.blocking.load(Ordering::Acquire)).and_then(
+            |idx| {
+                let votes = plans[idx].clone();
+                canonical_witness(protocol, analysis, opts, &votes, Target::Blocking)
+                    .map(|(_, _, path)| (votes, path))
+            },
+        );
+
+    Exploration { oracles, stats, blocking_witness, violation }
 }

@@ -21,8 +21,12 @@
 //! Witnesses and violations are shrunk to 1-minimal schedules and emitted
 //! as replayable JSONL (see [`schedule`]) that `nbc simulate --schedule`
 //! re-executes byte-for-byte. The whole pipeline is deterministic: the
-//! same protocol, options and seed produce the same report, byte for
-//! byte.
+//! same protocol and options produce the same report, byte for byte, *at
+//! any thread count and any traversal seed* — the parallel sweep only
+//! flags order-independent facts, and concrete witnesses come from a
+//! serial canonical-order search (see [`explore`]). The sole exception is
+//! a `--max-states`-truncated run, whose counts depend on which states
+//! fell inside the cap.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -35,7 +39,7 @@ pub mod shrink;
 use nbc_core::{resilience, theorem, Analysis, Protocol, ProtocolError, SiteId, StateId};
 use nbc_engine::{Runner, TerminationRule};
 
-pub use explore::{CheckOptions, ExploreStats, CHECK_TXN};
+pub use explore::{CheckOptions, CheckProgress, ExploreStats, CHECK_TXN};
 pub use oracle::Oracles;
 pub use schedule::{apply_step, replay_lenient, replay_strict, ReplayError, Schedule, Step};
 pub use shrink::{drain, shrink};
@@ -143,7 +147,11 @@ impl CheckReport {
         }
         out.push_str(&format!(
             "  budgets: depth={} faults={} recoveries={} drops={} seed={}\n",
-            o.depth, o.faults, o.recoveries, o.drops, o.seed
+            o.depth,
+            o.faults,
+            o.recoveries,
+            o.drops,
+            o.seed.map_or("none".to_string(), |s| s.to_string()),
         ));
         out.push_str(&format!(
             "  explored: {} vote plan{}, {} distinct states, {} actions ({} fused), {}\n",
@@ -256,7 +264,7 @@ impl CheckReport {
             o.faults,
             o.recoveries,
             o.drops,
-            o.seed,
+            o.seed.map_or("null".to_string(), |s| s.to_string()),
             self.certified_nonblocking,
             self.max_tolerated_failures,
             self.quorum_f.map_or("null".to_string(), |f| f.to_string()),

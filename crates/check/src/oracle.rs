@@ -210,6 +210,18 @@ impl<'a> Oracles<'a> {
         Ok(())
     }
 
+    /// OR another walker's witnessed-state bitmap into this one. The
+    /// parallel explorer gives each worker thread its own accumulator and
+    /// merges them after the sweep; the union is order-independent, so
+    /// the merged bitmap is identical at any thread count.
+    pub fn merge(&mut self, other: &Oracles<'_>) {
+        for (mine, theirs) in self.witnessed.iter_mut().zip(&other.witnessed) {
+            for (m, &t) in mine.iter_mut().zip(theirs) {
+                *m |= t;
+            }
+        }
+    }
+
     /// Analytically occupied `(site, state)` slots never witnessed by any
     /// explored execution — empty exactly when the operational engine
     /// covered the full reachable state graph (prediction completeness,

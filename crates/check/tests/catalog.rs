@@ -111,15 +111,22 @@ fn witness_schedule_round_trips_byte_for_byte() {
 #[test]
 fn reports_are_deterministic_across_runs() {
     let first =
-        run_check(&central_3pc(3), CheckOptions { seed: 7, ..CheckOptions::default() }).unwrap();
+        run_check(&central_3pc(3), CheckOptions { seed: Some(7), ..CheckOptions::default() })
+            .unwrap();
     let second =
-        run_check(&central_3pc(3), CheckOptions { seed: 7, ..CheckOptions::default() }).unwrap();
+        run_check(&central_3pc(3), CheckOptions { seed: Some(7), ..CheckOptions::default() })
+            .unwrap();
     assert_eq!(first.render(), second.render());
     assert_eq!(first.to_json(), second.to_json());
 
-    // The seed permutes exploration order, never the verdict.
-    let reseeded =
-        run_check(&central_3pc(3), CheckOptions { seed: 99, ..CheckOptions::default() }).unwrap();
-    assert!(reseeded.ok());
-    assert_eq!(first.stats.distinct_states, reseeded.stats.distinct_states);
+    // The seed permutes exploration order, never the verdict or stats —
+    // and `Some(0)` is a real seed, not a silent "canonical order"
+    // sentinel as it once was.
+    for seed in [Some(99), Some(0), None] {
+        let reseeded =
+            run_check(&central_3pc(3), CheckOptions { seed, ..CheckOptions::default() }).unwrap();
+        assert!(reseeded.ok());
+        assert_eq!(first.stats.distinct_states, reseeded.stats.distinct_states, "seed {seed:?}");
+        assert_eq!(first.stats.actions, reseeded.stats.actions, "seed {seed:?}");
+    }
 }

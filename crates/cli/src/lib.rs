@@ -24,7 +24,7 @@
 
 use std::fmt::Write as _;
 
-use nbc_check::{CheckOptions, Schedule};
+use nbc_check::{CheckOptions, CheckProgress, Schedule};
 use nbc_core::kpc::k_phase_central;
 use nbc_core::protocols::{central_2pc, central_3pc, decentralized_2pc, decentralized_3pc, one_pc};
 use nbc_core::{
@@ -142,24 +142,44 @@ pub fn build_analysis(
 /// nodes/sec rate derived from a thread-local clock (stderr only — stdout
 /// and all results stay byte-identical with or without it).
 fn print_progress(p: &LevelProgress) {
-    use std::cell::Cell;
-    use std::time::Instant;
-    thread_local! {
-        static LAST: Cell<Option<Instant>> = const { Cell::new(None) };
-    }
-    let now = Instant::now();
-    let rate = LAST.with(|last| {
-        let prev = last.replace(Some(now));
-        prev.map(|p0| now.duration_since(p0).as_secs_f64()).filter(|dt| *dt > 0.0)
-    });
-    let rate = match rate {
-        Some(dt) => format!(" ({:.0} states/s)", p.new_states as f64 / dt),
+    let rate = match tick_rate(p.new_states as u64) {
+        Some(r) => format!(" ({r:.0} states/s)"),
         None => String::new(),
     };
     eprintln!(
         "level {:>3}: frontier {:>7}  new {:>7}  dedup {:>8}  total {:>8}{rate}",
         p.level, p.frontier, p.new_states, p.dedup_hits, p.total
     );
+}
+
+/// The `nbc check --progress` hook: one stderr line per reporting
+/// interval of the parallel exploration (stderr only — the report stays
+/// byte-identical with or without it).
+fn print_check_progress(p: &CheckProgress) {
+    let rate = match tick_rate(1 << 16) {
+        Some(r) => format!(" ({r:.0} expansions/s)"),
+        None => String::new(),
+    };
+    eprintln!(
+        "plans {:>3}/{:<3}  distinct {:>9}  expansions {:>10}{rate}",
+        p.plans_done, p.plans_total, p.distinct_states, p.expansions
+    );
+}
+
+/// Per-thread progress rate over successive calls (the hooks above are
+/// plain `fn` pointers, so their estimator state lives here).
+fn tick_rate(events: u64) -> Option<f64> {
+    use std::cell::Cell;
+    thread_local! {
+        static RATE: Cell<nbc_obs::progress::Rate> =
+            const { Cell::new(nbc_obs::progress::Rate::new()) };
+    }
+    RATE.with(|c| {
+        let mut r = c.get();
+        let rate = r.tick(events);
+        c.set(r);
+        rate
+    })
 }
 
 /// `nbc analyze PROTO`
@@ -489,8 +509,19 @@ pub fn cmd_replay(
     Ok(out)
 }
 
+/// Outcome of `nbc check`: the rendered report plus the verdict bit the
+/// binary turns into its exit status (0 = every oracle passed, 1 = some
+/// oracle failed; usage and protocol errors stay on the [`CliError`]
+/// path and exit 2).
+pub struct CheckRun {
+    /// The rendered report (text or `--json`).
+    pub output: String,
+    /// True iff every oracle passed.
+    pub ok: bool,
+}
+
 /// `nbc check PROTO [opts]` — run the schedule-exploring model checker.
-pub fn cmd_check(args: &[String]) -> Result<String, CliError> {
+pub fn cmd_check(args: &[String]) -> Result<CheckRun, CliError> {
     fn val(args: &[String], i: &mut usize) -> Result<String, CliError> {
         *i += 1;
         args.get(*i).cloned().ok_or_else(|| CliError(format!("{} needs a value", args[*i - 1])))
@@ -511,12 +542,14 @@ pub fn cmd_check(args: &[String]) -> Result<String, CliError> {
             "--faults" => opts.faults = parse_num(&val(args, &mut i)?, "--faults")?,
             "--recoveries" => opts.recoveries = parse_num(&val(args, &mut i)?, "--recoveries")?,
             "--drops" => opts.drops = parse_num(&val(args, &mut i)?, "--drops")?,
-            "--seed" => opts.seed = parse_num(&val(args, &mut i)?, "--seed")?,
+            "--seed" => opts.seed = Some(parse_num(&val(args, &mut i)?, "--seed")?),
+            "--threads" => opts.threads = parse_num(&val(args, &mut i)?, "--threads")?,
             "--max-states" => opts.max_states = parse_num(&val(args, &mut i)?, "--max-states")?,
             "--rule" => opts.rule = parse_rule_arg(&val(args, &mut i)?)?,
             "--votes" => opts.vote_plan = Some(parse_votes_arg(&val(args, &mut i)?)?),
             "--json" => json = true,
             "--trace" => trace = true,
+            "--progress" => opts.progress = Some(print_check_progress),
             "--counterexample" => cx_path = Some(val(args, &mut i)?),
             other => return fail(format!("check: unknown flag {other:?}")),
         }
@@ -554,8 +587,9 @@ pub fn cmd_check(args: &[String]) -> Result<String, CliError> {
             None => eprintln!("note: no counterexample or witness to write to {path}"),
         }
     }
+    let ok = report.ok();
     if json {
-        return Ok(format!("{}\n", report.to_json()));
+        return Ok(CheckRun { output: format!("{}\n", report.to_json()), ok });
     }
     let mut out = report.render();
     if trace {
@@ -574,7 +608,7 @@ pub fn cmd_check(args: &[String]) -> Result<String, CliError> {
             }
         }
     }
-    Ok(out)
+    Ok(CheckRun { output: out, ok })
 }
 
 /// Run one happy-path (all-yes, no-failure) transaction through the

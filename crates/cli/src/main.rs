@@ -19,7 +19,8 @@ USAGE:
                   [--schedule FILE]
                   [--trace PATH] [--trace-format jsonl|chrome] [--metrics] [--json]
   nbc check       PROTO [-n N] [--depth D] [--faults F] [--recoveries R]
-                  [--drops K] [--seed S] [--rule skeen|cooperative|naive|quorum]
+                  [--drops K] [--seed S] [--threads T] [--progress]
+                  [--rule skeen|cooperative|naive|quorum]
                   [--votes yyn] [--max-states M] [--counterexample FILE]
                   [--trace] [--json]
   nbc sweep       PROTO [-n N] [--threads T] [--stream] [--recover T] [--rule ...]
@@ -61,10 +62,30 @@ check: exhaustively explore every schedule (delivery order, crashes,
 recoveries, drops) within the budgets and cross-validate the engine
 against the paper's state-graph analysis with four oracles; shrunk
 counterexamples replay with `nbc simulate PROTO --schedule FILE`.
+check exits 0 when every oracle passes, 1 on an oracle violation, and
+2 on a usage or protocol error. `--threads T` fans the exploration out
+over T workers (0 = auto; results are identical at any thread count);
+`--seed S` perturbs traversal order only.
 ";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // `check` owns its exit status: 0 = every oracle passed, 1 = some
+    // oracle reported a violation, 2 = usage or protocol error. The
+    // verdict must be scriptable (CI gates on it), not just rendered text.
+    if args.first().map(String::as_str) == Some("check") {
+        match cmd_check(&args[1..]) {
+            Ok(run) => {
+                print!("{}", run.output);
+                std::process::exit(if run.ok { 0 } else { 1 });
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                eprintln!("\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
     match run(&args) {
         Ok(output) => print!("{output}"),
         Err(e) => {
@@ -87,9 +108,6 @@ fn run(args: &[String]) -> Result<String, CliError> {
     }
     if cmd == "pipeline" {
         return cmd_pipeline(&args[1..]);
-    }
-    if cmd == "check" {
-        return cmd_check(&args[1..]);
     }
     if cmd == "paxos" {
         return cmd_paxos(&args[1..]);

@@ -1,0 +1,67 @@
+//! `nbc check` exit-status contract, tested against the real binary:
+//! 0 = every oracle passed, 1 = an oracle reported a violation, 2 = usage
+//! or protocol error. CI gates on these codes, so they are part of the
+//! tool's interface, not a rendering detail.
+
+use std::process::Command;
+
+fn nbc(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_nbc")).args(args).output().expect("run nbc binary")
+}
+
+#[test]
+fn check_pass_exits_zero() {
+    let out = nbc(&["check", "central-3pc", "-n", "2"]);
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("verdict: OK"), "{stdout}");
+}
+
+#[test]
+fn check_blocking_confirmation_is_a_pass() {
+    // A blocking protocol whose exploration *confirms* the theorem's
+    // BLOCKING classification passes all oracles — the witness is the
+    // expected answer, not a failure.
+    let out = nbc(&["check", "central-2pc", "-n", "2"]);
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("blocking confirmed"), "{stdout}");
+}
+
+#[test]
+fn check_oracle_violation_exits_one() {
+    // The deliberately unsafe naive concurrency-set rule loses atomicity
+    // under two crashes: a known-FAIL spec.
+    let out = nbc(&["check", "central-3pc", "-n", "3", "--rule", "naive", "--faults", "2"]);
+    assert_eq!(out.status.code(), Some(1), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("verdict: FAIL"), "{stdout}");
+    assert!(stdout.contains("FAILURE [consistency]"), "{stdout}");
+}
+
+#[test]
+fn check_json_failure_also_exits_one() {
+    let out =
+        nbc(&["check", "central-3pc", "-n", "3", "--rule", "naive", "--faults", "2", "--json"]);
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("\"ok\":false"), "{stdout}");
+}
+
+#[test]
+fn check_usage_error_exits_two() {
+    for args in [
+        &["check", "no-such-protocol"][..],
+        &["check", "central-2pc", "--bogus-flag"][..],
+        &["check"][..],
+    ] {
+        let out = nbc(args);
+        assert_eq!(out.status.code(), Some(2), "args {args:?}");
+    }
+}
+
+#[test]
+fn non_check_commands_keep_their_exit_codes() {
+    assert_eq!(nbc(&["list"]).status.code(), Some(0));
+    assert_eq!(nbc(&["frobnicate"]).status.code(), Some(2));
+}

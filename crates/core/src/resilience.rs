@@ -52,7 +52,10 @@ pub fn resilience_with(protocol: &Protocol, report: &TheoremReport) -> Resilienc
     let clean = report.clean.clone();
     let clean_count = clean.iter().filter(|&&c| c).count();
     let n = protocol.n_sites();
-    let max_tolerated_failures = clean_count.saturating_sub(1).min(n - 1);
+    // Both arms saturate: a 0-site protocol (legal input — `Protocol::new`
+    // does not require sites) tolerates no failures rather than panicking
+    // on `n - 1`.
+    let max_tolerated_failures = clean_count.saturating_sub(1).min(n.saturating_sub(1));
     ResilienceReport { protocol: protocol.name.clone(), n_sites: n, clean, max_tolerated_failures }
 }
 
@@ -95,5 +98,18 @@ mod tests {
     fn zero_failures_always_tolerated() {
         let r = resilience(&decentralized_2pc(2)).unwrap();
         assert!(r.tolerates(0));
+    }
+
+    #[test]
+    fn zero_site_protocol_does_not_underflow() {
+        // Regression: `min(n - 1)` underflowed for n = 0.
+        let p = Protocol::new("empty", crate::Paradigm::Custom, vec![], vec![]);
+        let report =
+            TheoremReport { protocol: "empty".to_string(), violations: vec![], clean: vec![] };
+        let r = resilience_with(&p, &report);
+        assert_eq!(r.n_sites, 0);
+        assert_eq!(r.max_tolerated_failures, 0);
+        assert!(r.tolerates(0));
+        assert!(!r.tolerates(1));
     }
 }

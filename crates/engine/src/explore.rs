@@ -63,6 +63,17 @@ pub fn channel_of(ev: &NetEvent<Wire>) -> Channel {
     }
 }
 
+// The parallel model checker clones a `Runner` per explored branch and
+// moves the clones across worker threads, so `Runner: Send` is part of
+// the engine's public contract: no interior mutability anywhere in a
+// runner's state, and any shared tracer sink sits behind `Arc<Mutex<_>>`.
+// Keep it compile-time checked so an `Rc`/`RefCell` slipping into the
+// engine fails here, not in the checker's thread spawn.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<Runner<'static>>();
+};
+
 impl RunConfig {
     /// Zero-latency, zero-detection-delay configuration for model-checked
     /// exploration: every consequence of an action is scheduled at the

@@ -38,6 +38,7 @@ pub mod event;
 pub mod export;
 pub mod json;
 pub mod metrics;
+pub mod progress;
 pub mod sink;
 
 pub use event::{Event, EventKind};

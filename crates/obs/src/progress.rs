@@ -1,0 +1,54 @@
+//! Wall-clock rate estimation for stderr progress reporting.
+//!
+//! Progress hooks across the workspace (`nbc analyze --progress`, `nbc
+//! check --progress`) print one stderr line per reporting interval and
+//! want an events/second figure for it. The estimate is intrinsically
+//! wall-clock — the one place the observability layer touches a real
+//! clock — which is why it lives behind this explicit, stderr-only
+//! helper: simulation results and exported traces must never depend on
+//! it, and every consumer keeps it out of stdout.
+
+use std::time::Instant;
+
+/// Events-per-second estimator over successive reporting ticks.
+///
+/// `Copy`, so a hook with no state of its own can park one in a
+/// thread-local `Cell`:
+///
+/// ```
+/// use std::cell::Cell;
+/// use nbc_obs::progress::Rate;
+///
+/// thread_local! {
+///     static RATE: Cell<Rate> = const { Cell::new(Rate::new()) };
+/// }
+/// let rate = RATE.with(|c| {
+///     let mut r = c.get();
+///     let rate = r.tick(4096);
+///     c.set(r);
+///     rate
+/// });
+/// assert!(rate.is_none()); // first tick has no interval yet
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Rate {
+    last: Option<Instant>,
+}
+
+impl Rate {
+    /// A fresh estimator; the first [`tick`](Rate::tick) establishes the
+    /// baseline and yields `None`.
+    pub const fn new() -> Self {
+        Self { last: None }
+    }
+
+    /// Record that `events` events completed since the previous tick and
+    /// return their rate per second. `None` on the first tick and
+    /// whenever the clock did not advance measurably.
+    pub fn tick(&mut self, events: u64) -> Option<f64> {
+        let now = Instant::now();
+        let prev = self.last.replace(now);
+        let dt = now.duration_since(prev?).as_secs_f64();
+        (dt > 0.0).then(|| events as f64 / dt)
+    }
+}

@@ -74,26 +74,43 @@
 //!   path) under the canonical enumeration order, byte-identical at any
 //!   thread count and any seed.
 //!
-//! The one exception is the `max_states` safety valve: once it trips,
-//! *which* states fell inside the cap depends on scheduling, so truncated
-//! parallel runs keep a deterministic verdict discipline (they are
-//! flagged `TRUNCATED` and completeness is never judged) but their counts
-//! are only reproducible at a fixed thread count of 1.
+//! Even the `max_states` safety valve is deterministic: once a plan
+//! trips it (which happens iff the plan's fixpoint reaches the cap — a
+//! property of the state space, not of scheduling), the plan's stats,
+//! violation flags, blocking flag and witnessed-state bitmap are
+//! *recomputed* by a serial canonical-order sweep under the same cap and
+//! the parallel results discarded — so truncated reports are
+//! byte-identical at any thread count **and any seed** (the redo ignores
+//! the seed), at the cost of one serial pass over the capped plan.
 //!
 //! Previously the sweep also stopped at the first hard violation, which
 //! left later plans unexplored while still reporting "exhaustive"; the
 //! sweep now always runs to its fixpoint and the `truncated` flag means
 //! exactly what it says.
+//!
+//! ## External memory
+//!
+//! With [`CheckOptions::mem_budget`] set, each plan's fingerprint shards
+//! become the hot tier of a two-level store: whenever the hot tier
+//! crosses the byte budget, a worker locks *all* of the plan's shards (in
+//! index order, then the run-store write lock — probers hold one shard
+//! plus the read lock, so the orders cannot deadlock), drains them, and
+//! spills the entries as one sorted run file ([`nbc_core::extmem`]).
+//! Membership stays *exact* — a hot miss probes the runs before counting
+//! an insert — and `best` is monotone while stats merge by deepest
+//! `stats_depth`, so reports are byte-identical to the unlimited path at
+//! any thread count and seed; only the out-of-band [`SpillStats`]
+//! (stderr/bench reporting, never part of a rendered report) differ.
 
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, RwLock};
 
-use nbc_core::{fingerprint128, Analysis, Protocol};
+use nbc_core::{fingerprint128, Analysis, Protocol, RunSet, SpillStats};
 use nbc_engine::{channel_of, Channel, RunConfig, Runner, TerminationRule, Wire};
 use nbc_simnet::NetEvent;
 
-use crate::oracle::Oracles;
+use crate::oracle::{Oracles, Witnessed};
 use crate::schedule::{channel_head, channel_tail, Step};
 
 /// Knobs of one check run.
@@ -131,6 +148,12 @@ pub struct CheckOptions {
     /// snapshot of the exploration counters (stderr-style reporting; all
     /// results stay byte-identical with or without it).
     pub progress: Option<fn(&CheckProgress)>,
+    /// Approximate byte budget for the hot in-RAM tier of each plan's
+    /// fingerprint store. `0` (the default) keeps everything in RAM; any
+    /// other value spills the hot tier to sorted temp-file runs whenever
+    /// it crosses the budget (see the module docs). Reports stay
+    /// byte-identical either way.
+    pub mem_budget: usize,
 }
 
 impl Default for CheckOptions {
@@ -146,6 +169,7 @@ impl Default for CheckOptions {
             max_states: 1 << 21,
             threads: 1,
             progress: None,
+            mem_budget: 0,
         }
     }
 }
@@ -163,6 +187,9 @@ pub struct CheckProgress {
     /// State expansions performed so far (traversal events, not the
     /// deduplicated `actions` stat of the final report).
     pub expansions: u64,
+    /// Sorted runs spilled to disk so far (0 without a
+    /// [`CheckOptions::mem_budget`]).
+    pub spill_runs: u64,
 }
 
 /// Remaining fault budgets along one path.
@@ -233,6 +260,10 @@ pub struct Exploration<'a> {
     /// Canonical first hard oracle violation: `(oracle, detail, vote
     /// plan, path)`, selected the same way. Unshrunk.
     pub violation: Option<(&'static str, String, Vec<bool>, Vec<Step>)>,
+    /// External-memory activity summed over all plans' stores (all zero
+    /// without a `mem_budget`). Reported out of band — never part of the
+    /// rendered report, which stays byte-identical either way.
+    pub spill: SpillStats,
 }
 
 /// The transaction id every checked execution runs under.
@@ -301,12 +332,51 @@ fn violation_bit(oracle: &str) -> u8 {
 /// One dedup entry: the deepest remaining depth the state was expanded
 /// with, plus the edge statistics recomputed at that depth (`stats_depth`
 /// guards against a shallower racing expansion publishing last).
+#[derive(Clone, Copy)]
 struct Entry {
     best: u32,
     stats_depth: u32,
     edges: u32,
     fused: bool,
     cut: bool,
+}
+
+/// Approximate resident cost of one hot `(u128, Entry)` map entry
+/// (key + entry + table overhead), converting
+/// [`CheckOptions::mem_budget`] into a spill trigger.
+const HOT_ENTRY_COST: usize = 64;
+
+/// On-disk payload width of a spilled [`Entry`].
+const ENTRY_BYTES: usize = 16;
+
+fn encode_entry(e: &Entry) -> [u8; ENTRY_BYTES] {
+    let mut b = [0u8; ENTRY_BYTES];
+    b[0..4].copy_from_slice(&e.best.to_le_bytes());
+    b[4..8].copy_from_slice(&e.stats_depth.to_le_bytes());
+    b[8..12].copy_from_slice(&e.edges.to_le_bytes());
+    b[12] = u8::from(e.fused) | (u8::from(e.cut) << 1);
+    b
+}
+
+fn decode_entry(b: &[u8; ENTRY_BYTES]) -> Entry {
+    Entry {
+        best: u32::from_le_bytes(b[0..4].try_into().expect("best")),
+        stats_depth: u32::from_le_bytes(b[4..8].try_into().expect("stats_depth")),
+        edges: u32::from_le_bytes(b[8..12].try_into().expect("edges")),
+        fused: b[12] & 1 != 0,
+        cut: b[12] & 2 != 0,
+    }
+}
+
+/// Merge two spilled copies of the same state: the record expanded at
+/// the deepest `stats_depth` carries the authoritative edge stats (tie →
+/// the newer copy, mirroring the hot tier's `>=` publish guard), and
+/// `best` is the monotone max of both.
+fn combine_entries(older: &[u8; ENTRY_BYTES], newer: &[u8; ENTRY_BYTES]) -> [u8; ENTRY_BYTES] {
+    let (o, n) = (decode_entry(older), decode_entry(newer));
+    let mut r = if n.stats_depth >= o.stats_depth { n } else { o };
+    r.best = o.best.max(n.best);
+    encode_entry(&r)
 }
 
 /// Per-plan stats folded once the plan's last task finishes.
@@ -316,6 +386,9 @@ struct PlanStats {
     edges: u64,
     fused: u64,
     cut: bool,
+    /// External-memory activity of this plan's store (all zero without a
+    /// budget) — out-of-band reporting only.
+    spill: SpillStats,
 }
 
 /// Per-vote-plan shared exploration state. The fingerprint shards are
@@ -324,6 +397,13 @@ struct PlanStats {
 /// the whole plan set.
 struct PlanShared {
     shards: Vec<Mutex<HashMap<u128, Entry>>>,
+    /// The cold tier: sorted run files the hot shards spill into when a
+    /// `mem_budget` is set. Lock order: a spiller holds *all* shard locks
+    /// (ascending) before taking the write lock; a prober holds exactly
+    /// one shard lock before taking the read lock — no cycle is possible,
+    /// and an entry is never in neither tier, so membership (and the
+    /// `inserted` cap counting) stays exact.
+    store: RwLock<RunSet<ENTRY_BYTES>>,
     /// Distinct states inserted (drives the per-plan `max_states` valve).
     inserted: AtomicUsize,
     /// Outstanding tasks of this plan (seeded tasks + donations).
@@ -342,6 +422,7 @@ impl PlanShared {
     fn new(shards: usize) -> Self {
         Self {
             shards: (0..shards).map(|_| Mutex::new(HashMap::new())).collect(),
+            store: RwLock::new(RunSet::new()),
             inserted: AtomicUsize::new(0),
             pending: AtomicUsize::new(0),
             cap_hit: AtomicBool::new(false),
@@ -351,20 +432,58 @@ impl PlanShared {
         }
     }
 
-    /// Sum the shard entries into the final per-plan stats and free the
-    /// maps. Called exactly once, after the plan's last task finished.
-    fn fold(&self) {
+    /// Sum the shard entries — merged against any spilled runs, each
+    /// state counted once with its deepest-expansion stats — into the
+    /// final per-plan stats and free the maps. Called exactly once, after
+    /// the plan's last task finished. `hot_bytes` is the global hot-tier
+    /// gauge to release the drained entries from.
+    fn fold(&self, hot_bytes: &AtomicUsize) {
         let mut stats =
             PlanStats { cut: self.cap_hit.load(Ordering::Acquire), ..Default::default() };
+        let mut tally = |e: &Entry| {
+            stats.distinct += 1;
+            stats.edges += u64::from(e.edges);
+            stats.fused += u64::from(e.fused);
+            stats.cut |= e.cut;
+        };
+        let mut hot: Vec<(u128, Entry)> = Vec::new();
         for shard in &self.shards {
             let map = std::mem::take(&mut *shard.lock().expect("shard poisoned"));
-            for e in map.values() {
-                stats.distinct += 1;
-                stats.edges += u64::from(e.edges);
-                stats.fused += u64::from(e.fused);
-                stats.cut |= e.cut;
+            hot.extend(map);
+        }
+        hot_bytes.fetch_sub(hot.len() * HOT_ENTRY_COST, Ordering::Relaxed);
+        let store = self.store.read().expect("store poisoned");
+        if store.run_count() == 0 {
+            for (_, e) in &hot {
+                tally(e);
+            }
+        } else {
+            // Two-pointer merge of the sorted hot drain against the k-way
+            // merged runs: a state present in both tiers (spilled, then
+            // re-expanded hot) is combined, hot side newest.
+            hot.sort_unstable_by_key(|&(fp, _)| fp);
+            let mut hi = 0usize;
+            store
+                .for_each_merged(combine_entries, |key, payload| {
+                    while hi < hot.len() && hot[hi].0 < key {
+                        tally(&hot[hi].1);
+                        hi += 1;
+                    }
+                    let mut e = decode_entry(&payload);
+                    if hi < hot.len() && hot[hi].0 == key {
+                        let merged = combine_entries(&payload, &encode_entry(&hot[hi].1));
+                        e = decode_entry(&merged);
+                        hi += 1;
+                    }
+                    tally(&e);
+                })
+                .unwrap_or_else(|e| panic!("external-memory fold failed: {e}"));
+            while hi < hot.len() {
+                tally(&hot[hi].1);
+                hi += 1;
             }
         }
+        stats.spill = store.stats();
         *self.folded.lock().expect("fold poisoned") = Some(stats);
     }
 }
@@ -399,6 +518,11 @@ struct Shared<'a> {
     plans_done: AtomicUsize,
     distinct: AtomicUsize,
     expansions: AtomicU64,
+    /// Approximate bytes held by all plans' hot fingerprint tiers — the
+    /// spill trigger (only maintained when a `mem_budget` is set).
+    hot_bytes: AtomicUsize,
+    /// Runs spilled so far, over all plans (progress reporting).
+    spill_runs: AtomicU64,
 }
 
 impl<'a> Shared<'a> {
@@ -407,7 +531,7 @@ impl<'a> Shared<'a> {
     fn finish_task(&self, plan: usize) {
         let ps = &self.plan_shared[plan];
         if ps.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
-            ps.fold();
+            ps.fold(&self.hot_bytes);
             self.plans_done.fetch_add(1, Ordering::Relaxed);
         }
         if self.outstanding.fetch_sub(1, Ordering::AcqRel) == 1 {
@@ -623,6 +747,11 @@ struct Worker<'w, 'a> {
     stepper: Stepper<'a>,
     stack: Vec<Frame<'a>>,
     plan: usize,
+    /// Witnessed-state bitmaps, one per vote plan this worker touched.
+    /// Kept per plan (not merged into the worker's oracles) so a
+    /// state-cap-truncated plan's bitmap can be replaced wholesale by the
+    /// canonical redo's.
+    wit: HashMap<usize, Witnessed>,
 }
 
 impl<'w, 'a> Worker<'w, 'a> {
@@ -632,16 +761,17 @@ impl<'w, 'a> Worker<'w, 'a> {
             stepper: Stepper::new(shared.protocol, shared.analysis),
             stack: Vec::new(),
             plan: 0,
+            wit: HashMap::new(),
         }
     }
 
-    fn run(mut self) -> Oracles<'a> {
+    fn run(mut self) -> HashMap<usize, Witnessed> {
         while let Some(task) = self.next_task() {
             let plan = task.plan;
             self.run_task(task);
             self.shared.finish_task(plan);
         }
-        self.stepper.oracles
+        self.wit
     }
 
     fn next_task(&self) -> Option<Task<'a>> {
@@ -752,11 +882,16 @@ impl<'w, 'a> Worker<'w, 'a> {
         }
     }
 
-    /// Observe one reached state, claim it in the plan's fingerprint map,
-    /// and push its expansion frame if it survived dedup and the caps.
+    /// Observe one reached state, claim it in the plan's fingerprint
+    /// store (hot tier, spilled runs consulted on a hot miss), and push
+    /// its expansion frame if it survived dedup and the caps.
     fn visit(&mut self, runner: Runner<'a>, depth_left: u32, b: Budgets) {
         let ps = &self.shared.plan_shared[self.plan];
-        if let Err((oracle, _detail)) = self.stepper.oracles.observe_state(&runner) {
+        let wit = self
+            .wit
+            .entry(self.plan)
+            .or_insert_with(|| Witnessed::for_protocol(self.shared.protocol));
+        if let Err((oracle, _detail)) = self.stepper.oracles.observe_state_in(wit, &runner) {
             // Violating states are never expanded (and never counted);
             // the canonical search re-derives the witness path.
             self.flag_violation(oracle);
@@ -766,34 +901,68 @@ impl<'w, 'a> Worker<'w, 'a> {
             ps.blocking.store(true, Ordering::Release);
         }
 
+        let budget = self.shared.opts.mem_budget;
         let fp = fingerprint128(&(runner.digest(), b.faults, b.recoveries, b.drops));
         let shard = &ps.shards[(fp as usize) & self.shared.shard_mask];
         {
             let mut map = shard.lock().expect("shard poisoned");
-            let known = match map.get_mut(&fp) {
+            let hot = match map.get(&fp) {
                 Some(e) if e.best >= depth_left => return,
-                Some(e) => Some(e),
-                None => None,
+                Some(_) => true,
+                None => false,
             };
+            // Hot miss with a budget: the entry may have been spilled.
+            // One shard lock + the store read lock — see the lock-order
+            // note on `PlanShared::store`.
+            let mut carried: Option<Entry> = None;
+            if !hot && budget > 0 {
+                let spilled = self.shared.plan_shared[self.plan]
+                    .store
+                    .read()
+                    .expect("store poisoned")
+                    .get(fp)
+                    .unwrap_or_else(|e| panic!("external-memory probe failed: {e}"));
+                if let Some(payload) = spilled {
+                    let e = decode_entry(&payload);
+                    if e.best >= depth_left {
+                        return;
+                    }
+                    carried = Some(e);
+                }
+            }
             if ps.inserted.load(Ordering::Relaxed) >= self.shared.opts.max_states {
                 ps.cap_hit.store(true, Ordering::Release);
                 return;
             }
-            match known {
-                Some(e) => e.best = depth_left,
-                None => {
-                    map.insert(
-                        fp,
-                        Entry {
-                            best: depth_left,
-                            stats_depth: 0,
-                            edges: 0,
-                            fused: false,
-                            cut: false,
-                        },
-                    );
-                    ps.inserted.fetch_add(1, Ordering::Relaxed);
-                    self.shared.distinct.fetch_add(1, Ordering::Relaxed);
+            if hot {
+                map.get_mut(&fp).expect("hot entry just probed").best = depth_left;
+            } else {
+                match carried {
+                    // Deepening a spilled state: bring its record back
+                    // hot (stats carried over; the fold's deepest-wins
+                    // combine resolves the duplicate) without recounting
+                    // it as an insert.
+                    Some(mut e) => {
+                        e.best = depth_left;
+                        map.insert(fp, e);
+                    }
+                    None => {
+                        map.insert(
+                            fp,
+                            Entry {
+                                best: depth_left,
+                                stats_depth: 0,
+                                edges: 0,
+                                fused: false,
+                                cut: false,
+                            },
+                        );
+                        ps.inserted.fetch_add(1, Ordering::Relaxed);
+                        self.shared.distinct.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                if budget > 0 {
+                    self.shared.hot_bytes.fetch_add(HOT_ENTRY_COST, Ordering::Relaxed);
                 }
             }
         }
@@ -824,13 +993,32 @@ impl<'w, 'a> Worker<'w, 'a> {
         });
         {
             let mut map = shard.lock().expect("shard poisoned");
-            let e = map.get_mut(&fp).expect("entry was just claimed");
-            if depth_left >= e.stats_depth {
-                e.stats_depth = depth_left;
-                e.edges = edges;
-                e.fused = fused;
-                e.cut = cut;
+            match map.get_mut(&fp) {
+                Some(e) => {
+                    if depth_left >= e.stats_depth {
+                        e.stats_depth = depth_left;
+                        e.edges = edges;
+                        e.fused = fused;
+                        e.cut = cut;
+                    }
+                }
+                // The claimed entry was spilled between the two critical
+                // sections: publish the stats as a fresh hot record — the
+                // fold's deepest-wins combine merges it with the spilled
+                // copy, exactly like the in-RAM `>=` guard would have.
+                None => {
+                    map.insert(
+                        fp,
+                        Entry { best: depth_left, stats_depth: depth_left, edges, fused, cut },
+                    );
+                    if budget > 0 {
+                        self.shared.hot_bytes.fetch_add(HOT_ENTRY_COST, Ordering::Relaxed);
+                    }
+                }
             }
+        }
+        if budget > 0 && self.shared.hot_bytes.load(Ordering::Relaxed) > budget {
+            self.spill_plan();
         }
         self.progress_tick();
         if !actions.is_empty() {
@@ -845,6 +1033,31 @@ impl<'w, 'a> Worker<'w, 'a> {
         }
     }
 
+    /// Drain the current plan's hot shards into one sorted run. All shard
+    /// locks are taken in index order before the store write lock (see
+    /// the lock-order note on `PlanShared::store`); racing spillers
+    /// serialize here and the loser finds the shards already empty.
+    fn spill_plan(&self) {
+        let ps = &self.shared.plan_shared[self.plan];
+        let mut guards: Vec<_> =
+            ps.shards.iter().map(|s| s.lock().expect("shard poisoned")).collect();
+        let mut entries: Vec<(u128, [u8; ENTRY_BYTES])> = Vec::new();
+        for g in &mut guards {
+            entries.extend(g.drain().map(|(fp, e)| (fp, encode_entry(&e))));
+        }
+        if entries.is_empty() {
+            return;
+        }
+        let freed = entries.len() * HOT_ENTRY_COST;
+        ps.store
+            .write()
+            .expect("store poisoned")
+            .spill(entries, combine_entries)
+            .unwrap_or_else(|e| panic!("external-memory spill failed: {e}"));
+        self.shared.hot_bytes.fetch_sub(freed, Ordering::Relaxed);
+        self.shared.spill_runs.fetch_add(1, Ordering::Relaxed);
+    }
+
     fn progress_tick(&self) {
         let e = self.shared.expansions.fetch_add(1, Ordering::Relaxed) + 1;
         if e.is_multiple_of(1 << 16) {
@@ -854,6 +1067,7 @@ impl<'w, 'a> Worker<'w, 'a> {
                     plans_total: self.shared.plan_shared.len(),
                     distinct_states: self.shared.distinct.load(Ordering::Relaxed),
                     expansions: e,
+                    spill_runs: self.shared.spill_runs.load(Ordering::Relaxed),
                 });
             }
         }
@@ -991,6 +1205,158 @@ fn canonical_witness<'a>(
 }
 
 // ---------------------------------------------------------------------
+// Phase 1b: canonical redo of state-cap-truncated plans
+// ---------------------------------------------------------------------
+
+/// Serial canonical-order re-exploration of one vote plan under the same
+/// `max_states` cap — the deterministic replacement for a plan whose
+/// parallel sweep tripped (or filled) the cap. Mirrors `Worker::visit`
+/// exactly (prune → cap → insert/update, stats at the deepest
+/// expansion, violating states never expanded) minus the sharing and
+/// minus the seed rotation, so its results depend only on (protocol,
+/// options) — never on thread count or seed. The dedup map is held in
+/// RAM: it is bounded by `max_states` entries, the same bound the sweep's
+/// hot+cold tiers enforced together.
+struct Redo<'a> {
+    stepper: Stepper<'a>,
+    map: HashMap<u128, Entry>,
+    stack: Vec<Frame<'a>>,
+    max_states: usize,
+    cap_hit: bool,
+    violated: u8,
+    blocking: bool,
+    wit: Witnessed,
+}
+
+impl<'a> Redo<'a> {
+    fn visit(&mut self, runner: Runner<'a>, depth_left: u32, b: Budgets) {
+        if let Err((oracle, _detail)) =
+            self.stepper.oracles.observe_state_in(&mut self.wit, &runner)
+        {
+            self.violated |= violation_bit(oracle);
+            return;
+        }
+        if runner.net_quiescent() && !Oracles::blocked_sites(&runner).is_empty() {
+            self.blocking = true;
+        }
+        let fp = fingerprint128(&(runner.digest(), b.faults, b.recoveries, b.drops));
+        let known = match self.map.get(&fp) {
+            Some(e) if e.best >= depth_left => return,
+            Some(_) => true,
+            None => false,
+        };
+        if self.map.len() >= self.max_states {
+            self.cap_hit = true;
+            return;
+        }
+        if known {
+            self.map.get_mut(&fp).expect("entry just probed").best = depth_left;
+        } else {
+            self.map.insert(
+                fp,
+                Entry { best: depth_left, stats_depth: 0, edges: 0, fused: false, cut: false },
+            );
+        }
+        // Canonical enumeration order — deliberately no seed rotation, so
+        // a truncated report is also independent of `--seed`.
+        let mut actions = self.stepper.enumerate(&runner, b);
+        let mut edges = 0u32;
+        let mut fused = false;
+        let mut cut = false;
+        actions.retain(|a| {
+            if a.cost() <= depth_left {
+                edges += 1;
+                fused |= matches!(a, Action::Fuse(_));
+                true
+            } else {
+                cut = true;
+                false
+            }
+        });
+        let e = self.map.get_mut(&fp).expect("entry just claimed");
+        if depth_left >= e.stats_depth {
+            e.stats_depth = depth_left;
+            e.edges = edges;
+            e.fused = fused;
+            e.cut = cut;
+        }
+        if !actions.is_empty() {
+            self.stack.push(Frame {
+                mark: self.stepper.path.len(),
+                runner,
+                depth_left,
+                budgets: b,
+                actions,
+                next: 0,
+            });
+        }
+    }
+
+    fn drain(&mut self) {
+        loop {
+            let step = {
+                let Some(f) = self.stack.last_mut() else { break };
+                if f.next >= f.actions.len() {
+                    None
+                } else {
+                    self.stepper.path.truncate(f.mark);
+                    let action = f.actions[f.next].clone();
+                    f.next += 1;
+                    Some((action, f.depth_left, f.budgets, f.runner.clone()))
+                }
+            };
+            match step {
+                None => {
+                    let f = self.stack.pop().expect("checked non-empty");
+                    self.stepper.path.truncate(f.mark);
+                }
+                Some((action, depth_left, budgets, mut next)) => {
+                    let cost = action.cost();
+                    match self.stepper.apply(&mut next, &action, budgets) {
+                        Err(_) => self.violated |= V_RECOVERY,
+                        Ok(b2) => self.visit(next, depth_left - cost, b2),
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Run the canonical capped sweep for one plan, returning its
+/// deterministic `(stats, violated bits, blocking flag, witnessed
+/// bitmap)` — everything the parallel sweep produced
+/// scheduling-dependently once the cap was in play.
+fn canonical_capped_sweep<'a>(
+    protocol: &'a Protocol,
+    analysis: &'a Analysis,
+    opts: &CheckOptions,
+    votes: &[bool],
+) -> (PlanStats, u8, bool, Witnessed) {
+    let budgets = Budgets { faults: opts.faults, recoveries: opts.recoveries, drops: opts.drops };
+    let root = Runner::new(protocol, analysis, plan_config(protocol.n_sites(), votes, opts.rule));
+    let mut redo = Redo {
+        stepper: Stepper::new(protocol, analysis),
+        map: HashMap::new(),
+        stack: Vec::new(),
+        max_states: opts.max_states,
+        cap_hit: false,
+        violated: 0,
+        blocking: false,
+        wit: Witnessed::for_protocol(protocol),
+    };
+    redo.visit(root, opts.depth, budgets);
+    redo.drain();
+    let mut stats = PlanStats { cut: redo.cap_hit, ..Default::default() };
+    for e in redo.map.values() {
+        stats.distinct += 1;
+        stats.edges += u64::from(e.edges);
+        stats.fused += u64::from(e.fused);
+        stats.cut |= e.cut;
+    }
+    (stats, redo.violated, redo.blocking, redo.wit)
+}
+
+// ---------------------------------------------------------------------
 // Entry point
 // ---------------------------------------------------------------------
 
@@ -1035,6 +1401,8 @@ pub fn explore<'a>(
         plans_done: AtomicUsize::new(0),
         distinct: AtomicUsize::new(0),
         expansions: AtomicU64::new(0),
+        hot_bytes: AtomicUsize::new(0),
+        spill_runs: AtomicU64::new(0),
     };
     let budgets = Budgets { faults: opts.faults, recoveries: opts.recoveries, drops: opts.drops };
 
@@ -1068,7 +1436,7 @@ pub fn explore<'a>(
                 // Root is terminal (or violating): the plan is already
                 // fully explored.
                 None => {
-                    shared.plan_shared[idx].fold();
+                    shared.plan_shared[idx].fold(&shared.hot_bytes);
                     shared.plans_done.fetch_add(1, Ordering::Relaxed);
                 }
             }
@@ -1079,25 +1447,69 @@ pub fn explore<'a>(
             shared.done.store(true, Ordering::Release);
         }
     }
+    let seeder_wit = seeder.wit;
     let mut oracles = seeder.stepper.oracles;
 
-    let worker_oracles: Vec<Oracles<'a>> = std::thread::scope(|s| {
+    let worker_wits: Vec<HashMap<usize, Witnessed>> = std::thread::scope(|s| {
         let handles: Vec<_> =
             (0..threads).map(|_| s.spawn(|| Worker::new(&shared).run())).collect();
         handles.into_iter().map(|h| h.join().expect("explorer worker panicked")).collect()
     });
-    for o in &worker_oracles {
-        oracles.merge(o);
+
+    // Per-plan witnessed bitmaps: the seeder's and every worker's
+    // contributions, OR'd (order-independent).
+    let mut plan_wit: Vec<Witnessed> =
+        plans.iter().map(|_| Witnessed::for_protocol(protocol)).collect();
+    for (idx, w) in &seeder_wit {
+        plan_wit[*idx].merge(w);
+    }
+    for m in &worker_wits {
+        for (idx, w) in m {
+            plan_wit[*idx].merge(w);
+        }
+    }
+
+    // Phase 1b: every plan within the state cap's reach is redone
+    // serially in canonical order, and its scheduling-dependent results
+    // (stats, violated/blocking flags, witnessed bitmap) are replaced
+    // wholesale. The trigger — the plan's fixpoint holds at least
+    // `max_states` states — is a property of (protocol, options), not of
+    // the schedule, so *whether* a redo runs is itself deterministic:
+    // `cap_hit` covers every schedule that tripped the cap, and the
+    // `inserted` test covers the knife-edge fixpoint == max_states
+    // schedules that filled the map without tripping it.
+    for (idx, ps) in shared.plan_shared.iter().enumerate() {
+        let capped = ps.cap_hit.load(Ordering::Acquire)
+            || ps.inserted.load(Ordering::Acquire) >= opts.max_states;
+        if !capped {
+            continue;
+        }
+        let (redo_stats, violated, blocking, wit) =
+            canonical_capped_sweep(protocol, analysis, opts, &plans[idx]);
+        let mut folded = ps.folded.lock().expect("fold poisoned");
+        let spill = folded.take().expect("plan not folded").spill;
+        *folded = Some(PlanStats { spill, ..redo_stats });
+        ps.violated.store(violated, Ordering::Release);
+        ps.blocking.store(blocking, Ordering::Release);
+        plan_wit[idx] = wit;
+    }
+
+    for w in &plan_wit {
+        oracles.absorb(w);
     }
 
     // Assemble the order-independent stats from the per-plan folds.
     let mut stats = ExploreStats { plans: plans.len(), ..ExploreStats::default() };
+    let mut spill = SpillStats::default();
     for ps in &shared.plan_shared {
         let folded = ps.folded.lock().expect("fold poisoned").take().expect("plan not folded");
         stats.distinct_states += folded.distinct;
         stats.actions += folded.edges;
         stats.fused += folded.fused;
         stats.truncated |= folded.cut;
+        spill.runs_written += folded.spill.runs_written;
+        spill.bytes_written += folded.spill.bytes_written;
+        spill.merge_passes += folded.spill.merge_passes;
     }
 
     // Phase 2: canonical witnesses for the least flagged plans.
@@ -1107,8 +1519,10 @@ pub fn explore<'a>(
                 let votes = plans[idx].clone();
                 match canonical_witness(protocol, analysis, opts, &votes, Target::Violation) {
                     Some((oracle, detail, path)) => (oracle, detail, votes, path),
-                    // Only reachable when the state cap truncated the sweep:
-                    // an uncapped sweep's visited set equals this search's.
+                    // Defensive: an uncapped sweep's visited set equals this
+                    // search's, and a capped plan's flags come from the
+                    // canonical redo, whose traversal this search repeats —
+                    // so a flagged plan always yields a witness here.
                     None => {
                         let bits = shared.plan_shared[idx].violated.load(Ordering::Acquire);
                         let oracle = if bits & V_CONSISTENCY != 0 {
@@ -1135,5 +1549,5 @@ pub fn explore<'a>(
             },
         );
 
-    Exploration { oracles, stats, blocking_witness, violation }
+    Exploration { oracles, stats, blocking_witness, violation, spill }
 }

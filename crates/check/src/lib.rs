@@ -23,10 +23,12 @@
 //! re-executes byte-for-byte. The whole pipeline is deterministic: the
 //! same protocol and options produce the same report, byte for byte, *at
 //! any thread count and any traversal seed* — the parallel sweep only
-//! flags order-independent facts, and concrete witnesses come from a
-//! serial canonical-order search (see [`explore`]). The sole exception is
-//! a `--max-states`-truncated run, whose counts depend on which states
-//! fell inside the cap.
+//! flags order-independent facts, concrete witnesses come from a serial
+//! canonical-order search, and a `--max-states`-truncated plan is redone
+//! by that same canonical traversal so even truncated counts are
+//! schedule-independent (see [`explore`]). Setting a
+//! [`mem_budget`](CheckOptions::mem_budget) spills the fingerprint store
+//! to sorted disk runs without changing a byte of the report either.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -36,7 +38,9 @@ pub mod oracle;
 pub mod schedule;
 pub mod shrink;
 
-use nbc_core::{resilience, theorem, Analysis, Protocol, ProtocolError, SiteId, StateId};
+use nbc_core::{
+    resilience, theorem, Analysis, Protocol, ProtocolError, SiteId, SpillStats, StateId,
+};
 use nbc_engine::{Runner, TerminationRule};
 
 pub use explore::{CheckOptions, CheckProgress, ExploreStats, CHECK_TXN};
@@ -113,6 +117,12 @@ pub struct CheckReport {
     pub blocking_witness: Option<Schedule>,
     /// All oracle failures (empty for a fully passing check).
     pub failures: Vec<OracleFailure>,
+    /// External-memory activity of the fingerprint stores (all zero when
+    /// no [`CheckOptions::mem_budget`] is set). Deliberately excluded
+    /// from [`CheckReport::render`] and [`CheckReport::to_json`] so those
+    /// stay byte-identical with and without a budget; the CLI reports it
+    /// on stderr instead.
+    pub spill: SpillStats,
 }
 
 impl CheckReport {
@@ -436,5 +446,6 @@ pub fn run_check(protocol: &Protocol, options: CheckOptions) -> Result<CheckRepo
         prediction_complete,
         blocking_witness,
         failures,
+        spill: exploration.spill,
     })
 }

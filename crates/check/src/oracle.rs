@@ -39,27 +39,65 @@ use nbc_engine::Runner;
 use nbc_storage::recovery::{class_codes, summarize, TxnOutcome};
 use nbc_storage::Wal;
 
+/// A witnessed-state bitmap: `0[i][s]` means site `i` occupied local
+/// state `s` in some explored execution (union of the runners' visited
+/// monitors). Kept separate from [`Oracles`] so the parallel explorer can
+/// accumulate one bitmap *per vote plan* and replace a state-cap-truncated
+/// plan's bitmap wholesale with the canonical redo's — the merged union
+/// stays deterministic even when the sweep's coverage was not.
+#[derive(Default, Clone)]
+pub struct Witnessed(Vec<Vec<bool>>);
+
+impl Witnessed {
+    /// An all-false bitmap sized for `protocol`.
+    pub fn for_protocol(protocol: &Protocol) -> Self {
+        Self(protocol.fsas().iter().map(|f| vec![false; f.state_count()]).collect())
+    }
+
+    /// OR `other` into this bitmap (commutative, associative, idempotent —
+    /// merge order cannot change the result).
+    pub fn merge(&mut self, other: &Witnessed) {
+        for (mine, theirs) in self.0.iter_mut().zip(&other.0) {
+            for (m, &t) in mine.iter_mut().zip(theirs) {
+                *m |= t;
+            }
+        }
+    }
+}
+
 /// Accumulated oracle state across one whole exploration (all vote plans).
 pub struct Oracles<'a> {
     protocol: &'a Protocol,
     analysis: &'a Analysis,
     txn: u64,
-    /// `witnessed[i][s]`: site `i` occupied local state `s` in some
-    /// explored execution (union of the runners' visited monitors).
-    witnessed: Vec<Vec<bool>>,
+    /// Union of every explored execution's visited monitors.
+    witnessed: Witnessed,
 }
 
 impl<'a> Oracles<'a> {
     /// Fresh oracle accumulators for `protocol` / `analysis`.
     pub fn new(protocol: &'a Protocol, analysis: &'a Analysis, txn: u64) -> Self {
-        let witnessed = protocol.fsas().iter().map(|f| vec![false; f.state_count()]).collect();
-        Self { protocol, analysis, txn, witnessed }
+        Self { protocol, analysis, txn, witnessed: Witnessed::for_protocol(protocol) }
     }
 
     /// Fold one explored global state into the accumulators and check the
     /// per-state oracles (consistency, prediction soundness). Returns the
     /// first violation found, as `(oracle, detail)`.
     pub fn observe_state(&mut self, runner: &Runner<'_>) -> Result<(), (&'static str, String)> {
+        let mut w = std::mem::take(&mut self.witnessed);
+        let r = self.observe_state_in(&mut w, runner);
+        self.witnessed = w;
+        r
+    }
+
+    /// [`Oracles::observe_state`], but recording the visited monitors into
+    /// a caller-held bitmap instead of this accumulator's own — the
+    /// per-vote-plan path of the parallel explorer.
+    pub fn observe_state_in(
+        &self,
+        witnessed: &mut Witnessed,
+        runner: &Runner<'_>,
+    ) -> Result<(), (&'static str, String)> {
         let mut commit: Option<usize> = None;
         let mut abort: Option<usize> = None;
         for (i, s) in runner.sites().iter().enumerate() {
@@ -70,7 +108,7 @@ impl<'a> Oracles<'a> {
             }
             for (state, &seen) in s.visited.iter().enumerate() {
                 if seen {
-                    self.witnessed[i][state] = true;
+                    witnessed.0[i][state] = true;
                     if !self.analysis.occupied(SiteId(i as u32), StateId(state as u32)) {
                         let name =
                             &self.protocol.fsa(SiteId(i as u32)).state(StateId(state as u32)).name;
@@ -211,15 +249,16 @@ impl<'a> Oracles<'a> {
     }
 
     /// OR another walker's witnessed-state bitmap into this one. The
-    /// parallel explorer gives each worker thread its own accumulator and
-    /// merges them after the sweep; the union is order-independent, so
-    /// the merged bitmap is identical at any thread count.
+    /// union is order-independent, so the merged bitmap is identical at
+    /// any thread count.
     pub fn merge(&mut self, other: &Oracles<'_>) {
-        for (mine, theirs) in self.witnessed.iter_mut().zip(&other.witnessed) {
-            for (m, &t) in mine.iter_mut().zip(theirs) {
-                *m |= t;
-            }
-        }
+        self.witnessed.merge(&other.witnessed);
+    }
+
+    /// OR a standalone [`Witnessed`] bitmap (a per-plan accumulator from
+    /// the parallel sweep or the canonical redo) into this one.
+    pub fn absorb(&mut self, witnessed: &Witnessed) {
+        self.witnessed.merge(witnessed);
     }
 
     /// Analytically occupied `(site, state)` slots never witnessed by any
@@ -232,7 +271,7 @@ impl<'a> Oracles<'a> {
         for (i, fsa) in self.protocol.fsas().iter().enumerate() {
             for s in 0..fsa.state_count() {
                 let (site, state) = (SiteId(i as u32), StateId(s as u32));
-                if self.analysis.occupied(site, state) && !self.witnessed[i][s] {
+                if self.analysis.occupied(site, state) && !self.witnessed.0[i][s] {
                     out.push((site, state));
                 }
             }

@@ -130,12 +130,48 @@ pub fn build_analysis(
     threads: usize,
     stream: bool,
     progress: bool,
+    mem_budget: usize,
 ) -> Result<Analysis, CliError> {
-    let mut opts = ReachOptions::default().with_threads(threads).with_streaming(stream);
+    let mut opts = ReachOptions::default()
+        .with_threads(threads)
+        .with_streaming(stream)
+        .with_mem_budget(mem_budget);
     if progress {
         opts = opts.with_progress(print_progress);
     }
-    Analysis::build_with(protocol, opts).map_err(|e| CliError(e.to_string()))
+    let analysis = Analysis::build_with(protocol, opts).map_err(|e| CliError(e.to_string()))?;
+    if mem_budget > 0 {
+        if let Some(st) = analysis.stream_stats() {
+            let s = st.spill;
+            eprintln!(
+                "{}",
+                nbc_obs::progress::spill_line(
+                    "reach",
+                    s.runs_written,
+                    s.bytes_written,
+                    s.merge_passes
+                )
+            );
+        }
+    }
+    Ok(analysis)
+}
+
+/// Parse a `--mem-budget` byte count: plain digits with an optional
+/// case-insensitive `K`/`M`/`G` suffix (KiB/MiB/GiB multipliers).
+pub fn parse_mem_budget(s: &str, flag: &str) -> Result<usize, CliError> {
+    let (digits, mult) = match s.as_bytes().last() {
+        Some(b'k') | Some(b'K') => (&s[..s.len() - 1], 1usize << 10),
+        Some(b'm') | Some(b'M') => (&s[..s.len() - 1], 1usize << 20),
+        Some(b'g') | Some(b'G') => (&s[..s.len() - 1], 1usize << 30),
+        _ => (s, 1usize),
+    };
+    let value: usize = digits
+        .parse()
+        .map_err(|_| CliError(format!("bad {flag} value {s:?} (want BYTES, 64K, 16M, 1G)")))?;
+    value
+        .checked_mul(mult)
+        .ok_or_else(|| CliError(format!("{flag} value {s:?} overflows a byte count")))
 }
 
 /// The `--progress` hook: one stderr line per completed BFS level, with a
@@ -160,8 +196,13 @@ fn print_check_progress(p: &CheckProgress) {
         Some(r) => format!(" ({r:.0} expansions/s)"),
         None => String::new(),
     };
+    let spill = if p.spill_runs > 0 {
+        format!("  spilled {:>4} runs", p.spill_runs)
+    } else {
+        String::new()
+    };
     eprintln!(
-        "plans {:>3}/{:<3}  distinct {:>9}  expansions {:>10}{rate}",
+        "plans {:>3}/{:<3}  distinct {:>9}  expansions {:>10}{spill}{rate}",
         p.plans_done, p.plans_total, p.distinct_states, p.expansions
     );
 }
@@ -545,6 +586,9 @@ pub fn cmd_check(args: &[String]) -> Result<CheckRun, CliError> {
             "--seed" => opts.seed = Some(parse_num(&val(args, &mut i)?, "--seed")?),
             "--threads" => opts.threads = parse_num(&val(args, &mut i)?, "--threads")?,
             "--max-states" => opts.max_states = parse_num(&val(args, &mut i)?, "--max-states")?,
+            "--mem-budget" => {
+                opts.mem_budget = parse_mem_budget(&val(args, &mut i)?, "--mem-budget")?
+            }
             "--rule" => opts.rule = parse_rule_arg(&val(args, &mut i)?)?,
             "--votes" => opts.vote_plan = Some(parse_votes_arg(&val(args, &mut i)?)?),
             "--json" => json = true,
@@ -565,7 +609,17 @@ pub fn cmd_check(args: &[String]) -> Result<CheckRun, CliError> {
             ));
         }
     }
+    let budgeted = opts.mem_budget > 0;
     let report = nbc_check::run_check(&protocol, opts).map_err(|e| CliError(e.to_string()))?;
+    // Spill stats go to stderr only: the rendered report and JSON stay
+    // byte-identical with and without a budget.
+    if budgeted {
+        let s = report.spill;
+        eprintln!(
+            "{}",
+            nbc_obs::progress::spill_line("check", s.runs_written, s.bytes_written, s.merge_passes)
+        );
+    }
     if let Some(path) = cx_path {
         let sched = report
             .failures
@@ -617,7 +671,7 @@ pub fn cmd_check(args: &[String]) -> Result<CheckRun, CliError> {
 /// delays (the latest decision latency under the constant-1 lockstep
 /// clock) per committed transaction.
 fn measured_cost(protocol: &Protocol) -> Result<(nbc_paxos::CostRow, Metrics), CliError> {
-    let analysis = build_analysis(protocol, 0, false, false)?;
+    let analysis = build_analysis(protocol, 0, false, false, 0)?;
     let cfg = RunConfig::happy(protocol.n_sites());
     let events = SharedSink::new(MemorySink::default());
     let metrics = SharedSink::new(Metrics::default());
@@ -1101,6 +1155,19 @@ mod tests {
     use super::*;
 
     #[test]
+    fn mem_budget_parses_suffixes() {
+        assert_eq!(parse_mem_budget("4096", "--mem-budget").unwrap(), 4096);
+        assert_eq!(parse_mem_budget("64K", "--mem-budget").unwrap(), 64 << 10);
+        assert_eq!(parse_mem_budget("64k", "--mem-budget").unwrap(), 64 << 10);
+        assert_eq!(parse_mem_budget("16M", "--mem-budget").unwrap(), 16 << 20);
+        assert_eq!(parse_mem_budget("1g", "--mem-budget").unwrap(), 1 << 30);
+        assert!(parse_mem_budget("", "--mem-budget").is_err());
+        assert!(parse_mem_budget("K", "--mem-budget").is_err());
+        assert!(parse_mem_budget("12Q", "--mem-budget").is_err());
+        assert!(parse_mem_budget("999999999999999999G", "--mem-budget").is_err());
+    }
+
+    #[test]
     fn resolve_catalog_names() {
         assert_eq!(resolve_protocol("3pc", 3).unwrap().phase_count(), 3);
         assert_eq!(resolve_protocol("d2pc", 4).unwrap().n_sites(), 4);
@@ -1111,7 +1178,7 @@ mod tests {
     }
 
     fn retained(p: &Protocol) -> Analysis {
-        build_analysis(p, 0, false, false).unwrap()
+        build_analysis(p, 0, false, false, 0).unwrap()
     }
 
     #[test]
@@ -1126,10 +1193,20 @@ mod tests {
     }
 
     #[test]
+    fn budgeted_streamed_analyze_is_byte_identical() {
+        // A 1-byte budget forces a spill after every level; the rendered
+        // analysis must not change by a byte.
+        let p = resolve_protocol("3pc", 3).unwrap();
+        let unlimited = cmd_analyze(&p, &build_analysis(&p, 2, true, false, 0).unwrap()).unwrap();
+        let budgeted = cmd_analyze(&p, &build_analysis(&p, 2, true, false, 1).unwrap()).unwrap();
+        assert_eq!(unlimited, budgeted);
+    }
+
+    #[test]
     fn streamed_analyze_matches_retained_verdicts() {
         for (name, verdict) in [("2pc", "BLOCKING"), ("3pc", "NONBLOCKING")] {
             let p = resolve_protocol(name, 3).unwrap();
-            let streamed = build_analysis(&p, 2, true, false).unwrap();
+            let streamed = build_analysis(&p, 2, true, false, 0).unwrap();
             let out = cmd_analyze(&p, &streamed).unwrap();
             assert!(out.contains(verdict), "{name}: {out}");
             assert!(out.contains("streamed analysis:"), "{name}: {out}");
@@ -1152,7 +1229,7 @@ mod tests {
     #[test]
     fn verify_rejects_streamed_analysis() {
         let p = resolve_protocol("3pc", 3).unwrap();
-        let streamed = build_analysis(&p, 0, true, false).unwrap();
+        let streamed = build_analysis(&p, 0, true, false, 0).unwrap();
         let err = cmd_verify(&p, &streamed).unwrap_err();
         assert!(err.0.contains("--stream"), "{err}");
     }
@@ -1233,7 +1310,7 @@ mod tests {
         let a = retained(&p);
         let o = SimOpts::default();
         for threads in [1, 2, 4] {
-            let s = build_analysis(&p, threads, true, false).unwrap();
+            let s = build_analysis(&p, threads, true, false, 0).unwrap();
             assert_eq!(cmd_termination(&p, &a, &o).unwrap(), cmd_termination(&p, &s, &o).unwrap());
             assert_eq!(cmd_recovery(&p, &a, &o).unwrap(), cmd_recovery(&p, &s, &o).unwrap());
         }

@@ -8,10 +8,10 @@ nbc — nonblocking commit protocols (Skeen, SIGMOD 1981)
 
 USAGE:
   nbc list
-  nbc analyze     PROTO [-n N] [--threads T] [--stream] [--progress]
+  nbc analyze     PROTO [-n N] [--threads T] [--stream] [--mem-budget B] [--progress]
   nbc verify      PROTO [-n N] [--threads T] [--progress]
   nbc graph       PROTO [-n N] [--dot] [--threads T] [--progress]
-  nbc synthesize  PROTO [-n N] [--threads T] [--stream] [--progress]
+  nbc synthesize  PROTO [-n N] [--threads T] [--stream] [--mem-budget B] [--progress]
   nbc simulate    PROTO [-n N] [--threads T] [--stream]
                   [--crash SITE:ORDINAL:MSGS] [--recover T]
                   [--no-voter K]... [--rule skeen|cooperative|naive|quorum]
@@ -21,8 +21,8 @@ USAGE:
   nbc check       PROTO [-n N] [--depth D] [--faults F] [--recoveries R]
                   [--drops K] [--seed S] [--threads T] [--progress]
                   [--rule skeen|cooperative|naive|quorum]
-                  [--votes yyn] [--max-states M] [--counterexample FILE]
-                  [--trace] [--json]
+                  [--votes yyn] [--max-states M] [--mem-budget B]
+                  [--counterexample FILE] [--trace] [--json]
   nbc sweep       PROTO [-n N] [--threads T] [--stream] [--recover T] [--rule ...]
                   [--trace PATH] [--trace-format jsonl|chrome] [--metrics] [--json]
   nbc termination PROTO [-n N] [--threads T] [--stream]
@@ -46,6 +46,10 @@ graph — lower memory, but graph consumers (`verify`, `--dot`) need the
 retaining default.
 --progress: per-level BFS progress (frontier, new states, dedup hits,
 states/sec) on stderr while the analysis builds.
+--mem-budget B: cap the in-RAM dedup store at B bytes (64K, 16M, 1G, or
+plain bytes), spilling sorted runs to temp files past it. Results are
+byte-identical with or without a budget; spill stats print on stderr.
+For analyze/synthesize it applies to the --stream reachability fold.
 --story: print the run's human-readable execution trace.
 --trace PATH: write the structured event trace to PATH; --trace-format
 picks JSONL (one event object per line, the default) or Chrome
@@ -123,6 +127,7 @@ fn run(args: &[String]) -> Result<String, CliError> {
     let mut threads = 0usize; // 0 = auto
     let mut stream = false;
     let mut progress = false;
+    let mut mem_budget = 0usize;
     let mut opts = SimOpts::default();
     let mut i = 2;
     while i < args.len() {
@@ -137,6 +142,9 @@ fn run(args: &[String]) -> Result<String, CliError> {
                 threads = next_val(args, &mut i)?
                     .parse()
                     .map_err(|_| CliError("bad --threads value".into()))?
+            }
+            "--mem-budget" => {
+                mem_budget = parse_mem_budget(&next_val(args, &mut i)?, "--mem-budget")?
             }
             "--story" => opts.trace = true,
             "--schedule" => opts.schedule = Some(next_val(args, &mut i)?),
@@ -183,7 +191,7 @@ fn run(args: &[String]) -> Result<String, CliError> {
 
     // Every remaining command consumes the analysis; build it once and
     // share it across the theorem/resilience/termination/report subpaths.
-    let analysis = build_analysis(&protocol, threads, stream, progress)?;
+    let analysis = build_analysis(&protocol, threads, stream, progress, mem_budget)?;
     match cmd.as_str() {
         "analyze" => cmd_analyze(&protocol, &analysis),
         "verify" => cmd_verify(&protocol, &analysis),

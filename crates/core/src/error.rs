@@ -52,6 +52,10 @@ pub enum ProtocolError {
     /// unchecked increment would silently wrap to 0 and corrupt the
     /// multiset.
     MsgOverflow { src: SiteId, dst: SiteId, kind: crate::ids::MsgKind },
+    /// An external-memory spill or lookup failed at the I/O layer (disk
+    /// full, temp dir unwritable). Carries the underlying error text —
+    /// a `String` so the variant stays `Eq` like the rest.
+    SpillIo { detail: String },
 }
 
 impl fmt::Display for ProtocolError {
@@ -111,6 +115,9 @@ impl fmt::Display for ProtocolError {
                      (more than {} identical messages)",
                     u16::MAX
                 )
+            }
+            Self::SpillIo { detail } => {
+                write!(f, "external-memory spill I/O failed: {detail}")
             }
         }
     }

@@ -55,8 +55,10 @@
 
 pub mod analysis;
 pub mod canonical;
+pub mod codec;
 pub mod dot;
 pub mod error;
+pub mod extmem;
 mod facts;
 pub mod fsa;
 pub mod ids;
@@ -73,7 +75,9 @@ pub mod theorem;
 pub mod verify;
 
 pub use analysis::Analysis;
+pub use codec::{PackedArena, StateCodec};
 pub use error::ProtocolError;
+pub use extmem::{RunSet, SpillStats};
 pub use fsa::{Consume, Envelope, Fsa, FsaBuilder, StateClass, StateInfo, Transition, Vote};
 pub use ids::{MsgKind, SiteId, StateId};
 pub use protocol::{InitialMsg, Paradigm, Protocol};

@@ -42,7 +42,9 @@ use std::fmt;
 use std::hash::{Hash, Hasher};
 use std::ops::Range;
 
+use crate::codec::{PackedArena, StateCodec};
 use crate::error::ProtocolError;
+use crate::extmem::{RunSet, SpillStats};
 use crate::fsa::{Consume, StateClass};
 use crate::ids::{MsgKind, SiteId, StateId};
 use crate::protocol::Protocol;
@@ -142,6 +144,20 @@ impl Msgs {
     pub fn iter(&self) -> impl Iterator<Item = (MsgAddr, u16)> + '_ {
         self.0.iter().copied()
     }
+
+    /// Number of distinct addresses with outstanding messages.
+    pub fn distinct_addrs(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Rebuild from `(address, count)` pairs already sorted by address
+    /// with strictly positive counts — the codec's decode path, which
+    /// reconstructs counts wholesale instead of `add`ing one at a time.
+    pub(crate) fn from_sorted_counts(v: Vec<(MsgAddr, u16)>) -> Self {
+        debug_assert!(v.windows(2).all(|w| w[0].0 < w[1].0), "addresses must be sorted");
+        debug_assert!(v.iter().all(|&(_, c)| c > 0), "counts must be positive");
+        Self(v)
+    }
 }
 
 /// One global transaction state.
@@ -221,6 +237,16 @@ pub struct ReachOptions {
     /// snapshot. A plain `fn` pointer (not a closure) so the options stay
     /// `Copy`; `None` (the default) costs nothing.
     pub progress: Option<fn(&LevelProgress)>,
+    /// Approximate byte budget for the streaming fold's retired-level
+    /// fingerprint set. `0` (the default) keeps everything in RAM; any
+    /// other value makes the fold spill the hot set to sorted temp-file
+    /// runs ([`crate::extmem`]) whenever it outgrows the budget, answering
+    /// membership at each level barrier by one batched merge pass. Every
+    /// deterministic output — fold results, [`StreamStats`] counts,
+    /// [`LevelProgress`] snapshots — is byte-identical to the unlimited
+    /// path; only [`StreamStats::spill`] differs. Ignored by the retaining
+    /// graph builders, which must hold every node anyway.
+    pub mem_budget: usize,
 }
 
 impl Default for ReachOptions {
@@ -231,6 +257,7 @@ impl Default for ReachOptions {
             parallel_frontier_min: 512,
             stream: false,
             progress: None,
+            mem_budget: 0,
         }
     }
 }
@@ -251,6 +278,12 @@ impl ReachOptions {
     /// Same options with a per-level progress hook installed.
     pub fn with_progress(mut self, hook: fn(&LevelProgress)) -> Self {
         self.progress = Some(hook);
+        self
+    }
+
+    /// Same options with a spill byte budget for the streaming fold.
+    pub fn with_mem_budget(mut self, bytes: usize) -> Self {
+        self.mem_budget = bytes;
         self
     }
 
@@ -847,6 +880,11 @@ pub struct StreamStats {
     /// prior levels' fingerprints — the streaming analogue of the retained
     /// path's full node vector, and the memory-headroom figure of merit.
     pub peak_resident: usize,
+    /// External-memory activity when [`ReachOptions::mem_budget`] is set
+    /// (all zero otherwise). Deliberately excluded from the `Display`
+    /// rendering: the human-readable analysis output must stay
+    /// byte-identical between budgeted and unlimited runs.
+    pub spill: SpillStats,
 }
 
 impl fmt::Display for StreamStats {
@@ -883,13 +921,29 @@ fn state_fingerprint(state: &GlobalState) -> u128 {
     fingerprint128(state)
 }
 
+/// Approximate resident cost of one fingerprint in the hot `HashSet<u128>`
+/// (key + table overhead), used to convert [`ReachOptions::mem_budget`]
+/// into a spill trigger.
+const SEEN_ENTRY_COST: usize = 48;
+
+fn spill_io(e: std::io::Error) -> ProtocolError {
+    ProtocolError::SpillIo { detail: e.to_string() }
+}
+
 /// Fold `folder` over every distinct reachable global state *without*
-/// retaining the graph: only the current frontier and its successor stream
-/// are ever resident, and states are deduplicated by 128-bit fingerprint
-/// (see [`state_fingerprint`]). Frontiers at least
+/// retaining the graph: only the current frontier (bit-packed into a
+/// [`PackedArena`] by the protocol's [`StateCodec`]) and its successor
+/// stream are ever resident, and states are deduplicated by 128-bit
+/// fingerprint (see [`state_fingerprint`]). Frontiers at least
 /// [`ReachOptions::parallel_frontier_min`] wide are expanded by scoped
 /// workers folding into [`StateFolder::split`]s, OR-merged at the level
 /// barrier — same determinism argument as the retained parallel build.
+///
+/// With [`ReachOptions::mem_budget`] set, the retired-level fingerprint
+/// set additionally spills to sorted temp-file runs whenever it outgrows
+/// the budget; spilled fingerprints are re-checked by one batched merge
+/// pass per level barrier, *before* any residency accounting, so every
+/// deterministic output is byte-identical to the unlimited path.
 ///
 /// Returns the fold's [`StreamStats`]; fails with
 /// [`ProtocolError::GraphTooLarge`] at `opts.max_states` distinct states,
@@ -900,29 +954,43 @@ pub(crate) fn fold_reachable<F: StateFolder>(
     folder: &mut F,
 ) -> Result<StreamStats, ProtocolError> {
     let threads = opts.resolved_threads();
+    let codec = StateCodec::new(protocol);
     let initial = initial_global_state(protocol)?;
     let mut seen: HashSet<u128> = HashSet::new();
     seen.insert(state_fingerprint(&initial));
-    let mut frontier = vec![initial];
-    let mut stats = StreamStats { distinct_states: 1, levels: 0, peak_resident: 1 };
+    let mut runs: RunSet<0> = RunSet::new();
+    let mut frontier = PackedArena::new();
+    frontier.push(&codec, &initial);
+    let mut stats = StreamStats {
+        distinct_states: 1,
+        levels: 0,
+        peak_resident: 1,
+        spill: SpillStats::default(),
+    };
 
-    // Workers filter successors against the prior levels' `seen` set
+    // Workers filter successors against the prior levels' hot `seen` set
     // (immutable while a level is in flight) and a chunk-local dedup set,
     // so the successor stream holds only states plausibly new at this
     // level — without it, high-multiplicity levels would make the stream
     // outgrow the retained node vector it is meant to undercut. Cross-chunk
     // duplicates (the same state discovered by two workers) survive to the
-    // merge below, which is the arbiter of `distinct_states`.
+    // merge below, which is the arbiter of `distinct_states`. Fingerprints
+    // already spilled to disk are filtered at the level barrier instead.
     type Stream = Result<(Vec<(GlobalState, u128)>, u64), ProtocolError>;
-    let expand = |chunk: &[GlobalState], fold: &mut F, seen: &HashSet<u128>| -> Stream {
+    let expand = |range: Range<usize>,
+                  fold: &mut F,
+                  frontier: &PackedArena,
+                  seen: &HashSet<u128>|
+     -> Stream {
         let mut scratch: Vec<Succ> = Vec::new();
         let mut local: HashSet<u128> = HashSet::new();
-        let mut out = Vec::with_capacity(chunk.len() * 4);
+        let mut out = Vec::with_capacity(range.len() * 4);
         let mut dupes = 0u64;
-        for s in chunk {
-            fold.fold(s);
+        for i in range {
+            let s = frontier.get(&codec, i);
+            fold.fold(&s);
             scratch.clear();
-            successors(protocol, s, &mut scratch)?;
+            successors(protocol, &s, &mut scratch)?;
             for succ in scratch.drain(..) {
                 let fp = state_fingerprint(&succ.state);
                 if !seen.contains(&fp) && local.insert(fp) {
@@ -938,18 +1006,22 @@ pub(crate) fn fold_reachable<F: StateFolder>(
     while !frontier.is_empty() {
         stats.levels += 1;
         let mut dedup_hits = 0u64;
-        let streams: Vec<Vec<(GlobalState, u128)>> =
+        let mut streams: Vec<Vec<(GlobalState, u128)>> =
             if threads > 1 && frontier.len() >= opts.parallel_frontier_min {
                 let chunk_len = frontier.len().div_ceil(threads);
                 let expand = &expand;
-                let seen_ref = &seen;
+                let (seen_ref, frontier_ref) = (&seen, &frontier);
+                let ranges: Vec<Range<usize>> = (0..frontier.len())
+                    .step_by(chunk_len)
+                    .map(|start| start..(start + chunk_len).min(frontier.len()))
+                    .collect();
                 let results: Vec<(F, Stream)> = std::thread::scope(|scope| {
-                    let handles: Vec<_> = frontier
-                        .chunks(chunk_len)
-                        .map(|chunk| {
+                    let handles: Vec<_> = ranges
+                        .into_iter()
+                        .map(|range| {
                             let mut fold = folder.split();
                             scope.spawn(move || {
-                                let r = expand(chunk, &mut fold, seen_ref);
+                                let r = expand(range, &mut fold, frontier_ref, seen_ref);
                                 (fold, r)
                             })
                         })
@@ -965,22 +1037,50 @@ pub(crate) fn fold_reachable<F: StateFolder>(
                 }
                 streams
             } else {
-                let (stream, dupes) = expand(&frontier, folder, &seen)?;
+                let (stream, dupes) = expand(0..frontier.len(), folder, &frontier, &seen)?;
                 dedup_hits += dupes;
                 vec![stream]
             };
+
+        // Disk filter at the level barrier, BEFORE the residency
+        // accounting: occurrences whose fingerprint lives in a spilled run
+        // are exactly those the unlimited path's workers would have
+        // filtered against its complete in-RAM `seen`, so dropping them
+        // here — counting each dropped occurrence as a dedup hit — keeps
+        // `streamed`, `peak_resident`, and every progress snapshot
+        // byte-identical to the unlimited path.
+        if runs.run_count() > 0 {
+            let mut cand: Vec<u128> = streams.iter().flatten().map(|&(_, fp)| fp).collect();
+            cand.sort_unstable();
+            cand.dedup();
+            let flags = runs.contains_batch(&cand).map_err(spill_io)?;
+            let on_disk: Vec<u128> =
+                cand.into_iter().zip(flags).filter_map(|(k, hit)| hit.then_some(k)).collect();
+            if !on_disk.is_empty() {
+                for stream in &mut streams {
+                    stream.retain(|&(_, fp)| {
+                        if on_disk.binary_search(&fp).is_ok() {
+                            dedup_hits += 1;
+                            false
+                        } else {
+                            true
+                        }
+                    });
+                }
+            }
+        }
         let streamed: usize = streams.iter().map(Vec::len).sum();
         stats.peak_resident = stats.peak_resident.max(frontier.len() + streamed);
 
         // Retire the expanded frontier; keep only this level's new states.
-        let mut next = Vec::new();
+        let mut next = PackedArena::new();
         for (state, fp) in streams.into_iter().flatten() {
             if seen.insert(fp) {
                 if stats.distinct_states >= opts.max_states {
                     return Err(ProtocolError::GraphTooLarge { limit: opts.max_states });
                 }
                 stats.distinct_states += 1;
-                next.push(state);
+                next.push(&codec, &state);
             } else {
                 // Cross-chunk duplicate: the same state surfaced from two
                 // workers' chunk-local streams.
@@ -996,8 +1096,18 @@ pub(crate) fn fold_reachable<F: StateFolder>(
                 total: stats.distinct_states,
             });
         }
+        // Spill the whole hot set once it outgrows the budget. Only at a
+        // level boundary, and only the complete set: a partial or mid-level
+        // spill could split one level's fingerprints between tiers and
+        // misattribute a dedup hit between the worker filter and the
+        // barrier filter.
+        if opts.mem_budget > 0 && seen.len() * SEEN_ENTRY_COST > opts.mem_budget {
+            let entries: Vec<(u128, [u8; 0])> = seen.drain().map(|fp| (fp, [])).collect();
+            runs.spill(entries, |_, b| *b).map_err(spill_io)?;
+        }
         frontier = next;
     }
+    stats.spill = runs.stats();
     Ok(stats)
 }
 
@@ -1464,6 +1574,47 @@ mod tests {
             let st = fold_reachable(&p, opts, &mut NoFolder).unwrap();
             assert_eq!(st.distinct_states, serial.node_count());
             assert_eq!(take(), reference, "streaming threads={threads}");
+        }
+    }
+
+    #[test]
+    fn streaming_spill_path_is_byte_identical_to_unlimited() {
+        use crate::extmem::SpillStats;
+        use std::sync::Mutex;
+        type Snap = (usize, usize, usize, u64, usize);
+        static SNAPS: Mutex<Vec<Snap>> = Mutex::new(Vec::new());
+        fn hook(p: &LevelProgress) {
+            SNAPS.lock().unwrap().push((p.level, p.frontier, p.new_states, p.dedup_hits, p.total));
+        }
+        let take = || std::mem::take(&mut *SNAPS.lock().unwrap());
+
+        let p = central_3pc(3);
+        for threads in [1usize, 2, 4] {
+            // The unlimited reference at the same thread count —
+            // `peak_resident` counts the pre-merge successor stream, whose
+            // cross-chunk duplicates depend on the chunking, so the
+            // byte-identity claim is budget-vs-no-budget, per thread count.
+            let base = ReachOptions { threads, parallel_frontier_min: 1, ..Default::default() }
+                .with_progress(hook);
+            let unlimited = fold_reachable(&p, base, &mut NoFolder).unwrap();
+            let reference = take();
+            assert_eq!(unlimited.spill, SpillStats::default(), "no budget, no spill");
+
+            // A 1-byte budget drains the hot fingerprint set at every
+            // level boundary — many spill rounds and (with more levels
+            // than MAX_RUNS) at least one compaction.
+            let opts = ReachOptions { mem_budget: 1, ..base };
+            let mut c = CountFolder(0);
+            let st = fold_reachable(&p, opts, &mut c).unwrap();
+            assert!(st.spill.runs_written >= 2, "budget of 1 byte must force repeated spilling");
+            assert!(st.spill.bytes_written > 0);
+            assert_eq!(c.0, unlimited.distinct_states, "folds diverged threads={threads}");
+            assert_eq!(take(), reference, "progress diverged threads={threads}");
+            assert_eq!(
+                StreamStats { spill: SpillStats::default(), ..st },
+                unlimited,
+                "stats diverged threads={threads}"
+            );
         }
     }
 

@@ -52,3 +52,57 @@ impl Rate {
         (dt > 0.0).then(|| events as f64 / dt)
     }
 }
+
+/// Render external-memory spill statistics as one stderr line:
+/// `"<subject> spill: 3 runs, 1.5 MiB written, 1 merge pass"`. Shared by
+/// every explorer front-end so budgeted runs report their disk activity
+/// uniformly — and *only* on stderr, never inside a deterministic report.
+pub fn spill_line(subject: &str, runs: u64, bytes: u64, merge_passes: u64) -> String {
+    let mib = bytes as f64 / (1024.0 * 1024.0);
+    format!(
+        "{subject} spill: {runs} run{}, {mib:.1} MiB written, {merge_passes} merge pass{}",
+        if runs == 1 { "" } else { "s" },
+        if merge_passes == 1 { "" } else { "es" },
+    )
+}
+
+/// Peak resident set size of this process in bytes (`VmHWM` from
+/// `/proc/self/status`), for benchmark envelopes. `None` when the
+/// platform does not expose it.
+pub fn peak_rss_bytes() -> Option<u64> {
+    #[cfg(target_os = "linux")]
+    {
+        let status = std::fs::read_to_string("/proc/self/status").ok()?;
+        let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+        let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+        Some(kb * 1024)
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spill_line_pluralizes() {
+        assert_eq!(
+            spill_line("check", 1, 1024 * 1024, 1),
+            "check spill: 1 run, 1.0 MiB written, 1 merge pass"
+        );
+        assert_eq!(
+            spill_line("reach", 3, 3 * 1024 * 1024 / 2, 0),
+            "reach spill: 3 runs, 1.5 MiB written, 0 merge passes"
+        );
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn peak_rss_is_positive_on_linux() {
+        let rss = peak_rss_bytes().expect("VmHWM present on linux");
+        assert!(rss > 0);
+    }
+}

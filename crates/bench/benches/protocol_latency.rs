@@ -60,10 +60,12 @@ fn bench_termination_round() {
 fn bench_tracing_overhead() {
     // The observability tax: the same commit round with tracing disabled
     // (the default — one `None` branch per emission point), with events
-    // collected into a memory sink, and with the full JSONL render on top.
+    // collected into a memory sink, with a bounded flight-recorder ring,
+    // and with the full JSONL render on top. `off` is the baseline the
+    // flight recorder must stay close to when no failure ever dumps it.
     use nbc_engine::run_traced;
     use nbc_obs::export::to_jsonl;
-    use nbc_obs::{MemorySink, SharedSink, Tracer};
+    use nbc_obs::{FlightRecorder, MemorySink, SharedSink, Tracer};
     let mut g = BenchGroup::new("tracing_overhead");
     g.sample_size(50);
     for n in [3usize, 5] {
@@ -75,6 +77,12 @@ fn bench_tracing_overhead() {
             let r =
                 run_traced(black_box(&p), &a, RunConfig::happy(n), Tracer::to_sink(sink.clone()));
             r.msgs_sent + sink.with(|s| s.events.len() as u64)
+        });
+        g.bench(&format!("flight_recorder/{n}"), || {
+            let rec = SharedSink::new(FlightRecorder::new(256));
+            let r =
+                run_traced(black_box(&p), &a, RunConfig::happy(n), Tracer::to_sink(rec.clone()));
+            r.msgs_sent + rec.with(|s| s.total_seen())
         });
         g.bench(&format!("jsonl/{n}"), || {
             let sink = SharedSink::new(MemorySink::default());

@@ -70,6 +70,42 @@ pub fn rule_from_name(name: &str) -> Option<TerminationRule> {
     }
 }
 
+/// Re-execute a counterexample [`Schedule`] with a flight recorder
+/// attached and return the recorder's JSONL dump — the causal event tail
+/// that ships next to the counterexample file so `nbc trace` can
+/// reconstruct what led up to the violation. Strict replay is attempted
+/// first; a schedule that no longer applies step-for-step (shrinking can
+/// leave conditionally applicable steps) is replayed leniently. After the
+/// schedule, the run is drained to quiescence so the dump captures the
+/// aftermath, not just the injected steps.
+pub fn replay_flight_dump(
+    protocol: &Protocol,
+    sched: &Schedule,
+    capacity: usize,
+) -> Result<String, ProtocolError> {
+    use nbc_obs::{FlightRecorder, SharedSink, Tracer};
+    let analysis = Analysis::build(protocol)?;
+    let rule = rule_from_name(&sched.rule).unwrap_or(TerminationRule::Cooperative);
+    let replay_once = |strict: bool| {
+        let rec = SharedSink::new(FlightRecorder::new(capacity));
+        let cfg = explore::plan_config(sched.n, &sched.votes, rule);
+        let mut runner =
+            Runner::with_tracer(protocol, &analysis, cfg, Tracer::to_sink(rec.clone()));
+        let ok = if strict {
+            replay_strict(&mut runner, &sched.steps).is_ok()
+        } else {
+            replay_lenient(&mut runner, &sched.steps);
+            true
+        };
+        let mut tail = Vec::new();
+        drain(&mut runner, &mut tail);
+        (ok, rec)
+    };
+    let (strict_ok, rec) = replay_once(true);
+    let rec = if strict_ok { rec } else { replay_once(false).1 };
+    Ok(rec.with(|r| r.dump_jsonl()))
+}
+
 /// One oracle failure, with its shrunk, strictly replayable counterexample.
 #[derive(Debug)]
 pub struct OracleFailure {

@@ -36,7 +36,7 @@ use nbc_engine::{
     RunConfig, RunReport, Runner, TerminationRule, TransitionProgress,
 };
 use nbc_obs::export::{to_chrome, to_jsonl};
-use nbc_obs::{Event, EventKind, MemorySink, Metrics, SharedSink, Tracer};
+use nbc_obs::{analyze, Event, EventKind, FlightRecorder, MemorySink, Metrics, SharedSink, Tracer};
 use nbc_simnet::LatencyModel;
 
 /// A CLI failure with a user-facing message.
@@ -359,6 +359,12 @@ pub struct SimOpts {
     pub trace_chrome: bool,
     /// Print the metrics table after the run (`--metrics`).
     pub metrics: bool,
+    /// Attach a flight recorder and dump its tail to this path when the
+    /// run ends badly — atomicity violated or an operational site left
+    /// undecided (`--flight PATH`).
+    pub flight_path: Option<String>,
+    /// Flight-recorder ring capacity in events (`--flight-cap N`).
+    pub flight_cap: usize,
     /// Print the machine-readable JSON report instead of the human text
     /// (`--json`).
     pub json: bool,
@@ -381,6 +387,8 @@ impl Default for SimOpts {
             trace_path: None,
             trace_chrome: false,
             metrics: false,
+            flight_path: None,
+            flight_cap: 256,
             json: false,
             schedule: None,
         }
@@ -419,9 +427,9 @@ impl SimOpts {
 
 impl SimOpts {
     /// True when the run must be executed through a tracer (a structured
-    /// trace or the metrics table was requested).
+    /// trace, the metrics table, or a flight recorder was requested).
     fn wants_events(&self) -> bool {
-        self.trace_path.is_some() || self.metrics
+        self.trace_path.is_some() || self.metrics || self.flight_path.is_some()
     }
 }
 
@@ -443,13 +451,31 @@ fn run_observed(
 ) -> Result<(RunReport, Option<Metrics>), CliError> {
     let events = SharedSink::new(MemorySink::default());
     let metrics = SharedSink::new(Metrics::default());
+    let flight = opts
+        .flight_path
+        .as_ref()
+        .map(|_| SharedSink::new(FlightRecorder::new(opts.flight_cap.max(1))));
     let mut tracer = Tracer::to_sink(events.clone());
     if opts.metrics {
         tracer.attach(metrics.clone());
     }
+    if let Some(rec) = &flight {
+        tracer.attach(rec.clone());
+    }
     let report = run_traced(protocol, analysis, cfg, tracer);
     if let Some(path) = &opts.trace_path {
         events.with(|s| write_trace(path, opts.trace_chrome, &s.events))?;
+    }
+    // The flight dump is written only when the run ends badly: a clean
+    // run leaves nothing behind, so the file's existence is itself a
+    // signal scripts can gate on.
+    if let (Some(path), Some(rec)) = (&opts.flight_path, &flight) {
+        if !report.consistent || !report.all_operational_decided {
+            let (dump, kept, total) = rec.with(|r| (r.dump_jsonl(), r.len(), r.total_seen()));
+            std::fs::write(path, dump)
+                .map_err(|e| CliError(format!("cannot write {path}: {e}")))?;
+            eprintln!("flight recorder: dumped last {kept} of {total} events to {path}");
+        }
     }
     let metrics = opts.metrics.then(|| metrics.with(|m| m.clone()));
     Ok((report, metrics))
@@ -472,7 +498,21 @@ pub fn cmd_simulate(
     };
     let mut out = String::new();
     if opts.json {
-        let _ = writeln!(out, "{}", report.to_json());
+        // `--json --metrics` nests both documents under fixed keys so a
+        // script gets the verdict and the counters in one parse.
+        match &metrics {
+            Some(m) => {
+                let _ = writeln!(
+                    out,
+                    "{{\"report\":{},\"metrics\":{}}}",
+                    report.to_json(),
+                    m.to_json()
+                );
+            }
+            None => {
+                let _ = writeln!(out, "{}", report.to_json());
+            }
+        }
         return Ok(out);
     }
     for line in &report.trace {
@@ -636,7 +676,17 @@ pub fn cmd_check(args: &[String]) -> Result<CheckRun, CliError> {
                     }
                 }
                 std::fs::write(&path, s.to_jsonl())
-                    .map_err(|e| CliError(format!("cannot write {path}: {e}")))?
+                    .map_err(|e| CliError(format!("cannot write {path}: {e}")))?;
+                // Replay the shrunk schedule with a flight recorder
+                // attached and drop its event tail next to the schedule:
+                // the causal last moments of the failure, ready for
+                // `nbc trace verify`.
+                let flight_path = format!("{path}.flight.jsonl");
+                match nbc_check::replay_flight_dump(&protocol, s, 256) {
+                    Ok(dump) => std::fs::write(&flight_path, dump)
+                        .map_err(|e| CliError(format!("cannot write {flight_path}: {e}")))?,
+                    Err(e) => eprintln!("note: flight replay failed: {e}"),
+                }
             }
             None => eprintln!("note: no counterexample or witness to write to {path}"),
         }
@@ -659,6 +709,67 @@ pub fn cmd_check(args: &[String]) -> Result<CheckRun, CliError> {
         for f in &report.failures {
             if let Some(cx) = &f.counterexample {
                 listing(f.oracle, cx);
+            }
+        }
+    }
+    Ok(CheckRun { output: out, ok })
+}
+
+/// `nbc trace verify FILE...` / `nbc trace stats FILE...` — offline
+/// analysis of recorded JSONL event traces.
+///
+/// `verify` re-checks the engine's invariants from the trace alone —
+/// message conservation, decision consistency, WAL-before-send ordering,
+/// stable decisions — and reports the Gray–Lamport accounting; it shares
+/// `nbc check`'s exit contract (0 = every oracle passed, 1 = a violation,
+/// 2 = usage error). `stats` derives decision-latency percentiles and the
+/// time-series snapshot curve; it always exits 0 unless the trace is
+/// unreadable. Both are pure functions of the file bytes: the same trace
+/// renders byte-identically on every run.
+pub fn cmd_trace(args: &[String]) -> Result<CheckRun, CliError> {
+    let Some(sub) = args.first() else {
+        return fail("trace: missing subcommand (verify | stats)");
+    };
+    let verify_mode = match sub.as_str() {
+        "verify" => true,
+        "stats" => false,
+        other => return fail(format!("trace: unknown subcommand {other:?} (verify | stats)")),
+    };
+    let mut json = false;
+    let mut files: Vec<&str> = Vec::new();
+    for a in &args[1..] {
+        match a.as_str() {
+            "--json" => json = true,
+            f if f.starts_with('-') => return fail(format!("trace {sub}: unknown flag {f:?}")),
+            f => files.push(f),
+        }
+    }
+    if files.is_empty() {
+        return fail(format!("trace {sub}: missing trace file argument"));
+    }
+    let mut out = String::new();
+    let mut ok = true;
+    for path in &files {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| CliError(format!("cannot read {path}: {e}")))?;
+        let events = analyze::parse_jsonl(&text).map_err(|e| CliError(format!("{path}: {e}")))?;
+        if files.len() > 1 && !json {
+            let _ = writeln!(out, "{path}:");
+        }
+        if verify_mode {
+            let report = analyze::verify(&events);
+            ok &= report.ok();
+            if json {
+                let _ = writeln!(out, "{}", report.to_json());
+            } else {
+                out.push_str(&report.render());
+            }
+        } else {
+            let stats = analyze::stats(&events);
+            if json {
+                let _ = writeln!(out, "{}", stats.to_json());
+            } else {
+                out.push_str(&stats.render());
             }
         }
     }
@@ -1001,6 +1112,9 @@ pub fn cmd_pipeline(args: &[String]) -> Result<String, CliError> {
     let mut trace_path: Option<String> = None;
     let mut trace_chrome = false;
     let mut metrics = false;
+    let mut series_every = 0u64;
+    let mut flight_path: Option<String> = None;
+    let mut flight_cap = 256usize;
     let mut i = 1;
     while i < args.len() {
         let flag = args[i].as_str();
@@ -1024,6 +1138,11 @@ pub fn cmd_pipeline(args: &[String]) -> Result<String, CliError> {
             "--trace" => trace_path = Some(val("--trace")?),
             "--trace-format" => trace_chrome = parse_trace_format(&val("--trace-format")?)?,
             "--metrics" => metrics = true,
+            "--series-every" => {
+                series_every = parse_num(&val("--series-every")?, "--series-every")?
+            }
+            "--flight" => flight_path = Some(val("--flight")?),
+            "--flight-cap" => flight_cap = parse_num(&val("--flight-cap")?, "--flight-cap")?,
             other => return fail(format!("unknown flag {other:?}")),
         }
         i += 1;
@@ -1042,7 +1161,8 @@ pub fn cmd_pipeline(args: &[String]) -> Result<String, CliError> {
             PipelineConfig::new(n, kind)
                 .with_in_flight(max_in_flight)
                 .with_group_window(group_window)
-                .with_reap_after(reap),
+                .with_reap_after(reap)
+                .with_series_every(series_every),
         );
         p.run(vec![PipelineTxn::from_ops(&w.setup_ops())]);
         // Attach only after the setup transaction: the trace covers the
@@ -1059,16 +1179,50 @@ pub fn cmd_pipeline(args: &[String]) -> Result<String, CliError> {
     let (serial, serial_ticks, serial_ok) = run_with(1, 0, None);
     let events = SharedSink::new(MemorySink::default());
     let metrics_sink = SharedSink::new(Metrics::default());
-    let tracer = (trace_path.is_some() || metrics).then(|| {
+    let flight =
+        flight_path.as_ref().map(|_| SharedSink::new(FlightRecorder::new(flight_cap.max(1))));
+    let tracer = (trace_path.is_some() || metrics || flight.is_some()).then(|| {
         let mut t = Tracer::to_sink(events.clone());
         if metrics {
             t.attach(metrics_sink.clone());
         }
+        if let Some(rec) = &flight {
+            t.attach(rec.clone());
+        }
         t
     });
-    let (report, pipe_ticks, pipe_ok) = run_with(in_flight, window, tracer);
+    // With a flight recorder attached, a scheduler panic still yields its
+    // black box: catch the unwind, dump the ring, then surface the error.
+    let dump_flight = |note: &str| -> Result<(), CliError> {
+        let (Some(path), Some(rec)) = (&flight_path, &flight) else { return Ok(()) };
+        let (dump, kept, total) = rec.with(|r| (r.dump_jsonl(), r.len(), r.total_seen()));
+        std::fs::write(path, dump).map_err(|e| CliError(format!("cannot write {path}: {e}")))?;
+        eprintln!("flight recorder: {note}; dumped last {kept} of {total} events to {path}");
+        Ok(())
+    };
+    let (report, pipe_ticks, pipe_ok) = if flight.is_some() {
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_with(in_flight, window, tracer)
+        })) {
+            Ok(r) => r,
+            Err(panic) => {
+                dump_flight("scheduler panicked")?;
+                let msg = panic
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_string())
+                    .or_else(|| panic.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "unknown panic".to_string());
+                return fail(format!("pipeline panicked: {msg}"));
+            }
+        }
+    } else {
+        run_with(in_flight, window, tracer)
+    };
     if let Some(path) = &trace_path {
         events.with(|s| write_trace(path, trace_chrome, &s.events))?;
+    }
+    if !pipe_ok {
+        dump_flight("conservation violated")?;
     }
 
     let mut out = String::new();
@@ -1426,6 +1580,161 @@ mod tests {
             nbc_obs::json::validate(line).unwrap();
         }
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn trace_verify_passes_on_recorded_trace() {
+        let p = resolve_protocol("3pc", 3).unwrap();
+        let a = retained(&p);
+        let path = std::env::temp_dir().join("nbc-cli-test-trace-verify.jsonl");
+        let opts = SimOpts {
+            crash: Some((0, 2, Some(1))),
+            trace_path: Some(path.to_string_lossy().into_owned()),
+            ..SimOpts::default()
+        };
+        cmd_simulate(&p, &a, &opts).unwrap();
+        let args = vec!["verify".to_string(), path.to_string_lossy().into_owned()];
+        let run = cmd_trace(&args).unwrap();
+        assert!(run.ok, "{}", run.output);
+        assert!(run.output.contains("result: PASS"), "{}", run.output);
+        assert!(run.output.contains("gray-lamport:"), "{}", run.output);
+        // Byte-determinism: a second pass over the same file is identical.
+        assert_eq!(run.output, cmd_trace(&args).unwrap().output);
+        // --json emits one valid object with the same verdict.
+        let jargs =
+            vec!["verify".to_string(), path.to_string_lossy().into_owned(), "--json".into()];
+        let jrun = cmd_trace(&jargs).unwrap();
+        nbc_obs::json::validate(jrun.output.trim()).unwrap();
+        assert!(jrun.output.contains("\"ok\":true"), "{}", jrun.output);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn trace_verify_detects_corruption() {
+        let p = resolve_protocol("3pc", 3).unwrap();
+        let a = retained(&p);
+        let path = std::env::temp_dir().join("nbc-cli-test-trace-corrupt.jsonl");
+        let opts =
+            SimOpts { trace_path: Some(path.to_string_lossy().into_owned()), ..SimOpts::default() };
+        cmd_simulate(&p, &a, &opts).unwrap();
+        // Drop one delivery: conservation must notice the orphaned send.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let corrupted: String = {
+            let mut removed = false;
+            text.lines()
+                .filter(|l| {
+                    if !removed && l.contains("\"kind\":\"msg-deliver\"") {
+                        removed = true;
+                        false
+                    } else {
+                        true
+                    }
+                })
+                .map(|l| format!("{l}\n"))
+                .collect()
+        };
+        assert_ne!(text, corrupted, "trace had no delivery to remove");
+        std::fs::write(&path, corrupted).unwrap();
+        let args = vec!["verify".to_string(), path.to_string_lossy().into_owned()];
+        let run = cmd_trace(&args).unwrap();
+        assert!(!run.ok, "{}", run.output);
+        assert!(run.output.contains("conservation"), "{}", run.output);
+        assert!(run.output.contains("result: FAIL"), "{}", run.output);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn trace_stats_renders_percentiles() {
+        let path = std::env::temp_dir().join("nbc-cli-test-trace-stats.jsonl");
+        let args: Vec<String> = [
+            "3pc",
+            "--txns",
+            "24",
+            "--seed",
+            "9",
+            "--series-every",
+            "64",
+            "--trace",
+            path.to_str().unwrap(),
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        cmd_pipeline(&args).unwrap();
+        let targs = vec!["stats".to_string(), path.to_string_lossy().into_owned()];
+        let run = cmd_trace(&targs).unwrap();
+        assert!(run.ok);
+        assert!(run.output.contains("decision latency: n="), "{}", run.output);
+        assert!(run.output.contains("p95="), "{}", run.output);
+        assert!(run.output.contains("time series ("), "{}", run.output);
+        let jargs = vec!["stats".to_string(), path.to_string_lossy().into_owned(), "--json".into()];
+        let jrun = cmd_trace(&jargs).unwrap();
+        nbc_obs::json::validate(jrun.output.trim()).unwrap();
+        assert!(jrun.output.contains("\"snapshots\":["), "{}", jrun.output);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn trace_usage_errors() {
+        let s = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        assert!(cmd_trace(&s(&[])).is_err(), "missing subcommand");
+        assert!(cmd_trace(&s(&["frob", "x.jsonl"])).is_err(), "unknown subcommand");
+        assert!(cmd_trace(&s(&["verify"])).is_err(), "missing file");
+        assert!(cmd_trace(&s(&["verify", "--bogus", "x.jsonl"])).is_err(), "unknown flag");
+        assert!(cmd_trace(&s(&["verify", "/does/not/exist.jsonl"])).is_err(), "missing file");
+    }
+
+    #[test]
+    fn simulate_flight_dump_only_on_bad_runs() {
+        let dir = std::env::temp_dir();
+        // Clean run: no dump.
+        let p = resolve_protocol("3pc", 3).unwrap();
+        let a = retained(&p);
+        let clean = dir.join("nbc-cli-test-flight-clean.jsonl");
+        let _ = std::fs::remove_file(&clean);
+        let opts = SimOpts {
+            flight_path: Some(clean.to_string_lossy().into_owned()),
+            ..SimOpts::default()
+        };
+        cmd_simulate(&p, &a, &opts).unwrap();
+        assert!(!clean.exists(), "clean run must not write a flight dump");
+
+        // Blocked run (2PC coordinator crash, cooperative rule): dump.
+        let p = resolve_protocol("2pc", 3).unwrap();
+        let a = retained(&p);
+        let bad = dir.join("nbc-cli-test-flight-bad.jsonl");
+        let _ = std::fs::remove_file(&bad);
+        let opts = SimOpts {
+            crash: Some((0, 2, Some(0))),
+            rule: TerminationRule::Cooperative,
+            flight_path: Some(bad.to_string_lossy().into_owned()),
+            flight_cap: 32,
+            ..SimOpts::default()
+        };
+        let out = cmd_simulate(&p, &a, &opts).unwrap();
+        assert!(out.contains("all operational decided: false"), "{out}");
+        let dump = std::fs::read_to_string(&bad).expect("flight dump written");
+        assert!(dump.lines().next().unwrap().contains("flight recorder"), "{dump}");
+        // The tail minus its header note is a verifiable trace fragment.
+        let events = nbc_obs::analyze::parse_jsonl(&dump).unwrap();
+        assert!(!events.is_empty());
+        let _ = std::fs::remove_file(&bad);
+    }
+
+    #[test]
+    fn simulate_json_with_metrics_nests_both() {
+        let p = resolve_protocol("3pc", 3).unwrap();
+        let a = retained(&p);
+        let opts = SimOpts { json: true, metrics: true, ..SimOpts::default() };
+        let out = cmd_simulate(&p, &a, &opts).unwrap();
+        let v = nbc_obs::json::parse(out.trim()).unwrap();
+        assert!(v.get("report").is_some(), "{out}");
+        assert!(v.get("metrics").is_some(), "{out}");
+        assert_eq!(
+            v.get("report").and_then(|r| r.get("decision")).and_then(|d| d.as_bool()),
+            Some(true),
+            "{out}"
+        );
     }
 
     #[test]

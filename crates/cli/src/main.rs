@@ -18,6 +18,7 @@ USAGE:
                   [--latency LO..HI] [--seed S] [--story]
                   [--schedule FILE]
                   [--trace PATH] [--trace-format jsonl|chrome] [--metrics] [--json]
+                  [--flight PATH] [--flight-cap N]
   nbc check       PROTO [-n N] [--depth D] [--faults F] [--recoveries R]
                   [--drops K] [--seed S] [--threads T] [--progress]
                   [--rule skeen|cooperative|naive|quorum]
@@ -32,7 +33,10 @@ USAGE:
   nbc pipeline    PROTO [-n N] [--txns T] [--crash-pct P] [--in-flight K]
                   [--window W] [--reap T] [--seed S]
                   [--trace PATH] [--trace-format jsonl|chrome] [--metrics]
+                  [--series-every T] [--flight PATH] [--flight-cap N]
   nbc paxos       [--sites N] [--faults F] [--metrics] [--json]
+  nbc trace       verify FILE... [--json]
+  nbc trace       stats  FILE... [--json]
 
 PROTO: central-2pc | central-3pc | decentralized-2pc | decentralized-3pc |
        1pc | kpc:K | paxos:F | a .nbc spec file (see the nbc-spec crate docs)
@@ -55,7 +59,15 @@ For analyze/synthesize it applies to the --stream reachability fold.
 picks JSONL (one event object per line, the default) or Chrome
 trace-event JSON for chrome://tracing / Perfetto.
 --metrics: print message/WAL/latency counters after the run.
---json: emit the run report or sweep summary as JSON on stdout.
+--json: emit the run report or sweep summary as JSON on stdout
+(simulate --json --metrics nests both under {\"report\":..,\"metrics\":..}).
+--flight PATH: attach a bounded flight recorder (last N events,
+--flight-cap, default 256) and dump its tail to PATH only when the run
+ends badly — atomicity violated, a site left undecided, or (pipeline)
+a panic or conservation violation.
+--series-every T: pipeline emits a metrics snapshot event every T ticks
+(goodput, in-flight, blocked, WAL bytes) into the trace for
+`nbc trace stats`.
 
 paxos: run one happy-path Paxos Commit transaction (N participants,
 2F+1 acceptors) and print the Gray–Lamport cost table — messages,
@@ -69,7 +81,16 @@ counterexamples replay with `nbc simulate PROTO --schedule FILE`.
 check exits 0 when every oracle passes, 1 on an oracle violation, and
 2 on a usage or protocol error. `--threads T` fans the exploration out
 over T workers (0 = auto; results are identical at any thread count);
-`--seed S` perturbs traversal order only.
+`--seed S` perturbs traversal order only. With `--counterexample FILE`
+a failing check also replays the shrunk schedule under a flight
+recorder and writes its event tail to FILE.flight.jsonl.
+
+trace: offline analysis of recorded JSONL traces. `verify` re-checks
+message conservation, decision consistency, WAL-before-send ordering,
+and stable decisions from the trace alone, and prints the Gray-Lamport
+message/stable-write/delay accounting; it exits 0/1/2 like check.
+`stats` prints decision-latency percentiles (p50/p95/p99) and the
+time-series snapshot table recorded by `pipeline --series-every`.
 ";
 
 fn main() {
@@ -77,8 +98,9 @@ fn main() {
     // `check` owns its exit status: 0 = every oracle passed, 1 = some
     // oracle reported a violation, 2 = usage or protocol error. The
     // verdict must be scriptable (CI gates on it), not just rendered text.
-    if args.first().map(String::as_str) == Some("check") {
-        match cmd_check(&args[1..]) {
+    if let Some(cmd @ ("check" | "trace")) = args.first().map(String::as_str) {
+        let run = if cmd == "check" { cmd_check(&args[1..]) } else { cmd_trace(&args[1..]) };
+        match run {
             Ok(run) => {
                 print!("{}", run.output);
                 std::process::exit(if run.ok { 0 } else { 1 });
@@ -151,6 +173,12 @@ fn run(args: &[String]) -> Result<String, CliError> {
             "--trace" => opts.trace_path = Some(next_val(args, &mut i)?),
             "--trace-format" => opts.trace_chrome = parse_trace_format(&next_val(args, &mut i)?)?,
             "--metrics" => opts.metrics = true,
+            "--flight" => opts.flight_path = Some(next_val(args, &mut i)?),
+            "--flight-cap" => {
+                opts.flight_cap = next_val(args, &mut i)?
+                    .parse()
+                    .map_err(|_| CliError("bad --flight-cap value".into()))?
+            }
             "--json" => opts.json = true,
             "--crash" => opts.crash = Some(parse_crash_arg(&next_val(args, &mut i)?)?),
             "--recover" => {

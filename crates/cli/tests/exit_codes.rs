@@ -65,3 +65,158 @@ fn non_check_commands_keep_their_exit_codes() {
     assert_eq!(nbc(&["list"]).status.code(), Some(0));
     assert_eq!(nbc(&["frobnicate"]).status.code(), Some(2));
 }
+
+#[test]
+fn trace_verify_passes_on_every_catalog_protocol() {
+    // Record a crashy simulation trace per catalog protocol and re-check
+    // it offline: the trace oracles must agree with the live run.
+    let dir = std::env::temp_dir();
+    for (proto, extra) in [
+        ("central-2pc", &["--crash", "0:2:1", "--recover", "300"][..]),
+        ("central-3pc", &["--crash", "0:2:1"][..]),
+        ("decentralized-2pc", &[][..]),
+        ("decentralized-3pc", &["--crash", "1:1:log"][..]),
+        ("1pc", &[][..]),
+        ("kpc:4", &[][..]),
+        ("paxos:1", &["--crash", "1:1:1"][..]),
+    ] {
+        let path = dir.join(format!("nbc-exit-trace-{}.jsonl", proto.replace(':', "-")));
+        let mut args = vec!["simulate", proto, "--trace", path.to_str().unwrap()];
+        args.extend_from_slice(extra);
+        let out = nbc(&args);
+        assert_eq!(out.status.code(), Some(0), "{proto} simulate failed");
+        let out = nbc(&["trace", "verify", path.to_str().unwrap()]);
+        assert_eq!(out.status.code(), Some(0), "{proto}: {}", String::from_utf8_lossy(&out.stdout));
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(stdout.contains("result: PASS"), "{proto}: {stdout}");
+        // Determinism: a second pass renders byte-identically.
+        let again = nbc(&["trace", "verify", path.to_str().unwrap()]);
+        assert_eq!(out.stdout, again.stdout, "{proto}");
+        let _ = std::fs::remove_file(&path);
+    }
+}
+
+#[test]
+fn trace_verify_corrupted_trace_exits_one() {
+    let dir = std::env::temp_dir();
+    let path = dir.join("nbc-exit-trace-corrupt.jsonl");
+    let out = nbc(&["simulate", "central-3pc", "--trace", path.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0));
+    // Remove one delivery line: conservation must flag the orphan send.
+    let text = std::fs::read_to_string(&path).unwrap();
+    let mut removed = false;
+    let corrupted: String = text
+        .lines()
+        .filter(|l| {
+            if !removed && l.contains("\"kind\":\"msg-deliver\"") {
+                removed = true;
+                false
+            } else {
+                true
+            }
+        })
+        .map(|l| format!("{l}\n"))
+        .collect();
+    assert!(removed, "no delivery line found");
+    std::fs::write(&path, corrupted).unwrap();
+    let out = nbc(&["trace", "verify", path.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("conservation"), "{stdout}");
+    assert!(stdout.contains("result: FAIL"), "{stdout}");
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn trace_usage_errors_exit_two() {
+    for args in [
+        &["trace"][..],
+        &["trace", "frob", "x.jsonl"][..],
+        &["trace", "verify"][..],
+        &["trace", "verify", "/does/not/exist.jsonl"][..],
+        &["trace", "stats", "--bogus"][..],
+    ] {
+        let out = nbc(args);
+        assert_eq!(out.status.code(), Some(2), "args {args:?}");
+    }
+}
+
+#[test]
+fn trace_stats_reads_pipeline_series() {
+    let dir = std::env::temp_dir();
+    let path = dir.join("nbc-exit-trace-series.jsonl");
+    let out = nbc(&[
+        "pipeline",
+        "central-3pc",
+        "--txns",
+        "24",
+        "--seed",
+        "9",
+        "--series-every",
+        "64",
+        "--trace",
+        path.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let out = nbc(&["trace", "stats", path.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("decision latency: n="), "{stdout}");
+    assert!(stdout.contains("time series ("), "{stdout}");
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn simulate_flight_dump_written_on_blocked_run() {
+    let dir = std::env::temp_dir();
+    let path = dir.join("nbc-exit-flight.jsonl");
+    let _ = std::fs::remove_file(&path);
+    // 2PC coordinator crash under the cooperative rule blocks: the run
+    // exits 0 (simulate reports, it does not gate) but the flight
+    // recorder must leave its tail behind.
+    let out = nbc(&[
+        "simulate",
+        "central-2pc",
+        "--crash",
+        "0:2:0",
+        "--rule",
+        "cooperative",
+        "--flight",
+        path.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("flight recorder: dumped"), "{stderr}");
+    assert!(path.exists(), "flight dump missing");
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn check_counterexample_writes_flight_dump() {
+    let dir = std::env::temp_dir().join("nbc-exit-cx");
+    let cx = dir.join("cx.jsonl");
+    let out = nbc(&[
+        "check",
+        "central-3pc",
+        "-n",
+        "3",
+        "--rule",
+        "naive",
+        "--faults",
+        "2",
+        "--counterexample",
+        cx.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(cx.exists(), "counterexample schedule missing");
+    let flight = dir.join("cx.jsonl.flight.jsonl");
+    let data = std::fs::read_to_string(&flight).expect("flight dump next to counterexample");
+    assert!(data.lines().next().unwrap().contains("flight recorder"), "{data}");
+    // The dump must parse as a trace and re-verify offline: the replayed
+    // failure shows up as a decision-consistency violation.
+    let out = nbc(&["trace", "verify", flight.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1), "{}", String::from_utf8_lossy(&out.stdout));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("result: FAIL"), "{stdout}");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -158,3 +158,118 @@ fn stable_write_accounting_matches_wal_events() {
     assert_eq!(m.wal_bytes, bytes);
     assert!(m.wal_appends > 0 && m.wal_bytes > 0);
 }
+
+#[test]
+fn chrome_trace_tracks_are_well_formed() {
+    // The Chrome export of a real crashy run must parse as JSON, and on
+    // every (pid, tid) track the state-residency spans must tile the
+    // timeline: starting at t=0, non-overlapping, each span beginning
+    // where the previous one ended.
+    use std::collections::BTreeMap;
+    let p = central_3pc(3);
+    let a = Analysis::build(&p).unwrap();
+    let (_, events) = traced(&p, &a, stress_config(3));
+    let chrome = to_chrome(&events);
+    let doc = nbc_obs::json::parse(&chrome).unwrap();
+    let records = match doc.get("traceEvents") {
+        Some(nbc_obs::json::Value::Arr(items)) => items,
+        other => panic!("traceEvents missing or not an array: {other:?}"),
+    };
+    assert!(!records.is_empty());
+    let mut spans: BTreeMap<(u64, u64), Vec<(u64, u64)>> = BTreeMap::new();
+    let mut tracks_named: Vec<(u64, u64)> = Vec::new();
+    for r in records {
+        let ph = r.get("ph").and_then(|v| v.as_str()).expect("every record has ph");
+        assert!(r.get("name").is_some(), "every record is named");
+        let pid = r.get("pid").and_then(|v| v.as_u64()).expect("pid");
+        let tid = r.get("tid").and_then(|v| v.as_u64()).expect("tid");
+        match ph {
+            "X" => {
+                let ts = r.get("ts").and_then(|v| v.as_u64()).expect("ts");
+                let dur = r.get("dur").and_then(|v| v.as_u64()).expect("dur");
+                spans.entry((pid, tid)).or_default().push((ts, dur));
+            }
+            "i" => {
+                assert!(r.get("ts").is_some());
+            }
+            "M" => {
+                if r.get("name").and_then(|v| v.as_str()) == Some("thread_name") {
+                    tracks_named.push((pid, tid));
+                }
+            }
+            other => panic!("unexpected phase {other:?}"),
+        }
+    }
+    assert!(!spans.is_empty(), "a run with transitions must produce spans");
+    for (track, mut sp) in spans {
+        sp.sort_unstable();
+        assert_eq!(sp[0].0, 0, "{track:?}: first residency starts at t=0");
+        for w in sp.windows(2) {
+            let ((ts, dur), (next_ts, _)) = (w[0], w[1]);
+            assert_eq!(ts + dur, next_ts, "{track:?}: spans must tile without gap or overlap");
+        }
+        assert!(tracks_named.contains(&track), "{track:?}: every span track is named");
+    }
+}
+
+#[test]
+fn jsonl_export_round_trips_through_the_parser() {
+    // analyze::parse_jsonl is the exact inverse of export::to_jsonl on
+    // real engine traces: parse(export(events)) == events, for every
+    // catalog protocol under a crashy, lossy configuration.
+    for p in catalog(3) {
+        let a = Analysis::build(&p).unwrap();
+        let (_, events) = traced(&p, &a, stress_config(3));
+        let jsonl = to_jsonl(&events);
+        let parsed =
+            nbc_obs::analyze::parse_jsonl(&jsonl).unwrap_or_else(|e| panic!("{}: {e}", p.name));
+        assert_eq!(parsed, events, "{}", p.name);
+        // And re-export is byte-identical: no information is lost.
+        assert_eq!(to_jsonl(&parsed), jsonl, "{}", p.name);
+    }
+}
+
+#[test]
+fn traced_event_names_stay_within_the_taxonomy() {
+    // Every name the engine emits is one the offline parser recognizes —
+    // a new event kind that misses analyze::parse_event would silently
+    // vanish from trace verification.
+    let known: &[&str] = &[
+        "transition",
+        "vote",
+        "msg-send",
+        "msg-deliver",
+        "msg-drop",
+        "decision",
+        "crash",
+        "recover",
+        "failure-notice",
+        "recovery-notice",
+        "election",
+        "aligned",
+        "blocked",
+        "wal-append",
+        "wal-fsync",
+        "wal-compact",
+        "admit",
+        "park",
+        "die",
+        "reap",
+        "partition",
+        "snapshot",
+        "note",
+    ];
+    let mut seen = std::collections::BTreeSet::new();
+    for p in catalog(3) {
+        let a = Analysis::build(&p).unwrap();
+        let (_, events) = traced(&p, &a, stress_config(3));
+        for e in &events {
+            assert!(known.contains(&e.kind.name()), "unknown event name {:?}", e.kind.name());
+            seen.insert(e.kind.name());
+        }
+    }
+    // The crashy run must exercise the load-bearing core of the taxonomy.
+    for must in ["transition", "msg-send", "msg-deliver", "decision", "wal-append", "crash"] {
+        assert!(seen.contains(must), "stress runs never emitted {must:?}");
+    }
+}

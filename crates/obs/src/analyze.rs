@@ -1,0 +1,1045 @@
+//! The read side of observability: parse JSONL traces back into typed
+//! events, reconstruct causality, and audit invariants offline.
+//!
+//! The write side ([`crate::export`]) is a one-way street — this module
+//! drives it backwards. [`parse_jsonl`] inverts [`crate::export::to_jsonl`]
+//! exactly (every [`EventKind`] round-trips), [`CausalTrace`] assigns
+//! Lamport clocks from send/deliver edges plus per-site program order and
+//! exposes the happens-before structure (per-transaction spans, per-site
+//! timelines, message-flow matrix), and [`verify`] re-checks the engine's
+//! core invariants from the trace alone:
+//!
+//! * **conservation** — every message handed to the network is delivered
+//!   or dropped, globally, per channel, and per payload label;
+//! * **decision-consistency** — no transaction both commits and aborts
+//!   (Skeen's consistency criterion, read off the `decision`/`reap`
+//!   events);
+//! * **wal-before-send** — a site never sends a protocol message before
+//!   logging the transition that produced it (the paper's "transitions
+//!   are persisted write-ahead");
+//! * **stable-decision** — every decision event is preceded by a durable
+//!   decision record at the same site (Gray–Lamport's stable-write
+//!   accounting).
+//!
+//! Everything here is a pure function of the event sequence — no maps
+//! with nondeterministic iteration, no wall clock — so verifying the same
+//! trace twice produces byte-identical reports.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use crate::event::{Event, EventKind};
+use crate::json::{self, Obj, Value};
+
+// ----------------------------------------------------------------------
+// Parsing: the inverse of `export::event_json`
+// ----------------------------------------------------------------------
+
+fn need<'v>(v: &'v Value, key: &str) -> Result<&'v Value, String> {
+    v.get(key).ok_or_else(|| format!("missing field {key:?}"))
+}
+
+fn need_u64(v: &Value, key: &str) -> Result<u64, String> {
+    need(v, key)?.as_u64().ok_or_else(|| format!("field {key:?} is not a u64"))
+}
+
+fn need_u32(v: &Value, key: &str) -> Result<u32, String> {
+    u32::try_from(need_u64(v, key)?).map_err(|_| format!("field {key:?} exceeds u32"))
+}
+
+fn need_str(v: &Value, key: &str) -> Result<String, String> {
+    Ok(need(v, key)?.as_str().ok_or_else(|| format!("field {key:?} is not a string"))?.to_string())
+}
+
+fn need_bool(v: &Value, key: &str) -> Result<bool, String> {
+    need(v, key)?.as_bool().ok_or_else(|| format!("field {key:?} is not a bool"))
+}
+
+/// Parse one JSONL line back into a typed [`Event`] (the exact inverse of
+/// [`crate::export::event_json`]). Unknown kinds are an error — the
+/// taxonomy is closed.
+pub fn parse_event(line: &str) -> Result<Event, String> {
+    let v = json::parse(line)?;
+    let time = need_u64(&v, "t")?;
+    let site = match v.get("site") {
+        Some(s) => Some(
+            u32::try_from(s.as_u64().ok_or("field \"site\" is not a u64")?)
+                .map_err(|_| "field \"site\" exceeds u32")?,
+        ),
+        None => None,
+    };
+    let txn = match v.get("txn") {
+        Some(t) => Some(t.as_u64().ok_or("field \"txn\" is not a u64")?),
+        None => None,
+    };
+    let kind_name = need_str(&v, "kind")?;
+    let kind = match kind_name.as_str() {
+        "transition" => {
+            EventKind::Transition { from: need_str(&v, "from")?, to: need_str(&v, "to")? }
+        }
+        "vote" => EventKind::Vote { yes: need_bool(&v, "yes")? },
+        "msg-send" => {
+            EventKind::MsgSend { dst: need_u32(&v, "dst")?, label: need_str(&v, "label")? }
+        }
+        "msg-deliver" => {
+            EventKind::MsgDeliver { src: need_u32(&v, "src")?, label: need_str(&v, "label")? }
+        }
+        "msg-drop" => {
+            EventKind::MsgDrop { dst: need_u32(&v, "dst")?, label: need_str(&v, "label")? }
+        }
+        "decision" => EventKind::Decision { commit: need_bool(&v, "commit")? },
+        "crash" => EventKind::Crash,
+        "recover" => EventKind::Recover,
+        "failure-notice" => EventKind::FailureNotice { crashed: need_u32(&v, "crashed")? },
+        "recovery-notice" => EventKind::RecoveryNotice { recovered: need_u32(&v, "recovered")? },
+        "election" => EventKind::Election { backup: need_u32(&v, "backup")? },
+        "aligned" => EventKind::Aligned { class: need_str(&v, "class")? },
+        "blocked" => EventKind::Blocked { backup: need_u32(&v, "backup")? },
+        "wal-append" => {
+            EventKind::WalAppend { bytes: need_u64(&v, "bytes")?, record: need_str(&v, "record")? }
+        }
+        "wal-fsync" => EventKind::WalFsync { physical: need_bool(&v, "physical")? },
+        "wal-compact" => {
+            EventKind::WalCompact { before: need_u64(&v, "before")?, after: need_u64(&v, "after")? }
+        }
+        "admit" => EventKind::Admit,
+        "park" => EventKind::Park,
+        "die" => EventKind::Die,
+        "reap" => EventKind::Reap { commit: need_bool(&v, "commit")? },
+        "partition" => EventKind::Partition { groups: need_str(&v, "groups")? },
+        "snapshot" => EventKind::Snapshot {
+            committed: need_u64(&v, "committed")?,
+            in_flight: need_u64(&v, "in_flight")?,
+            blocked: need_u64(&v, "blocked")?,
+            wal_bytes: need_u64(&v, "wal_bytes")?,
+        },
+        "note" => EventKind::Note { text: need_str(&v, "text")? },
+        other => return Err(format!("unknown event kind {other:?}")),
+    };
+    Ok(Event { time, site, txn, kind })
+}
+
+/// Parse a whole JSONL trace (the output of [`crate::export::to_jsonl`] or
+/// a flight-recorder dump). Blank lines are skipped; errors carry the
+/// 1-based line number.
+pub fn parse_jsonl(text: &str) -> Result<Vec<Event>, String> {
+    let mut events = Vec::new();
+    for (ix, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        events.push(parse_event(line).map_err(|e| format!("line {}: {e}", ix + 1))?);
+    }
+    Ok(events)
+}
+
+/// True for the bare kebab-case payload labels of *protocol* messages
+/// (`yes`, `commit`, `msg3`, ...). Control traffic — termination,
+/// recovery, and decision distribution — renders with spaces and
+/// punctuation (`align-to(p) from backup site1`), so the label shape
+/// separates the two without the analyzer knowing any protocol.
+pub fn is_protocol_label(label: &str) -> bool {
+    !label.is_empty()
+        && label.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-')
+}
+
+// ----------------------------------------------------------------------
+// Causal reconstruction
+// ----------------------------------------------------------------------
+
+/// A trace with its happens-before structure reconstructed.
+///
+/// Lamport clocks are assigned in one pass: each chain (a site, or the
+/// virtual chain for site-less events) ticks in program order, and a
+/// delivery additionally dominates its matched send. Sends are matched to
+/// deliveries/drops per `(src, dst, label)` channel in FIFO order — the
+/// network's own delivery discipline.
+pub struct CausalTrace {
+    events: Vec<Event>,
+    clock: Vec<u64>,
+    /// For deliver/drop events: index of the matched send.
+    matched_send: Vec<Option<usize>>,
+    /// For send events: index of the matched deliver/drop.
+    receipt: Vec<Option<usize>>,
+    /// Next event on the same chain, for reachability walks.
+    next_in_chain: Vec<Option<usize>>,
+    /// Deliver/drop events whose channel had no pending send.
+    pub orphan_receipts: u64,
+}
+
+impl CausalTrace {
+    /// Reconstruct causality over `events` (kept in trace order).
+    pub fn build(events: Vec<Event>) -> Self {
+        let n = events.len();
+        let mut clock = vec![0u64; n];
+        let mut matched_send = vec![None; n];
+        let mut receipt = vec![None; n];
+        let mut next_in_chain = vec![None; n];
+        let mut chain_clock: BTreeMap<Option<u32>, u64> = BTreeMap::new();
+        let mut chain_last: BTreeMap<Option<u32>, usize> = BTreeMap::new();
+        let mut queues: BTreeMap<(u32, u32, String), VecDeque<usize>> = BTreeMap::new();
+        let mut orphan_receipts = 0u64;
+
+        for (i, e) in events.iter().enumerate() {
+            match &e.kind {
+                EventKind::MsgSend { dst, label } => {
+                    if let Some(src) = e.site {
+                        queues.entry((src, *dst, label.clone())).or_default().push_back(i);
+                    }
+                }
+                EventKind::MsgDeliver { src, label } => {
+                    if let Some(dst) = e.site {
+                        match queues
+                            .get_mut(&(*src, dst, label.clone()))
+                            .and_then(VecDeque::pop_front)
+                        {
+                            Some(j) => {
+                                matched_send[i] = Some(j);
+                                receipt[j] = Some(i);
+                            }
+                            None => orphan_receipts += 1,
+                        }
+                    }
+                }
+                EventKind::MsgDrop { dst, label } => {
+                    if let Some(src) = e.site {
+                        match queues
+                            .get_mut(&(src, *dst, label.clone()))
+                            .and_then(VecDeque::pop_front)
+                        {
+                            Some(j) => {
+                                matched_send[i] = Some(j);
+                                receipt[j] = Some(i);
+                            }
+                            None => orphan_receipts += 1,
+                        }
+                    }
+                }
+                _ => {}
+            }
+            let mut c = chain_clock.get(&e.site).copied().unwrap_or(0) + 1;
+            if let Some(j) = matched_send[i] {
+                c = c.max(clock[j] + 1);
+            }
+            clock[i] = c;
+            chain_clock.insert(e.site, c);
+            if let Some(&prev) = chain_last.get(&e.site) {
+                next_in_chain[prev] = Some(i);
+            }
+            chain_last.insert(e.site, i);
+        }
+
+        Self { events, clock, matched_send, receipt, next_in_chain, orphan_receipts }
+    }
+
+    /// The events, in trace order.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// The Lamport clock of event `ix` (`a → b` implies
+    /// `clock(a) < clock(b)`; the converse does not hold).
+    pub fn clock(&self, ix: usize) -> u64 {
+        self.clock[ix]
+    }
+
+    /// For a deliver/drop event, the index of the send it consumed.
+    pub fn send_of(&self, ix: usize) -> Option<usize> {
+        self.matched_send[ix]
+    }
+
+    /// For a send event, the index of its delivery or drop.
+    pub fn receipt_of(&self, ix: usize) -> Option<usize> {
+        self.receipt[ix]
+    }
+
+    /// Sends still unmatched at end of trace (messages in flight when the
+    /// run stopped — zero at quiescence).
+    pub fn unmatched_sends(&self) -> u64 {
+        self.receipt
+            .iter()
+            .zip(&self.events)
+            .filter(|(r, e)| r.is_none() && matches!(e.kind, EventKind::MsgSend { .. }))
+            .count() as u64
+    }
+
+    /// True when event `a` happens-before event `b` in Lamport's sense:
+    /// reachable along program order (same chain) and send→receipt edges.
+    pub fn happens_before(&self, a: usize, b: usize) -> bool {
+        if a == b {
+            return false;
+        }
+        let mut frontier = vec![a];
+        let mut seen = BTreeSet::new();
+        while let Some(i) = frontier.pop() {
+            if i == b {
+                return true;
+            }
+            // The clock is monotone along every edge, so anything at or
+            // past b's clock cannot lead back to b.
+            if self.clock[i] >= self.clock[b] || !seen.insert(i) {
+                continue;
+            }
+            if let Some(j) = self.next_in_chain[i] {
+                frontier.push(j);
+            }
+            if let Some(j) = self.receipt[i] {
+                frontier.push(j);
+            }
+        }
+        false
+    }
+
+    /// Per-transaction spans: first/last event time, event count, and the
+    /// first decision (time, verdict) if any.
+    pub fn txn_spans(&self) -> BTreeMap<u64, TxnSpan> {
+        let mut spans: BTreeMap<u64, TxnSpan> = BTreeMap::new();
+        for e in &self.events {
+            let Some(txn) = e.txn else { continue };
+            let s = spans.entry(txn).or_insert(TxnSpan {
+                first: e.time,
+                last: e.time,
+                events: 0,
+                decided: None,
+            });
+            s.first = s.first.min(e.time);
+            s.last = s.last.max(e.time);
+            s.events += 1;
+            if s.decided.is_none() {
+                if let EventKind::Decision { commit } = e.kind {
+                    s.decided = Some((e.time, commit));
+                }
+            }
+        }
+        spans
+    }
+
+    /// Per-site timelines: event indices in trace order, per site.
+    pub fn site_timelines(&self) -> BTreeMap<u32, Vec<usize>> {
+        let mut out: BTreeMap<u32, Vec<usize>> = BTreeMap::new();
+        for (i, e) in self.events.iter().enumerate() {
+            if let Some(site) = e.site {
+                out.entry(site).or_default().push(i);
+            }
+        }
+        out
+    }
+
+    /// Message-flow matrix: sends per `(src, dst)` link.
+    pub fn flow_matrix(&self) -> BTreeMap<(u32, u32), u64> {
+        let mut out: BTreeMap<(u32, u32), u64> = BTreeMap::new();
+        for e in &self.events {
+            if let (Some(src), EventKind::MsgSend { dst, .. }) = (e.site, &e.kind) {
+                *out.entry((src, *dst)).or_default() += 1;
+            }
+        }
+        out
+    }
+}
+
+/// One transaction's extent within a trace (see [`CausalTrace::txn_spans`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TxnSpan {
+    /// Time of the transaction's first event.
+    pub first: u64,
+    /// Time of the transaction's last event.
+    pub last: u64,
+    /// Events attributed to the transaction.
+    pub events: u64,
+    /// First decision (time, commit) if any site decided.
+    pub decided: Option<(u64, bool)>,
+}
+
+// ----------------------------------------------------------------------
+// Trace-based oracles
+// ----------------------------------------------------------------------
+
+/// Cap on violation detail lines per check, so a corrupt trace renders a
+/// readable report instead of one line per event.
+const MAX_VIOLATIONS_SHOWN: usize = 8;
+
+/// One offline oracle's outcome.
+pub struct TraceCheck {
+    /// Stable check name (`conservation`, `decision-consistency`, ...).
+    pub name: &'static str,
+    /// One-line summary of what was checked (shown even when clean).
+    pub summary: String,
+    /// Violation details; empty means the check passed.
+    pub violations: Vec<String>,
+}
+
+impl TraceCheck {
+    /// True when no violations were found.
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Gray–Lamport cost counters read off the trace: the quantities their
+/// *Consensus on Transaction Commit* uses to compare commit protocols.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct GlCounters {
+    /// Protocol messages sent (control traffic excluded).
+    pub protocol_msgs: u64,
+    /// Stable writes: physical WAL forces.
+    pub stable_writes: u64,
+    /// Transactions with at least one decision event.
+    pub decided_txns: u64,
+    /// Largest first-event → first-decision delay across transactions.
+    pub max_decision_delay: Option<u64>,
+}
+
+/// The full offline audit produced by [`verify`].
+pub struct TraceReport {
+    /// Events analyzed.
+    pub events: u64,
+    /// Transactions seen.
+    pub txns: u64,
+    /// The oracle outcomes, in fixed order.
+    pub checks: Vec<TraceCheck>,
+    /// The Gray–Lamport accounting.
+    pub gl: GlCounters,
+}
+
+impl TraceReport {
+    /// True when every check passed.
+    pub fn ok(&self) -> bool {
+        self.checks.iter().all(TraceCheck::ok)
+    }
+
+    /// Render the deterministic human-readable report.
+    pub fn render(&self) -> String {
+        let mut out = format!("trace verify: {} events, {} txns\n", self.events, self.txns);
+        for c in &self.checks {
+            let verdict = if c.ok() { "ok" } else { "VIOLATION" };
+            out.push_str(&format!("  {:<22} {verdict:<9} {}\n", c.name, c.summary));
+            for v in &c.violations {
+                out.push_str(&format!("    {v}\n"));
+            }
+        }
+        let delay = self.gl.max_decision_delay.map_or_else(|| "-".to_string(), |d| d.to_string());
+        out.push_str(&format!(
+            "  gray-lamport: protocol-msgs={} stable-writes={} decided-txns={} max-decision-delay={}\n",
+            self.gl.protocol_msgs, self.gl.stable_writes, self.gl.decided_txns, delay
+        ));
+        out.push_str(if self.ok() { "result: PASS\n" } else { "result: FAIL\n" });
+        out
+    }
+
+    /// Encode the report as one JSON object (fixed key order).
+    pub fn to_json(&self) -> String {
+        let checks = json::array(self.checks.iter().map(|c| {
+            Obj::new()
+                .str("name", c.name)
+                .bool("ok", c.ok())
+                .str("summary", &c.summary)
+                .raw("violations", &json::array(c.violations.iter().map(|v| json::string(v))))
+                .build()
+        }));
+        let mut gl = Obj::new()
+            .num("protocol_msgs", self.gl.protocol_msgs)
+            .num("stable_writes", self.gl.stable_writes)
+            .num("decided_txns", self.gl.decided_txns);
+        gl = match self.gl.max_decision_delay {
+            Some(d) => gl.num("max_decision_delay", d),
+            None => gl.raw("max_decision_delay", "null"),
+        };
+        Obj::new()
+            .num("events", self.events)
+            .num("txns", self.txns)
+            .bool("ok", self.ok())
+            .raw("checks", &checks)
+            .raw("gray_lamport", &gl.build())
+            .build()
+    }
+}
+
+fn clip(violations: &mut Vec<String>, total: usize) {
+    if total > MAX_VIOLATIONS_SHOWN {
+        violations.truncate(MAX_VIOLATIONS_SHOWN);
+        violations.push(format!("... and {} more", total - MAX_VIOLATIONS_SHOWN));
+    }
+}
+
+/// Run the four offline oracles over a trace. A pure function of the
+/// event sequence: the same trace always yields a byte-identical report.
+pub fn verify(events: &[Event]) -> TraceReport {
+    let causal = CausalTrace::build(events.to_vec());
+
+    // -- conservation ---------------------------------------------------
+    let (mut sent, mut delivered, mut dropped) = (0u64, 0u64, 0u64);
+    let mut channel: BTreeMap<(u32, u32), (i64, i64)> = BTreeMap::new(); // (sends, receipts)
+    for e in events {
+        match &e.kind {
+            EventKind::MsgSend { dst, .. } => {
+                sent += 1;
+                if let Some(src) = e.site {
+                    channel.entry((src, *dst)).or_default().0 += 1;
+                }
+            }
+            EventKind::MsgDeliver { src, .. } => {
+                delivered += 1;
+                if let Some(dst) = e.site {
+                    channel.entry((*src, dst)).or_default().1 += 1;
+                }
+            }
+            EventKind::MsgDrop { dst, .. } => {
+                dropped += 1;
+                if let Some(src) = e.site {
+                    channel.entry((src, *dst)).or_default().1 += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    let mut cons_violations = Vec::new();
+    if sent != delivered + dropped {
+        cons_violations
+            .push(format!("global: {sent} sent != {delivered} delivered + {dropped} dropped"));
+    }
+    let mut chan_bad = 0usize;
+    for ((src, dst), (s, r)) in &channel {
+        if s != r {
+            chan_bad += 1;
+            if cons_violations.len() <= MAX_VIOLATIONS_SHOWN {
+                cons_violations
+                    .push(format!("channel site{src}->site{dst}: {s} sends vs {r} receipts"));
+            }
+        }
+    }
+    if causal.orphan_receipts > 0 {
+        cons_violations.push(format!(
+            "{} deliveries/drops with no matching send (label-level FIFO)",
+            causal.orphan_receipts
+        ));
+    }
+    let in_flight = causal.unmatched_sends();
+    if in_flight > 0 && sent != delivered + dropped {
+        cons_violations.push(format!("{in_flight} sends never delivered or dropped"));
+    }
+    let _ = chan_bad;
+    let total = cons_violations.len();
+    clip(&mut cons_violations, total);
+    let conservation = TraceCheck {
+        name: "conservation",
+        summary: format!("{sent} sent = {delivered} delivered + {dropped} dropped"),
+        violations: cons_violations,
+    };
+
+    // -- decision-consistency -------------------------------------------
+    let mut verdicts: BTreeMap<u64, (bool, bool)> = BTreeMap::new(); // (saw commit, saw abort)
+    for e in events {
+        let outcome = match e.kind {
+            EventKind::Decision { commit } | EventKind::Reap { commit } => commit,
+            _ => continue,
+        };
+        let Some(txn) = e.txn else { continue };
+        let v = verdicts.entry(txn).or_default();
+        if outcome {
+            v.0 = true;
+        } else {
+            v.1 = true;
+        }
+    }
+    let mut dc_violations: Vec<String> = verdicts
+        .iter()
+        .filter(|(_, (c, a))| *c && *a)
+        .map(|(txn, _)| format!("txn {txn}: both commit and abort observed"))
+        .collect();
+    let dc_total = dc_violations.len();
+    clip(&mut dc_violations, dc_total);
+    let decision_consistency = TraceCheck {
+        name: "decision-consistency",
+        summary: format!("{} decided txns", verdicts.len()),
+        violations: dc_violations,
+    };
+
+    // -- wal-before-send ------------------------------------------------
+    let mut logged: BTreeSet<(u32, u64)> = BTreeSet::new();
+    let mut protocol_sends = 0u64;
+    let mut wbs_violations = Vec::new();
+    let mut wbs_total = 0usize;
+    for e in events {
+        match &e.kind {
+            EventKind::WalAppend { .. } => {
+                if let (Some(site), Some(txn)) = (e.site, e.txn) {
+                    logged.insert((site, txn));
+                }
+            }
+            EventKind::MsgSend { dst, label } if is_protocol_label(label) => {
+                protocol_sends += 1;
+                if let (Some(site), Some(txn)) = (e.site, e.txn) {
+                    if !logged.contains(&(site, txn)) {
+                        wbs_total += 1;
+                        if wbs_violations.len() < MAX_VIOLATIONS_SHOWN {
+                            wbs_violations.push(format!(
+                                "t={} site{site} txn {txn}: sent {label:?} to site{dst} before any WAL append",
+                                e.time
+                            ));
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    if wbs_total > MAX_VIOLATIONS_SHOWN {
+        wbs_violations.push(format!("... and {} more", wbs_total - MAX_VIOLATIONS_SHOWN));
+    }
+    let wal_before_send = TraceCheck {
+        name: "wal-before-send",
+        summary: format!("{protocol_sends} protocol sends"),
+        violations: wbs_violations,
+    };
+
+    // -- stable-decision ------------------------------------------------
+    let mut decision_logged: BTreeSet<(u32, u64)> = BTreeSet::new();
+    let mut decisions = 0u64;
+    let mut sd_violations = Vec::new();
+    let mut sd_total = 0usize;
+    for e in events {
+        match &e.kind {
+            EventKind::WalAppend { record, .. } if record == "decision" => {
+                if let (Some(site), Some(txn)) = (e.site, e.txn) {
+                    decision_logged.insert((site, txn));
+                }
+            }
+            EventKind::Decision { commit } => {
+                decisions += 1;
+                if let (Some(site), Some(txn)) = (e.site, e.txn) {
+                    if !decision_logged.contains(&(site, txn)) {
+                        sd_total += 1;
+                        if sd_violations.len() < MAX_VIOLATIONS_SHOWN {
+                            let verdict = if *commit { "commit" } else { "abort" };
+                            sd_violations.push(format!(
+                                "t={} site{site} txn {txn}: decided {verdict} without a durable decision record",
+                                e.time
+                            ));
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    if sd_total > MAX_VIOLATIONS_SHOWN {
+        sd_violations.push(format!("... and {} more", sd_total - MAX_VIOLATIONS_SHOWN));
+    }
+    let stable_decision = TraceCheck {
+        name: "stable-decision",
+        summary: format!("{decisions} decision events"),
+        violations: sd_violations,
+    };
+
+    // -- Gray–Lamport counters ------------------------------------------
+    let stable_writes =
+        events.iter().filter(|e| matches!(e.kind, EventKind::WalFsync { physical: true })).count()
+            as u64;
+    let spans = causal.txn_spans();
+    let mut decided_txns = 0u64;
+    let mut max_delay = None;
+    for span in spans.values() {
+        if let Some((at, _)) = span.decided {
+            decided_txns += 1;
+            let delay = at.saturating_sub(span.first);
+            max_delay = Some(max_delay.map_or(delay, |m: u64| m.max(delay)));
+        }
+    }
+
+    TraceReport {
+        events: events.len() as u64,
+        txns: spans.len() as u64,
+        checks: vec![conservation, decision_consistency, wal_before_send, stable_decision],
+        gl: GlCounters {
+            protocol_msgs: protocol_sends,
+            stable_writes,
+            decided_txns,
+            max_decision_delay: max_delay,
+        },
+    }
+}
+
+// ----------------------------------------------------------------------
+// Time-series statistics
+// ----------------------------------------------------------------------
+
+/// Decision-latency percentiles and the metrics-snapshot curve, produced
+/// by [`stats`].
+pub struct TraceStats {
+    /// Events analyzed.
+    pub events: u64,
+    /// Transactions seen.
+    pub txns: u64,
+    /// Exact per-transaction decision latencies (first event → first
+    /// decision), ascending.
+    pub latencies: Vec<u64>,
+    /// The `snapshot` rows, in trace order:
+    /// `(t, committed, in_flight, blocked, wal_bytes)`.
+    pub snapshots: Vec<(u64, u64, u64, u64, u64)>,
+}
+
+impl TraceStats {
+    /// Exact nearest-rank percentile over the latencies (`p` in 1..=100).
+    pub fn percentile(&self, p: u64) -> Option<u64> {
+        if self.latencies.is_empty() {
+            return None;
+        }
+        let rank = (self.latencies.len() as u64 * p).div_ceil(100).max(1) as usize;
+        Some(self.latencies[rank.min(self.latencies.len()) - 1])
+    }
+
+    /// Render the deterministic human-readable summary.
+    pub fn render(&self) -> String {
+        let mut out = format!("trace stats: {} events, {} txns\n", self.events, self.txns);
+        match self.percentile(50) {
+            Some(p50) => {
+                let (p95, p99) = (self.percentile(95).unwrap(), self.percentile(99).unwrap());
+                let max = *self.latencies.last().unwrap();
+                out.push_str(&format!(
+                    "  decision latency: n={} p50={p50} p95={p95} p99={p99} max={max}\n",
+                    self.latencies.len()
+                ));
+            }
+            None => out.push_str("  decision latency: no decided transactions\n"),
+        }
+        if !self.snapshots.is_empty() {
+            out.push_str(&format!(
+                "  time series ({} snapshots):\n    {:>8} {:>9} {:>9} {:>8} {:>10} {:>8}\n",
+                self.snapshots.len(),
+                "t",
+                "committed",
+                "in-flight",
+                "blocked",
+                "wal-bytes",
+                "goodput"
+            ));
+            let mut prev: Option<(u64, u64)> = None; // (t, committed)
+            for &(t, committed, in_flight, blocked, wal_bytes) in &self.snapshots {
+                // Goodput over the preceding interval, in decisions per
+                // 1000 time units (integer, so the render is exact).
+                let goodput = match prev {
+                    Some((pt, pc)) if t > pt => (committed.saturating_sub(pc)) * 1000 / (t - pt),
+                    _ => 0,
+                };
+                out.push_str(&format!(
+                    "    {t:>8} {committed:>9} {in_flight:>9} {blocked:>8} {wal_bytes:>10} {goodput:>8}\n"
+                ));
+                prev = Some((t, committed));
+            }
+        }
+        out
+    }
+
+    /// Encode the summary as one JSON object (fixed key order).
+    pub fn to_json(&self) -> String {
+        let mut latency = Obj::new().num("n", self.latencies.len() as u64);
+        for (key, p) in [("p50", 50), ("p95", 95), ("p99", 99)] {
+            latency = match self.percentile(p) {
+                Some(v) => latency.num(key, v),
+                None => latency.raw(key, "null"),
+            };
+        }
+        latency = match self.latencies.last() {
+            Some(max) => latency.num("max", *max),
+            None => latency.raw("max", "null"),
+        };
+        let snapshots = json::array(self.snapshots.iter().map(
+            |&(t, committed, in_flight, blocked, wal_bytes)| {
+                Obj::new()
+                    .num("t", t)
+                    .num("committed", committed)
+                    .num("in_flight", in_flight)
+                    .num("blocked", blocked)
+                    .num("wal_bytes", wal_bytes)
+                    .build()
+            },
+        ));
+        Obj::new()
+            .num("events", self.events)
+            .num("txns", self.txns)
+            .raw("decision_latency", &latency.build())
+            .raw("snapshots", &snapshots)
+            .build()
+    }
+}
+
+/// Compute decision-latency percentiles and collect the snapshot rows
+/// from a trace.
+pub fn stats(events: &[Event]) -> TraceStats {
+    let causal = CausalTrace::build(events.to_vec());
+    let spans = causal.txn_spans();
+    let mut latencies: Vec<u64> = spans
+        .values()
+        .filter_map(|s| s.decided.map(|(at, _)| at.saturating_sub(s.first)))
+        .collect();
+    latencies.sort_unstable();
+    let snapshots = events
+        .iter()
+        .filter_map(|e| match e.kind {
+            EventKind::Snapshot { committed, in_flight, blocked, wal_bytes } => {
+                Some((e.time, committed, in_flight, blocked, wal_bytes))
+            }
+            _ => None,
+        })
+        .collect();
+    TraceStats { events: events.len() as u64, txns: spans.len() as u64, latencies, snapshots }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::export::to_jsonl;
+
+    fn all_kinds() -> Vec<Event> {
+        vec![
+            Event::new(0, EventKind::Transition { from: "q1".into(), to: "w1".into() })
+                .at_site(1)
+                .for_txn(1),
+            Event::new(1, EventKind::Vote { yes: true }).at_site(1).for_txn(1),
+            Event::new(2, EventKind::MsgSend { dst: 0, label: "yes".into() }).at_site(1).for_txn(1),
+            Event::new(3, EventKind::MsgDeliver { src: 1, label: "yes".into() })
+                .at_site(0)
+                .for_txn(1),
+            Event::new(4, EventKind::MsgDrop { dst: 2, label: "commit".into() }).at_site(0),
+            Event::new(5, EventKind::Decision { commit: true }).at_site(0).for_txn(1),
+            Event::new(6, EventKind::Crash).at_site(2),
+            Event::new(7, EventKind::Recover).at_site(2),
+            Event::new(8, EventKind::FailureNotice { crashed: 2 }).at_site(0),
+            Event::new(9, EventKind::RecoveryNotice { recovered: 2 }).at_site(0),
+            Event::new(10, EventKind::Election { backup: 1 }).at_site(1).for_txn(1),
+            Event::new(11, EventKind::Aligned { class: "p".into() }).at_site(1).for_txn(1),
+            Event::new(12, EventKind::Blocked { backup: 1 }).at_site(1).for_txn(1),
+            Event::new(13, EventKind::WalAppend { bytes: 31, record: "progress".into() })
+                .at_site(1)
+                .for_txn(1),
+            Event::new(14, EventKind::WalFsync { physical: true }).at_site(1).for_txn(1),
+            Event::new(15, EventKind::WalCompact { before: 400, after: 60 }).at_site(1),
+            Event::new(16, EventKind::Admit).for_txn(2),
+            Event::new(17, EventKind::Park).for_txn(2),
+            Event::new(18, EventKind::Die).for_txn(2),
+            Event::new(19, EventKind::Reap { commit: false }).for_txn(2),
+            Event::new(20, EventKind::Partition { groups: "[0, 0, 1]".into() }),
+            Event::new(
+                21,
+                EventKind::Snapshot { committed: 5, in_flight: 2, blocked: 1, wal_bytes: 999 },
+            ),
+            Event::new(22, EventKind::Note { text: "free-form \"quoted\"".into() }),
+        ]
+    }
+
+    #[test]
+    fn every_kind_round_trips_through_jsonl() {
+        let events = all_kinds();
+        let text = to_jsonl(&events);
+        let back = parse_jsonl(&text).unwrap();
+        assert_eq!(back, events);
+        // And re-exporting the parse is byte-identical.
+        assert_eq!(to_jsonl(&back), text);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        assert!(parse_event("{\"t\":0,\"kind\":\"no-such-kind\"}").is_err());
+        assert!(parse_event("{\"kind\":\"crash\"}").is_err(), "missing t");
+        assert!(parse_event("{\"t\":1,\"kind\":\"vote\"}").is_err(), "missing yes");
+        assert!(parse_event("not json").is_err());
+        let err = parse_jsonl("{\"t\":1,\"kind\":\"crash\"}\nbroken\n").unwrap_err();
+        assert!(err.starts_with("line 2:"), "{err}");
+    }
+
+    #[test]
+    fn protocol_labels_are_bare_words() {
+        for yes in ["yes", "commit", "msg12", "pre-commit"] {
+            assert!(is_protocol_label(yes), "{yes}");
+        }
+        for no in ["", "what-happened?", "align-to(p) from backup site1", "outcome: committed"] {
+            assert!(!is_protocol_label(no), "{no}");
+        }
+    }
+
+    fn msg_chain() -> Vec<Event> {
+        vec![
+            Event::new(0, EventKind::Note { text: "start".into() }).at_site(0),
+            Event::new(1, EventKind::MsgSend { dst: 1, label: "m".into() }).at_site(0),
+            Event::new(2, EventKind::Note { text: "independent".into() }).at_site(2),
+            Event::new(5, EventKind::MsgDeliver { src: 0, label: "m".into() }).at_site(1),
+            Event::new(6, EventKind::MsgSend { dst: 2, label: "n".into() }).at_site(1),
+            Event::new(9, EventKind::MsgDeliver { src: 1, label: "n".into() }).at_site(2),
+        ]
+    }
+
+    #[test]
+    fn lamport_clocks_respect_message_edges() {
+        let ct = CausalTrace::build(msg_chain());
+        // Delivery dominates both its sender chain and its own site chain.
+        assert!(ct.clock(3) > ct.clock(1));
+        assert!(ct.clock(5) > ct.clock(4));
+        assert!(ct.clock(5) > ct.clock(2), "site2's chain ticked");
+        assert_eq!(ct.send_of(3), Some(1));
+        assert_eq!(ct.receipt_of(1), Some(3));
+        assert_eq!(ct.orphan_receipts, 0);
+        assert_eq!(ct.unmatched_sends(), 0);
+    }
+
+    #[test]
+    fn happens_before_follows_program_and_message_order() {
+        let ct = CausalTrace::build(msg_chain());
+        assert!(ct.happens_before(0, 1), "program order");
+        assert!(ct.happens_before(1, 3), "send -> deliver");
+        assert!(ct.happens_before(0, 5), "transitive across two hops");
+        assert!(!ct.happens_before(2, 3), "site2's note is concurrent with the delivery");
+        assert!(!ct.happens_before(5, 0), "no edge runs backwards");
+    }
+
+    #[test]
+    fn spans_timelines_and_flow_matrix() {
+        let mut events = msg_chain();
+        for e in &mut events {
+            e.txn = Some(7);
+        }
+        events.push(Event::new(11, EventKind::Decision { commit: true }).at_site(2).for_txn(7));
+        let ct = CausalTrace::build(events);
+        let spans = ct.txn_spans();
+        assert_eq!(spans[&7], TxnSpan { first: 0, last: 11, events: 7, decided: Some((11, true)) });
+        let timelines = ct.site_timelines();
+        assert_eq!(timelines[&0], vec![0, 1]);
+        assert_eq!(timelines[&2], vec![2, 5, 6]);
+        let flow = ct.flow_matrix();
+        assert_eq!(flow[&(0, 1)], 1);
+        assert_eq!(flow[&(1, 2)], 1);
+    }
+
+    /// A minimal clean trace that satisfies all four oracles.
+    fn clean_trace() -> Vec<Event> {
+        vec![
+            Event::new(0, EventKind::WalAppend { bytes: 20, record: "progress".into() })
+                .at_site(0)
+                .for_txn(1),
+            Event::new(0, EventKind::WalFsync { physical: true }).at_site(0).for_txn(1),
+            Event::new(1, EventKind::MsgSend { dst: 1, label: "msg1".into() })
+                .at_site(0)
+                .for_txn(1),
+            Event::new(3, EventKind::MsgDeliver { src: 0, label: "msg1".into() })
+                .at_site(1)
+                .for_txn(1),
+            Event::new(3, EventKind::WalAppend { bytes: 24, record: "decision".into() })
+                .at_site(1)
+                .for_txn(1),
+            Event::new(3, EventKind::WalFsync { physical: true }).at_site(1).for_txn(1),
+            Event::new(3, EventKind::Decision { commit: true }).at_site(1).for_txn(1),
+        ]
+    }
+
+    #[test]
+    fn verify_passes_a_clean_trace() {
+        let report = verify(&clean_trace());
+        assert!(report.ok(), "{}", report.render());
+        assert_eq!(report.gl.protocol_msgs, 1);
+        assert_eq!(report.gl.stable_writes, 2);
+        assert_eq!(report.gl.decided_txns, 1);
+        assert_eq!(report.gl.max_decision_delay, Some(3));
+        let rendered = report.render();
+        assert!(rendered.contains("result: PASS"), "{rendered}");
+        crate::json::validate(&report.to_json()).unwrap();
+    }
+
+    #[test]
+    fn verify_flags_a_dropped_deliver() {
+        let mut events = clean_trace();
+        events.retain(|e| !matches!(e.kind, EventKind::MsgDeliver { .. }));
+        let report = verify(&events);
+        assert!(!report.ok());
+        let rendered = report.render();
+        assert!(rendered.contains("conservation"), "{rendered}");
+        assert!(rendered.contains("result: FAIL"), "{rendered}");
+    }
+
+    #[test]
+    fn verify_flags_conflicting_decisions() {
+        let mut events = clean_trace();
+        events.push(
+            Event::new(9, EventKind::WalAppend { bytes: 24, record: "decision".into() })
+                .at_site(0)
+                .for_txn(1),
+        );
+        events.push(Event::new(9, EventKind::Decision { commit: false }).at_site(0).for_txn(1));
+        let report = verify(&events);
+        let bad: Vec<_> = report.checks.iter().filter(|c| !c.ok()).collect();
+        assert_eq!(bad.len(), 1);
+        assert_eq!(bad[0].name, "decision-consistency");
+        assert!(bad[0].violations[0].contains("txn 1"), "{:?}", bad[0].violations);
+    }
+
+    #[test]
+    fn verify_flags_send_before_wal() {
+        let mut events = clean_trace();
+        // Move the send in front of its WAL append.
+        let send = events.remove(2);
+        events.insert(0, send);
+        let report = verify(&events);
+        let bad: Vec<_> = report.checks.iter().filter(|c| !c.ok()).collect();
+        assert_eq!(bad.len(), 1);
+        assert_eq!(bad[0].name, "wal-before-send");
+    }
+
+    #[test]
+    fn verify_flags_unlogged_decision() {
+        let mut events = clean_trace();
+        events.retain(
+            |e| !matches!(&e.kind, EventKind::WalAppend { record, .. } if record == "decision"),
+        );
+        let report = verify(&events);
+        let bad: Vec<_> = report.checks.iter().filter(|c| !c.ok()).collect();
+        assert_eq!(bad.len(), 1);
+        assert_eq!(bad[0].name, "stable-decision");
+    }
+
+    #[test]
+    fn verify_is_deterministic() {
+        let mut events = clean_trace();
+        events.retain(|e| !matches!(e.kind, EventKind::MsgDeliver { .. }));
+        let a = verify(&events);
+        let b = verify(&events);
+        assert_eq!(a.render(), b.render());
+        assert_eq!(a.to_json(), b.to_json());
+    }
+
+    #[test]
+    fn stats_percentiles_are_exact() {
+        let mut events = Vec::new();
+        for txn in 0..100u64 {
+            events.push(Event::new(0, EventKind::Admit).for_txn(txn));
+            events.push(
+                Event::new(txn + 1, EventKind::Decision { commit: true }).at_site(0).for_txn(txn),
+            );
+        }
+        let s = stats(&events);
+        assert_eq!(s.txns, 100);
+        assert_eq!(s.percentile(50), Some(50));
+        assert_eq!(s.percentile(95), Some(95));
+        assert_eq!(s.percentile(99), Some(99));
+        assert_eq!(s.percentile(100), Some(100));
+        let rendered = s.render();
+        assert!(rendered.contains("p50=50 p95=95 p99=99 max=100"), "{rendered}");
+        crate::json::validate(&s.to_json()).unwrap();
+    }
+
+    #[test]
+    fn stats_render_the_snapshot_curve() {
+        let events = vec![
+            Event::new(
+                100,
+                EventKind::Snapshot { committed: 10, in_flight: 3, blocked: 0, wal_bytes: 500 },
+            ),
+            Event::new(
+                200,
+                EventKind::Snapshot { committed: 30, in_flight: 1, blocked: 1, wal_bytes: 900 },
+            ),
+        ];
+        let s = stats(&events);
+        assert_eq!(s.snapshots.len(), 2);
+        let rendered = s.render();
+        assert!(rendered.contains("time series (2 snapshots):"), "{rendered}");
+        // Second interval: 20 decisions over 100 units = 200 per 1000.
+        assert!(rendered.lines().last().unwrap().trim().ends_with("200"), "{rendered}");
+    }
+}

@@ -18,6 +18,7 @@
 //! | [`WalAppend`](EventKind::WalAppend) / [`WalFsync`](EventKind::WalFsync) / [`WalCompact`](EventKind::WalCompact) | the DT log: stable writes and forces |
 //! | [`Admit`](EventKind::Admit) / [`Park`](EventKind::Park) / [`Die`](EventKind::Die) / [`Reap`](EventKind::Reap) | pipeline scheduler: wait-die admission and blocked-round reaping |
 //! | [`Partition`](EventKind::Partition) | scheduled network partition |
+//! | [`Snapshot`](EventKind::Snapshot) | periodic pipeline metrics row (time-series, not a paper concept) |
 //! | [`Note`](EventKind::Note) | free-form diagnostic routed through the sink layer |
 
 /// What happened (see the module table for the paper mapping).
@@ -53,6 +54,8 @@ pub enum EventKind {
     MsgDrop {
         /// Intended destination site.
         dst: u32,
+        /// Human-readable payload label of the dropped message.
+        label: String,
     },
     /// A site reached or adopted a final decision.
     Decision {
@@ -128,6 +131,17 @@ pub enum EventKind {
         /// Debug rendering of the group assignment.
         groups: String,
     },
+    /// Periodic pipeline metrics snapshot (the time-series row).
+    Snapshot {
+        /// Transactions decided committed so far.
+        committed: u64,
+        /// Transactions currently in flight.
+        in_flight: u64,
+        /// Rounds currently blocked awaiting reap.
+        blocked: u64,
+        /// Total WAL bytes appended so far across all sites.
+        wal_bytes: u64,
+    },
     /// Free-form diagnostic text.
     Note {
         /// The message.
@@ -161,6 +175,7 @@ impl EventKind {
             Self::Die => "die",
             Self::Reap { .. } => "reap",
             Self::Partition { .. } => "partition",
+            Self::Snapshot { .. } => "snapshot",
             Self::Note { .. } => "note",
         }
     }

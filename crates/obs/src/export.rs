@@ -26,7 +26,7 @@ pub fn event_json(event: &Event) -> String {
         EventKind::Vote { yes } => o.bool("yes", *yes),
         EventKind::MsgSend { dst, label } => o.num("dst", u64::from(*dst)).str("label", label),
         EventKind::MsgDeliver { src, label } => o.num("src", u64::from(*src)).str("label", label),
-        EventKind::MsgDrop { dst } => o.num("dst", u64::from(*dst)),
+        EventKind::MsgDrop { dst, label } => o.num("dst", u64::from(*dst)).str("label", label),
         EventKind::Decision { commit } => o.bool("commit", *commit),
         EventKind::Crash | EventKind::Recover => o,
         EventKind::FailureNotice { crashed } => o.num("crashed", u64::from(*crashed)),
@@ -40,6 +40,11 @@ pub fn event_json(event: &Event) -> String {
         EventKind::Admit | EventKind::Park | EventKind::Die => o,
         EventKind::Reap { commit } => o.bool("commit", *commit),
         EventKind::Partition { groups } => o.str("groups", groups),
+        EventKind::Snapshot { committed, in_flight, blocked, wal_bytes } => o
+            .num("committed", *committed)
+            .num("in_flight", *in_flight)
+            .num("blocked", *blocked)
+            .num("wal_bytes", *wal_bytes),
         EventKind::Note { text } => o.str("text", text),
     };
     o.build()

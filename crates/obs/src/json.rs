@@ -1,5 +1,6 @@
 //! A hand-rolled JSON layer: string escaping, an object/array builder,
-//! and a strict well-formedness validator.
+//! a strict well-formedness validator, and a [`Value`] parser for the
+//! read side ([`crate::analyze`] parses traces back through it).
 //!
 //! The workspace takes no external dependencies, so the exporters and the
 //! machine-readable CLI output (`--json`) build their JSON through these
@@ -109,19 +110,78 @@ pub fn array(items: impl IntoIterator<Item = String>) -> String {
     buf
 }
 
+/// A parsed JSON value. Numbers keep their source text (traces carry
+/// `u64` timestamps and byte counts that a float round-trip could
+/// corrupt); objects keep their key order.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number, as its exact source text.
+    Num(String),
+    /// A string, with escapes decoded.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object, in source key order.
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Look up a key in an object (`None` for non-objects and misses).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Self::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as an unsigned integer, if it is a plain decimal number.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Self::Num(text) => text.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Self::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a boolean, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Self::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
 /// Strictly validate that `input` is one well-formed JSON value (with
 /// optional surrounding whitespace). Returns the byte offset and a
 /// message on failure. Used by the trace tests and the CI smoke step to
 /// check every exported line without an external JSON library.
 pub fn validate(input: &str) -> Result<(), String> {
+    parse(input).map(|_| ())
+}
+
+/// Parse `input` as one well-formed JSON value (the same strict grammar
+/// as [`validate`]). Returns the byte offset and a message on failure.
+pub fn parse(input: &str) -> Result<Value, String> {
     let mut p = Parser { bytes: input.as_bytes(), pos: 0 };
     p.skip_ws();
-    p.value()?;
+    let v = p.value()?;
     p.skip_ws();
     if p.pos != p.bytes.len() {
         return Err(format!("trailing data at byte {}", p.pos));
     }
-    Ok(())
+    Ok(v)
 }
 
 struct Parser<'a> {
@@ -162,110 +222,140 @@ impl Parser<'_> {
         }
     }
 
-    fn value(&mut self) -> Result<(), String> {
+    fn value(&mut self) -> Result<Value, String> {
         match self.peek() {
             Some(b'{') => self.object(),
             Some(b'[') => self.array(),
-            Some(b'"') => self.string(),
-            Some(b't') => self.literal("true"),
-            Some(b'f') => self.literal("false"),
-            Some(b'n') => self.literal("null"),
+            Some(b'"') => self.string().map(Value::Str),
+            Some(b't') => self.literal("true").map(|()| Value::Bool(true)),
+            Some(b'f') => self.literal("false").map(|()| Value::Bool(false)),
+            Some(b'n') => self.literal("null").map(|()| Value::Null),
             Some(b'-' | b'0'..=b'9') => self.number(),
             _ => self.err("expected a JSON value"),
         }
     }
 
-    fn object(&mut self) -> Result<(), String> {
+    fn object(&mut self) -> Result<Value, String> {
         self.expect(b'{')?;
         self.skip_ws();
+        let mut fields = Vec::new();
         if self.peek() == Some(b'}') {
             self.pos += 1;
-            return Ok(());
+            return Ok(Value::Obj(fields));
         }
         loop {
             self.skip_ws();
-            self.string()?;
+            let key = self.string()?;
             self.skip_ws();
             self.expect(b':')?;
             self.skip_ws();
-            self.value()?;
+            let val = self.value()?;
+            fields.push((key, val));
             self.skip_ws();
             match self.peek() {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
-                    return Ok(());
+                    return Ok(Value::Obj(fields));
                 }
                 _ => return self.err("expected ',' or '}'"),
             }
         }
     }
 
-    fn array(&mut self) -> Result<(), String> {
+    fn array(&mut self) -> Result<Value, String> {
         self.expect(b'[')?;
         self.skip_ws();
+        let mut items = Vec::new();
         if self.peek() == Some(b']') {
             self.pos += 1;
-            return Ok(());
+            return Ok(Value::Arr(items));
         }
         loop {
             self.skip_ws();
-            self.value()?;
+            items.push(self.value()?);
             self.skip_ws();
             match self.peek() {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
-                    return Ok(());
+                    return Ok(Value::Arr(items));
                 }
                 _ => return self.err("expected ',' or ']'"),
             }
         }
     }
 
-    fn string(&mut self) -> Result<(), String> {
+    fn string(&mut self) -> Result<String, String> {
         self.expect(b'"')?;
+        let mut out = String::new();
         loop {
             match self.peek() {
                 None => return self.err("unterminated string"),
                 Some(b'"') => {
                     self.pos += 1;
-                    return Ok(());
+                    return Ok(out);
                 }
                 Some(b'\\') => {
                     self.pos += 1;
                     match self.peek() {
-                        Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => {
-                            self.pos += 1;
-                        }
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
                         Some(b'u') => {
                             self.pos += 1;
+                            let mut code = 0u32;
                             for _ in 0..4 {
                                 match self.peek() {
-                                    Some(c) if c.is_ascii_hexdigit() => self.pos += 1,
+                                    Some(c) if c.is_ascii_hexdigit() => {
+                                        code = code * 16 + (c as char).to_digit(16).unwrap_or(0);
+                                        self.pos += 1;
+                                    }
                                     _ => return self.err("bad \\u escape"),
                                 }
                             }
+                            // Unpaired surrogates can't form a char; our own
+                            // escaper never emits them, so map to U+FFFD.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            continue;
                         }
                         _ => return self.err("bad escape"),
                     }
+                    self.pos += 1;
                 }
                 Some(c) if c < 0x20 => return self.err("raw control character in string"),
-                Some(_) => self.pos += 1,
+                Some(_) => {
+                    let start = self.pos;
+                    while matches!(self.peek(), Some(c) if c != b'"' && c != b'\\' && c >= 0x20) {
+                        self.pos += 1;
+                    }
+                    // The input is a &str, so slicing at non-escape byte
+                    // boundaries stays valid UTF-8.
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[start..self.pos])
+                            .map_err(|_| format!("invalid UTF-8 at byte {start}"))?,
+                    );
+                }
             }
         }
     }
 
-    fn number(&mut self) -> Result<(), String> {
+    fn number(&mut self) -> Result<Value, String> {
+        let start = self.pos;
         if self.peek() == Some(b'-') {
             self.pos += 1;
         }
         let digits = |p: &mut Self| -> Result<(), String> {
-            let start = p.pos;
+            let ds = p.pos;
             while matches!(p.peek(), Some(b'0'..=b'9')) {
                 p.pos += 1;
             }
-            if p.pos == start {
+            if p.pos == ds {
                 p.err("expected digits")
             } else {
                 Ok(())
@@ -283,7 +373,9 @@ impl Parser<'_> {
             }
             digits(self)?;
         }
-        Ok(())
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| format!("invalid UTF-8 at byte {start}"))?;
+        Ok(Value::Num(text.to_string()))
     }
 }
 
@@ -326,6 +418,52 @@ mod tests {
     fn validator_rejects_invalid() {
         for bad in ["{", "{\"a\":}", "[1,]", "01x", "\"unterminated", "{} {}", "{\"a\" 1}"] {
             assert!(validate(bad).is_err(), "{bad:?} should be rejected");
+        }
+    }
+
+    #[test]
+    fn parser_builds_values() {
+        let v = parse("{\"t\":5,\"kind\":\"msg-send\",\"ok\":true,\"x\":null}").unwrap();
+        assert_eq!(v.get("t").and_then(Value::as_u64), Some(5));
+        assert_eq!(v.get("kind").and_then(Value::as_str), Some("msg-send"));
+        assert_eq!(v.get("ok").and_then(Value::as_bool), Some(true));
+        assert_eq!(v.get("x"), Some(&Value::Null));
+        assert_eq!(v.get("missing"), None);
+    }
+
+    #[test]
+    fn parser_decodes_escapes() {
+        let v = parse("\"a\\\"b\\\\c\\nd\\u00e9\\u0001\"").unwrap();
+        assert_eq!(v.as_str(), Some("a\"b\\c\nd\u{e9}\u{1}"));
+        // Round-trip through our own escaper.
+        let text = "quote\" back\\slash \nnewline\ttab\u{1}ctl é";
+        assert_eq!(parse(&string(text)).unwrap().as_str(), Some(text));
+    }
+
+    #[test]
+    fn parser_keeps_u64_numbers_exact() {
+        let big = u64::MAX;
+        let v = parse(&format!("[{big},-2,3.5]")).unwrap();
+        match &v {
+            Value::Arr(items) => {
+                assert_eq!(items[0].as_u64(), Some(big));
+                assert_eq!(items[1], Value::Num("-2".to_string()));
+                assert_eq!(items[1].as_u64(), None);
+                assert_eq!(items[2], Value::Num("3.5".to_string()));
+            }
+            other => panic!("expected array, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parser_preserves_object_key_order() {
+        let v = parse("{\"z\":1,\"a\":2}").unwrap();
+        match v {
+            Value::Obj(fields) => {
+                let keys: Vec<&str> = fields.iter().map(|(k, _)| k.as_str()).collect();
+                assert_eq!(keys, ["z", "a"]);
+            }
+            other => panic!("expected object, got {other:?}"),
         }
     }
 

@@ -30,17 +30,29 @@
 //! [`Metrics`] registry's stdout table (decision latency per site,
 //! messages and stable writes per transaction, WAL traffic, election
 //! rounds).
+//!
+//! The crate also has a **read side**: [`analyze`] parses JSONL traces
+//! back into typed events, reconstructs happens-before with Lamport
+//! clocks ([`CausalTrace`]), audits the engine's invariants offline
+//! ([`analyze::verify`]), and derives decision-latency percentiles and
+//! time-series curves ([`analyze::stats`]). A [`FlightRecorder`] — a
+//! bounded overwrite-oldest ring sink — retains the causal tail of any
+//! run so failures can dump their last moments for that analysis.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod analyze;
 pub mod event;
 pub mod export;
 pub mod json;
 pub mod metrics;
 pub mod progress;
+pub mod recorder;
 pub mod sink;
 
+pub use analyze::{CausalTrace, TraceReport, TraceStats};
 pub use event::{Event, EventKind};
 pub use metrics::{Histogram, Metrics, TxnStats};
+pub use recorder::FlightRecorder;
 pub use sink::{LinesSink, MemorySink, SharedSink, Sink, Tracer};

@@ -91,10 +91,12 @@ impl fmt::Display for Histogram {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "n={} mean={} p50<={} max={}",
+            "n={} mean={} p50<={} p95<={} p99<={} max={}",
             self.count,
             self.mean(),
             self.quantile_le(500),
+            self.quantile_le(950),
+            self.quantile_le(990),
             self.max
         )
     }
@@ -191,6 +193,68 @@ impl Metrics {
         stats.start = Some(stats.start.map_or(event.time, |s| s.min(event.time)));
         Some(stats)
     }
+
+    /// Encode the registry as one JSON object (fixed key order, so equal
+    /// runs produce byte-identical output). Histograms include the
+    /// bucket-resolution p50/p95/p99 quantiles.
+    pub fn to_json(&self) -> String {
+        let hist_json = |h: &Histogram| {
+            crate::json::Obj::new()
+                .num("n", h.count())
+                .num("mean", h.mean())
+                .num("p50_le", h.quantile_le(500))
+                .num("p95_le", h.quantile_le(950))
+                .num("p99_le", h.quantile_le(990))
+                .num("max", h.max())
+                .build()
+        };
+        let latency = crate::json::array(self.decision_latency.iter().map(|(site, h)| {
+            crate::json::Obj::new()
+                .num("site", u64::from(*site))
+                .raw("latency", &hist_json(h))
+                .build()
+        }));
+        let txns = crate::json::array(self.txns.iter().map(|(txn, t)| {
+            let mut o = crate::json::Obj::new()
+                .num("txn", *txn)
+                .num("msgs_sent", t.msgs_sent)
+                .num("msgs_delivered", t.msgs_delivered)
+                .num("msgs_dropped", t.msgs_dropped)
+                .num("stable_writes", t.stable_writes)
+                .num("wal_bytes", t.wal_bytes)
+                .num("elections", t.elections);
+            o = match t.latency() {
+                Some(l) => o.num("latency", l),
+                None => o.raw("latency", "null"),
+            };
+            o = match t.committed {
+                Some(c) => o.bool("committed", c),
+                None => o.raw("committed", "null"),
+            };
+            o.build()
+        }));
+        crate::json::Obj::new()
+            .num("events", self.events)
+            .num("msgs_sent", self.msgs_sent)
+            .num("msgs_delivered", self.msgs_delivered)
+            .num("msgs_dropped", self.msgs_dropped)
+            .num("transitions", self.transitions)
+            .num("crashes", self.crashes)
+            .num("recoveries", self.recoveries)
+            .num("elections", self.elections)
+            .num("blocked", self.blocked)
+            .num("wal_appends", self.wal_appends)
+            .num("wal_bytes", self.wal_bytes)
+            .num("wal_fsyncs_physical", self.wal_fsyncs_physical)
+            .num("wal_fsyncs_batched", self.wal_fsyncs_batched)
+            .num("admits", self.admits)
+            .num("parks", self.parks)
+            .num("dies", self.dies)
+            .num("reaps", self.reaps)
+            .raw("decision_latency", &latency)
+            .raw("txns", &txns)
+            .build()
+    }
 }
 
 impl Sink for Metrics {
@@ -278,6 +342,7 @@ impl Sink for Metrics {
             | EventKind::Aligned { .. }
             | EventKind::WalCompact { .. }
             | EventKind::Partition { .. }
+            | EventKind::Snapshot { .. }
             | EventKind::Note { .. } => {}
         }
     }
@@ -356,6 +421,13 @@ mod tests {
         // Median bucket: 3rd sample of 6 lands in the [2,4) bucket.
         assert_eq!(h.quantile_le(500), 4);
         assert_eq!(h.quantile_le(1000), 128);
+        // p95/p99 of 6 samples need all of them: the 100 bucket.
+        assert_eq!(h.quantile_le(950), 128);
+        assert_eq!(h.quantile_le(990), 128);
+        let line = h.to_string();
+        assert!(line.contains("p50<=4"), "{line}");
+        assert!(line.contains("p95<=128"), "{line}");
+        assert!(line.contains("p99<=128"), "{line}");
     }
 
     #[test]
@@ -408,5 +480,27 @@ mod tests {
         assert!(table.contains("sent=1 delivered=1 dropped=0"), "{table}");
         assert!(table.contains("decision latency by site:"), "{table}");
         assert!(table.contains("commit"), "{table}");
+    }
+
+    #[test]
+    fn metrics_json_is_valid_and_carries_quantiles() {
+        let mut m = Metrics::new();
+        let evs = [
+            Event::new(0, EventKind::Transition { from: "q0".into(), to: "w0".into() })
+                .at_site(0)
+                .for_txn(1),
+            Event::new(7, EventKind::Decision { commit: true }).at_site(0).for_txn(1),
+        ];
+        for e in &evs {
+            m.record(e);
+        }
+        let j = m.to_json();
+        crate::json::validate(&j).unwrap();
+        let v = crate::json::parse(&j).unwrap();
+        assert_eq!(v.get("events").and_then(crate::json::Value::as_u64), Some(2));
+        assert!(j.contains("\"p50_le\":8"), "{j}");
+        assert!(j.contains("\"p95_le\":8"), "{j}");
+        assert!(j.contains("\"p99_le\":8"), "{j}");
+        assert!(j.contains("\"latency\":7,\"committed\":true"), "{j}");
     }
 }

@@ -66,16 +66,24 @@ pub fn spill_line(subject: &str, runs: u64, bytes: u64, merge_passes: u64) -> St
     )
 }
 
+/// Extract the peak-RSS value in bytes from the text of a Linux
+/// `/proc/<pid>/status` file (`VmHWM:  1234 kB`). Pure parse — works on
+/// every platform, so the non-Linux builds still compile and test it.
+/// `None` when the line is missing or malformed.
+pub fn parse_vm_hwm(status: &str) -> Option<u64> {
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024)
+}
+
 /// Peak resident set size of this process in bytes (`VmHWM` from
 /// `/proc/self/status`), for benchmark envelopes. `None` when the
-/// platform does not expose it.
+/// platform does not expose it (non-Linux, or `/proc` unreadable).
 pub fn peak_rss_bytes() -> Option<u64> {
     #[cfg(target_os = "linux")]
     {
         let status = std::fs::read_to_string("/proc/self/status").ok()?;
-        let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
-        let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
-        Some(kb * 1024)
+        parse_vm_hwm(&status)
     }
     #[cfg(not(target_os = "linux"))]
     {
@@ -104,5 +112,19 @@ mod tests {
     fn peak_rss_is_positive_on_linux() {
         let rss = peak_rss_bytes().expect("VmHWM present on linux");
         assert!(rss > 0);
+    }
+
+    #[test]
+    fn vm_hwm_parse_accepts_proc_format() {
+        let status = "Name:\tnbc\nVmPeak:\t  999 kB\nVmHWM:\t   5124 kB\nThreads:\t1\n";
+        assert_eq!(parse_vm_hwm(status), Some(5124 * 1024));
+    }
+
+    #[test]
+    fn vm_hwm_parse_falls_back_to_none() {
+        assert_eq!(parse_vm_hwm(""), None);
+        assert_eq!(parse_vm_hwm("Name:\tnbc\nVmPeak:\t 1 kB\n"), None);
+        assert_eq!(parse_vm_hwm("VmHWM:\n"), None);
+        assert_eq!(parse_vm_hwm("VmHWM:\tnot-a-number kB\n"), None);
     }
 }

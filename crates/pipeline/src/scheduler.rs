@@ -68,6 +68,10 @@ pub struct PipelineConfig {
     /// Wait-die restarts a transaction may suffer before it is admitted
     /// doomed (no vote at the contested site) instead of retried.
     pub die_budget: u32,
+    /// Emit a [`EventKind::Snapshot`] metrics row through the tracer every
+    /// this many sim ticks (0 = off). Snapshots land on exact interval
+    /// boundaries, so the time series is deterministic.
+    pub series_every: u64,
 }
 
 impl PipelineConfig {
@@ -84,6 +88,7 @@ impl PipelineConfig {
             group_window: 2,
             reap_after: 200,
             die_budget: 3,
+            series_every: 0,
         }
     }
 
@@ -102,6 +107,12 @@ impl PipelineConfig {
     /// Set the blocked-round reap delay.
     pub fn with_reap_after(mut self, ticks: Time) -> Self {
         self.reap_after = ticks;
+        self
+    }
+
+    /// Set the metrics-snapshot interval (0 = no snapshots).
+    pub fn with_series_every(mut self, ticks: u64) -> Self {
+        self.series_every = ticks;
         self
     }
 }
@@ -259,8 +270,30 @@ impl Pipeline {
         let mut clock = self.clock;
         let mut dirty = true;
         let mut last_pass_progressed = true;
+        // Time-series boundary: the next snapshot lands on the first
+        // interval boundary strictly after the starting clock.
+        let every = self.cfg.series_every;
+        let mut next_snap =
+            clock.checked_div(every).map_or(Time::MAX, |intervals| (intervals + 1) * every);
 
         loop {
+            // ---- Time-series snapshots at crossed interval boundaries. ----
+            while clock >= next_snap {
+                let at = next_snap;
+                self.tracer.emit(|| {
+                    Event::new(
+                        at,
+                        EventKind::Snapshot {
+                            committed: report.committed,
+                            in_flight: in_flight.len() as u64,
+                            blocked: blocked.len() as u64,
+                            wal_bytes: self.wal_bytes() as u64,
+                        },
+                    )
+                });
+                next_snap += every;
+            }
+
             // ---- Admission pass (only when something changed). ----
             if dirty {
                 dirty = false;
@@ -377,6 +410,20 @@ impl Pipeline {
         }
 
         self.catch_up(clock);
+        // One closing snapshot so the series always covers the batch end.
+        if every > 0 {
+            self.tracer.emit(|| {
+                Event::new(
+                    clock,
+                    EventKind::Snapshot {
+                        committed: report.committed,
+                        in_flight: 0,
+                        blocked: blocked.len() as u64,
+                        wal_bytes: self.wal_bytes() as u64,
+                    },
+                )
+            });
+        }
         self.clock = clock;
         latencies.sort_unstable();
         report.p50_commit_latency = percentile(&latencies, 50);
@@ -767,6 +814,42 @@ mod tests {
         assert_eq!(admits, 12);
         // Every admitted round produced protocol traffic under its txn id.
         assert!(a.iter().any(|e| matches!(e.kind, EventKind::MsgSend { .. }) && e.txn == Some(12)));
+    }
+
+    #[test]
+    fn series_snapshots_land_on_boundaries() {
+        use nbc_obs::{MemorySink, SharedSink};
+        let w = BankWorkload::new(3, 12, 1_000, 31);
+        let cfg = PipelineConfig::new(3, ProtocolKind::Central3pc).with_series_every(16);
+        let mut p = Pipeline::new(cfg);
+        let sink = SharedSink::new(MemorySink::default());
+        p.set_tracer(Tracer::to_sink(sink.clone()));
+        assert_eq!(p.run(vec![PipelineTxn::from_ops(&w.setup_ops())]).committed, 1);
+        let mut w2 = w;
+        let mut rng = SimRng::seed_from_u64(11);
+        let r = p.run(bank_transfer_txns(&mut w2, 12, 0, &mut rng));
+        assert_eq!(r.decided(), 12);
+        let snaps: Vec<Event> = sink.with(|s| {
+            s.events
+                .iter()
+                .filter(|e| matches!(e.kind, EventKind::Snapshot { .. }))
+                .cloned()
+                .collect()
+        });
+        assert!(snaps.len() >= 2, "a multi-txn batch spans several intervals");
+        // All but the per-run closing snapshots sit on interval boundaries,
+        // and times never go backwards.
+        let mut last = 0;
+        for s in &snaps {
+            assert!(s.time >= last, "snapshot times must be monotone");
+            last = s.time;
+        }
+        assert!(snaps.iter().filter(|s| s.time % 16 == 0).count() >= snaps.len() - 2);
+        // The committed counter in the final snapshot covers the batch.
+        if let EventKind::Snapshot { committed, in_flight, .. } = snaps.last().unwrap().kind {
+            assert_eq!(in_flight, 0);
+            assert!(committed > 0);
+        }
     }
 
     #[test]

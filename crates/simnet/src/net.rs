@@ -145,14 +145,19 @@ impl<M> Network<M> {
 
     /// Send `msg` from `src` to `dst` at time `now`; returns the scheduled
     /// delivery time (`None` if a partition swallowed the message).
-    pub fn send(&mut self, now: Time, src: SiteIx, dst: SiteIx, msg: M) -> Option<Time> {
+    pub fn send(&mut self, now: Time, src: SiteIx, dst: SiteIx, msg: M) -> Option<Time>
+    where
+        M: std::fmt::Display,
+    {
         assert!(src < self.n && dst < self.n, "site index out of range");
         if let Some(groups) = &self.groups {
             if groups[src] != groups[dst] {
                 self.stats.record_send(src, dst);
                 self.stats.record_drop();
-                self.tracer
-                    .emit(|| Event::new(now, EventKind::MsgDrop { dst: dst as u32 }).at_site(src));
+                self.tracer.emit(|| {
+                    Event::new(now, EventKind::MsgDrop { dst: dst as u32, label: msg.to_string() })
+                        .at_site(src)
+                });
                 return None;
             }
         }
@@ -171,17 +176,24 @@ impl<M> Network<M> {
     /// one — every site receives failure notices for every site outside
     /// its group. **This violates the paper's network assumptions on
     /// purpose** (demonstration only).
-    pub fn partition(&mut self, now: Time, assignment: Vec<usize>) {
+    pub fn partition(&mut self, now: Time, assignment: Vec<usize>)
+    where
+        M: std::fmt::Display,
+    {
         assert_eq!(assignment.len(), self.n);
         // In-flight messages crossing the cut die with the link.
         let tracer = self.tracer.clone();
         let retained: Vec<Reverse<Scheduled<M>>> = std::mem::take(&mut self.heap)
             .into_iter()
             .filter(|Reverse(sch)| match &sch.event {
-                NetEvent::Deliver { src, dst, .. } if assignment[*src] != assignment[*dst] => {
+                NetEvent::Deliver { src, dst, msg } if assignment[*src] != assignment[*dst] => {
                     self.stats.record_drop();
                     tracer.emit(|| {
-                        Event::new(now, EventKind::MsgDrop { dst: *dst as u32 }).at_site(*src)
+                        Event::new(
+                            now,
+                            EventKind::MsgDrop { dst: *dst as u32, label: msg.to_string() },
+                        )
+                        .at_site(*src)
                     });
                     false
                 }
@@ -308,15 +320,20 @@ impl<M> Network<M> {
     /// message-loss faults (in particular, in-flight messages of a crashed
     /// sender — the paper's non-atomic transition failure seen from the
     /// network side). Returns the dropped event, `None` if not pending.
-    pub fn drop_seq(&mut self, now: Time, seq: u64) -> Option<NetEvent<M>> {
+    pub fn drop_seq(&mut self, now: Time, seq: u64) -> Option<NetEvent<M>>
+    where
+        M: std::fmt::Display,
+    {
         let (_, ev) = self.take_seq(seq)?;
-        if let NetEvent::Deliver { src, dst, .. } = &ev {
+        if let NetEvent::Deliver { src, dst, msg } = &ev {
             // take_seq counted it as delivered; reclassify as dropped.
             self.stats.undo_delivery();
             self.stats.record_drop();
             let (src, dst) = (*src, *dst);
-            self.tracer
-                .emit(|| Event::new(now, EventKind::MsgDrop { dst: dst as u32 }).at_site(src));
+            self.tracer.emit(|| {
+                Event::new(now, EventKind::MsgDrop { dst: dst as u32, label: msg.to_string() })
+                    .at_site(src)
+            });
         }
         Some(ev)
     }

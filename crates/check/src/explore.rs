@@ -1,6 +1,6 @@
 //! The schedule explorer: bounded, deterministic, parallel exploration of
-//! every interleaving of message delivery, message loss, site crash and
-//! site recovery that the budgets allow.
+//! every interleaving of message delivery, message loss, site crash, site
+//! recovery and detector suspicion that the budgets allow.
 //!
 //! ## State space
 //!
@@ -20,7 +20,12 @@
 //!   and runs the paper's recovery protocol;
 //! * **drop** the most recently sent in-flight message of a link — a
 //!   deliberate *assumption violation* (the paper assumes a reliable
-//!   network), budgeted separately and off by default.
+//!   network), budgeted separately and off by default;
+//! * **suspect** a live in-view peer — the imperfect (timeout-based)
+//!   failure detector's false-suspicion choice, budgeted separately and
+//!   off by default — and **unsuspect** a standing suspicion, which is
+//!   budget-free: once a suspicion exists, the detector may clear it at
+//!   any later point, so every revocation ordering is explored.
 //!
 //! ## Deduplication and pruning
 //!
@@ -125,6 +130,13 @@ pub struct CheckOptions {
     /// Lossy-network drop budget per execution (assumption violation;
     /// default 0).
     pub drops: u32,
+    /// Suspicion budget per execution: how many times the (imperfect,
+    /// timeout-based) failure detector may start suspecting a site —
+    /// possibly falsely, of a live one. Unsuspicions are free: once a
+    /// suspicion exists, clearing it at any point is always a legal
+    /// detector behavior, so revocations are explored without budget.
+    /// Default 0 (the paper's perfect-detector world).
+    pub suspicions: u32,
     /// Termination rule the engine runs under.
     pub rule: TerminationRule,
     /// Optional traversal-order perturbation. `None` (the default) keeps
@@ -163,6 +175,7 @@ impl Default for CheckOptions {
             faults: 1,
             recoveries: 0,
             drops: 0,
+            suspicions: 0,
             rule: TerminationRule::Skeen,
             seed: None,
             vote_plan: None,
@@ -198,6 +211,7 @@ struct Budgets {
     faults: u32,
     recoveries: u32,
     drops: u32,
+    suspicions: u32,
 }
 
 /// One branchable scheduler action.
@@ -214,13 +228,21 @@ enum Action {
     Recover { site: usize },
     /// Lose the most recently sent in-flight message of this link.
     DropTail { src: usize, dst: usize },
+    /// `observer` starts (possibly falsely) suspecting `peer`.
+    Suspect { observer: usize, peer: usize },
+    /// `observer` clears its suspicion of `peer`.
+    Unsuspect { observer: usize, peer: usize },
 }
 
 impl Action {
     /// Depth cost: the number of schedule steps the action expands to.
     fn cost(&self) -> u32 {
         match self {
-            Action::Fire(_) | Action::Recover { .. } | Action::DropTail { .. } => 1,
+            Action::Fire(_)
+            | Action::Recover { .. }
+            | Action::DropTail { .. }
+            | Action::Suspect { .. }
+            | Action::Unsuspect { .. } => 1,
             Action::Fuse(chs) => chs.len() as u32,
             Action::CrashSuffix { lose, .. } => 1 + *lose as u32,
         }
@@ -576,7 +598,15 @@ impl<'a> Stepper<'a> {
         }
         channels.sort_unstable();
 
-        let no_faults = b.faults == 0 && b.recoveries == 0 && b.drops == 0;
+        // Fusion is sound only when no scheduler-injected action can
+        // interleave between the fused deliveries: every fault budget must
+        // be spent AND no standing suspicion remain (Unsuspect actions are
+        // budget-free, so they exist as long as any suspicion does).
+        let no_faults = b.faults == 0
+            && b.recoveries == 0
+            && b.drops == 0
+            && b.suspicions == 0
+            && runner.sites().iter().all(|s| s.suspects.is_empty());
         if no_faults && !pending.is_empty() {
             let mut dests: Vec<usize> = pending.iter().map(|(_, ev)| dest_of(ev)).collect();
             dests.sort_unstable();
@@ -625,6 +655,42 @@ impl<'a> Stepper<'a> {
             for (site, s) in runner.sites().iter().enumerate() {
                 if !s.is_up() {
                     actions.push(Action::Recover { site });
+                }
+            }
+        }
+        if b.suspicions > 0 {
+            for (observer, s) in runner.sites().iter().enumerate() {
+                if !s.is_up() {
+                    continue;
+                }
+                for (peer, p) in runner.sites().iter().enumerate() {
+                    // Suspicion of a *live, in-view* peer is the interesting
+                    // (imperfect-detector) choice: suspecting a down or
+                    // already-suspected peer adds nothing the crash notices
+                    // don't cover.
+                    if peer == observer || !p.is_up() || !s.view[peer] || s.suspects.contains(&peer)
+                    {
+                        continue;
+                    }
+                    // Quorum-based protocols promise nonblocking only
+                    // against acceptor failures; mirror the CrashSuffix
+                    // guard and spend the budget on acceptor suspicions.
+                    if self.protocol.quorum().is_some() && !self.protocol.is_acceptor(peer) {
+                        continue;
+                    }
+                    actions.push(Action::Suspect { observer, peer });
+                }
+            }
+        }
+        // Revocations: always explorable while a suspicion stands
+        // (budget-free — see `CheckOptions::suspicions`).
+        for (observer, s) in runner.sites().iter().enumerate() {
+            if !s.is_up() {
+                continue;
+            }
+            for &peer in &s.suspects {
+                if runner.sites()[peer].is_up() {
+                    actions.push(Action::Unsuspect { observer, peer });
                 }
             }
         }
@@ -720,6 +786,16 @@ impl<'a> Stepper<'a> {
                     channel_tail(runner, Channel::Link(*src, *dst)).expect("link has tail");
                 runner.drop_scheduled(seq);
                 Ok(Budgets { drops: b.drops - 1, ..b })
+            }
+            Action::Suspect { observer, peer } => {
+                self.path.push(Step::Suspect { observer: *observer, peer: *peer });
+                runner.suspect_now(*observer, *peer);
+                Ok(Budgets { suspicions: b.suspicions - 1, ..b })
+            }
+            Action::Unsuspect { observer, peer } => {
+                self.path.push(Step::Unsuspect { observer: *observer, peer: *peer });
+                runner.unsuspect_now(*observer, *peer);
+                Ok(b)
             }
         }
     }
@@ -902,7 +978,7 @@ impl<'w, 'a> Worker<'w, 'a> {
         }
 
         let budget = self.shared.opts.mem_budget;
-        let fp = fingerprint128(&(runner.digest(), b.faults, b.recoveries, b.drops));
+        let fp = fingerprint128(&(runner.digest(), b.faults, b.recoveries, b.drops, b.suspicions));
         let shard = &ps.shards[(fp as usize) & self.shared.shard_mask];
         {
             let mut map = shard.lock().expect("shard poisoned");
@@ -1119,7 +1195,7 @@ impl<'a> Search<'a, '_> {
         {
             return Some(("", String::new(), self.stepper.path.clone()));
         }
-        let fp = fingerprint128(&(runner.digest(), b.faults, b.recoveries, b.drops));
+        let fp = fingerprint128(&(runner.digest(), b.faults, b.recoveries, b.drops, b.suspicions));
         if let Some(&best) = self.seen.get(&fp) {
             if best >= depth_left {
                 return None;
@@ -1192,7 +1268,12 @@ fn canonical_witness<'a>(
     votes: &[bool],
     target: Target,
 ) -> WitnessFound {
-    let budgets = Budgets { faults: opts.faults, recoveries: opts.recoveries, drops: opts.drops };
+    let budgets = Budgets {
+        faults: opts.faults,
+        recoveries: opts.recoveries,
+        drops: opts.drops,
+        suspicions: opts.suspicions,
+    };
     let root = Runner::new(protocol, analysis, plan_config(protocol.n_sites(), votes, opts.rule));
     let mut search = Search {
         stepper: Stepper::new(protocol, analysis),
@@ -1239,7 +1320,7 @@ impl<'a> Redo<'a> {
         if runner.net_quiescent() && !Oracles::blocked_sites(&runner).is_empty() {
             self.blocking = true;
         }
-        let fp = fingerprint128(&(runner.digest(), b.faults, b.recoveries, b.drops));
+        let fp = fingerprint128(&(runner.digest(), b.faults, b.recoveries, b.drops, b.suspicions));
         let known = match self.map.get(&fp) {
             Some(e) if e.best >= depth_left => return,
             Some(_) => true,
@@ -1332,7 +1413,12 @@ fn canonical_capped_sweep<'a>(
     opts: &CheckOptions,
     votes: &[bool],
 ) -> (PlanStats, u8, bool, Witnessed) {
-    let budgets = Budgets { faults: opts.faults, recoveries: opts.recoveries, drops: opts.drops };
+    let budgets = Budgets {
+        faults: opts.faults,
+        recoveries: opts.recoveries,
+        drops: opts.drops,
+        suspicions: opts.suspicions,
+    };
     let root = Runner::new(protocol, analysis, plan_config(protocol.n_sites(), votes, opts.rule));
     let mut redo = Redo {
         stepper: Stepper::new(protocol, analysis),
@@ -1404,7 +1490,12 @@ pub fn explore<'a>(
         hot_bytes: AtomicUsize::new(0),
         spill_runs: AtomicU64::new(0),
     };
-    let budgets = Budgets { faults: opts.faults, recoveries: opts.recoveries, drops: opts.drops };
+    let budgets = Budgets {
+        faults: opts.faults,
+        recoveries: opts.recoveries,
+        drops: opts.drops,
+        suspicions: opts.suspicions,
+    };
 
     // Seed: expand each plan's root on this thread (observing it and
     // claiming it in the plan's map), then queue one task per root

@@ -4,9 +4,10 @@
 //! graph, concurrency sets, the fundamental nonblocking theorem);
 //! `nbc-engine` *executes* it. This crate drives the real engine
 //! [`Runner`](nbc_engine::Runner) through **every** interleaving of
-//! message delivery, message loss, site crash and site recovery within
-//! configurable budgets, and cross-validates the two against each other
-//! with four oracles:
+//! message delivery, message loss, site crash, site recovery and
+//! imperfect-detector suspicion (including *false* suspicion of live
+//! sites, and its revocation) within configurable budgets, and
+//! cross-validates the two against each other with four oracles:
 //!
 //! 1. **consistency** — no execution mixes commit and abort;
 //! 2. **prediction** — every local state a site operationally occupies is
@@ -192,11 +193,12 @@ impl CheckReport {
             ));
         }
         out.push_str(&format!(
-            "  budgets: depth={} faults={} recoveries={} drops={} seed={}\n",
+            "  budgets: depth={} faults={} recoveries={} drops={} suspicions={} seed={}\n",
             o.depth,
             o.faults,
             o.recoveries,
             o.drops,
+            o.suspicions,
             o.seed.map_or("none".to_string(), |s| s.to_string()),
         ));
         out.push_str(&format!(
@@ -298,7 +300,8 @@ impl CheckReport {
             self.unwitnessed.iter().map(|s| format!("\"{s}\"")).collect();
         format!(
             "{{\"protocol\":\"{}\",\"n\":{},\"rule\":\"{}\",\"depth\":{},\"faults\":{},\
-             \"recoveries\":{},\"drops\":{},\"seed\":{},\"certified_nonblocking\":{},\
+             \"recoveries\":{},\"drops\":{},\"suspicions\":{},\"seed\":{},\
+             \"certified_nonblocking\":{},\
              \"max_tolerated_failures\":{},\"quorum_f\":{},\"within_resilience\":{},\"plans\":{},\
              \"distinct_states\":{},\"actions\":{},\"fused\":{},\"truncated\":{},\
              \"prediction_complete\":{},\"unwitnessed\":[{}],\"blocking_witness_steps\":{},\
@@ -310,6 +313,7 @@ impl CheckReport {
             o.faults,
             o.recoveries,
             o.drops,
+            o.suspicions,
             o.seed.map_or("null".to_string(), |s| s.to_string()),
             self.certified_nonblocking,
             self.max_tolerated_failures,
@@ -347,11 +351,19 @@ pub fn run_check(protocol: &Protocol, options: CheckOptions) -> Result<CheckRepo
     // The theorem's resilience bound assumes Skeen's termination rule.
     // The quorum variant deliberately trades availability for partition
     // safety: it only promises progress while a majority survives, so
-    // beyond that the nonblocking oracle must not expect termination.
+    // beyond that the nonblocking oracle must not expect termination —
+    // and it makes no termination promise at all under an *imperfect*
+    // detector (a false suspicion can always stall a round; the quorum
+    // rule's contract there is safety, which the consistency oracle
+    // verifies). Skeen's own rule, by contrast, claims nonblocking
+    // unconditionally given its fault bound, so suspicions deliberately
+    // do NOT relax `within_resilience` for it: the termination livelock
+    // under repeated false suspicion is reported as a genuine
+    // nonblocking failure — the FLP boundary made operational.
     let rule_tolerates = match options.rule {
         TerminationRule::QuorumSkeen => {
             let n = protocol.n_sites();
-            (options.faults as usize) < n - n / 2
+            (options.faults as usize) < n - n / 2 && options.suspicions == 0
         }
         _ => true,
     };

@@ -137,12 +137,17 @@ impl<'a> Oracles<'a> {
     /// [`Mode::Recovering`] at quiescence is waiting on information only a
     /// peer's recovery can supply — the paper's nonblocking property
     /// covers operational sites, not recovering ones, so it is exempt.
+    /// The exemption is scoped to sites that actually went down: a live
+    /// site that was merely (falsely) suspected never lost state, is fully
+    /// operational in the paper's sense, and stays accountable.
     pub fn blocked_sites(runner: &Runner<'_>) -> Vec<usize> {
         runner
             .sites()
             .iter()
             .enumerate()
-            .filter(|(_, s)| s.is_up() && s.outcome.is_none() && s.mode != Mode::Recovering)
+            .filter(|(_, s)| {
+                s.is_up() && s.outcome.is_none() && (s.mode != Mode::Recovering || !s.ever_down)
+            })
             .map(|(i, _)| i)
             .collect()
     }

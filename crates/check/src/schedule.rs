@@ -54,6 +54,23 @@ pub enum Step {
         /// The site it learns has recovered.
         recovered: usize,
     },
+    /// `observer` starts suspecting `peer` — the imperfect (timeout-based)
+    /// detector's choice point, injected by the scheduler rather than by
+    /// silence. The suspicion may be *false*: `peer` can be alive.
+    Suspect {
+        /// The suspecting site.
+        observer: usize,
+        /// The suspected site (possibly live — that is the point).
+        peer: usize,
+    },
+    /// `observer` clears its suspicion of `peer` (evidence of life
+    /// arrived). The revocation that perfect failure detection never has.
+    Unsuspect {
+        /// The site clearing its suspicion.
+        observer: usize,
+        /// The peer trusted again.
+        peer: usize,
+    },
     /// Crash a site (volatile state lost, synced WAL prefix survives).
     Crash {
         /// The crashing site.
@@ -83,6 +100,12 @@ impl fmt::Display for Step {
             }
             Step::RecoveryNotice { observer, recovered } => {
                 write!(f, "site{observer} learns site{recovered} recovered")
+            }
+            Step::Suspect { observer, peer } => {
+                write!(f, "site{observer} suspects site{peer}")
+            }
+            Step::Unsuspect { observer, peer } => {
+                write!(f, "site{observer} unsuspects site{peer}")
             }
             Step::Crash { site } => write!(f, "crash site{site}"),
             Step::Recover { site } => write!(f, "recover site{site}"),
@@ -175,6 +198,29 @@ pub fn apply_step(runner: &mut Runner<'_>, step: &Step) -> Result<(), String> {
                     "detector head for site{observer} is {other:?}, not recovery of site{recovered}"
                 )),
             }
+        }
+        Step::Suspect { observer, peer } => {
+            if observer == peer {
+                return Err(format!("site{observer} cannot suspect itself"));
+            }
+            if !runner.sites()[*observer].is_up() {
+                return Err(format!("site{observer} is down and cannot suspect"));
+            }
+            if runner.sites()[*observer].suspects.contains(peer) {
+                return Err(format!("site{observer} already suspects site{peer}"));
+            }
+            runner.suspect_now(*observer, *peer);
+            Ok(())
+        }
+        Step::Unsuspect { observer, peer } => {
+            if !runner.sites()[*observer].is_up() {
+                return Err(format!("site{observer} is down and cannot unsuspect"));
+            }
+            if !runner.sites()[*observer].suspects.contains(peer) {
+                return Err(format!("site{observer} does not suspect site{peer}"));
+            }
+            runner.unsuspect_now(*observer, *peer);
+            Ok(())
         }
         Step::Crash { site } => {
             if !runner.sites()[*site].is_up() {
@@ -288,6 +334,12 @@ fn step_json(s: &Step) -> String {
         Step::RecoveryNotice { observer, recovered } => {
             format!("{{\"step\":\"recovery-notice\",\"observer\":{observer},\"recovered\":{recovered}}}")
         }
+        Step::Suspect { observer, peer } => {
+            format!("{{\"step\":\"suspect\",\"observer\":{observer},\"peer\":{peer}}}")
+        }
+        Step::Unsuspect { observer, peer } => {
+            format!("{{\"step\":\"unsuspect\",\"observer\":{observer},\"peer\":{peer}}}")
+        }
         Step::Crash { site } => format!("{{\"step\":\"crash\",\"site\":{site}}}"),
         Step::Recover { site } => format!("{{\"step\":\"recover\",\"site\":{site}}}"),
         Step::Partition { groups } => {
@@ -310,6 +362,8 @@ fn parse_step(o: &JsonObj) -> Result<Step, String> {
         "recovery-notice" => {
             Ok(Step::RecoveryNotice { observer: num("observer")?, recovered: num("recovered")? })
         }
+        "suspect" => Ok(Step::Suspect { observer: num("observer")?, peer: num("peer")? }),
+        "unsuspect" => Ok(Step::Unsuspect { observer: num("observer")?, peer: num("peer")? }),
         "crash" => Ok(Step::Crash { site: num("site")? }),
         "recover" => Ok(Step::Recover { site: num("site")? }),
         "partition" => {
@@ -526,6 +580,8 @@ mod tests {
             rule: "skeen".into(),
             steps: vec![
                 Step::Deliver { src: 0, dst: 1 },
+                Step::Suspect { observer: 1, peer: 0 },
+                Step::Unsuspect { observer: 1, peer: 0 },
                 Step::Crash { site: 0 },
                 Step::FailNotice { observer: 1, crashed: 0 },
                 Step::Drop { src: 0, dst: 2 },

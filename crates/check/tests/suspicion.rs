@@ -1,0 +1,136 @@
+//! False suspicion as a first-class scheduler choice: the checker must
+//! find — exhaustively, within a suspicion budget — the textbook boundary
+//! this repo's paper trail keeps circling. Skeen's termination rule is
+//! nonblocking only under *accurate* failure detection: let the explorer
+//! falsely suspect live sites and it produces a replayable witness of an
+//! operational site stuck in termination. The quorum rule gives up that
+//! termination claim and keeps safety instead, so the same budgets must
+//! pass all oracles there, and for Paxos Commit. All of it byte-identical
+//! at any thread count, like every other checker verdict.
+
+use nbc_check::explore::plan_config;
+use nbc_check::{replay_strict, rule_from_name, run_check, CheckOptions, CheckReport, Step};
+use nbc_core::protocols::central_3pc;
+use nbc_core::Analysis;
+use nbc_engine::{Runner, TerminationRule};
+use nbc_paxos::paxos_commit;
+
+/// Fast suspicion-only budget: no crashes, all-yes votes, two false
+/// suspicions to play with.
+fn suspicion_opts(rule: TerminationRule) -> CheckOptions {
+    CheckOptions {
+        rule,
+        faults: 0,
+        suspicions: 2,
+        vote_plan: Some(vec![true; 3]),
+        ..CheckOptions::default()
+    }
+}
+
+#[test]
+fn skeen_rule_blocks_under_false_suspicion_with_replayable_witness() {
+    let protocol = central_3pc(3);
+    let report = run_check(&protocol, suspicion_opts(TerminationRule::Skeen)).unwrap();
+    assert!(!report.ok(), "false suspicion must break Skeen's nonblocking claim");
+    let failure = report
+        .failures
+        .iter()
+        .find(|f| f.oracle == "nonblocking")
+        .expect("the violated oracle is nonblocking");
+    let witness = failure.counterexample.as_ref().expect("violation carries a schedule");
+    assert!(
+        witness.steps.iter().any(|s| matches!(s, Step::Suspect { .. })),
+        "the witness must use a suspicion step: {}",
+        witness.to_jsonl()
+    );
+
+    // Replay the shrunk witness strictly on a fresh engine: it must end
+    // quiescent with every site alive (the suspicion really was false)
+    // and some operational site still undecided.
+    let analysis = Analysis::build(&protocol).unwrap();
+    let rule = rule_from_name(&witness.rule).unwrap();
+    let config = plan_config(witness.n, &witness.votes, rule);
+    let mut runner = Runner::new(&protocol, &analysis, config);
+    replay_strict(&mut runner, &witness.steps).expect("witness replays step for step");
+    assert!(runner.net_quiescent());
+    assert!(runner.sites().iter().all(|s| s.is_up()), "no site ever crashed");
+    assert!(
+        runner.sites().iter().any(|s| s.outcome.is_none()),
+        "a live site must be left undecided"
+    );
+}
+
+#[test]
+fn quorum_rule_passes_the_same_suspicion_budgets() {
+    let report = run_check(&central_3pc(3), suspicion_opts(TerminationRule::QuorumSkeen)).unwrap();
+    assert!(report.ok(), "{}", report.render());
+    // The quorum rule makes no termination promise under an imperfect
+    // detector, so any blocking the explorer finds is permitted — the
+    // report must say so rather than claim resilience.
+    assert!(!report.within_resilience, "suspicions void the quorum termination promise");
+}
+
+#[test]
+fn paxos_commit_passes_with_a_suspicion_budget() {
+    let opts = CheckOptions { faults: 0, suspicions: 1, ..CheckOptions::default() };
+    let report = run_check(&paxos_commit(2, 1), opts).unwrap();
+    assert!(report.ok(), "{}", report.render());
+    assert!(!report.stats.truncated, "must be exhaustive");
+}
+
+fn assert_identical(base: &CheckReport, other: &CheckReport, what: &str) {
+    assert_eq!(base.render(), other.render(), "{what}: render diverged");
+    assert_eq!(base.to_json(), other.to_json(), "{what}: json diverged");
+    for (a, b) in base.failures.iter().zip(&other.failures) {
+        assert_eq!(
+            a.counterexample.as_ref().map(|c| c.to_jsonl()),
+            b.counterexample.as_ref().map(|c| c.to_jsonl()),
+            "{what}: counterexample JSONL diverged"
+        );
+    }
+}
+
+#[test]
+fn suspicion_exploration_is_thread_count_invariant() {
+    let protocol = central_3pc(3);
+    let opts =
+        |threads, seed| CheckOptions { threads, seed, ..suspicion_opts(TerminationRule::Skeen) };
+    let base = run_check(&protocol, opts(1, None)).unwrap();
+    assert!(!base.ok());
+    for (threads, seed) in [(2, None), (4, None), (4, Some(11))] {
+        let run = run_check(&protocol, opts(threads, seed)).unwrap();
+        if seed.is_none() {
+            assert_identical(&base, &run, &format!("threads={threads}"));
+        } else {
+            // The rendered seed line differs; everything observable about
+            // the exploration and its witnesses must not.
+            assert_eq!(base.stats.distinct_states, run.stats.distinct_states);
+            assert_eq!(base.stats.actions, run.stats.actions);
+            assert_eq!(
+                base.blocking_witness.as_ref().map(|w| w.to_jsonl()),
+                run.blocking_witness.as_ref().map(|w| w.to_jsonl()),
+                "seeded witness diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn suspicion_budget_strictly_widens_the_state_space() {
+    // Digest coverage sanity: suspicion choices must actually reach new
+    // states (the explorer hashes suspicion sets into its fingerprints;
+    // if it did not, these counts would collapse).
+    let protocol = central_3pc(3);
+    let without = run_check(
+        &protocol,
+        CheckOptions { suspicions: 0, ..suspicion_opts(TerminationRule::Skeen) },
+    )
+    .unwrap();
+    let with = run_check(&protocol, suspicion_opts(TerminationRule::Skeen)).unwrap();
+    assert!(
+        with.stats.distinct_states > without.stats.distinct_states,
+        "suspicions must enlarge the explored space: {} vs {}",
+        with.stats.distinct_states,
+        without.stats.distinct_states
+    );
+}

@@ -33,7 +33,7 @@ use nbc_core::{
 };
 use nbc_engine::{
     enumerate_crash_specs, run_traced, run_with, sweep, sweep_traced, CrashPoint, CrashSpec,
-    RunConfig, RunReport, Runner, TerminationRule, TransitionProgress,
+    DetectorSpec, RunConfig, RunReport, Runner, TerminationRule, TransitionProgress,
 };
 use nbc_obs::export::{to_chrome, to_jsonl};
 use nbc_obs::{analyze, Event, EventKind, FlightRecorder, MemorySink, Metrics, SharedSink, Tracer};
@@ -348,6 +348,13 @@ pub struct SimOpts {
     pub rule: TerminationRule,
     /// Uniform latency bounds (`lo..hi`), else constant 1.
     pub latency: Option<(u64, u64)>,
+    /// Timeout-based failure detection: suspect a peer after this many
+    /// units of silence (`--detector-timeout`). `None` keeps the paper's
+    /// perfect detector.
+    pub detector_timeout: Option<u64>,
+    /// Inclusive heartbeat-latency bounds for the detector
+    /// (`--detector-jitter LO..HI`, default `1..12`).
+    pub detector_jitter: Option<(u64, u64)>,
     /// RNG seed for the latency model.
     pub seed: u64,
     /// Record and print the human-readable execution story (`--story`).
@@ -382,6 +389,8 @@ impl Default for SimOpts {
             no_voters: Vec::new(),
             rule: TerminationRule::Skeen,
             latency: None,
+            detector_timeout: None,
+            detector_jitter: None,
             seed: 0,
             trace: false,
             trace_path: None,
@@ -406,6 +415,13 @@ impl SimOpts {
         cfg.rule = self.rule;
         if let Some((lo, hi)) = self.latency {
             cfg.latency = LatencyModel::uniform(lo, hi, self.seed);
+        }
+        if let Some(timeout) = self.detector_timeout {
+            cfg.detector = Some(DetectorSpec {
+                timeout,
+                jitter: self.detector_jitter.unwrap_or((1, 12)),
+                seed: self.seed,
+            });
         }
         cfg.record_trace = self.trace;
         if let Some((site, ordinal, msgs)) = self.crash {
@@ -623,6 +639,7 @@ pub fn cmd_check(args: &[String]) -> Result<CheckRun, CliError> {
             "--faults" => opts.faults = parse_num(&val(args, &mut i)?, "--faults")?,
             "--recoveries" => opts.recoveries = parse_num(&val(args, &mut i)?, "--recoveries")?,
             "--drops" => opts.drops = parse_num(&val(args, &mut i)?, "--drops")?,
+            "--suspicions" => opts.suspicions = parse_num(&val(args, &mut i)?, "--suspicions")?,
             "--seed" => opts.seed = Some(parse_num(&val(args, &mut i)?, "--seed")?),
             "--threads" => opts.threads = parse_num(&val(args, &mut i)?, "--threads")?,
             "--max-states" => opts.max_states = parse_num(&val(args, &mut i)?, "--max-states")?,
@@ -1282,6 +1299,28 @@ pub fn parse_latency_arg(arg: &str) -> Result<(u64, u64), CliError> {
         return fail("--latency LO..HI needs LO <= HI");
     }
     Ok((lo, hi))
+}
+
+/// Parse a `--detector-jitter` heartbeat-latency range (`lo..hi`).
+pub fn parse_jitter_arg(arg: &str) -> Result<(u64, u64), CliError> {
+    let (lo, hi) = arg
+        .split_once("..")
+        .ok_or(CliError(format!("--detector-jitter wants LO..HI, got {arg:?}")))?;
+    let lo = lo.parse().map_err(|_| CliError(format!("bad jitter bound {lo:?}")))?;
+    let hi = hi.parse().map_err(|_| CliError(format!("bad jitter bound {hi:?}")))?;
+    if lo > hi {
+        return fail("--detector-jitter LO..HI needs LO <= HI");
+    }
+    Ok((lo, hi))
+}
+
+/// Parse a `--detector-timeout` value (must be positive).
+pub fn parse_timeout_arg(arg: &str) -> Result<u64, CliError> {
+    let t: u64 = parse_num(arg, "--detector-timeout")?;
+    if t == 0 {
+        return fail("--detector-timeout needs a positive value");
+    }
+    Ok(t)
 }
 
 /// Parse a `--trace-format` value; `true` selects Chrome trace-event JSON.

@@ -16,15 +16,17 @@ USAGE:
                   [--crash SITE:ORDINAL:MSGS] [--recover T]
                   [--no-voter K]... [--rule skeen|cooperative|naive|quorum]
                   [--latency LO..HI] [--seed S] [--story]
+                  [--detector-timeout T] [--detector-jitter LO..HI]
                   [--schedule FILE]
                   [--trace PATH] [--trace-format jsonl|chrome] [--metrics] [--json]
                   [--flight PATH] [--flight-cap N]
   nbc check       PROTO [-n N] [--depth D] [--faults F] [--recoveries R]
-                  [--drops K] [--seed S] [--threads T] [--progress]
+                  [--drops K] [--suspicions S] [--seed S] [--threads T] [--progress]
                   [--rule skeen|cooperative|naive|quorum]
                   [--votes yyn] [--max-states M] [--mem-budget B]
                   [--counterexample FILE] [--trace] [--json]
   nbc sweep       PROTO [-n N] [--threads T] [--stream] [--recover T] [--rule ...]
+                  [--detector-timeout T] [--detector-jitter LO..HI] [--seed S]
                   [--trace PATH] [--trace-format jsonl|chrome] [--metrics] [--json]
   nbc termination PROTO [-n N] [--threads T] [--stream]
                   [--trace PATH] [--trace-format jsonl|chrome] [--metrics]
@@ -55,6 +57,12 @@ plain bytes), spilling sorted runs to temp files past it. Results are
 byte-identical with or without a budget; spill stats print on stderr.
 For analyze/synthesize it applies to the --stream reachability fold.
 --story: print the run's human-readable execution trace.
+--detector-timeout T: replace the paper's perfect failure detector with
+timeout-based suspicion — a site suspects a peer after T units of
+silence, with heartbeat latency drawn from --detector-jitter LO..HI
+(default 1..12, seeded by --seed). A timeout below the jitter ceiling
+can falsely suspect live sites; a timeout at or above it detects only
+genuine crashes and reproduces the perfect-detector run byte for byte.
 --trace PATH: write the structured event trace to PATH; --trace-format
 picks JSONL (one event object per line, the default) or Chrome
 trace-event JSON for chrome://tracing / Perfetto.
@@ -75,7 +83,8 @@ stable writes, and message delays per transaction — next to central
 2PC/3PC and the paper's analytic predictions.
 
 check: exhaustively explore every schedule (delivery order, crashes,
-recoveries, drops) within the budgets and cross-validate the engine
+recoveries, drops, false suspicions via --suspicions) within the
+budgets and cross-validate the engine
 against the paper's state-graph analysis with four oracles; shrunk
 counterexamples replay with `nbc simulate PROTO --schedule FILE`.
 check exits 0 when every oracle passes, 1 on an oracle violation, and
@@ -195,6 +204,12 @@ fn run(args: &[String]) -> Result<String, CliError> {
             ),
             "--rule" => opts.rule = parse_rule_arg(&next_val(args, &mut i)?)?,
             "--latency" => opts.latency = Some(parse_latency_arg(&next_val(args, &mut i)?)?),
+            "--detector-timeout" => {
+                opts.detector_timeout = Some(parse_timeout_arg(&next_val(args, &mut i)?)?)
+            }
+            "--detector-jitter" => {
+                opts.detector_jitter = Some(parse_jitter_arg(&next_val(args, &mut i)?)?)
+            }
             "--seed" => {
                 opts.seed = next_val(args, &mut i)?
                     .parse()

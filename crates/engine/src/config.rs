@@ -75,6 +75,35 @@ pub enum TerminationRule {
     QuorumSkeen,
 }
 
+/// Configuration of the timeout-based (imperfect) failure detector.
+///
+/// When set on a [`RunConfig`], the run replaces the paper's perfect
+/// failure detector with [`nbc_simnet::Suspicion`]: sites *suspect* peers
+/// after `timeout` units of silence, with per-check heartbeat latency
+/// sampled uniformly from `jitter` (inclusive). A spec whose worst-case
+/// heartbeat latency fits inside the timeout ([`DetectorSpec::is_accurate`])
+/// can never falsely suspect, and the engine then degenerates — by
+/// construction — to the legacy perfect-detection path, byte for byte.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct DetectorSpec {
+    /// Silence timeout: suspect a peer after this long without evidence
+    /// of life. Must be positive.
+    pub timeout: Time,
+    /// Inclusive `(lo, hi)` bounds of the heartbeat-latency distribution.
+    pub jitter: (Time, Time),
+    /// Seed of the heartbeat-latency stream (determinism).
+    pub seed: u64,
+}
+
+impl DetectorSpec {
+    /// True when the detector can never falsely suspect: every heartbeat
+    /// lands within the timeout, so only genuine silence (crash or cut
+    /// link) trips a suspicion.
+    pub fn is_accurate(&self) -> bool {
+        self.jitter.1 <= self.timeout
+    }
+}
+
 /// A scheduled network partition — a deliberate violation of the paper's
 /// "network never fails" assumption, for the `x3` demonstration.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -101,6 +130,10 @@ pub struct RunConfig {
     pub latency: LatencyModel,
     /// Failure-detection delay.
     pub detect_delay: Time,
+    /// Timeout-based failure detection. `None` (and any accurate spec)
+    /// uses the paper's perfect detector; an inaccurate spec replaces it
+    /// with suspicion timers that can falsely suspect live sites.
+    pub detector: Option<DetectorSpec>,
     /// Enable cooperative total-failure recovery (decide once *all* sites
     /// have recovered and none holds a durable decision).
     pub total_failure_recovery: bool,
@@ -129,6 +162,7 @@ impl RunConfig {
             rule: TerminationRule::Skeen,
             latency: LatencyModel::constant(1),
             detect_delay: 5,
+            detector: None,
             total_failure_recovery: true,
             max_events: 200_000,
             record_trace: false,
@@ -153,6 +187,12 @@ impl RunConfig {
     /// Set the termination rule.
     pub fn with_rule(mut self, rule: TerminationRule) -> Self {
         self.rule = rule;
+        self
+    }
+
+    /// Drive failure detection by timeout-based suspicion.
+    pub fn with_detector(mut self, spec: DetectorSpec) -> Self {
+        self.detector = Some(spec);
         self
     }
 

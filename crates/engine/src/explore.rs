@@ -158,6 +158,28 @@ impl<'a> Runner<'a> {
         self.net.heal();
     }
 
+    /// Make `observer` suspect `peer` at the current instant — the
+    /// checker's handle on imperfect failure detection. Unlike
+    /// [`Runner::crash_now`], the peer keeps running: this explores
+    /// *false* suspicion of a live site (and true suspicion orderings,
+    /// when combined with crashes). The observer reacts exactly as it
+    /// would to a failure notice, except the suspicion is revocable via
+    /// [`Runner::unsuspect_now`]. No-op if the observer is down or
+    /// already suspects the peer.
+    pub fn suspect_now(&mut self, observer: usize, peer: usize) {
+        self.events += 1;
+        self.on_suspect(observer, peer);
+    }
+
+    /// Clear `observer`'s suspicion of `peer` at the current instant —
+    /// evidence of life arrived. The peer rejoins the observer's view; a
+    /// terminating or blocked observer re-elects over the restored view.
+    /// No-op unless the suspicion is currently held.
+    pub fn unsuspect_now(&mut self, observer: usize, peer: usize) {
+        self.events += 1;
+        self.on_unsuspect(observer, peer);
+    }
+
     /// True when no network event is pending — with no fault injection
     /// forthcoming, the run can change state no further.
     pub fn net_quiescent(&self) -> bool {
@@ -221,6 +243,11 @@ impl<'a> Runner<'a> {
             replies.sort_unstable();
             replies.hash(h);
             s.recovered_peers.hash(h);
+            // Suspicions are behavioral state: they gate which
+            // suspect/unsuspect actions are enabled and what an
+            // unsuspicion will restore. (`ever_down` stays out — it is
+            // monitor-only, and today `Recovering` implies it.)
+            s.suspects.hash(h);
         }
         // In-flight messages, canonicalized per FIFO channel: channel
         // order is irrelevant (sorted), order *within* a channel is the

@@ -42,7 +42,8 @@ pub mod sweep;
 pub mod wire;
 
 pub use config::{
-    CrashPoint, CrashSpec, PartitionSpec, RunConfig, TerminationRule, TransitionProgress,
+    CrashPoint, CrashSpec, DetectorSpec, PartitionSpec, RunConfig, TerminationRule,
+    TransitionProgress,
 };
 pub use decide::ClassDecisions;
 pub use explore::{channel_of, Channel};

@@ -78,6 +78,10 @@ pub struct RunReport {
     pub events: usize,
     /// True if the run hit the event limit (results incomplete).
     pub truncated: bool,
+    /// Backup elections entered during the run (termination-protocol
+    /// round count). Maintained by an engine counter, so it is populated
+    /// whether or not tracing is on.
+    pub elections: u64,
     /// Execution trace (populated when `RunConfig::record_trace` is set).
     pub trace: Vec<String>,
 }
@@ -130,6 +134,7 @@ impl RunReport {
             finished_at,
             events,
             truncated,
+            elections: 0,
             trace,
         }
     }
@@ -159,7 +164,8 @@ impl RunReport {
             .num("msgs_sent", self.msgs_sent)
             .num("finished_at", self.finished_at)
             .num("events", self.events as u64)
-            .bool("truncated", self.truncated);
+            .bool("truncated", self.truncated)
+            .num("elections", self.elections);
         o = match self.decision() {
             Some(commit) => o.bool("decision", commit),
             None => o.raw("decision", "null"),

@@ -33,7 +33,7 @@ use std::collections::BinaryHeap;
 use nbc_core::recovery_analysis::{classify, RecoveryClass};
 use nbc_core::{Analysis, Protocol, StateClass, StateId, Vote};
 use nbc_obs::{Event, EventKind, LinesSink, SharedSink, Tracer};
-use nbc_simnet::{NetEvent, Network, Time};
+use nbc_simnet::{DetectorEvent, LatencyModel, NetEvent, Network, Suspicion, Time};
 use nbc_storage::recovery::{summarize, TxnOutcome};
 use nbc_storage::LogRecord;
 
@@ -78,6 +78,17 @@ pub struct Runner<'a> {
     pub(crate) now: Time,
     pub(crate) events: usize,
     truncated: bool,
+    /// Timeout-based failure detection, replacing the network's perfect
+    /// detector when the config carries an *inaccurate* [`DetectorSpec`]
+    /// (accurate specs degenerate to the legacy path by construction —
+    /// that equivalence is tested). With a detector, crashes, recoveries
+    /// and partitions are learned by suspicion timers, never by notice.
+    ///
+    /// [`DetectorSpec`]: crate::config::DetectorSpec
+    detector: Option<Suspicion>,
+    /// Backup elections entered (termination-protocol rounds), for the
+    /// run report — a counter, so it works untraced.
+    elections: u64,
     /// Observability handle; every protocol action is emitted through it
     /// as a typed event (no-op when no sink is attached).
     tracer: Tracer,
@@ -145,6 +156,18 @@ impl<'a> Runner<'a> {
             recovery_classes[row.site.index()][row.state.index()] = row.class;
         }
         let start_at = config.start_at;
+        // An accurate detector (heartbeats always beat the timeout) can
+        // never falsely suspect; it is behaviorally the perfect detector,
+        // so use the legacy notice path verbatim — the equivalence the
+        // property tests pin down byte for byte.
+        let detector = config.detector.filter(|d| !d.is_accurate()).map(|d| {
+            let jitter = if d.jitter.0 == d.jitter.1 {
+                LatencyModel::constant(d.jitter.0)
+            } else {
+                LatencyModel::uniform(d.jitter.0, d.jitter.1, d.seed)
+            };
+            Suspicion::new(n, d.timeout, jitter, start_at)
+        });
         let mut runner = Self {
             protocol,
             analysis,
@@ -160,6 +183,8 @@ impl<'a> Runner<'a> {
             truncated: false,
             tracer,
             legacy,
+            detector,
+            elections: 0,
         };
         // Seed the client stimuli and let every site take its first steps,
         // so the run is steppable from the moment it is constructed.
@@ -185,13 +210,26 @@ impl<'a> Runner<'a> {
     /// global time order.
     pub fn next_time(&self) -> Option<Time> {
         let net_t = self.net.peek_time();
+        let det_t = self.detector_deadline();
         let timer_t = self.timers.peek().map(|Reverse((t, _))| *t);
-        match (net_t, timer_t) {
-            (None, None) => None,
-            (Some(a), None) => Some(a),
-            (None, Some(b)) => Some(b),
-            (Some(a), Some(b)) => Some(a.min(b)),
+        [net_t, det_t, timer_t].into_iter().flatten().min()
+    }
+
+    /// Next suspicion-timer deadline, when the detector still has work to
+    /// do. Gated on some site being up and undecided: once every
+    /// operational site holds an outcome, further suspicion cannot change
+    /// anything and the run is allowed to quiesce. (A run that *never*
+    /// settles — 3PC livelocked by repeated false suspicion — keeps
+    /// ticking until the event safety valve truncates it: that truncation
+    /// is the livelock, observed.) Clamped to `now` so a deadline the
+    /// engine passed while processing same-time messages fires
+    /// immediately rather than moving time backwards.
+    fn detector_deadline(&self) -> Option<Time> {
+        let d = self.detector.as_ref()?;
+        if !self.sites.iter().any(|s| s.is_up() && s.outcome.is_none()) {
+            return None;
         }
+        d.next_deadline().map(|t| t.max(self.now))
     }
 
     /// The run's current simulation time.
@@ -207,35 +245,57 @@ impl<'a> Runner<'a> {
             return false;
         }
         let net_t = self.net.peek_time();
+        let det_t = self.detector_deadline();
         let timer_t = self.timers.peek().map(|Reverse((t, _))| *t);
-        match (net_t, timer_t) {
-            (None, None) => false,
-            (Some(nt), tt) if tt.is_none() || nt <= tt.unwrap() => {
-                let (t, ev) = self.net.next_event().expect("peeked");
-                self.now = t;
-                self.events += 1;
-                self.handle_net(ev);
-                true
-            }
-            _ => {
-                let Reverse((t, timer)) = self.timers.pop().expect("peeked");
-                self.now = t;
-                self.events += 1;
-                match timer {
-                    Timer::Crash(site) => self.crash_site(site),
-                    Timer::Recover(site) => self.recover_site(site),
-                    Timer::Partition => {
-                        let spec =
-                            self.config.partition.clone().expect("partition timer implies a spec");
-                        self.tracer.emit(|| {
-                            self.ev(EventKind::Partition { groups: format!("{:?}", spec.groups) })
-                        });
-                        self.net.partition(self.now, spec.groups);
+        let Some(t) = [net_t, det_t, timer_t].into_iter().flatten().min() else {
+            return false;
+        };
+        // Tie-breaking order: deliveries before detector checks (a message
+        // arriving at the deadline is evidence of life and wins — the
+        // timeout boundary), detector checks before crash/recovery timers.
+        if net_t == Some(t) {
+            let (t, ev) = self.net.next_event().expect("peeked");
+            self.now = t;
+            self.events += 1;
+            self.handle_net(ev);
+            return true;
+        }
+        if det_t == Some(t) {
+            self.now = t;
+            self.events += 1;
+            let fired = self.detector.as_mut().expect("deadline implies a detector").poll(t);
+            for e in fired {
+                match e {
+                    DetectorEvent::Suspect { observer, peer } => self.on_suspect(observer, peer),
+                    DetectorEvent::Unsuspect { observer, peer } => {
+                        self.on_unsuspect(observer, peer)
                     }
                 }
-                true
+            }
+            return true;
+        }
+        let Reverse((t, timer)) = self.timers.pop().expect("peeked");
+        self.now = t;
+        self.events += 1;
+        match timer {
+            Timer::Crash(site) => self.crash_site(site),
+            Timer::Recover(site) => self.recover_site(site),
+            Timer::Partition => {
+                let spec = self.config.partition.clone().expect("partition timer implies a spec");
+                self.tracer.emit(|| {
+                    self.ev(EventKind::Partition { groups: format!("{:?}", spec.groups) })
+                });
+                if let Some(d) = self.detector.as_mut() {
+                    // Imperfect detection: no failure notices — the cut
+                    // is *suspected*, at each observer's own timeout.
+                    d.set_groups(self.now, Some(spec.groups.clone()));
+                    self.net.partition_silent(self.now, spec.groups);
+                } else {
+                    self.net.partition(self.now, spec.groups);
+                }
             }
         }
+        true
     }
 
     // ------------------------------------------------------------------
@@ -383,6 +443,15 @@ impl<'a> Runner<'a> {
                 if self.sites[dst].mode == Mode::Down {
                     return; // lost with the site
                 }
+                // Any delivered message is evidence of life: it renews the
+                // suspicion lease, and — processed *before* the payload —
+                // clears a standing false suspicion so the view is honest
+                // by the time the message acts.
+                if let Some(d) = self.detector.as_mut() {
+                    if d.heard(self.now, dst, src) {
+                        self.on_unsuspect(dst, src);
+                    }
+                }
                 self.deliver(src, dst, msg);
             }
             NetEvent::FailureNotice { observer, crashed } => {
@@ -502,8 +571,71 @@ impl<'a> Runner<'a> {
         }
     }
 
+    /// `observer` now suspects `peer` has failed (imperfect detection:
+    /// possibly falsely). Engine-side this is exactly a failure notice —
+    /// view change, quorum absorption, termination entry — plus the
+    /// revocable bookkeeping that lets an unsuspicion undo it.
+    pub(crate) fn on_suspect(&mut self, observer: usize, peer: usize) {
+        if observer == peer || self.sites[observer].mode == Mode::Down {
+            return;
+        }
+        if !self.sites[observer].suspects.insert(peer) {
+            return; // already suspected
+        }
+        self.tracer
+            .emit(|| self.ev(EventKind::Suspect { suspected: peer as u32 }).at_site(observer));
+        self.on_failure_notice(observer, peer);
+    }
+
+    /// `observer` clears its suspicion of `peer` — evidence of life from
+    /// a heartbeat or a delivered message. The peer rejoins the
+    /// operational view; a terminating or blocked observer re-runs the
+    /// election over the restored view (the quorum rule is what keeps the
+    /// rejoin safe — and under plain Skeen this very re-election is the
+    /// livelock loop the checker witnesses).
+    pub(crate) fn on_unsuspect(&mut self, observer: usize, peer: usize) {
+        if observer == peer || self.sites[observer].mode == Mode::Down {
+            return;
+        }
+        if !self.sites[observer].suspects.remove(&peer) {
+            return; // not currently suspected
+        }
+        self.tracer
+            .emit(|| self.ev(EventKind::Unsuspect { suspected: peer as u32 }).at_site(observer));
+        self.sites[observer].view[peer] = true;
+        // Evidence of life postdating the suspicion plays the role a
+        // recovery notice plays for real crashes: a stale AlignTo must not
+        // re-mark this peer dead.
+        self.sites[observer].recovered_peers.insert(peer);
+        // A decided site's decision broadcast skipped every peer it was
+        // suspecting at that moment, so restored life doubles as a
+        // missed-broadcast signal: resend the outcome. Duplicate
+        // decisions are idempotent at the receiver, and a legacy run
+        // never unsuspects, so this arm is dead there.
+        if self.sites[observer].mode == Mode::Done {
+            if let Some(commit) = self.sites[observer].outcome {
+                self.send(observer, peer, Wire::TermDecision { backup: observer, commit });
+            }
+            return;
+        }
+        if self.protocol.quorum().is_some()
+            && (self.protocol.is_acceptor(peer) || self.protocol.is_acceptor(observer))
+        {
+            // Mirror of the absorption rule in `on_failure_notice`:
+            // acceptor-involved view changes never drive termination in
+            // either direction.
+            return;
+        }
+        match self.sites[observer].mode {
+            Mode::Terminating { .. } | Mode::Blocked => self.enter_termination(observer),
+            Mode::Recovering => self.send(observer, peer, Wire::WhatHappened),
+            Mode::Down | Mode::Normal | Mode::Done => {}
+        }
+    }
+
     /// (Re)enter the termination protocol after a view change.
     fn enter_termination(&mut self, ix: usize) {
+        self.elections += 1;
         let backup = self.sites[ix].elected_backup();
         self.tracer.emit(|| self.ev(EventKind::Election { backup: backup as u32 }).at_site(ix));
         self.sites[ix].mode = Mode::Terminating { backup };
@@ -555,6 +687,18 @@ impl<'a> Runner<'a> {
                 return;
             }
             Mode::Normal | Mode::Terminating { .. } | Mode::Blocked => {}
+        }
+        // A durably aligned site never re-aligns to a *different* class.
+        // Under crash-stop failures every re-election aligns to the same
+        // class, so this cannot trigger; under false suspicion two live
+        // backups can run concurrent termination rounds whose "views" are
+        // not disjoint partition groups, and a site acking contrary
+        // alignments would hand each round a majority — the split-brain
+        // of X4 with "down" meaning merely "slow". Ignoring the contrary
+        // directive starves that round instead (its backup never
+        // completes phase 1): a liveness sacrifice, never a safety one.
+        if self.sites[ix].aligned_class.is_some_and(|prev| prev != class) {
+            return;
         }
         // The sender elected itself backup only after observing every
         // lower-ranked site crash. Under crash-stop failures its directive
@@ -619,46 +763,69 @@ impl<'a> Runner<'a> {
         use nbc_core::Decision;
         let fsa = self.protocol.fsa(nbc_core::SiteId(ix as u32));
         let my_class = self.reported_class_of(ix);
-        let decision = match self.config.rule {
-            TerminationRule::NaiveCs => {
-                // Paper rule verbatim on the backup's own local state —
-                // deliberately unsafe for blocking protocols.
-                let me = self.sites[ix].core_id();
-                let st = self.sites[ix].state;
-                match fsa.state(st).class {
-                    StateClass::Committed => Decision::Commit,
-                    StateClass::Aborted => Decision::Abort,
-                    _ => {
-                        if self.analysis.cs_has_commit(me, st) {
-                            Decision::Commit
-                        } else {
-                            Decision::Abort
+        // A peer that acked from a durable final state outranks every
+        // class rule: that decision already happened, so the only safe
+        // move is to adopt it. Under accurate detection this arm is
+        // unreachable — no final state is concurrent with a backup still
+        // terminating in a contrary class — but a falsely-elected backup
+        // races the still-live coordinator (or a parallel round) that may
+        // have decided in the meantime. NaiveCs keeps its paper-verbatim,
+        // own-state-only reading: it exists to demonstrate that unsafety.
+        let reported_final = (self.config.rule != TerminationRule::NaiveCs)
+            .then(|| {
+                self.sites[ix].backup_state.collected.iter().find_map(|&(_, c)| {
+                    match crate::class_map::decode_class(c) {
+                        StateClass::Committed => Some(Decision::Commit),
+                        StateClass::Aborted => Some(Decision::Abort),
+                        _ => None,
+                    }
+                })
+            })
+            .flatten();
+        let decision = if let Some(d) = reported_final {
+            d
+        } else {
+            match self.config.rule {
+                TerminationRule::NaiveCs => {
+                    // Paper rule verbatim on the backup's own local state —
+                    // deliberately unsafe for blocking protocols.
+                    let me = self.sites[ix].core_id();
+                    let st = self.sites[ix].state;
+                    match fsa.state(st).class {
+                        StateClass::Committed => Decision::Commit,
+                        StateClass::Aborted => Decision::Abort,
+                        _ => {
+                            if self.analysis.cs_has_commit(me, st) {
+                                Decision::Commit
+                            } else {
+                                Decision::Abort
+                            }
                         }
                     }
                 }
-            }
-            TerminationRule::Skeen => self.decisions.decide(my_class),
-            TerminationRule::QuorumSkeen => {
-                // Count sites this backup believes operational (itself
-                // included); without a strict majority of all n sites the
-                // backup must not decide — the other side of a potential
-                // partition might.
-                let operational = self.sites[ix].view.iter().filter(|&&up| up).count();
-                if 2 * operational > self.sites.len() {
-                    self.decisions.decide(my_class)
-                } else {
-                    Decision::Blocked
+                TerminationRule::Skeen => self.decisions.decide(my_class),
+                TerminationRule::QuorumSkeen => {
+                    // Count sites this backup believes operational (itself
+                    // included); without a strict majority of all n sites the
+                    // backup must not decide — the other side of a potential
+                    // partition might.
+                    let operational = self.sites[ix].view.iter().filter(|&&up| up).count();
+                    if 2 * operational > self.sites.len() {
+                        self.decisions.decide(my_class)
+                    } else {
+                        Decision::Blocked
+                    }
                 }
-            }
-            TerminationRule::Cooperative => {
-                let base = self.decisions.decide(my_class);
-                if base == Decision::Blocked {
-                    let mut classes: Vec<u8> =
-                        self.sites[ix].backup_state.collected.iter().map(|&(_, c)| c).collect();
-                    classes.push(my_class);
-                    self.decisions.decide_cooperative(classes)
-                } else {
-                    base
+                TerminationRule::Cooperative => {
+                    let base = self.decisions.decide(my_class);
+                    if base == Decision::Blocked {
+                        let mut classes: Vec<u8> =
+                            self.sites[ix].backup_state.collected.iter().map(|&(_, c)| c).collect();
+                        classes.push(my_class);
+                        self.decisions.decide_cooperative(classes)
+                    } else {
+                        base
+                    }
                 }
             }
         };
@@ -715,9 +882,17 @@ impl<'a> Runner<'a> {
         self.sites[ix].backup_state = Default::default();
         self.sites[ix].pending_queries.clear();
         self.sites[ix].recovery_replies.clear();
+        self.sites[ix].suspects.clear();
+        self.sites[ix].ever_down = true;
         self.sites[ix].mode = Mode::Down;
         self.tracer.emit(|| self.ev(EventKind::Crash).at_site(ix));
-        self.net.crash(self.now, ix);
+        if let Some(d) = self.detector.as_mut() {
+            // No oracle notice: peers will suspect the silence, each at
+            // its own timeout.
+            d.site_down(ix);
+        } else {
+            self.net.crash(self.now, ix);
+        }
     }
 
     pub(crate) fn recover_site(&mut self, ix: usize) {
@@ -733,7 +908,13 @@ impl<'a> Runner<'a> {
         self.sites[ix].view = vec![true; n];
         self.sites[ix].recovery_replies.clear();
         self.tracer.emit(|| self.ev(EventKind::Recover).at_site(ix));
-        self.net.recover(self.now, ix);
+        if let Some(d) = self.detector.as_mut() {
+            // No oracle notice: peers detect the recovery when heartbeats
+            // (or this site's recovery queries) next prove life.
+            d.site_up(self.now, ix);
+        } else {
+            self.net.recover(self.now, ix);
+        }
 
         let acceptor = self.protocol.is_acceptor(ix);
         match summary.map(|s| &s.outcome) {
@@ -915,14 +1096,16 @@ impl<'a> Runner<'a> {
             outcomes.push(o);
         }
         let trace = self.legacy.as_ref().map(|l| l.with(|s| s.lines.clone())).unwrap_or_default();
-        RunReport::assemble_with_trace(
+        let mut report = RunReport::assemble_with_trace(
             outcomes,
             self.net.stats().sent(),
             self.now,
             self.events,
             self.truncated,
             trace,
-        )
+        );
+        report.elections = self.elections;
+        report
     }
 }
 

@@ -71,6 +71,15 @@ pub struct SiteRt {
     pub recovery_replies: Vec<(usize, Option<bool>, u8)>,
     /// Sites known (via recovery notices) to be up again.
     pub recovered_peers: BTreeSet<usize>,
+    /// Peers this site currently *suspects* have failed (timeout-based
+    /// detection only; empty under the perfect detector). Unlike `view`,
+    /// a suspicion is revocable: an unsuspicion restores `view[peer]`.
+    pub suspects: BTreeSet<usize>,
+    /// Monitor only: true once this site has ever actually crashed. The
+    /// checker's blocking oracle uses it to scope the `Recovering`
+    /// exemption to sites that really went down — a falsely-suspected
+    /// live site gets no such pass.
+    pub ever_down: bool,
     /// Monitor only: `visited[s]` is true once this site has occupied local
     /// state `s` at any point of the run (including states passed through
     /// inside one delivery's transition cascade). The model checker's
@@ -98,6 +107,8 @@ impl SiteRt {
             pending_queries: Vec::new(),
             recovery_replies: Vec::new(),
             recovered_peers: BTreeSet::new(),
+            suspects: BTreeSet::new(),
+            ever_down: false,
             visited,
         }
     }

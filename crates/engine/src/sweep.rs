@@ -63,6 +63,15 @@ pub struct SweepSummary {
     pub fully_decided: usize,
     /// Runs that hit the event limit.
     pub truncated: usize,
+    /// Backup elections entered, summed over all runs. Sourced from the
+    /// engine's election counter, so the fields are populated whether or
+    /// not tracing is on (they used to exist only as trace-derived
+    /// metrics).
+    pub elections_total: u64,
+    /// Most elections any single run entered.
+    pub elections_max: u64,
+    /// Runs that entered the termination protocol at least once.
+    pub election_runs: usize,
     /// Human-readable descriptions of the inconsistent runs (empty for
     /// correct protocol/rule combinations).
     pub inconsistent_runs: Vec<String>,
@@ -104,6 +113,11 @@ impl SweepSummary {
         if report.truncated {
             self.truncated += 1;
         }
+        self.elections_total += report.elections;
+        self.elections_max = self.elections_max.max(report.elections);
+        if report.elections > 0 {
+            self.election_runs += 1;
+        }
     }
 
     /// Encode the summary as a JSON object (for `--json` CLI output).
@@ -114,6 +128,9 @@ impl SweepSummary {
             .num("blocked", self.blocked as u64)
             .num("fully_decided", self.fully_decided as u64)
             .num("truncated", self.truncated as u64)
+            .num("elections_total", self.elections_total)
+            .num("elections_max", self.elections_max)
+            .num("election_runs", self.election_runs as u64)
             .bool("all_consistent", self.all_consistent())
             .bool("nonblocking", self.nonblocking())
             .float("blocking_rate", self.blocking_rate())
@@ -128,6 +145,9 @@ impl SweepSummary {
         self.blocked += other.blocked;
         self.fully_decided += other.fully_decided;
         self.truncated += other.truncated;
+        self.elections_total += other.elections_total;
+        self.elections_max = self.elections_max.max(other.elections_max);
+        self.election_runs += other.election_runs;
         self.inconsistent_runs.extend(other.inconsistent_runs);
     }
 }
@@ -295,6 +315,41 @@ mod tests {
         nbc_obs::json::validate(&j).unwrap();
         assert!(j.contains("\"all_consistent\":true"), "{j}");
         assert!(j.contains("\"nonblocking\":true"), "{j}");
+    }
+
+    #[test]
+    fn election_fields_populated_without_tracing() {
+        use nbc_obs::{MemorySink, SharedSink};
+        let p = central_3pc(3);
+        let a = Analysis::build(&p).unwrap();
+        let base = RunConfig::happy(3);
+        let specs = enumerate_crash_specs(&p, None);
+        // Regression: these fields used to be derivable only from trace
+        // metrics; they must now be populated by the engine counter with
+        // tracing off.
+        let s = sweep(&p, &a, &base, &specs);
+        assert!(s.elections_total > 0, "coordinator crashes must trigger elections");
+        assert!(s.election_runs > 0 && s.election_runs <= s.total);
+        assert!(s.elections_max >= 1);
+        let j = s.to_json();
+        nbc_obs::json::validate(&j).unwrap();
+        assert!(j.contains("\"elections_total\":"), "{j}");
+        assert!(j.contains("\"elections_max\":"), "{j}");
+        assert!(j.contains("\"election_runs\":"), "{j}");
+        // The traced sweep agrees, and the counter matches the trace's
+        // election events one for one.
+        let sink = SharedSink::new(MemorySink::default());
+        let traced = sweep_traced(&p, &a, &base, &specs, Tracer::to_sink(sink.clone()));
+        assert_eq!(traced.elections_total, s.elections_total);
+        assert_eq!(traced.elections_max, s.elections_max);
+        assert_eq!(traced.election_runs, s.election_runs);
+        let election_events = sink.with(|st| {
+            st.events
+                .iter()
+                .filter(|e| matches!(e.kind, nbc_obs::EventKind::Election { .. }))
+                .count()
+        });
+        assert_eq!(election_events as u64, s.elections_total);
     }
 
     #[test]

@@ -91,6 +91,8 @@ pub fn parse_event(line: &str) -> Result<Event, String> {
         "recover" => EventKind::Recover,
         "failure-notice" => EventKind::FailureNotice { crashed: need_u32(&v, "crashed")? },
         "recovery-notice" => EventKind::RecoveryNotice { recovered: need_u32(&v, "recovered")? },
+        "suspect" => EventKind::Suspect { suspected: need_u32(&v, "suspected")? },
+        "unsuspect" => EventKind::Unsuspect { suspected: need_u32(&v, "suspected")? },
         "election" => EventKind::Election { backup: need_u32(&v, "backup")? },
         "aligned" => EventKind::Aligned { class: need_str(&v, "class")? },
         "blocked" => EventKind::Blocked { backup: need_u32(&v, "backup")? },
@@ -805,6 +807,8 @@ mod tests {
             Event::new(7, EventKind::Recover).at_site(2),
             Event::new(8, EventKind::FailureNotice { crashed: 2 }).at_site(0),
             Event::new(9, EventKind::RecoveryNotice { recovered: 2 }).at_site(0),
+            Event::new(10, EventKind::Suspect { suspected: 2 }).at_site(0),
+            Event::new(10, EventKind::Unsuspect { suspected: 2 }).at_site(0),
             Event::new(10, EventKind::Election { backup: 1 }).at_site(1).for_txn(1),
             Event::new(11, EventKind::Aligned { class: "p".into() }).at_site(1).for_txn(1),
             Event::new(12, EventKind::Blocked { backup: 1 }).at_site(1).for_txn(1),

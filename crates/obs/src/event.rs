@@ -12,6 +12,7 @@
 //! | [`Decision`](EventKind::Decision) | a site reaches/adopts commit or abort |
 //! | [`Crash`](EventKind::Crash) / [`Recover`](EventKind::Recover) | site failure and restart |
 //! | [`FailureNotice`](EventKind::FailureNotice) / [`RecoveryNotice`](EventKind::RecoveryNotice) | the perfect failure detector reporting |
+//! | [`Suspect`](EventKind::Suspect) / [`Unsuspect`](EventKind::Unsuspect) | timeout-based (imperfect) detection: silence suspected, evidence of life revoking it — the assumption the paper does *not* make |
 //! | [`Election`](EventKind::Election) | a site (re-)elects a backup coordinator (termination protocol) |
 //! | [`Aligned`](EventKind::Aligned) | termination phase 1: durable alignment to the backup's state class |
 //! | [`Blocked`](EventKind::Blocked) | the backup cannot decide — the protocol blocks |
@@ -75,6 +76,18 @@ pub enum EventKind {
     RecoveryNotice {
         /// The site reported as recovered.
         recovered: u32,
+    },
+    /// Timeout-based detection: this site now suspects `suspected` has
+    /// failed (possibly falsely — silence is the only evidence).
+    Suspect {
+        /// The peer being suspected.
+        suspected: u32,
+    },
+    /// Timeout-based detection: this site cleared its suspicion of
+    /// `suspected` (a heartbeat or message proved it alive).
+    Unsuspect {
+        /// The peer no longer suspected.
+        suspected: u32,
     },
     /// The site (re-)entered the termination protocol recognizing `backup`.
     Election {
@@ -164,6 +177,8 @@ impl EventKind {
             Self::Recover => "recover",
             Self::FailureNotice { .. } => "failure-notice",
             Self::RecoveryNotice { .. } => "recovery-notice",
+            Self::Suspect { .. } => "suspect",
+            Self::Unsuspect { .. } => "unsuspect",
             Self::Election { .. } => "election",
             Self::Aligned { .. } => "aligned",
             Self::Blocked { .. } => "blocked",

@@ -31,6 +31,9 @@ pub fn event_json(event: &Event) -> String {
         EventKind::Crash | EventKind::Recover => o,
         EventKind::FailureNotice { crashed } => o.num("crashed", u64::from(*crashed)),
         EventKind::RecoveryNotice { recovered } => o.num("recovered", u64::from(*recovered)),
+        EventKind::Suspect { suspected } | EventKind::Unsuspect { suspected } => {
+            o.num("suspected", u64::from(*suspected))
+        }
         EventKind::Election { backup } => o.num("backup", u64::from(*backup)),
         EventKind::Aligned { class } => o.str("class", class),
         EventKind::Blocked { backup } => o.num("backup", u64::from(*backup)),
@@ -118,6 +121,8 @@ pub fn to_chrome(events: &[Event]) -> String {
             | EventKind::Decision { .. }
             | EventKind::Blocked { .. }
             | EventKind::Election { .. }
+            | EventKind::Suspect { .. }
+            | EventKind::Unsuspect { .. }
             | EventKind::Aligned { .. }
             | EventKind::Admit
             | EventKind::Park

@@ -157,6 +157,12 @@ pub struct Metrics {
     pub recoveries: u64,
     /// Backup-election rounds.
     pub elections: u64,
+    /// Timeout-based suspicions raised (imperfect detection; counts both
+    /// accurate and false suspicions — the detector cannot tell).
+    pub suspicions: u64,
+    /// Suspicions revoked by evidence of life. A high revocation share
+    /// means the detector is too aggressive for the network's jitter.
+    pub unsuspicions: u64,
     /// Blocked verdicts from backup coordinators.
     pub blocked: u64,
     /// WAL records appended.
@@ -192,6 +198,18 @@ impl Metrics {
         let stats = self.txns.entry(txn).or_default();
         stats.start = Some(stats.start.map_or(event.time, |s| s.min(event.time)));
         Some(stats)
+    }
+
+    /// Election-round distribution: one sample per transaction, counting
+    /// the backup-election rounds it entered. Zero rounds means the
+    /// commit protocol ran undisturbed; a heavy tail under an aggressive
+    /// detector is the elect-and-re-elect churn of false suspicion.
+    pub fn election_rounds(&self) -> Histogram {
+        let mut h = Histogram::default();
+        for t in self.txns.values() {
+            h.record(t.elections);
+        }
+        h
     }
 
     /// Encode the registry as one JSON object (fixed key order, so equal
@@ -242,6 +260,8 @@ impl Metrics {
             .num("crashes", self.crashes)
             .num("recoveries", self.recoveries)
             .num("elections", self.elections)
+            .num("suspicions", self.suspicions)
+            .num("unsuspicions", self.unsuspicions)
             .num("blocked", self.blocked)
             .num("wal_appends", self.wal_appends)
             .num("wal_bytes", self.wal_bytes)
@@ -251,6 +271,7 @@ impl Metrics {
             .num("parks", self.parks)
             .num("dies", self.dies)
             .num("reaps", self.reaps)
+            .raw("election_rounds", &hist_json(&self.election_rounds()))
             .raw("decision_latency", &latency)
             .raw("txns", &txns)
             .build()
@@ -301,6 +322,8 @@ impl Sink for Metrics {
             }
             EventKind::Crash => self.crashes += 1,
             EventKind::Recover => self.recoveries += 1,
+            EventKind::Suspect { .. } => self.suspicions += 1,
+            EventKind::Unsuspect { .. } => self.unsuspicions += 1,
             EventKind::Election { .. } => {
                 self.elections += 1;
                 if let Some(t) = self.txn_mut(event) {
@@ -361,6 +384,15 @@ impl fmt::Display for Metrics {
             "  protocol   transitions={} elections={} blocked={} crashes={} recoveries={}",
             self.transitions, self.elections, self.blocked, self.crashes, self.recoveries
         )?;
+        if self.suspicions + self.unsuspicions > 0 {
+            writeln!(
+                f,
+                "  detector   suspicions={} unsuspicions={} election-rounds: {}",
+                self.suspicions,
+                self.unsuspicions,
+                self.election_rounds()
+            )?;
+        }
         writeln!(
             f,
             "  wal        appends={} bytes={} fsync-physical={} fsync-batched={}",

@@ -22,11 +22,13 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod detector;
 pub mod latency;
 pub mod net;
 pub mod rng;
 pub mod stats;
 
+pub use detector::{DetectorEvent, Suspicion};
 pub use latency::LatencyModel;
 pub use net::{NetEvent, Network, SiteIx, Time};
 pub use rng::SimRng;

@@ -214,6 +214,38 @@ impl<M> Network<M> {
         self.groups = Some(assignment);
     }
 
+    /// Partition the network at `now` *without* failure notices: the
+    /// variant used when an imperfect detector ([`crate::Suspicion`]) is
+    /// in charge — unreachable sites are then *suspected* by timeout, not
+    /// reported by oracle. In-flight messages crossing the cut still die
+    /// with the link.
+    pub fn partition_silent(&mut self, now: Time, assignment: Vec<usize>)
+    where
+        M: std::fmt::Display,
+    {
+        assert_eq!(assignment.len(), self.n);
+        let tracer = self.tracer.clone();
+        let retained: Vec<Reverse<Scheduled<M>>> = std::mem::take(&mut self.heap)
+            .into_iter()
+            .filter(|Reverse(sch)| match &sch.event {
+                NetEvent::Deliver { src, dst, msg } if assignment[*src] != assignment[*dst] => {
+                    self.stats.record_drop();
+                    tracer.emit(|| {
+                        Event::new(
+                            now,
+                            EventKind::MsgDrop { dst: *dst as u32, label: msg.to_string() },
+                        )
+                        .at_site(*src)
+                    });
+                    false
+                }
+                _ => true,
+            })
+            .collect();
+        self.heap = retained.into();
+        self.groups = Some(assignment);
+    }
+
     /// Heal a partition (messages flow again; no automatic notices).
     pub fn heal(&mut self) {
         self.groups = None;

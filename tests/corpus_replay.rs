@@ -14,6 +14,17 @@
 //!   majority side elects a backup and commits via the quorum rule while
 //!   the minority coordinator, alone and short of quorum, blocks —
 //!   atomicity holds, termination does not.
+//! * `3pc-suspicion-livelock.jsonl` — no site ever crashes, yet 3PC under
+//!   Skeen's own termination rule livelocks: one participant's imperfect
+//!   detector repeatedly suspects and re-trusts the live coordinator, and
+//!   every flip re-runs the election without ever completing a round. The
+//!   bounded suspect/unsuspect loop here stands in for the unbounded one —
+//!   each cycle adds two elections and decides nothing.
+//! * `3pc-suspicion-quorum.jsonl` — the same false-suspicion partition
+//!   shape under the quorum rule: the majority side elects a backup,
+//!   aligns, and commits, while the minority coordinator — alive the whole
+//!   run, merely suspected — falls short of quorum and blocks instead of
+//!   deciding the other way. Availability is sacrificed, atomicity is not.
 
 use nbc_check::explore::plan_config;
 use nbc_check::{replay_strict, rule_from_name, Schedule};
@@ -60,7 +71,12 @@ fn replay(schedule: &Schedule, protocol: &Protocol) -> Vec<(Mode, Option<bool>)>
 
 #[test]
 fn corpus_files_round_trip_byte_for_byte() {
-    for name in ["linear-2pc-blocking.jsonl", "3pc-partition-election.jsonl"] {
+    for name in [
+        "linear-2pc-blocking.jsonl",
+        "3pc-partition-election.jsonl",
+        "3pc-suspicion-livelock.jsonl",
+        "3pc-suspicion-quorum.jsonl",
+    ] {
         let (text, schedule) = corpus(name);
         assert_eq!(schedule.to_jsonl(), text, "{name}: parse → serialize must be the identity");
     }
@@ -80,6 +96,52 @@ fn linear_2pc_blocking_witness_replays() {
         sites.iter().all(|(_, outcome)| outcome.is_none()),
         "no site may decide in the blocking witness: {sites:?}"
     );
+}
+
+#[test]
+fn false_suspicion_livelock_churns_elections_without_deciding() {
+    let (_, schedule) = corpus("3pc-suspicion-livelock.jsonl");
+    let protocol = resolve(&schedule);
+    let analysis = Analysis::build(&protocol).unwrap();
+    let rule = rule_from_name(&schedule.rule).unwrap();
+    let config = plan_config(schedule.n, &schedule.votes, rule);
+    let mut runner = Runner::new(&protocol, &analysis, config);
+    replay_strict(&mut runner, &schedule.steps).unwrap_or_else(|e| panic!("replay failed at {e}"));
+    assert!(runner.net_quiescent(), "livelock witness must end quiescent");
+    let report = runner.report();
+    // The loop's signature: every flip of site2's detector re-ran the
+    // election (initial suspicion + three unsuspect/suspect cycles), and
+    // none of those seven rounds produced a decision anywhere.
+    assert_eq!(report.elections, 7, "each suspicion flip must re-run the election");
+    assert!(runner.sites().iter().all(|s| s.is_up()), "no site ever crashed");
+    assert!(
+        runner.sites().iter().all(|s| s.outcome.is_none()),
+        "livelock decides nothing: {:?}",
+        report.outcomes
+    );
+    assert!(
+        matches!(runner.sites()[2].mode, Mode::Terminating { .. }),
+        "the flip-flopping site is stuck mid-termination: {:?}",
+        runner.sites()[2].mode
+    );
+}
+
+#[test]
+fn false_suspicion_under_quorum_commits_majority_blocks_suspected_minority() {
+    let (_, schedule) = corpus("3pc-suspicion-quorum.jsonl");
+    let protocol = resolve(&schedule);
+    let sites = replay(&schedule, &protocol);
+    // Site 0 is alive and merely suspected; short of quorum it must block
+    // rather than decide against the majority.
+    assert!(
+        matches!(sites[0].0, Mode::Blocked),
+        "suspected-but-alive coordinator must block: {sites:?}"
+    );
+    assert_eq!(sites[0].1, None);
+    for i in [1, 2] {
+        assert!(matches!(sites[i].0, Mode::Done), "majority site {i} terminates: {sites:?}");
+        assert_eq!(sites[i].1, Some(true), "majority commits via elected backup");
+    }
 }
 
 #[test]
